@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Ablation over the timing-speculation architecture (Sec 3.1): EVAL
+ * works with Diva-, Razor-, or Paceline-style error handling; the
+ * recovery penalty rp shifts where Perf(f) peaks (Figure 2(a)) and the
+ * checker's power overhead eats budget.  The paper picks Diva; this
+ * bench shows how much the choice matters.
+ */
+
+#include "bench_common.hh"
+#include "arch/checker.hh"
+
+using namespace eval;
+
+int
+main()
+{
+    ExperimentConfig base = ExperimentConfig::fromEnv();
+    base.chips = benchChips(8);
+
+    TablePrinter table("Checker architecture ablation "
+                       "(TS+ASV, Exh-Dyn, suite mean)");
+    table.header({"checker", "rp (cycles)", "power (W)", "area (%)",
+                  "fR", "PerfR", "PE (err/inst)"});
+
+    for (const CheckerModel &checker : CheckerModel::all()) {
+        ExperimentConfig cfg = base;
+        cfg.recovery.penaltyCycles = checker.recoveryPenaltyCycles;
+        cfg.powerCal.checkerPowerW = checker.powerW;
+        ExperimentContext ctx(cfg);
+        const auto apps = ctx.selectedApps();
+
+        RunningStats fr, perf, pe;
+        for (int chip = 0; chip < cfg.chips; ++chip) {
+            for (std::size_t a = 0; a < apps.size(); a += 4) {
+                const AppRunResult r = ctx.runApp(
+                    chip, (chip + a) % 4, *apps[a],
+                    EnvironmentKind::TS_ASV, AdaptScheme::ExhDyn);
+                fr.add(r.freqRel);
+                perf.add(r.perfRel);
+                pe.add(r.pePerInstr);
+            }
+        }
+
+        char peBuf[32];
+        std::snprintf(peBuf, sizeof(peBuf), "%.1e", pe.mean());
+        table.row({checkerKindName(checker.kind),
+                   formatDouble(checker.recoveryPenaltyCycles, 0),
+                   formatDouble(checker.powerW, 1),
+                   formatDouble(checker.areaPercent, 1),
+                   formatDouble(fr.mean(), 3),
+                   formatDouble(perf.mean(), 3), peBuf});
+    }
+    table.print();
+    std::printf("\nthe Sec 4.1 argument makes EVAL robust to rp: at "
+                "PE_MAX = 1e-4 even Paceline's ~250-cycle recovery "
+                "costs ~2.5%% CPI, so the chosen frequency barely "
+                "moves — timing speculation is a prerequisite, not a "
+                "differentiator.\n");
+    return 0;
+}

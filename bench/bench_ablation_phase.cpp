@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Ablation: the hardware phase detector (Sec 4.3.2 / Figure 7(a)).
+ * Streams phase-scripted applications through the BBV detector and
+ * measures (a) how much of execution is spent in stable, correctly
+ * re-identified phases (the paper cites 90-95% for SPEC) and (b) how
+ * the match threshold trades fragmentation against aliasing.
+ */
+
+#include "bench_common.hh"
+
+using namespace eval;
+
+namespace {
+
+struct DetectorScore
+{
+    double stableShare = 0.0;   ///< intervals re-identified as known
+    double purity = 0.0;        ///< majority ground-truth share per id
+    std::size_t phases = 0;
+};
+
+DetectorScore
+scoreDetector(const AppProfile &app, double threshold, int intervals,
+              int intervalOps)
+{
+    SyntheticTrace trace(app, 11);
+    PhaseDetector det(threshold, 64);
+
+    std::map<std::size_t, std::map<std::size_t, int>> byDetected;
+    int stable = 0;
+    MicroOp op;
+    std::uint32_t blockLen = 0;
+    for (int i = 0; i < intervals; ++i) {
+        BbvAccumulator bbv;
+        const std::size_t truth = trace.currentPhase();
+        for (int k = 0; k < intervalOps; ++k) {
+            trace.next(op);
+            ++blockLen;
+            if (op.cls == OpClass::Branch) {
+                bbv.note(op.pc, blockLen);
+                blockLen = 0;
+            }
+        }
+        const PhaseDecision d = det.endInterval(bbv);
+        if (!d.isNewPhase)
+            ++stable;
+        ++byDetected[d.phaseId][truth];
+    }
+
+    DetectorScore score;
+    score.stableShare = static_cast<double>(stable) / intervals;
+    score.phases = det.numPhases();
+    int pure = 0, total = 0;
+    for (const auto &[id, truths] : byDetected) {
+        (void)id;
+        int best = 0, sum = 0;
+        for (const auto &[truth, count] : truths) {
+            (void)truth;
+            best = std::max(best, count);
+            sum += count;
+        }
+        pure += best;
+        total += sum;
+    }
+    score.purity = total ? static_cast<double>(pure) / total : 0.0;
+    return score;
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::vector<std::string> apps = {"gcc", "gzip", "perlbmk",
+                                           "galgel", "apsi"};
+
+    TablePrinter table("Phase detector: threshold sweep "
+                       "(multi-phase apps, 60 intervals each)");
+    table.header({"threshold", "stable share", "purity",
+                  "phases found (truth: 2-3)"});
+
+    for (double threshold : {0.05, 0.15, 0.25, 0.45, 0.8}) {
+        RunningStats stable, purity, phases;
+        for (const std::string &name : apps) {
+            const DetectorScore s =
+                scoreDetector(appByName(name), threshold, 60, 20000);
+            stable.add(s.stableShare);
+            purity.add(s.purity);
+            phases.add(static_cast<double>(s.phases));
+        }
+        table.row({formatDouble(threshold, 2),
+                   formatPercent(stable.mean(), 1),
+                   formatPercent(purity.mean(), 1),
+                   formatDouble(phases.mean(), 1)});
+    }
+    table.print();
+
+    std::printf("\npaper (Sec 5): stable phases cover 90-95%% of "
+                "execution; the default threshold (0.25) should hit "
+                "that band with purity ~100%% and a phase count near "
+                "the scripted ground truth.  Too tight fragments "
+                "(many phases, low stable share); too loose aliases "
+                "phases together (purity drops).\n");
+    return 0;
+}

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Shared driver for the figure/table benches: runs the (environment x
+ * scheme x application x chip) sweep of Sec 6 and aggregates the
+ * relative frequency / performance / power metrics.
+ *
+ * Conventions (DESIGN.md Sec 5): EVAL_CHIPS overrides the per-bench
+ * default chip count (the paper uses 100); EVAL_SEED, EVAL_APPS and
+ * EVAL_FAST are honoured through ExperimentConfig::fromEnv.
+ */
+
+#ifndef EVAL_BENCH_BENCH_COMMON_HH
+#define EVAL_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/eval.hh"
+#include "util/logging.hh"
+
+namespace eval {
+
+/** Chip count: EVAL_CHIPS if set, otherwise the bench's default. */
+inline int
+benchChips(int dflt)
+{
+    int chips = static_cast<int>(envInt("EVAL_CHIPS", dflt));
+    if (envBool("EVAL_FAST", false))
+        chips = std::min(chips, 6);
+    return std::max(chips, 1);
+}
+
+/** Build the experiment configuration for a bench. */
+inline ExperimentConfig
+benchConfig(int defaultChips)
+{
+    ExperimentConfig cfg = ExperimentConfig::fromEnv();
+    cfg.chips = benchChips(defaultChips);
+    return cfg;
+}
+
+/** Aggregated metric set over (chip, app) samples. */
+struct SweepCell
+{
+    RunningStats freqRel;
+    RunningStats perfRel;
+    RunningStats powerW;
+    std::map<RetuneOutcome, std::uint64_t> outcomes;
+    std::uint64_t invocations = 0;
+};
+
+/** Results of a full environment sweep. */
+struct SweepResult
+{
+    /** [environment][scheme] */
+    std::map<std::string, SweepCell> cells;
+    SweepCell baseline;
+    SweepCell novar;
+
+    static std::string
+    key(EnvironmentKind env, AdaptScheme scheme)
+    {
+        return std::string(environmentName(env)) + "/" +
+               adaptSchemeName(scheme);
+    }
+};
+
+/** The six managed environment groups of Figures 10-12. */
+inline std::vector<EnvironmentKind>
+figureEnvironments()
+{
+    return {EnvironmentKind::TS,          EnvironmentKind::TS_ASV,
+            EnvironmentKind::TS_ASV_ABB,  EnvironmentKind::TS_ASV_Q,
+            EnvironmentKind::TS_ASV_Q_FU, EnvironmentKind::ALL};
+}
+
+inline std::vector<AdaptScheme>
+allSchemes()
+{
+    return {AdaptScheme::Static, AdaptScheme::FuzzyDyn,
+            AdaptScheme::ExhDyn};
+}
+
+/**
+ * Run the Figure 10-12 sweep.  Each application runs on one core of
+ * each chip (core rotates so all four quadrants are exercised).
+ */
+inline SweepResult
+runEnvironmentSweep(ExperimentContext &ctx,
+                    const std::vector<EnvironmentKind> &envs,
+                    const std::vector<AdaptScheme> &schemes,
+                    bool progress = true)
+{
+    SweepResult result;
+    const auto apps = ctx.selectedApps();
+    const int chips = ctx.config().chips;
+
+    for (int chip = 0; chip < chips; ++chip) {
+        for (std::size_t a = 0; a < apps.size(); ++a) {
+            const AppProfile &app = *apps[a];
+            const std::size_t core = (chip + a) % 4;
+
+            const AppRunResult base = ctx.runApp(
+                chip, core, app, EnvironmentKind::Baseline,
+                AdaptScheme::Static);
+            result.baseline.freqRel.add(base.freqRel);
+            result.baseline.perfRel.add(base.perfRel);
+            result.baseline.powerW.add(base.powerW);
+
+            const AppRunResult nv = ctx.runApp(
+                chip, core, app, EnvironmentKind::NoVar,
+                AdaptScheme::Static);
+            result.novar.freqRel.add(nv.freqRel);
+            result.novar.perfRel.add(nv.perfRel);
+            result.novar.powerW.add(nv.powerW);
+
+            for (EnvironmentKind env : envs) {
+                for (AdaptScheme scheme : schemes) {
+                    const AppRunResult r =
+                        ctx.runApp(chip, core, app, env, scheme);
+                    SweepCell &cell =
+                        result.cells[SweepResult::key(env, scheme)];
+                    cell.freqRel.add(r.freqRel);
+                    cell.perfRel.add(r.perfRel);
+                    cell.powerW.add(r.powerW);
+                    for (RetuneOutcome o : r.outcomes) {
+                        ++cell.outcomes[o];
+                        ++cell.invocations;
+                    }
+                }
+            }
+        }
+        if (progress && !isQuiet()) {
+            std::fprintf(stderr, "[bench] chip %d/%d done\n", chip + 1,
+                         chips);
+        }
+    }
+    return result;
+}
+
+/** Print one Figure 10/11/12-style table for the chosen metric. */
+inline void
+printEnvironmentFigure(const SweepResult &sweep, const std::string &title,
+                       const std::string &metricName,
+                       RunningStats SweepCell::*metric, int precision = 3)
+{
+    TablePrinter table(title);
+    table.header({"environment", "Static", "Fuzzy-Dyn", "Exh-Dyn"});
+    for (EnvironmentKind env : figureEnvironments()) {
+        std::vector<std::string> row{environmentName(env)};
+        for (AdaptScheme scheme : allSchemes()) {
+            const auto it =
+                sweep.cells.find(SweepResult::key(env, scheme));
+            row.push_back(it == sweep.cells.end()
+                              ? "-"
+                              : formatDouble((it->second.*metric).mean(),
+                                             precision));
+        }
+        table.row(row);
+    }
+    table.row({"Baseline (ref)",
+               formatDouble((sweep.baseline.*metric).mean(), precision),
+               "", ""});
+    table.row({"NoVar (ref)",
+               formatDouble((sweep.novar.*metric).mean(), precision), "",
+               ""});
+    table.print();
+    std::printf("samples per cell: %zu (%s)\n\n",
+                sweep.baseline.freqRel.count(), metricName.c_str());
+}
+
+} // namespace eval
+
+#endif // EVAL_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks for the library's hot paths, and
+ * for the paper's runtime claims: the fuzzy controller routines take
+ * ~6us per invocation on the managed CPU (Sec 4.3.3), which makes
+ * phase-granularity adaptation essentially free.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/eval.hh"
+
+namespace eval {
+namespace {
+
+ExperimentContext &
+sharedContext()
+{
+    static ExperimentConfig cfg = [] {
+        ExperimentConfig c = ExperimentConfig::fromEnv();
+        c.chips = 1;
+        c.simInsts = 60000;
+        return c;
+    }();
+    static ExperimentContext ctx(cfg);
+    return ctx;
+}
+
+const PhaseCharacterization &
+swimPhase()
+{
+    static const PhaseCharacterization phase =
+        sharedContext().characterizations().get(appByName("swim"))
+            .phases[0].chr;
+    return phase;
+}
+
+void
+BM_FuzzyInference(benchmark::State &state)
+{
+    ExperimentContext &ctx = sharedContext();
+    const EnvCapabilities caps = environmentCaps(EnvironmentKind::TS_ASV);
+    const CoreFuzzySystem &fc = ctx.coreFuzzy(0, 0, caps);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            fc.predictFmax(SubsystemId::Icache, 65.0, 0.3, false));
+    }
+}
+BENCHMARK(BM_FuzzyInference);
+
+void
+BM_FuzzyControllerFullInvocation(benchmark::State &state)
+{
+    // The "6us on a 4GHz processor" claim: one full controller pass
+    // over all subsystems (Freq + Power algorithms via FCs).
+    ExperimentContext &ctx = sharedContext();
+    const EnvCapabilities caps =
+        environmentCaps(EnvironmentKind::TS_ASV_Q_FU);
+    FuzzyOptimizer fuzzy(ctx.coreFuzzy(0, 0, caps));
+    CoreOptimizer opt(fuzzy, caps, ctx.config().constraints,
+                      ctx.config().recovery);
+    CoreSystemModel &core = ctx.coreModel(0, 0);
+    core.setAppType(true);
+    const PhaseCharacterization &phase = swimPhase();   // outside timing
+    for (auto _ : state)
+        benchmark::DoNotOptimize(opt.choose(core, phase, 65.0));
+}
+BENCHMARK(BM_FuzzyControllerFullInvocation);
+
+void
+BM_ExhaustiveFullInvocation(benchmark::State &state)
+{
+    // What the controller replaces: the same decision by exhaustive
+    // search ("too expensive to execute on-the-fly", Sec 4.3.1).
+    ExperimentContext &ctx = sharedContext();
+    const EnvCapabilities caps =
+        environmentCaps(EnvironmentKind::TS_ASV_Q_FU);
+    ExhaustiveOptimizer exh(caps, ctx.config().constraints);
+    CoreOptimizer opt(exh, caps, ctx.config().constraints,
+                      ctx.config().recovery);
+    CoreSystemModel &core = ctx.coreModel(0, 0);
+    core.setAppType(true);
+    const PhaseCharacterization &phase = swimPhase();   // outside timing
+    for (auto _ : state)
+        benchmark::DoNotOptimize(opt.choose(core, phase, 65.0));
+}
+BENCHMARK(BM_ExhaustiveFullInvocation);
+
+void
+BM_ThermalSolve(benchmark::State &state)
+{
+    ExperimentContext &ctx = sharedContext();
+    const ThermalModel &thermal = *ctx.thermalModel();
+    const auto &power =
+        ctx.powerParams()[static_cast<std::size_t>(SubsystemId::IntALU)];
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(thermal.solveSubsystem(
+            power, SubsystemId::IntALU, 0.15, 1.1, 0.0, 4.5e9, 0.7,
+            65.0));
+    }
+}
+BENCHMARK(BM_ThermalSolve);
+
+void
+BM_ErrorRateQuery(benchmark::State &state)
+{
+    ExperimentContext &ctx = sharedContext();
+    const CoreSystemModel &core = ctx.coreModel(0, 0);
+    const StageErrorModel &model =
+        core.subsystem(SubsystemId::Icache).errorModel(false);
+    const OperatingConditions op{1.0, 0.0, 70.0};
+    for (auto _ : state)
+        benchmark::DoNotOptimize(model.errorRatePerAccess(2.4e-10, op));
+}
+BENCHMARK(BM_ErrorRateQuery);
+
+void
+BM_TraceGeneration(benchmark::State &state)
+{
+    SyntheticTrace trace(appByName("gcc"), 1);
+    MicroOp op;
+    for (auto _ : state) {
+        trace.next(op);
+        benchmark::DoNotOptimize(op);
+    }
+}
+BENCHMARK(BM_TraceGeneration);
+
+void
+BM_CoreSimulation(benchmark::State &state)
+{
+    // Instructions simulated per second by the core model.
+    CoreConfig cfg;
+    Core core(cfg, 1);
+    SyntheticTrace trace(appByName("gzip"), 1);
+    core.run(trace, 50000);   // warm
+    for (auto _ : state)
+        benchmark::DoNotOptimize(core.run(trace, 10000));
+    state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_CoreSimulation);
+
+void
+BM_ChipManufacture(benchmark::State &state)
+{
+    ProcessParams params;
+    ChipFactory factory(params, 9);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(factory.manufacture());
+}
+BENCHMARK(BM_ChipManufacture);
+
+} // namespace
+} // namespace eval
+
+BENCHMARK_MAIN();

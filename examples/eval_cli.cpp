@@ -1,0 +1,234 @@
+/**
+ * @file
+ * eval_cli — command-line driver over the whole library.
+ *
+ *   eval_cli chips  [--chips N] [--seed S]
+ *       rate each die (Baseline / retimed / limiting subsystem)
+ *   eval_cli run    --app swim [--chip 0] [--core 0]
+ *                   [--env TS+ASV+Q+FU] [--scheme fuzzy|exh|static]
+ *       one adaptation run with per-subsystem detail
+ *   eval_cli sweep  [--chips N] [--envs TS,TS+ASV,...]
+ *       a mini Figure 10/11/12 table
+ *   eval_cli record --app gcc --ops 100000 --out trace.trc
+ *   eval_cli replay --trace trace.trc [--insts 50000]
+ */
+
+#include <cstdio>
+
+#include "core/eval.hh"
+#include "util/logging.hh"
+#include "core/retiming.hh"
+#include "util/arg_parser.hh"
+#include "workload/trace_file.hh"
+
+using namespace eval;
+
+namespace {
+
+EnvironmentKind
+parseEnv(const std::string &name)
+{
+    for (auto kind : {EnvironmentKind::Baseline, EnvironmentKind::TS,
+                      EnvironmentKind::TS_ASV, EnvironmentKind::TS_ASV_ABB,
+                      EnvironmentKind::TS_ASV_Q,
+                      EnvironmentKind::TS_ASV_Q_FU, EnvironmentKind::ALL,
+                      EnvironmentKind::NoVar}) {
+        if (name == environmentName(kind))
+            return kind;
+    }
+    EVAL_FATAL("unknown environment '", name,
+               "' (try TS, TS+ASV, TS+ASV+Q+FU, ALL, Baseline, NoVar)");
+}
+
+AdaptScheme
+parseScheme(const std::string &name)
+{
+    if (name == "static")
+        return AdaptScheme::Static;
+    if (name == "fuzzy")
+        return AdaptScheme::FuzzyDyn;
+    if (name == "exh")
+        return AdaptScheme::ExhDyn;
+    EVAL_FATAL("unknown scheme '", name, "' (static|fuzzy|exh)");
+}
+
+ExperimentConfig
+configFrom(const ArgParser &args, int defaultChips)
+{
+    ExperimentConfig cfg = ExperimentConfig::fromEnv();
+    cfg.chips = static_cast<int>(args.getInt("chips", defaultChips));
+    cfg.seed = static_cast<std::uint64_t>(args.getInt("seed", 1));
+    return cfg;
+}
+
+int
+cmdChips(const ArgParser &args)
+{
+    ExperimentConfig cfg = configFrom(args, 8);
+    ExperimentContext ctx(cfg);
+
+    TablePrinter table("die ratings");
+    table.header({"chip", "baseline (GHz)", "retimed (GHz)",
+                  "limiting subsystem"});
+    for (int c = 0; c < cfg.chips; ++c) {
+        CoreSystemModel &core = ctx.coreModel(c, 0);
+        const OperatingConditions corner{
+            cfg.process.vddNominal * (1.0 - cfg.process.vddDroopGuardband),
+            0.0, cfg.process.tempNominalC};
+        std::string limiter;
+        double fmin = 1e30;
+        for (std::size_t i = 0; i < kNumSubsystems; ++i) {
+            const auto id = static_cast<SubsystemId>(i);
+            double f = core.subsystem(id).errorModel(false).fvar(corner);
+            if (id == SubsystemId::Dcache || id == SubsystemId::Icache)
+                f *= kRazorL1Margin;
+            if (f < fmin) {
+                fmin = f;
+                limiter = core.subsystem(id).info().name;
+            }
+        }
+        table.row({std::to_string(c),
+                   formatDouble(core.baselineFrequency() / 1e9, 2),
+                   formatDouble(retimedFrequency(core) / 1e9, 2),
+                   limiter});
+    }
+    table.print();
+    return 0;
+}
+
+int
+cmdRun(const ArgParser &args)
+{
+    ExperimentConfig cfg = configFrom(args, 4);
+    ExperimentContext ctx(cfg);
+
+    const AppProfile &app =
+        appByName(args.getString("app", "swim"));
+    const auto chip = static_cast<std::size_t>(args.getInt("chip", 0));
+    const auto core = static_cast<std::size_t>(args.getInt("core", 0));
+    const EnvironmentKind env =
+        parseEnv(args.getString("env", "TS+ASV+Q+FU"));
+    const AdaptScheme scheme =
+        parseScheme(args.getString("scheme", "fuzzy"));
+
+    const AppRunResult r = ctx.runApp(chip, core, app, env, scheme);
+    std::printf("%s on chip %zu core %zu under %s / %s:\n",
+                app.name.c_str(), chip, core, environmentName(env),
+                adaptSchemeName(scheme));
+    std::printf("  frequency   %.2f GHz (%.2fx NoVar)\n",
+                r.freqRel * cfg.process.freqNominal / 1e9, r.freqRel);
+    std::printf("  performance %.2fx NoVar\n", r.perfRel);
+    std::printf("  power       %.1f W (cap %.0f W)\n", r.powerW,
+                cfg.constraints.pMaxW);
+    std::printf("  error rate  %.2e err/inst (cap %.0e)\n", r.pePerInstr,
+                cfg.constraints.peMax);
+    for (RetuneOutcome o : r.outcomes)
+        std::printf("  controller outcome: %s\n", retuneOutcomeName(o));
+    return 0;
+}
+
+int
+cmdSweep(const ArgParser &args)
+{
+    ExperimentConfig cfg = configFrom(args, 4);
+    ExperimentContext ctx(cfg);
+    const auto envNames = splitCsvList(
+        args.getString("envs", "TS,TS+ASV,TS+ASV+Q+FU"));
+
+    TablePrinter table("sweep (Fuzzy-Dyn, suite mean)");
+    table.header({"environment", "fR", "PerfR", "power (W)"});
+    const auto apps = ctx.selectedApps();
+    for (const std::string &name : envNames) {
+        const EnvironmentKind env = parseEnv(name);
+        RunningStats fr, pr, pw;
+        for (int chip = 0; chip < cfg.chips; ++chip) {
+            for (std::size_t a = 0; a < apps.size(); a += 4) {
+                const AppRunResult r = ctx.runApp(
+                    chip, (chip + a) % 4, *apps[a], env,
+                    AdaptScheme::FuzzyDyn);
+                fr.add(r.freqRel);
+                pr.add(r.perfRel);
+                pw.add(r.powerW);
+            }
+        }
+        table.row({name, formatDouble(fr.mean(), 3),
+                   formatDouble(pr.mean(), 3),
+                   formatDouble(pw.mean(), 1)});
+    }
+    table.print();
+    return 0;
+}
+
+int
+cmdRecord(const ArgParser &args)
+{
+    const AppProfile &app = appByName(args.getString("app", "gcc"));
+    const auto ops = static_cast<std::uint64_t>(
+        args.getInt("ops", 100000));
+    const std::string out = args.getString("out", "trace.trc");
+    SyntheticTrace trace(app,
+                         static_cast<std::uint64_t>(args.getInt("seed",
+                                                                1)));
+    const std::uint64_t written = recordTrace(trace, ops, out);
+    std::printf("recorded %llu ops of %s into %s\n",
+                static_cast<unsigned long long>(written),
+                app.name.c_str(), out.c_str());
+    return 0;
+}
+
+int
+cmdReplay(const ArgParser &args)
+{
+    const std::string path = args.getString("trace", "trace.trc");
+    FileTrace trace(path, /*loop=*/true);
+    CoreConfig cfg;
+    Core core(cfg, static_cast<std::uint64_t>(args.getInt("seed", 1)));
+    const auto insts = static_cast<std::uint64_t>(
+        args.getInt("insts", 50000));
+    const CoreStats s = core.run(trace, insts);
+    std::printf("replayed %s: IPC %.2f, CPIcomp %.2f, "
+                "L2 misses %.2f/1k inst, branch mpki %.1f\n",
+                path.c_str(), s.ipc(), s.cpiComp(),
+                1000.0 * s.missesPerInstruction(),
+                1000.0 * static_cast<double>(s.branchMispredicts) /
+                    static_cast<double>(s.instructions));
+    return 0;
+}
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: eval_cli <chips|run|sweep|record|replay> "
+                 "[options]\n(see the file header for options)\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args(argc, argv);
+    if (args.positional().empty())
+        return usage();
+
+    const std::string &cmd = args.positional().front();
+    int rc;
+    if (cmd == "chips")
+        rc = cmdChips(args);
+    else if (cmd == "run")
+        rc = cmdRun(args);
+    else if (cmd == "sweep")
+        rc = cmdSweep(args);
+    else if (cmd == "record")
+        rc = cmdRecord(args);
+    else if (cmd == "replay")
+        rc = cmdReplay(args);
+    else
+        return usage();
+
+    for (const std::string &key : args.unusedKeys())
+        warn("unused option --", key);
+    return rc;
+}

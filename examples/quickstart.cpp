@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Quickstart: manufacture a variation-afflicted chip, inspect what the
+ * variation does to each subsystem, and let the EVAL controller pick
+ * an operating point for one application.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "core/eval.hh"
+
+using namespace eval;
+
+int
+main()
+{
+    // --- 1. An experiment context: chips, calibration, workloads ---
+    ExperimentConfig cfg = ExperimentConfig::fromEnv();
+    cfg.chips = 4;
+    ExperimentContext ctx(cfg);
+
+    std::printf("EVAL quickstart: %d chips at %.1f GHz nominal, "
+                "Vdd %.2f V\n\n",
+                cfg.chips, cfg.process.freqNominal / 1e9,
+                cfg.process.vddNominal);
+
+    // --- 2. How variation slows down one core ---
+    CoreSystemModel &core = ctx.coreModel(0, 0);
+    const PhaseCharacterization stress = stressCharacterization(
+        ctx.powerParams(), cfg.recovery, cfg.process.freqNominal);
+
+    TablePrinter table("subsystems of chip 0, core 0");
+    table.header({"subsystem", "type", "Vt0 (mV)", "fvar (GHz)",
+                  "Rth (K/W)"});
+    for (std::size_t i = 0; i < kNumSubsystems; ++i) {
+        const auto id = static_cast<SubsystemId>(i);
+        const SubsystemModel &sub = core.subsystem(id);
+        const OperatingConditions nominal{cfg.process.vddNominal, 0.0,
+                                          cfg.process.tempNominalC};
+        table.row({sub.info().name, stageTypeName(sub.info().type),
+                   formatDouble(sub.vt0True() * 1000.0, 1),
+                   formatDouble(sub.errorModel(false).fvar(nominal) / 1e9,
+                                2),
+                   formatDouble(core.thermal().rth(id), 2)});
+    }
+    table.print();
+
+    const double fBase = core.baselineFrequency();
+    std::printf("\nerror-free (baseline) frequency: %.2f GHz "
+                "(%.0f%% of nominal)\n\n",
+                fBase / 1e9, 100.0 * fBase / cfg.process.freqNominal);
+
+    // --- 3. Run one application under the preferred environment ---
+    const AppProfile &app = appByName("swim");
+    for (const auto scheme : {AdaptScheme::Static, AdaptScheme::FuzzyDyn,
+                              AdaptScheme::ExhDyn}) {
+        const AppRunResult r = ctx.runApp(0, 0, app,
+                                          EnvironmentKind::TS_ASV_Q_FU,
+                                          scheme);
+        std::printf("swim under TS+ASV+Q+FU / %-9s : f=%.2fx  perf=%.2fx "
+                    " power=%.1fW  PE=%.1e err/inst\n",
+                    adaptSchemeName(scheme), r.freqRel, r.perfRel,
+                    r.powerW, r.pePerInstr);
+    }
+
+    // Reference points.
+    const AppRunResult base = ctx.runApp(0, 0, app,
+                                         EnvironmentKind::Baseline,
+                                         AdaptScheme::Static);
+    const AppRunResult novar = ctx.runApp(0, 0, app,
+                                          EnvironmentKind::NoVar,
+                                          AdaptScheme::Static);
+    std::printf("swim under Baseline               : f=%.2fx  perf=%.2fx "
+                " power=%.1fW\n",
+                base.freqRel, base.perfRel, base.powerW);
+    std::printf("swim under NoVar                  : f=%.2fx  perf=%.2fx "
+                " power=%.1fW\n",
+                novar.freqRel, novar.perfRel, novar.powerW);
+    return 0;
+}

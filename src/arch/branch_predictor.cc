@@ -1,0 +1,53 @@
+#include "arch/branch_predictor.hh"
+
+#include "util/logging.hh"
+
+namespace eval {
+
+GsharePredictor::GsharePredictor(unsigned tableBits, unsigned historyBits)
+    : historyBits_(historyBits),
+      table_(std::size_t{1} << tableBits, 2)   // weakly taken
+{
+    EVAL_ASSERT(tableBits >= 4 && tableBits <= 24, "tableBits sane range");
+    EVAL_ASSERT(historyBits <= tableBits, "history fits the table index");
+}
+
+std::size_t
+GsharePredictor::index(std::uint64_t pc) const
+{
+    const std::uint64_t mask = table_.size() - 1;
+    const std::uint64_t histMask = (1ULL << historyBits_) - 1;
+    return static_cast<std::size_t>(((pc >> 2) ^ (history_ & histMask)) &
+                                    mask);
+}
+
+bool
+GsharePredictor::predict(std::uint64_t pc) const
+{
+    return table_[index(pc)] >= 2;
+}
+
+void
+GsharePredictor::update(std::uint64_t pc, bool taken)
+{
+    std::uint8_t &ctr = table_[index(pc)];
+    if (taken && ctr < 3)
+        ++ctr;
+    else if (!taken && ctr > 0)
+        --ctr;
+    history_ = (history_ << 1) | (taken ? 1 : 0);
+}
+
+bool
+GsharePredictor::predictAndUpdate(std::uint64_t pc, bool taken)
+{
+    const bool pred = predict(pc);
+    ++predictions_;
+    const bool wrong = pred != taken;
+    if (wrong)
+        ++mispredictions_;
+    update(pc, taken);
+    return wrong;
+}
+
+} // namespace eval

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Gshare branch predictor with 2-bit saturating counters.
+ */
+
+#ifndef EVAL_ARCH_BRANCH_PREDICTOR_HH
+#define EVAL_ARCH_BRANCH_PREDICTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace eval {
+
+/** Gshare: PC xor global-history indexed pattern table. */
+class GsharePredictor
+{
+  public:
+    /**
+     * @param tableBits  log2 of the pattern-table size
+     * @param historyBits global-history length (<= tableBits)
+     */
+    explicit GsharePredictor(unsigned tableBits = 12,
+                             unsigned historyBits = 12);
+
+    /** Predict the direction of the branch at @p pc. */
+    bool predict(std::uint64_t pc) const;
+
+    /** Update with the actual outcome (also shifts the history). */
+    void update(std::uint64_t pc, bool taken);
+
+    std::uint64_t predictions() const { return predictions_; }
+    std::uint64_t mispredictions() const { return mispredictions_; }
+
+    /** Record one prediction/outcome pair and return mispredicted?. */
+    bool predictAndUpdate(std::uint64_t pc, bool taken);
+
+  private:
+    std::size_t index(std::uint64_t pc) const;
+
+    unsigned historyBits_;
+    std::uint64_t history_ = 0;
+    std::vector<std::uint8_t> table_;   ///< 2-bit counters
+    std::uint64_t predictions_ = 0;
+    std::uint64_t mispredictions_ = 0;
+};
+
+} // namespace eval
+
+#endif // EVAL_ARCH_BRANCH_PREDICTOR_HH

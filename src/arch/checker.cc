@@ -1,0 +1,47 @@
+#include "arch/checker.hh"
+
+namespace eval {
+
+const char *
+checkerKindName(CheckerKind kind)
+{
+    switch (kind) {
+      case CheckerKind::Diva:     return "Diva";
+      case CheckerKind::Razor:    return "Razor";
+      case CheckerKind::Paceline: return "Paceline";
+    }
+    return "?";
+}
+
+CheckerModel
+CheckerModel::diva()
+{
+    return CheckerModel{CheckerKind::Diva, 14.0, 1.0, 7.0};
+}
+
+CheckerModel
+CheckerModel::razor()
+{
+    // Local replay costs ~1 bubble per stage error; the shadow
+    // latches and metastability detectors tax every pipeline stage's
+    // power but little area.
+    return CheckerModel{CheckerKind::Razor, 2.0, 1.6, 3.0};
+}
+
+CheckerModel
+CheckerModel::paceline()
+{
+    // Re-synchronizing the follower costs hundreds of cycles, but the
+    // checker is a whole second core (area charged elsewhere in a CMP).
+    return CheckerModel{CheckerKind::Paceline, 250.0, 4.0, 0.5};
+}
+
+const std::vector<CheckerModel> &
+CheckerModel::all()
+{
+    static const std::vector<CheckerModel> kAll = {diva(), razor(),
+                                                   paceline()};
+    return kAll;
+}
+
+} // namespace eval

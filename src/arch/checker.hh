@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Error-detection/correction architectures for timing speculation
+ * (Sec 3.1): the paper's preferred Diva-style retirement checker, the
+ * Razor-style in-pipeline latch scheme, and the Paceline-style checker
+ * core.  Each trades recovery penalty against power/area overhead —
+ * EVAL works with any of them, which is part of the framework's claim.
+ */
+
+#ifndef EVAL_ARCH_CHECKER_HH
+#define EVAL_ARCH_CHECKER_HH
+
+#include <string>
+#include <vector>
+
+namespace eval {
+
+/** The timing-speculation architectures of Sec 3.1. */
+enum class CheckerKind {
+    Diva,       ///< retirement checker clocked safely (the paper's pick)
+    Razor,      ///< shadow latches in every stage [8]
+    Paceline    ///< leader/checker core pair [9]
+};
+
+const char *checkerKindName(CheckerKind kind);
+
+/** Cost/behaviour model of one checker architecture. */
+struct CheckerModel
+{
+    CheckerKind kind = CheckerKind::Diva;
+    /**
+     * Cycles lost per recovered error.  Diva: flush + restart from the
+     * faulty instruction (= branch misprediction penalty).  Razor:
+     * local stage replay, much cheaper.  Paceline: re-sync the
+     * follower core, more expensive.
+     */
+    double recoveryPenaltyCycles = 14.0;
+    /** Power at nominal frequency (scales with f). */
+    double powerW = 1.0;
+    /** Area as % of processor area (Figure 7(d) charges 7% for Diva
+     *  including its L0 caches and retirement queue). */
+    double areaPercent = 7.0;
+
+    /** The standard parameterizations. */
+    static CheckerModel diva();
+    static CheckerModel razor();
+    static CheckerModel paceline();
+
+    static const std::vector<CheckerModel> &all();
+};
+
+} // namespace eval
+
+#endif // EVAL_ARCH_CHECKER_HH

@@ -1,0 +1,470 @@
+#include "arch/core.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace eval {
+
+unsigned
+CoreConfig::intQueueCapacity() const
+{
+    return static_cast<unsigned>(intQueueFull * queueCapacityFraction);
+}
+
+unsigned
+CoreConfig::fpQueueCapacity() const
+{
+    return static_cast<unsigned>(fpQueueFull * queueCapacityFraction);
+}
+
+double
+CoreStats::cpi() const
+{
+    return instructions ? static_cast<double>(cycles) /
+                              static_cast<double>(instructions)
+                        : 0.0;
+}
+
+double
+CoreStats::ipc() const
+{
+    return cycles ? static_cast<double>(instructions) /
+                        static_cast<double>(cycles)
+                  : 0.0;
+}
+
+double
+CoreStats::cpiComp() const
+{
+    if (!instructions)
+        return 0.0;
+    const std::uint64_t stall = memStallCycles + recoveryStallCycles;
+    const std::uint64_t comp = cycles > stall ? cycles - stall : 0;
+    return static_cast<double>(comp) / static_cast<double>(instructions);
+}
+
+double
+CoreStats::missesPerInstruction() const
+{
+    return instructions ? static_cast<double>(l2Misses) /
+                              static_cast<double>(instructions)
+                        : 0.0;
+}
+
+double
+CoreStats::missPenaltyCycles() const
+{
+    return l2Misses ? static_cast<double>(memStallCycles) /
+                          static_cast<double>(l2Misses)
+                    : 0.0;
+}
+
+double
+CoreStats::alpha(SubsystemId id) const
+{
+    return cycles ? static_cast<double>(
+                        accesses[static_cast<std::size_t>(id)]) /
+                        static_cast<double>(cycles)
+                  : 0.0;
+}
+
+double
+CoreStats::rho(SubsystemId id) const
+{
+    return instructions ? static_cast<double>(
+                              accesses[static_cast<std::size_t>(id)]) /
+                              static_cast<double>(instructions)
+                        : 0.0;
+}
+
+// Synthetic traces carry no inter-branch history correlation, so a
+// long gshare history only adds aliasing noise; a short history keeps
+// the per-PC bias information that is actually learnable.
+Core::Core(const CoreConfig &cfg, std::uint64_t seed)
+    : cfg_(cfg), rng_(seed), bpred_(12, 4), l2_(cfg.l2),
+      icache_(cfg.l1i, l2_, cfg.memLat),
+      dcache_(cfg.l1d, l2_, cfg.memLat)
+{
+    EVAL_ASSERT(cfg.queueCapacityFraction > 0.0 &&
+                    cfg.queueCapacityFraction <= 1.0,
+                "queue capacity fraction in (0,1]");
+}
+
+void
+Core::setErrorInjection(double perInstProbability, unsigned penaltyCycles)
+{
+    EVAL_ASSERT(perInstProbability >= 0.0 && perInstProbability <= 1.0,
+                "error probability in [0,1]");
+    errorProb_ = perInstProbability;
+    errorPenalty_ = penaltyCycles;
+}
+
+void
+Core::count(SubsystemId id, std::uint64_t n)
+{
+    stats_.accesses[static_cast<std::size_t>(id)] += n;
+}
+
+unsigned
+Core::execLatency(const MicroOp &op, std::uint64_t now)
+{
+    switch (op.cls) {
+      case OpClass::IntAlu:
+      case OpClass::Branch:
+        return 1;
+      case OpClass::IntMul:
+        return 4;
+      case OpClass::FpAdd:
+        return 3;
+      case OpClass::FpMul:
+        return 4;
+      case OpClass::FpDiv:
+        return 16;
+      case OpClass::Store: {
+        // Stores complete at address generation; the write-allocate
+        // fill drains from the store buffer off the critical path, so
+        // it costs no latency but does occupy the caches.
+        count(SubsystemId::Dcache);
+        count(SubsystemId::DTLB);
+        const MemAccessResult res = dcache_.access(op.addr);
+        if (res.level != MemLevel::L1)
+            ++stats_.l1dMisses;
+        if (res.level == MemLevel::Memory)
+            ++stats_.l2Misses;
+        return 1;
+      }
+      case OpClass::Load: {
+        count(SubsystemId::Dcache);
+        count(SubsystemId::DTLB);
+        const MemAccessResult res = dcache_.access(op.addr);
+        if (res.level != MemLevel::L1) {
+            ++stats_.l1dMisses;
+            // Optional next-line prefetch: fill the following line so
+            // streaming accesses hit.  The fill happens off the
+            // critical path (no latency charged here).
+            if (cfg_.prefetchNextLine)
+                dcache_.access(op.addr + cfg_.l1d.lineBytes);
+        }
+        if (res.level == MemLevel::Memory)
+            ++stats_.l2Misses;
+        return 1 + res.latency;
+      }
+      default:
+        EVAL_PANIC("unknown op class ", static_cast<int>(op.cls), " at ",
+                   now);
+    }
+}
+
+void
+Core::dispatch(TraceSource &trace, std::uint64_t now)
+{
+    if (now < fetchResumeCycle_ || fetchBlockedOnBranch_)
+        return;
+
+    bool accessedIcache = false;
+    for (unsigned slot = 0; slot < cfg_.fetchWidth; ++slot) {
+        if (rob_.size() >= cfg_.robSize)
+            break;
+
+        // Obtain the next op (replayed ops first).
+        MicroOp op;
+        if (!fetchQueue_.empty()) {
+            op = fetchQueue_.front();
+        } else {
+            if (!trace.next(op))
+                break;
+            fetchQueue_.push_back(op);
+        }
+
+        // Structural checks before consuming the op.
+        const bool fpSide = isFpOp(op.cls);
+        if (fpSide) {
+            if (fpQueueOcc_ >= cfg_.fpQueueCapacity())
+                break;
+        } else {
+            if (intQueueOcc_ >= cfg_.intQueueCapacity())
+                break;
+        }
+        if (isMemOp(op.cls) && lsqOcc_ >= cfg_.lsqSize)
+            break;
+
+        // I-cache: one access per active fetch cycle; a miss stalls
+        // the front end for the fill latency.
+        if (!accessedIcache) {
+            accessedIcache = true;
+            count(SubsystemId::Icache);
+            count(SubsystemId::ITLB);
+            const MemAccessResult res = icache_.access(op.pc);
+            if (res.level != MemLevel::L1) {
+                ++stats_.l1iMisses;
+                if (res.level == MemLevel::Memory) {
+                    ++stats_.l2Misses;
+                    ++stats_.l2MissesIStream;
+                }
+                fetchResumeCycle_ = now + res.latency;
+                break;
+            }
+        }
+
+        fetchQueue_.pop_front();
+
+        InFlight inf;
+        inf.op = op;
+        inf.seq = nextSeq_++;
+        inf.isFpSide = fpSide;
+        rob_.push_back(inf);
+
+        count(SubsystemId::Decode);
+        count(fpSide ? SubsystemId::FPMap : SubsystemId::IntMap);
+        count(fpSide ? SubsystemId::FPQ : SubsystemId::IntQ);
+        if (fpSide)
+            ++fpQueueOcc_;
+        else
+            ++intQueueOcc_;
+        if (isMemOp(op.cls)) {
+            ++lsqOcc_;
+            count(SubsystemId::LdStQ);
+        }
+
+        if (op.cls == OpClass::Branch) {
+            count(SubsystemId::BranchPred);
+            ++stats_.branches;
+            const bool mispredicted = bpred_.predictAndUpdate(op.pc,
+                                                              op.taken);
+            if (mispredicted) {
+                ++stats_.branchMispredicts;
+                fetchBlockedOnBranch_ = true;
+                pendingBranchSeq_ = inf.seq;
+                break;
+            }
+        }
+    }
+}
+
+unsigned
+Core::outstandingMisses(std::uint64_t now) const
+{
+    unsigned n = 0;
+    for (const auto &inf : rob_) {
+        if (inf.missInFlight && inf.completeCycle > now)
+            ++n;
+    }
+    return n;
+}
+
+void
+Core::issue(std::uint64_t now)
+{
+    unsigned issued = 0;
+    unsigned aluUsed = 0, mulUsed = 0, faddUsed = 0, fmulUsed = 0;
+    unsigned missesInFlight = outstandingMisses(now);
+
+    for (auto &inf : rob_) {
+        if (issued >= cfg_.issueWidth)
+            break;
+        if (inf.issued)
+            continue;
+
+        // Operand readiness via backward dependency distances.
+        bool ready = true;
+        std::uint64_t readyCycle = 0;
+        auto checkDep = [&](std::uint16_t dist) {
+            if (!ready || dist == 0)
+                return;
+            if (dist > inf.seq)
+                return;   // producer predates the trace window
+            const std::uint64_t prodSeq = inf.seq - dist;
+            const std::uint64_t oldestSeq = rob_.front().seq;
+            if (prodSeq < oldestSeq)
+                return;   // producer already retired
+            const InFlight &prod = rob_[prodSeq - oldestSeq];
+            if (!prod.issued || prod.completeCycle > now) {
+                ready = false;
+                return;
+            }
+            readyCycle = std::max(readyCycle, prod.completeCycle);
+        };
+        checkDep(inf.op.src1Dist);
+        checkDep(inf.op.src2Dist);
+        if (!ready)
+            continue;
+
+        // Functional-unit availability.
+        switch (inf.op.cls) {
+          case OpClass::Load:
+            // A load that may miss needs an MSHR; when all are busy
+            // the load waits (memory-level-parallelism limit).
+            if (missesInFlight >= cfg_.mshrs)
+                continue;
+            [[fallthrough]];
+          case OpClass::IntAlu:
+          case OpClass::Branch:
+          case OpClass::Store:
+            if (aluUsed >= cfg_.intAluCount)
+                continue;
+            ++aluUsed;
+            count(SubsystemId::IntALU);
+            count(SubsystemId::IntReg);
+            break;
+          case OpClass::IntMul:
+            if (mulUsed >= cfg_.intMulCount)
+                continue;
+            ++mulUsed;
+            count(SubsystemId::IntALU);
+            count(SubsystemId::IntReg);
+            break;
+          case OpClass::FpAdd:
+            if (faddUsed >= cfg_.fpAddCount)
+                continue;
+            ++faddUsed;
+            count(SubsystemId::FPUnit);
+            count(SubsystemId::FPReg);
+            break;
+          case OpClass::FpMul:
+            if (fmulUsed >= cfg_.fpMulCount)
+                continue;
+            ++fmulUsed;
+            count(SubsystemId::FPUnit);
+            count(SubsystemId::FPReg);
+            break;
+          case OpClass::FpDiv:
+            if (fmulUsed >= cfg_.fpMulCount || fpDivBusyUntil_ > now)
+                continue;
+            ++fmulUsed;
+            count(SubsystemId::FPUnit);
+            count(SubsystemId::FPReg);
+            break;
+          default:
+            EVAL_PANIC("unknown op class in issue");
+        }
+
+        inf.issued = true;
+        inf.completeCycle = now + execLatency(inf.op, now);
+        if (inf.op.cls == OpClass::FpDiv)
+            fpDivBusyUntil_ = inf.completeCycle;
+        if (inf.op.cls == OpClass::Load &&
+            inf.completeCycle - now > cfg_.memLat.l1 + 1) {
+            inf.missInFlight = true;
+            ++missesInFlight;
+        }
+        ++issued;
+
+        if (inf.isFpSide) {
+            EVAL_ASSERT(fpQueueOcc_ > 0, "fp queue underflow");
+            --fpQueueOcc_;
+        } else {
+            EVAL_ASSERT(intQueueOcc_ > 0, "int queue underflow");
+            --intQueueOcc_;
+        }
+
+        // A mispredicted branch redirects the front end once it
+        // resolves; FU replication adds one cycle to this loop.
+        if (fetchBlockedOnBranch_ && inf.seq == pendingBranchSeq_) {
+            const std::uint64_t redirect =
+                inf.completeCycle + 1 + cfg_.frontendDepth +
+                (cfg_.fuReplicated ? 1 : 0);
+            fetchBlockedOnBranch_ = false;
+            fetchResumeCycle_ = std::max(fetchResumeCycle_, redirect);
+        }
+    }
+}
+
+void
+Core::squashAll(std::uint64_t resumeCycle)
+{
+    // Return the squashed ops to the front of the fetch queue in
+    // program order; they will be re-fetched and re-executed.
+    for (std::size_t i = rob_.size(); i-- > 0;)
+        fetchQueue_.push_front(rob_[i].op);
+    rob_.clear();
+
+    intQueueOcc_ = fpQueueOcc_ = lsqOcc_ = 0;
+    fetchBlockedOnBranch_ = false;
+    fetchResumeCycle_ = std::max(fetchResumeCycle_, resumeCycle);
+}
+
+unsigned
+Core::retire(std::uint64_t now, unsigned maxRetire)
+{
+    unsigned retired = 0;
+    const unsigned width = std::min(cfg_.retireWidth, maxRetire);
+    while (retired < width && !rob_.empty()) {
+        InFlight &head = rob_.front();
+        if (!head.issued || head.completeCycle > now)
+            break;
+
+        if (isMemOp(head.op.cls)) {
+            EVAL_ASSERT(lsqOcc_ > 0, "lsq underflow");
+            --lsqOcc_;
+        }
+
+        ++stats_.instructions;
+        ++retired;
+
+        rob_.pop_front();
+
+        // Diva checker: with probability errorProb_ the result was a
+        // variation-induced timing error; the checker supplies the
+        // correct value and the pipeline restarts after this
+        // instruction (Sec 3.1).
+        if (errorProb_ > 0.0 && rng_.bernoulli(errorProb_)) {
+            ++stats_.errorRecoveries;
+            stats_.recoveryStallCycles += errorPenalty_;
+            squashAll(now + errorPenalty_);
+            return retired;
+        }
+    }
+    return retired;
+}
+
+CoreStats
+Core::run(TraceSource &trace, std::uint64_t numInstructions)
+{
+    stats_ = CoreStats{};
+    rob_.clear();
+    fetchQueue_.clear();
+    nextSeq_ = 0;
+    fetchResumeCycle_ = 0;
+    fetchBlockedOnBranch_ = false;
+    intQueueOcc_ = fpQueueOcc_ = lsqOcc_ = 0;
+    fpDivBusyUntil_ = 0;
+
+    std::uint64_t now = 0;
+    std::uint64_t lastProgress = 0;
+    std::uint64_t lastInstCount = 0;
+
+    while (stats_.instructions < numInstructions) {
+        const unsigned remaining = static_cast<unsigned>(std::min<
+            std::uint64_t>(numInstructions - stats_.instructions,
+                           cfg_.retireWidth));
+        const unsigned retired = retire(now, remaining);
+
+        // Account a memory-stall cycle when retirement is fully
+        // blocked by a load still waiting on main memory.
+        if (retired == 0 && !rob_.empty()) {
+            const InFlight &head = rob_.front();
+            if (head.issued && head.op.cls == OpClass::Load &&
+                head.completeCycle > now &&
+                head.completeCycle - now >= cfg_.memLat.l2) {
+                ++stats_.memStallCycles;
+            }
+        }
+
+        issue(now);
+        dispatch(trace, now);
+        ++now;
+
+        if (stats_.instructions != lastInstCount) {
+            lastInstCount = stats_.instructions;
+            lastProgress = now;
+        } else if (now - lastProgress > 200000) {
+            EVAL_PANIC("core deadlock at cycle ", now, " after ",
+                       stats_.instructions, " instructions");
+        }
+    }
+    stats_.cycles = now;
+    return stats_;
+}
+
+} // namespace eval

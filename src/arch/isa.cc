@@ -1,0 +1,21 @@
+#include "arch/isa.hh"
+
+namespace eval {
+
+const char *
+opClassName(OpClass c)
+{
+    switch (c) {
+      case OpClass::IntAlu: return "IntAlu";
+      case OpClass::IntMul: return "IntMul";
+      case OpClass::FpAdd:  return "FpAdd";
+      case OpClass::FpMul:  return "FpMul";
+      case OpClass::FpDiv:  return "FpDiv";
+      case OpClass::Load:   return "Load";
+      case OpClass::Store:  return "Store";
+      case OpClass::Branch: return "Branch";
+      default:              return "?";
+    }
+}
+
+} // namespace eval

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Chip-multiprocessor coordination (the paper models a 4-core CMP,
+ * Sec 5): each core adapts independently with its own controller and
+ * its private 30W budget, but all four share the heat sink — so the
+ * heat-sink temperature TH couples them.  The chip-level loop solves
+ * this coupling and enforces the TH_MAX constraint by globally
+ * throttling when the package saturates.
+ *
+ * The cores have private L2s and hyper-transport links; with no shared
+ * cache there is no inter-core memory interference to model, so the
+ * coupling is purely thermal/power (as in the paper's setup).
+ */
+
+#ifndef EVAL_CMP_CMP_SYSTEM_HH
+#define EVAL_CMP_CMP_SYSTEM_HH
+
+#include <array>
+#include <memory>
+
+#include "core/environment.hh"
+
+namespace eval {
+
+/** A multiprogrammed workload: one application per core. */
+using WorkloadMix = std::array<const AppProfile *, 4>;
+
+/** Named mixes used by benches and tests. */
+WorkloadMix intHeavyMix();
+WorkloadMix fpHeavyMix();
+WorkloadMix mixedMix();
+WorkloadMix memBoundMix();
+
+/** Result of running one mix on one chip. */
+struct CmpRunResult
+{
+    std::array<double, 4> coreFreqRel{};
+    std::array<double, 4> corePerfRel{};
+    std::array<double, 4> corePowerW{};
+    double chipPowerW = 0.0;
+    double heatsinkC = 0.0;
+    /** Global 100 MHz throttle steps applied to honour TH_MAX. */
+    unsigned throttleSteps = 0;
+    /** Mean of the per-core relative performance. */
+    double throughputRel = 0.0;
+};
+
+/** Chip-level adaptation driver for one manufactured die. */
+class CmpSystem
+{
+  public:
+    /**
+     * @param ctx       experiment context (owns chips and calibration)
+     * @param chipIndex which die to drive
+     */
+    CmpSystem(ExperimentContext &ctx, std::size_t chipIndex);
+
+    /**
+     * Run a 4-app mix under one environment/scheme: per-core
+     * adaptation iterated with the shared heat-sink temperature until
+     * consistent, then TH_MAX enforced by global throttling.
+     */
+    CmpRunResult runMix(const WorkloadMix &mix, EnvironmentKind env,
+                        AdaptScheme scheme);
+
+  private:
+    struct CoreOutcome
+    {
+        double freq = 0.0;
+        double perf = 0.0;
+        double power = 0.0;
+    };
+
+    /** One core's steady response at a given heat-sink temperature. */
+    CoreOutcome runCoreAtTh(std::size_t core, const AppProfile &app,
+                            EnvironmentKind env, AdaptScheme scheme,
+                            double thC, unsigned throttleSteps);
+
+    ExperimentContext &ctx_;
+    std::size_t chipIndex_;
+    HeatsinkModel heatsink_;
+};
+
+} // namespace eval
+
+#endif // EVAL_CMP_CMP_SYSTEM_HH

@@ -1,0 +1,35 @@
+#include "core/area_model.hh"
+
+namespace eval {
+
+std::vector<AreaItem>
+areaOverhead(const AreaModelConfig &cfg)
+{
+    std::vector<AreaItem> items;
+    // A replica adds one full copy scaled by the low-slope premium.
+    items.push_back({"IntALU Repl",
+                     cfg.intAluAreaPercent * cfg.lowSlopeAreaFactor});
+    items.push_back({"FPAdd/Mul Repl",
+                     cfg.fpAddMulAreaPercent * cfg.lowSlopeAreaFactor});
+    items.push_back({"I-Queue Resize", 0.0});
+    items.push_back({"ASV", 0.0});
+    if (cfg.includeAbb)
+        items.push_back({"ABB", cfg.abbAreaPercent});
+    items.push_back({"Phase Detector", cfg.phaseDetectorAreaPercent});
+    items.push_back({"Sensors", cfg.sensorsAreaPercent});
+    items.push_back({"Checker", cfg.checkerAreaPercent});
+
+    double total = 0.0;
+    for (const auto &item : items)
+        total += item.areaPercent;
+    items.push_back({"Total", total});
+    return items;
+}
+
+double
+totalAreaOverheadPercent(const AreaModelConfig &cfg)
+{
+    return areaOverhead(cfg).back().areaPercent;
+}
+
+} // namespace eval

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Area-overhead accounting of the EVAL system (Figure 7(d)): the
+ * checker, FU replicas, phase detector, and sensors add 10.6% of the
+ * processor area.
+ */
+
+#ifndef EVAL_CORE_AREA_MODEL_HH
+#define EVAL_CORE_AREA_MODEL_HH
+
+#include <string>
+#include <vector>
+
+namespace eval {
+
+/** One contributor to the area overhead. */
+struct AreaItem
+{
+    std::string source;
+    double areaPercent;   ///< % of processor area
+};
+
+/** Inputs to the accounting. */
+struct AreaModelConfig
+{
+    /** Low-slope replicas add ~30% of the replicated unit's area
+     *  on top of a full copy (Augsburger & Nikolic). */
+    double lowSlopeAreaFactor = 1.30;
+    double intAluAreaPercent = 0.55;    ///< Figure 7(a), die photo
+    double fpAddMulAreaPercent = 1.90;  ///< Figure 7(a), die photo
+    double checkerAreaPercent = 7.0;    ///< Diva checker + L0s + queue
+    double phaseDetectorAreaPercent = 0.3;  ///< CACTI estimate
+    double sensorsAreaPercent = 0.1;
+    bool includeAbb = false;            ///< ABB adds ~2% when used
+    double abbAreaPercent = 2.0;
+};
+
+/** Compute the itemized area overhead (last row is the total). */
+std::vector<AreaItem> areaOverhead(const AreaModelConfig &cfg);
+
+/** Total overhead percentage. */
+double totalAreaOverheadPercent(const AreaModelConfig &cfg);
+
+} // namespace eval
+
+#endif // EVAL_CORE_AREA_MODEL_HH

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Workload characterization: runs the cycle-level core model once per
+ * (application, phase, queue configuration) and distills the results
+ * into the PhaseCharacterization records the controller consumes —
+ * exactly the 20us profiling step of the Figure 6 timeline, done once
+ * and cached because it depends only on the application (not on the
+ * chip's variation).
+ */
+
+#ifndef EVAL_CORE_CHARACTERIZATION_HH
+#define EVAL_CORE_CHARACTERIZATION_HH
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/eval_params.hh"
+#include "core/optimizer.hh"
+#include "workload/generator.hh"
+#include "workload/profile.hh"
+
+namespace eval {
+
+/** One behaviour phase of an application, with its run-time share. */
+struct PhaseData
+{
+    double weight = 1.0;
+    PhaseCharacterization chr;
+};
+
+/** All phases of one application. */
+struct AppCharacterization
+{
+    std::string name;
+    bool isFp = false;
+    std::vector<PhaseData> phases;
+
+    double totalWeight() const;
+};
+
+/** Cached characterization runner. */
+class CharacterizationCache
+{
+  public:
+    /**
+     * @param recovery recovery-cost model (for Eq 5's rp)
+     * @param refFreqHz frequency the simulator's latencies assume
+     * @param seed      trace-generation seed
+     * @param simInsts  instructions simulated per measurement
+     */
+    CharacterizationCache(const RecoveryModel &recovery, double refFreqHz,
+                          std::uint64_t seed, std::uint64_t simInsts);
+
+    /** Characterize (or fetch the cached) application. */
+    const AppCharacterization &get(const AppProfile &profile);
+
+  private:
+    AppCharacterization characterize(const AppProfile &profile);
+
+    RecoveryModel recovery_;
+    double refFreqHz_;
+    std::uint64_t seed_;
+    std::uint64_t simInsts_;
+    std::unordered_map<std::string,
+                       std::unique_ptr<AppCharacterization>> cache_;
+};
+
+} // namespace eval
+
+#endif // EVAL_CORE_CHARACTERIZATION_HH

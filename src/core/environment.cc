@@ -1,0 +1,424 @@
+#include "core/environment.hh"
+
+#include <algorithm>
+
+#include "core/perf_model.hh"
+#include "util/logging.hh"
+#include "util/math_utils.hh"
+
+namespace eval {
+
+const char *
+environmentName(EnvironmentKind kind)
+{
+    switch (kind) {
+      case EnvironmentKind::Baseline:     return "Baseline";
+      case EnvironmentKind::TS:           return "TS";
+      case EnvironmentKind::TS_ASV:       return "TS+ASV";
+      case EnvironmentKind::TS_ASV_ABB:   return "TS+ASV+ABB";
+      case EnvironmentKind::TS_ASV_Q:     return "TS+ASV+Q";
+      case EnvironmentKind::TS_ASV_Q_FU:  return "TS+ASV+Q+FU";
+      case EnvironmentKind::ALL:          return "ALL";
+      case EnvironmentKind::NoVar:        return "NoVar";
+    }
+    return "?";
+}
+
+EnvCapabilities
+environmentCaps(EnvironmentKind kind)
+{
+    EnvCapabilities caps;
+    switch (kind) {
+      case EnvironmentKind::Baseline:
+      case EnvironmentKind::NoVar:
+        break;
+      case EnvironmentKind::TS:
+        caps.timingSpec = true;
+        break;
+      case EnvironmentKind::TS_ASV:
+        caps.timingSpec = caps.asv = true;
+        break;
+      case EnvironmentKind::TS_ASV_ABB:
+        caps.timingSpec = caps.asv = caps.abb = true;
+        break;
+      case EnvironmentKind::TS_ASV_Q:
+        caps.timingSpec = caps.asv = caps.queueResize = true;
+        break;
+      case EnvironmentKind::TS_ASV_Q_FU:
+        caps.timingSpec = caps.asv = caps.queueResize =
+            caps.fuReplication = true;
+        break;
+      case EnvironmentKind::ALL:
+        caps.timingSpec = caps.asv = caps.abb = caps.queueResize =
+            caps.fuReplication = true;
+        break;
+    }
+    return caps;
+}
+
+const char *
+adaptSchemeName(AdaptScheme s)
+{
+    switch (s) {
+      case AdaptScheme::Static:   return "Static";
+      case AdaptScheme::FuzzyDyn: return "Fuzzy-Dyn";
+      case AdaptScheme::ExhDyn:   return "Exh-Dyn";
+    }
+    return "?";
+}
+
+ExperimentConfig
+ExperimentConfig::fromEnv()
+{
+    ExperimentConfig cfg;
+    const RunConfig rc = RunConfig::fromEnv();
+    cfg.seed = rc.seed;
+    cfg.chips = rc.chips;
+    cfg.simInsts = static_cast<std::uint64_t>(
+        envInt("EVAL_SIM_INSTS", 160000));
+    if (rc.fast) {
+        cfg.chips = std::min(cfg.chips, 8);
+        cfg.simInsts = std::min<std::uint64_t>(cfg.simInsts, 60000);
+    }
+    return cfg;
+}
+
+ExperimentContext::ExperimentContext(const ExperimentConfig &cfg)
+    : cfg_(cfg),
+      power_(calibratePower(cfg.process, cfg.powerCal)),
+      thermal_(std::make_shared<ThermalModel>(cfg.process)),
+      chars_(cfg.recovery, cfg.process.freqNominal, cfg.seed ^ 0x5EED,
+             cfg.simInsts)
+{
+    ChipFactory factory(cfg_.process, cfg_.seed);
+    chips_ = factory.manufacture(static_cast<std::size_t>(cfg_.chips));
+    idealChip_ = std::make_unique<Chip>(factory.manufactureIdeal());
+}
+
+std::vector<const AppProfile *>
+ExperimentContext::selectedApps() const
+{
+    const RunConfig rc = RunConfig::fromEnv();
+    std::vector<const AppProfile *> apps;
+    if (rc.apps.empty()) {
+        for (const auto &p : specSuite())
+            apps.push_back(&p);
+    } else {
+        for (const auto &name : rc.apps)
+            apps.push_back(&appByName(name));
+    }
+    return apps;
+}
+
+CoreSystemModel &
+ExperimentContext::coreModel(std::size_t chipIndex, std::size_t core)
+{
+    EVAL_ASSERT(chipIndex < chips_.size(), "chip index out of range");
+    const auto key = std::make_pair(chipIndex, core);
+    auto it = models_.find(key);
+    if (it == models_.end()) {
+        it = models_
+                 .emplace(key, std::make_unique<CoreSystemModel>(
+                                   chips_[chipIndex], core, power_,
+                                   cfg_.powerCal, thermal_))
+                 .first;
+    }
+    return *it->second;
+}
+
+CoreSystemModel &
+ExperimentContext::idealCoreModel()
+{
+    if (!idealModel_) {
+        idealModel_ = std::make_unique<CoreSystemModel>(
+            *idealChip_, 0, power_, cfg_.powerCal, thermal_);
+    }
+    return *idealModel_;
+}
+
+const CoreFuzzySystem &
+ExperimentContext::coreFuzzy(std::size_t chipIndex, std::size_t core,
+                             const EnvCapabilities &caps)
+{
+    const int capsKey = (caps.asv ? 1 : 0) | (caps.abb ? 2 : 0);
+    const auto key = std::make_tuple(chipIndex, core, capsKey);
+    auto it = fuzzy_.find(key);
+    if (it == fuzzy_.end()) {
+        FuzzyTrainingConfig tcfg;
+        tcfg.examplesPerFc = static_cast<std::size_t>(envInt(
+            "EVAL_FC_EXAMPLES",
+            static_cast<std::int64_t>(tcfg.examplesPerFc)));
+        tcfg.seed = cfg_.seed ^ (chipIndex * 131 + core * 17 + capsKey);
+        auto sys = std::make_unique<CoreFuzzySystem>(
+            coreModel(chipIndex, core), caps, cfg_.constraints, tcfg);
+        sys->train();
+        it = fuzzy_.emplace(key, std::move(sys)).first;
+    }
+    return *it->second;
+}
+
+const OperatingPoint &
+ExperimentContext::staticConfig(std::size_t chipIndex, std::size_t core,
+                                const EnvCapabilities &caps, bool fpApp)
+{
+    const int capsKey = (caps.asv ? 1 : 0) | (caps.abb ? 2 : 0) |
+                        (caps.queueResize ? 4 : 0) |
+                        (caps.fuReplication ? 8 : 0);
+    const auto key = std::make_tuple(chipIndex, core, capsKey, fpApp);
+    auto it = staticConfigs_.find(key);
+    if (it == staticConfigs_.end()) {
+        CoreSystemModel &model = coreModel(chipIndex, core);
+        model.setAppType(fpApp);
+        ExhaustiveOptimizer exh(caps, cfg_.constraints);
+        StaticQualifier qualifier(exh, caps, cfg_.constraints,
+                                  cfg_.recovery);
+        const PhaseCharacterization stress = stressCharacterization(
+            power_, cfg_.recovery, cfg_.process.freqNominal);
+        it = staticConfigs_
+                 .emplace(key, qualifier.qualify(
+                                   model, stress,
+                                   cfg_.constraints.thMaxC))
+                 .first;
+    }
+    return it->second;
+}
+
+ExperimentContext::EnvRun
+ExperimentContext::evaluateFixed(CoreSystemModel &core,
+                                 const OperatingPoint &op,
+                                 const PhaseData &phase, double thC,
+                                 bool includeChecker,
+                                 double pePerInstr) const
+{
+    const CoreEvaluation ev = core.evaluate(op, phase.chr.act, thC);
+    EnvRun run;
+    run.freq = op.freq;
+    run.pe = pePerInstr >= 0.0 ? pePerInstr : ev.pePerInstruction;
+    const PerfInputs &in =
+        op.smallQueue ? phase.chr.perfSmall : phase.chr.perfFull;
+    run.perf = performance(op.freq, run.pe, in);
+    run.power = ev.totalPowerW;
+    if (includeChecker) {
+        run.power += cfg_.powerCal.checkerPowerW *
+                     (op.freq / cfg_.process.freqNominal);
+    }
+    return run;
+}
+
+AppRunResult
+ExperimentContext::runNoVar(const AppProfile &app)
+{
+    CoreSystemModel &core = idealCoreModel();
+    core.setAppType(app.isFp);
+    const AppCharacterization &chr = chars_.get(app);
+    const OperatingPoint op = nominalOperatingPoint(cfg_.process);
+
+    double thC = 60.0;
+    AppRunResult result;
+    for (int iter = 0; iter < 2; ++iter) {
+        double wSum = 0.0, freq = 0.0, perf = 0.0, power = 0.0, pe = 0.0;
+        for (const PhaseData &phase : chr.phases) {
+            const EnvRun run =
+                evaluateFixed(core, op, phase, thC, false, 0.0);
+            wSum += phase.weight;
+            freq += phase.weight * run.freq;
+            perf += phase.weight * run.perf;
+            power += phase.weight * run.power;
+            pe += phase.weight * run.pe;
+        }
+        result.freqRel = freq / wSum / cfg_.process.freqNominal;
+        result.powerW = power / wSum;
+        result.pePerInstr = pe / wSum;
+        result.perfRel = perf / wSum;   // absolute for now
+        thC = heatsink_.tempC(4.0 * result.powerW);
+    }
+    return result;
+}
+
+double
+ExperimentContext::novarPerf(const AppProfile &app)
+{
+    auto it = novarPerfCache_.find(app.name);
+    if (it == novarPerfCache_.end()) {
+        const AppRunResult res = runNoVar(app);
+        it = novarPerfCache_.emplace(app.name, res.perfRel).first;
+    }
+    return it->second;
+}
+
+AppRunResult
+ExperimentContext::runBaseline(CoreSystemModel &core,
+                               const AppCharacterization &app)
+{
+    // The plain processor ships at its worst-case safe frequency;
+    // no checker, no knobs.
+    KnobSpace grid;
+    const double rated = grid.freq.quantizeDown(
+        std::min(core.baselineFrequency(),
+                 cfg_.process.freqNominal * 1.4));
+
+    OperatingPoint op = nominalOperatingPoint(cfg_.process);
+    op.freq = std::max(rated, grid.freq.lo());
+
+    double thC = 60.0;
+    AppRunResult result;
+    for (int iter = 0; iter < 2; ++iter) {
+        double wSum = 0.0, perf = 0.0, power = 0.0;
+        for (const PhaseData &phase : app.phases) {
+            const EnvRun run =
+                evaluateFixed(core, op, phase, thC, false, 0.0);
+            wSum += phase.weight;
+            perf += phase.weight * run.perf;
+            power += phase.weight * run.power;
+        }
+        result.freqRel = op.freq / cfg_.process.freqNominal;
+        result.perfRel = perf / wSum;   // normalized by caller
+        result.powerW = power / wSum;
+        result.pePerInstr = 0.0;
+        thC = heatsink_.tempC(4.0 * result.powerW);
+    }
+    return result;
+}
+
+AppRunResult
+ExperimentContext::runManaged(std::size_t chipIndex, std::size_t coreIdx,
+                              const AppCharacterization &app,
+                              EnvironmentKind env, AdaptScheme scheme)
+{
+    const EnvCapabilities caps = environmentCaps(env);
+    EVAL_ASSERT(caps.timingSpec, "managed run requires TS");
+    CoreSystemModel &core = coreModel(chipIndex, coreIdx);
+
+    // Pick the per-subsystem optimizer.
+    std::unique_ptr<ExhaustiveOptimizer> exh;
+    std::unique_ptr<FuzzyOptimizer> fuzzy;
+    SubsystemOptimizer *sub = nullptr;
+    if (scheme == AdaptScheme::FuzzyDyn) {
+        fuzzy = std::make_unique<FuzzyOptimizer>(
+            coreFuzzy(chipIndex, coreIdx, caps));
+        sub = fuzzy.get();
+    } else {
+        exh = std::make_unique<ExhaustiveOptimizer>(caps,
+                                                    cfg_.constraints);
+        sub = exh.get();
+    }
+
+    AppRunResult result;
+    const KnobSpace grid = caps.knobSpace();
+
+    if (scheme == AdaptScheme::Static) {
+        const OperatingPoint op = staticConfig(chipIndex, coreIdx, caps,
+                                               app.isFp);
+
+        double thC = 65.0;
+        for (int iter = 0; iter < 2; ++iter) {
+            double wSum = 0.0, freq = 0.0, perf = 0.0, power = 0.0,
+                   pe = 0.0;
+            for (const PhaseData &phase : app.phases) {
+                // Runtime safety governor: throttle (downward only)
+                // if the fixed configuration violates under this app.
+                OperatingPoint phaseOp = op;
+                RetuningController sentinel(cfg_.constraints, grid, true);
+                for (int guard = 0; guard < 40; ++guard) {
+                    const CoreEvaluation ev =
+                        core.evaluate(phaseOp, phase.chr.act, thC);
+                    const bool bad =
+                        !ev.meets(cfg_.constraints) ||
+                        sentinel.sensedPower(core, ev, phaseOp.freq) >
+                            cfg_.constraints.pMaxW;
+                    if (!bad || phaseOp.freq <= grid.freq.lo())
+                        break;
+                    phaseOp.freq = grid.freq.quantizeDown(
+                        phaseOp.freq - grid.freq.step());
+                }
+                const CoreEvaluation ev =
+                    core.evaluate(phaseOp, phase.chr.act, thC);
+                const EnvRun run = evaluateFixed(
+                    core, phaseOp, phase, thC, true,
+                    ev.pePerInstruction);
+                wSum += phase.weight;
+                freq += phase.weight * phaseOp.freq;
+                perf += phase.weight * run.perf;
+                power += phase.weight * run.power;
+                pe += phase.weight * run.pe;
+            }
+            result.freqRel = freq / wSum / cfg_.process.freqNominal;
+            result.perfRel = perf / wSum;
+            result.powerW = power / wSum;
+            result.pePerInstr = pe / wSum;
+            thC = heatsink_.tempC(4.0 * result.powerW);
+        }
+        return result;
+    }
+
+    // Dynamic schemes: phase-triggered adaptation with saved configs.
+    DynamicController ctl(*sub, caps, cfg_.constraints, cfg_.recovery);
+    double thC = 65.0;
+    for (int iter = 0; iter < 2; ++iter) {
+        double wSum = 0.0, freq = 0.0, perf = 0.0, power = 0.0, pe = 0.0;
+        for (std::size_t p = 0; p < app.phases.size(); ++p) {
+            const PhaseData &phase = app.phases[p];
+            const PhaseAdaptation ad =
+                ctl.adaptPhase(core, p, phase.chr, thC);
+
+            const PerfInputs &in = ad.op.smallQueue
+                                       ? phase.chr.perfSmall
+                                       : phase.chr.perfFull;
+            const double overhead =
+                ad.reusedSaved
+                    ? cfg_.timeline.transitionS / cfg_.timeline.phaseLengthS
+                    : cfg_.timeline.overheadFraction(ad.retuneSteps);
+            const double phasePerf =
+                performance(ad.op.freq, ad.eval.pePerInstruction, in) *
+                (1.0 - clamp(overhead, 0.0, 0.5));
+            const double phasePower =
+                ad.eval.totalPowerW +
+                cfg_.powerCal.checkerPowerW *
+                    (ad.op.freq / cfg_.process.freqNominal);
+
+            wSum += phase.weight;
+            freq += phase.weight * ad.op.freq;
+            perf += phase.weight * phasePerf;
+            power += phase.weight * phasePower;
+            pe += phase.weight * ad.eval.pePerInstruction;
+
+            if (iter == 0 && !ad.reusedSaved)
+                result.outcomes.push_back(ad.outcome);
+        }
+        result.freqRel = freq / wSum / cfg_.process.freqNominal;
+        result.perfRel = perf / wSum;
+        result.powerW = power / wSum;
+        result.pePerInstr = pe / wSum;
+        thC = heatsink_.tempC(4.0 * result.powerW);
+    }
+    return result;
+}
+
+AppRunResult
+ExperimentContext::runApp(std::size_t chipIndex, std::size_t core,
+                          const AppProfile &app, EnvironmentKind env,
+                          AdaptScheme scheme)
+{
+    if (env == EnvironmentKind::NoVar) {
+        AppRunResult res = runNoVar(app);
+        res.perfRel = 1.0;
+        res.freqRel = 1.0;
+        return res;
+    }
+
+    CoreSystemModel &model = coreModel(chipIndex, core);
+    model.setAppType(app.isFp);
+    const AppCharacterization &chr = chars_.get(app);
+    const double reference = novarPerf(app);
+
+    AppRunResult res;
+    if (env == EnvironmentKind::Baseline)
+        res = runBaseline(model, chr);
+    else
+        res = runManaged(chipIndex, core, chr, env, scheme);
+
+    res.perfRel = reference > 0.0 ? res.perfRel / reference : 0.0;
+    return res;
+}
+
+} // namespace eval

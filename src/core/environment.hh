@@ -1,0 +1,173 @@
+/**
+ * @file
+ * The Table 1 environments and the experiment driver used by every
+ * bench: manufacture chips, characterize workloads, run an application
+ * on a core under an environment + adaptation scheme, and report the
+ * relative frequency / performance / power metrics of Figures 10-12.
+ */
+
+#ifndef EVAL_CORE_ENVIRONMENT_HH
+#define EVAL_CORE_ENVIRONMENT_HH
+
+#include <map>
+#include <tuple>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/characterization.hh"
+#include "core/controller.hh"
+#include "core/fuzzy_adaptation.hh"
+#include "core/subsystem_model.hh"
+#include "thermal/thermal_model.hh"
+#include "util/config.hh"
+
+namespace eval {
+
+/** Table 1. */
+enum class EnvironmentKind {
+    Baseline,       ///< plain processor with variation effects
+    TS,             ///< + Diva checker (timing speculation)
+    TS_ASV,         ///< + per-subsystem adaptive supply voltage
+    TS_ASV_ABB,     ///< + adaptive body bias
+    TS_ASV_Q,       ///< TS+ASV + issue-queue resizing
+    TS_ASV_Q_FU,    ///< + FU replication (the preferred scheme)
+    ALL,            ///< everything incl. ABB
+    NoVar           ///< plain processor without variation
+};
+
+const char *environmentName(EnvironmentKind kind);
+EnvCapabilities environmentCaps(EnvironmentKind kind);
+
+/** Adaptation scheme applied to TS-family environments (Sec 6.2). */
+enum class AdaptScheme { Static, FuzzyDyn, ExhDyn };
+
+const char *adaptSchemeName(AdaptScheme s);
+
+/** Per-(app, chip, core, environment, scheme) result. */
+struct AppRunResult
+{
+    double freqRel = 0.0;    ///< time-weighted f / f_nominal
+    double perfRel = 0.0;    ///< vs NoVar on the same application
+    double powerW = 0.0;     ///< core + L1 + L2 (+ checker), Figure 12
+    double pePerInstr = 0.0;
+    /** Controller outcomes, one per *new-phase* invocation (Fig 13). */
+    std::vector<RetuneOutcome> outcomes;
+};
+
+/** Experiment-wide configuration. */
+struct ExperimentConfig
+{
+    std::uint64_t seed = 1;
+    int chips = 30;
+    std::uint64_t simInsts = 160000;
+    ProcessParams process;
+    Constraints constraints;
+    RecoveryModel recovery;
+    PowerCalibration powerCal;
+    TimelineParams timeline;
+
+    static ExperimentConfig fromEnv();
+};
+
+/**
+ * Owns the shared state of one experiment: the chip population, the
+ * power/thermal calibration, the workload characterizations, and the
+ * per-core EVAL models (built lazily).
+ */
+class ExperimentContext
+{
+  public:
+    explicit ExperimentContext(const ExperimentConfig &cfg);
+
+    const ExperimentConfig &config() const { return cfg_; }
+    const std::vector<Chip> &chips() const { return chips_; }
+    const std::array<SubsystemPowerParams, kNumSubsystems> &
+    powerParams() const
+    {
+        return power_;
+    }
+    const std::shared_ptr<const ThermalModel> &thermalModel() const
+    {
+        return thermal_;
+    }
+    CharacterizationCache &characterizations() { return chars_; }
+
+    /** Applications selected by EVAL_APPS (default: full suite). */
+    std::vector<const AppProfile *> selectedApps() const;
+
+    /** Core model for (chip index, core), cached. */
+    CoreSystemModel &coreModel(std::size_t chipIndex, std::size_t core);
+
+    /** Core model of the ideal (no-variation) chip. */
+    CoreSystemModel &idealCoreModel();
+
+    /**
+     * Trained fuzzy controllers for one core under a knob-capability
+     * combination (trained lazily, cached for the context lifetime).
+     */
+    const CoreFuzzySystem &coreFuzzy(std::size_t chipIndex,
+                                     std::size_t core,
+                                     const EnvCapabilities &caps);
+
+    /** Qualification-time static configuration for one core under a
+     *  capability set (cached: qualification happens once per chip). */
+    const OperatingPoint &staticConfig(std::size_t chipIndex,
+                                       std::size_t core,
+                                       const EnvCapabilities &caps,
+                                       bool fpApp);
+
+    /**
+     * Run one application on one core under an environment/scheme.
+     * For Baseline and NoVar the scheme is ignored.
+     */
+    AppRunResult runApp(std::size_t chipIndex, std::size_t core,
+                        const AppProfile &app, EnvironmentKind env,
+                        AdaptScheme scheme);
+
+    /** NoVar performance of an application (instructions/s), cached. */
+    double novarPerf(const AppProfile &app);
+
+  private:
+    struct EnvRun
+    {
+        double freq = 0.0;
+        double perf = 0.0;
+        double power = 0.0;
+        double pe = 0.0;
+    };
+
+    /** Evaluate one phase at a fixed operating point (no adaptation). */
+    EnvRun evaluateFixed(CoreSystemModel &core, const OperatingPoint &op,
+                         const PhaseData &phase, double thC,
+                         bool includeChecker, double pePerInstr) const;
+
+    AppRunResult runNoVar(const AppProfile &app);
+    AppRunResult runBaseline(CoreSystemModel &core,
+                             const AppCharacterization &app);
+    AppRunResult runManaged(std::size_t chipIndex, std::size_t core,
+                            const AppCharacterization &app,
+                            EnvironmentKind env, AdaptScheme scheme);
+
+    ExperimentConfig cfg_;
+    std::array<SubsystemPowerParams, kNumSubsystems> power_;
+    std::shared_ptr<const ThermalModel> thermal_;
+    HeatsinkModel heatsink_;
+    std::vector<Chip> chips_;
+    std::unique_ptr<Chip> idealChip_;
+    CharacterizationCache chars_;
+    std::map<std::pair<std::size_t, std::size_t>,
+             std::unique_ptr<CoreSystemModel>> models_;
+    std::unique_ptr<CoreSystemModel> idealModel_;
+    std::map<std::string, double> novarPerfCache_;
+    /** key: (chip, core, asv|abb<<1) */
+    std::map<std::tuple<std::size_t, std::size_t, int>,
+             std::unique_ptr<CoreFuzzySystem>> fuzzy_;
+    /** key: (chip, core, full caps bits, fpApp) */
+    std::map<std::tuple<std::size_t, std::size_t, int, bool>,
+             OperatingPoint> staticConfigs_;
+};
+
+} // namespace eval
+
+#endif // EVAL_CORE_ENVIRONMENT_HH

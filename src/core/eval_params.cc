@@ -1,0 +1,13 @@
+#include "core/eval_params.hh"
+
+namespace eval {
+
+double
+TimelineParams::overheadFraction(unsigned retuneSteps) const
+{
+    const double cost = measureS + controllerS + transitionS +
+                        retuneStepS * retuneSteps;
+    return cost / phaseLengthS;
+}
+
+} // namespace eval

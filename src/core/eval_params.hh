@@ -1,0 +1,45 @@
+/**
+ * @file
+ * EVAL framework constants: the optimization constraints of Sec 4.1 /
+ * Figure 7(a) and the error-recovery cost model of Sec 3.1.
+ */
+
+#ifndef EVAL_CORE_EVAL_PARAMS_HH
+#define EVAL_CORE_EVAL_PARAMS_HH
+
+namespace eval {
+
+/** Constraints of the optimization problem (Figure 7(a)). */
+struct Constraints
+{
+    double tMaxC = 85.0;      ///< max junction temperature
+    double thMaxC = 70.0;     ///< max heat-sink temperature
+    double pMaxW = 30.0;      ///< max per-processor power
+    double peMax = 1e-4;      ///< max errors per instruction
+};
+
+/** Cost model for timing-speculation recovery (Diva-style checker). */
+struct RecoveryModel
+{
+    /** Cycles per recovery: pipeline flush + restart, equal to the
+     *  branch misprediction penalty (Sec 3.1). */
+    double penaltyCycles = 14.0;
+};
+
+/** Timeline parameters of the adaptation system (Figure 6). */
+struct TimelineParams
+{
+    double phaseLengthS = 0.120;        ///< mean stable phase
+    double measureS = 20e-6;            ///< activity/CPI profiling
+    double controllerS = 6e-6;          ///< fuzzy routines on the CPU
+    double transitionS = 10e-6;         ///< f/V change (XScale-like)
+    double retuneStepS = 0.5e-6;        ///< one retuning frequency move
+    double sensorCheckS = 2e-3;         ///< violation detection latency
+
+    /** Fraction of a phase lost to one full adaptation. */
+    double overheadFraction(unsigned retuneSteps) const;
+};
+
+} // namespace eval
+
+#endif // EVAL_CORE_EVAL_PARAMS_HH

@@ -1,0 +1,295 @@
+#include "core/optimizer.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/math_utils.hh"
+
+namespace eval {
+
+KnobSpace
+EnvCapabilities::knobSpace() const
+{
+    KnobSpace ks;
+    ks.hasAsv = asv;
+    ks.hasAbb = abb;
+    return ks;
+}
+
+double
+perAccessErrorBudget(const Constraints &c, double alphaF)
+{
+    const double perInstrBudget =
+        c.peMax / static_cast<double>(kNumSubsystems);
+    // Accesses per instruction ~= accesses per cycle x CPI; the
+    // controller senses only alpha_f, so it assumes a conservative
+    // CPI.  (Sec 4.2 sets the whole per-subsystem budget
+    // "conservatively"; the retuning cycles absorb the residual.)
+    constexpr double kConservativeCpi = 1.3;
+    const double rhoProxy = std::max(alphaF * kConservativeCpi, 1e-3);
+    return perInstrBudget / rhoProxy;
+}
+
+ExhaustiveOptimizer::ExhaustiveOptimizer(const EnvCapabilities &caps,
+                                         const Constraints &constraints)
+    : knobs_(caps.knobSpace()), constraints_(constraints)
+{
+}
+
+bool
+ExhaustiveOptimizer::feasibleAt(const CoreSystemModel &core, SubsystemId id,
+                                bool useAlternate, double freq,
+                                double alphaF, double thC,
+                                double vddNominal)
+{
+    const double budget = perAccessErrorBudget(constraints_, alphaF);
+    const auto vdds = knobs_.vddCandidates(vddNominal);
+    const auto vbbs = knobs_.vbbCandidates();
+
+    // Optimistic prefilter: even at the fastest setting and at the
+    // coolest possible junction temperature (T >= TH always), does the
+    // error rate fit the budget?  If not, no thermal solve can help —
+    // this skips the full knob scan for clearly infeasible frequencies.
+    {
+        const OperatingConditions fastest{vdds.back(), vbbs.back(), thC};
+        const double peOptimistic =
+            core.subsystem(id).errorModel(useAlternate)
+                .errorRatePerAccess(1.0 / freq, fastest);
+        if (peOptimistic > budget)
+            return false;
+    }
+
+    // Fast settings first: high Vdd and forward bias minimize PE; if a
+    // setting overheats, the scan continues toward cooler ones.
+    for (auto vddIt = vdds.rbegin(); vddIt != vdds.rend(); ++vddIt) {
+        for (auto vbbIt = vbbs.rbegin(); vbbIt != vbbs.rend(); ++vbbIt) {
+            SubsystemKnobs k{*vddIt, *vbbIt};
+            const auto sol = core.evaluateSubsystem(
+                id, useAlternate, freq, k, alphaF, alphaF, thC);
+            if (sol.functional &&
+                sol.thermal.tempC <= constraints_.tMaxC &&
+                sol.peAccess <= budget) {
+                return true;
+            }
+        }
+    }
+    return false;
+}
+
+double
+ExhaustiveOptimizer::maxFrequency(const CoreSystemModel &core,
+                                  SubsystemId id, bool useAlternate,
+                                  double alphaF, double thC)
+{
+    const double vddNom = core.params().vddNominal;
+    const auto &freqs = knobs_.freq;
+
+    if (!feasibleAt(core, id, useAlternate, freqs.lo(), alphaF, thC,
+                    vddNom)) {
+        return 0.0;
+    }
+    if (feasibleAt(core, id, useAlternate, freqs.hi(), alphaF, thC,
+                   vddNom)) {
+        return freqs.hi();
+    }
+
+    // Feasibility is monotone in f (PE and T both rise), so binary
+    // search over the knob grid.
+    std::size_t lo = 0;                      // known feasible
+    std::size_t hi = freqs.size() - 1;       // known infeasible
+    while (hi - lo > 1) {
+        const std::size_t mid = (lo + hi) / 2;
+        if (feasibleAt(core, id, useAlternate, freqs.value(mid), alphaF,
+                       thC, vddNom)) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    return freqs.value(lo);
+}
+
+std::optional<SubsystemKnobs>
+ExhaustiveOptimizer::minimizePower(const CoreSystemModel &core,
+                                   SubsystemId id, bool useAlternate,
+                                   double fcore, double alphaF,
+                                   double thC)
+{
+    const double budget = perAccessErrorBudget(constraints_, alphaF);
+    const auto vdds = knobs_.vddCandidates(core.params().vddNominal);
+    const auto vbbs = knobs_.vbbCandidates();
+
+    const StageErrorModel &em =
+        core.subsystem(id).errorModel(useAlternate);
+
+    std::optional<SubsystemKnobs> best;
+    double bestPower = 1e30;
+    for (double vdd : vdds) {
+        for (double vbb : vbbs) {
+            SubsystemKnobs k{vdd, vbb};
+            // Optimistic PE prefilter at T = TH skips the thermal
+            // solve for settings that cannot meet the error budget.
+            const OperatingConditions cool{vdd, vbb, thC};
+            if (em.errorRatePerAccess(1.0 / fcore, cool) > budget)
+                continue;
+            const auto sol = core.evaluateSubsystem(
+                id, useAlternate, fcore, k, alphaF, alphaF, thC);
+            if (!sol.functional ||
+                sol.thermal.tempC > constraints_.tMaxC ||
+                sol.peAccess > budget) {
+                continue;
+            }
+            const double p = sol.thermal.power();
+            if (p < bestPower) {
+                bestPower = p;
+                best = k;
+            }
+        }
+    }
+    return best;
+}
+
+CoreOptimizer::CoreOptimizer(SubsystemOptimizer &sub,
+                             const EnvCapabilities &caps,
+                             const Constraints &constraints,
+                             const RecoveryModel &recovery)
+    : sub_(sub), caps_(caps), constraints_(constraints),
+      recovery_(recovery), knobs_(caps.knobSpace())
+{
+    EVAL_ASSERT(caps.timingSpec,
+                "the adaptation controller requires timing speculation");
+}
+
+double
+CoreOptimizer::freqForConfig(const CoreSystemModel &core,
+                             const PhaseCharacterization &phase,
+                             double thC, bool smallQueue,
+                             bool &lowSlopeChosen,
+                             std::array<double, kNumSubsystems> &fmaxOut)
+{
+    const SubsystemId fuId = core.fuSubsystem();
+    const SubsystemId queueId = core.queueSubsystem();
+
+    double minRest = 1e30;
+    double fNormal = 0.0;
+    double fLowSlope = 0.0;
+
+    for (std::size_t i = 0; i < kNumSubsystems; ++i) {
+        const auto id = static_cast<SubsystemId>(i);
+        const double alphaF = phase.act.alpha[i];
+
+        if (caps_.fuReplication && id == fuId) {
+            fNormal = sub_.maxFrequency(core, id, false, alphaF, thC);
+            fLowSlope = sub_.maxFrequency(core, id, true, alphaF, thC);
+            continue;
+        }
+        const bool alt = smallQueue && id == queueId;
+        const double f = sub_.maxFrequency(core, id, alt, alphaF, thC);
+        fmaxOut[i] = f;
+        minRest = std::min(minRest, f);
+    }
+
+    if (!caps_.fuReplication) {
+        return minRest;
+    }
+
+    // Figure 4: enable the low-slope FU only when the normal FU would
+    // limit the core frequency (cases i and ii); otherwise save power.
+    // Guard against the replica not paying off (a temperature-limited
+    // FU gets hotter from the replica's 30% power premium).
+    lowSlopeChosen = fNormal < minRest && fLowSlope > fNormal;
+    const double fFu = lowSlopeChosen ? fLowSlope : fNormal;
+    fmaxOut[static_cast<std::size_t>(fuId)] = fFu;
+    return std::min(minRest, fFu);
+}
+
+AdaptationResult
+CoreOptimizer::choose(const CoreSystemModel &core,
+                      const PhaseCharacterization &phase, double thC)
+{
+    AdaptationResult result;
+
+    // --- Freq algorithm per candidate queue configuration ---
+    bool lowSlopeFull = false;
+    std::array<double, kNumSubsystems> fmaxFull{};
+    const double rawFull = freqForConfig(core, phase, thC, false,
+                                         lowSlopeFull, fmaxFull);
+
+    bool smallQueue = false;
+    bool lowSlope = lowSlopeFull;
+    double rawFreq = rawFull;
+    std::array<double, kNumSubsystems> fmax = fmaxFull;
+
+    if (caps_.queueResize) {
+        bool lowSlopeSmall = false;
+        std::array<double, kNumSubsystems> fmaxSmall{};
+        const double rawSmall = freqForConfig(core, phase, thC, true,
+                                              lowSlopeSmall, fmaxSmall);
+
+        // Sec 4.2: compare Eq 5 performance of (CPIcomp_1.00,
+        // fcore_1.00) against (CPIcomp_0.75, fcore_0.75).
+        const double peTarget = constraints_.peMax;
+        const double perfFull = rawFull > 0.0
+            ? performance(rawFull, peTarget, phase.perfFull) : 0.0;
+        const double perfSmall = rawSmall > 0.0
+            ? performance(rawSmall, peTarget, phase.perfSmall) : 0.0;
+        if (perfSmall > perfFull) {
+            smallQueue = true;
+            lowSlope = lowSlopeSmall;
+            rawFreq = rawSmall;
+            fmax = fmaxSmall;
+        }
+    }
+
+    result.fmax = fmax;
+    if (rawFreq <= 0.0) {
+        // No subsystem setting is feasible even at the slowest clock;
+        // fall back to the bottom of the range and flag it.
+        result.feasible = false;
+        rawFreq = knobs_.freq.lo();
+    }
+
+    OperatingPoint op = nominalOperatingPoint(core.params());
+    op.freq = knobs_.freq.quantizeDown(std::min(rawFreq, knobs_.freq.hi()));
+    op.smallQueue = smallQueue;
+    op.lowSlopeFu = caps_.fuReplication && lowSlope;
+
+    // --- Power algorithm + PMAX check (Figure 3 right box) ---
+    const PerfInputs &perfIn =
+        smallQueue ? phase.perfSmall : phase.perfFull;
+    for (int guard = 0; guard < 40; ++guard) {
+        for (std::size_t i = 0; i < kNumSubsystems; ++i) {
+            const auto id = static_cast<SubsystemId>(i);
+            const bool alt = core.usesAlternate(id, op);
+            const auto k = sub_.minimizePower(core, id, alt, op.freq,
+                                              phase.act.alpha[i], thC);
+            if (k) {
+                op.knobsOf(id) = {knobs_.vdd.quantize(k->vdd),
+                                  knobs_.vbb.quantize(k->vbb)};
+            } else {
+                // Best effort: fastest available setting.
+                op.knobsOf(id) = {knobs_.vdd.hi(),
+                                  caps_.abb ? knobs_.vbb.hi() : 0.0};
+                result.feasible = false;
+            }
+        }
+
+        const CoreEvaluation ev = core.evaluate(op, phase.act, thC);
+        const double checker =
+            core.calibration().checkerPowerW *
+            (op.freq / core.params().freqNominal);
+        if (ev.totalPowerW + checker <= constraints_.pMaxW ||
+            op.freq <= knobs_.freq.lo()) {
+            result.predictedPerf =
+                performance(op.freq, ev.pePerInstruction, perfIn);
+            break;
+        }
+        op.freq = knobs_.freq.quantizeDown(op.freq - knobs_.freq.step());
+    }
+
+    result.op = op;
+    return result;
+}
+
+} // namespace eval

@@ -1,0 +1,35 @@
+#include "core/perf_model.hh"
+
+#include "util/logging.hh"
+
+namespace eval {
+
+PerfInputs
+PerfInputs::fromStats(const CoreStats &stats, double refFreqHz,
+                      double recoveryPenaltyCycles)
+{
+    EVAL_ASSERT(refFreqHz > 0.0, "reference frequency must be positive");
+    PerfInputs in;
+    in.cpiComp = stats.cpiComp();
+    in.missesPerInst = stats.missesPerInstruction();
+    in.memPenaltySec = stats.missPenaltyCycles() / refFreqHz;
+    in.recoveryPenaltyCycles = recoveryPenaltyCycles;
+    return in;
+}
+
+double
+cpiAt(double freqHz, double pePerInstruction, const PerfInputs &in)
+{
+    EVAL_ASSERT(freqHz > 0.0, "frequency must be positive");
+    const double mp = in.memPenaltySec * freqHz;   // cycles per miss
+    return in.cpiComp + in.missesPerInst * mp +
+           pePerInstruction * in.recoveryPenaltyCycles;
+}
+
+double
+performance(double freqHz, double pePerInstruction, const PerfInputs &in)
+{
+    return freqHz / cpiAt(freqHz, pePerInstruction, in);
+}
+
+} // namespace eval

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * The Eq 5 performance model:
+ *
+ *   Perf(f) = f / (CPIcomp + mr * mp(f) + PE(f) * rp)
+ *
+ * CPIcomp and mr come from one characterization run of the cycle-level
+ * core model; mp grows linearly with f because main-memory time is
+ * fixed in nanoseconds; PE comes from the subsystem error models; rp
+ * is the Diva recovery penalty.
+ */
+
+#ifndef EVAL_CORE_PERF_MODEL_HH
+#define EVAL_CORE_PERF_MODEL_HH
+
+#include "arch/core.hh"
+
+namespace eval {
+
+/** Application/phase inputs to Eq 5. */
+struct PerfInputs
+{
+    double cpiComp = 1.0;           ///< computation CPI
+    double missesPerInst = 0.0;     ///< mr, L2 misses / instruction
+    double memPenaltySec = 0.0;     ///< non-overlapped seconds / miss
+    double recoveryPenaltyCycles = 14.0;   ///< rp
+
+    /** Build from a characterization run at frequency @p refFreqHz. */
+    static PerfInputs fromStats(const CoreStats &stats, double refFreqHz,
+                                double recoveryPenaltyCycles);
+};
+
+/** Eq 5 denominator: total CPI at frequency @p freqHz. */
+double cpiAt(double freqHz, double pePerInstruction,
+             const PerfInputs &in);
+
+/** Eq 5: performance in instructions per second. */
+double performance(double freqHz, double pePerInstruction,
+                   const PerfInputs &in);
+
+} // namespace eval
+
+#endif // EVAL_CORE_PERF_MODEL_HH

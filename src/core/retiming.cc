@@ -1,0 +1,42 @@
+#include "core/retiming.hh"
+
+#include <algorithm>
+
+#include "timing/path_population.hh"
+#include "util/logging.hh"
+
+namespace eval {
+
+double
+retimedFrequency(const CoreSystemModel &core, const RetimingConfig &cfg)
+{
+    EVAL_ASSERT(cfg.slackPassEfficiency >= 0.0 &&
+                    cfg.slackPassEfficiency <= 1.0,
+                "slack-pass efficiency in [0,1]");
+
+    const ProcessParams &p = core.params();
+    const OperatingConditions corner{
+        p.vddNominal * (1.0 - p.vddDroopGuardband), 0.0, p.tempNominalC};
+
+    // Worst-case per-stage delays at the rating corner, without the
+    // EVAL checker's Razor assist (a plain retimed pipeline).
+    double maxDelay = 0.0;
+    double sumDelay = 0.0;
+    for (std::size_t i = 0; i < kNumSubsystems; ++i) {
+        const auto id = static_cast<SubsystemId>(i);
+        double d = core.subsystem(id).errorModel(false).maxDelay(corner);
+        if (id == SubsystemId::Dcache || id == SubsystemId::Icache)
+            d /= kRazorL1Margin;
+        maxDelay = std::max(maxDelay, d);
+        sumDelay += d;
+    }
+    const double meanDelay = sumDelay / static_cast<double>(kNumSubsystems);
+
+    // Slack passing moves the cycle time from the worst stage toward
+    // the mean, limited by the efficiency.
+    const double period = cfg.slackPassEfficiency * meanDelay +
+                          (1.0 - cfg.slackPassEfficiency) * maxDelay;
+    return 1.0 / period;
+}
+
+} // namespace eval

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Dynamic-retiming baseline (ReCycle-style, compared against in
+ * Sec 7): instead of tolerating timing errors, clock-skew slack
+ * passing redistributes cycle time between pipeline stages, so the
+ * clock is set by something between the average and the worst stage
+ * delay — bounded because stages on tight loops (issue-wakeup,
+ * branch-resolve) cannot donate or borrow freely.
+ *
+ * The processor is always clocked safely (zero errors, no checker),
+ * which is exactly why the paper finds it weaker than EVAL: it cannot
+ * trade error rate for frequency, cannot change stage delay or power
+ * (no ASV/ABB), and manages a single global variable.
+ */
+
+#ifndef EVAL_CORE_RETIMING_HH
+#define EVAL_CORE_RETIMING_HH
+
+#include "core/subsystem_model.hh"
+
+namespace eval {
+
+/** Configuration of the retiming baseline. */
+struct RetimingConfig
+{
+    /**
+     * Fraction of the inter-stage slack that skew tweaking can
+     * actually recycle (loop-carried stages pin the rest).  The
+     * default is calibrated so the baseline gains land in ReCycle's
+     * reported 10-20% band.
+     */
+    double slackPassEfficiency = 0.75;
+};
+
+/**
+ * Safe frequency of the dynamically retimed pipeline on this core,
+ * rated at the same worst-case corner as the Baseline.
+ */
+double retimedFrequency(const CoreSystemModel &core,
+                        const RetimingConfig &cfg = RetimingConfig());
+
+} // namespace eval
+
+#endif // EVAL_CORE_RETIMING_HH

@@ -1,0 +1,303 @@
+#include "fuzzy/fuzzy_controller.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <limits>
+#include <ostream>
+
+#include "util/logging.hh"
+#include "util/math_utils.hh"
+
+namespace eval {
+
+namespace {
+
+constexpr double kMinSigma = 1e-3;
+
+void
+saveVector(std::ostream &os, const std::vector<double> &v)
+{
+    os << v.size();
+    os.precision(17);
+    for (double x : v)
+        os << ' ' << x;
+    os << '\n';
+}
+
+std::vector<double>
+loadVector(std::istream &is)
+{
+    std::size_t n = 0;
+    is >> n;
+    EVAL_ASSERT(is.good() && n < (1u << 24), "corrupt controller image");
+    std::vector<double> v(n);
+    for (double &x : v)
+        is >> x;
+    EVAL_ASSERT(is.good(), "truncated controller image");
+    return v;
+}
+
+} // namespace
+
+void
+InputNormalizer::fit(const std::vector<std::vector<double>> &samples)
+{
+    EVAL_ASSERT(!samples.empty(), "normalizer needs samples");
+    const std::size_t dims = samples.front().size();
+    lo_.assign(dims, std::numeric_limits<double>::infinity());
+    hi_.assign(dims, -std::numeric_limits<double>::infinity());
+    for (const auto &s : samples) {
+        EVAL_ASSERT(s.size() == dims, "inconsistent sample dims");
+        for (std::size_t j = 0; j < dims; ++j) {
+            lo_[j] = std::min(lo_[j], s[j]);
+            hi_[j] = std::max(hi_[j], s[j]);
+        }
+    }
+}
+
+void
+InputNormalizer::fitScalar(const std::vector<double> &samples)
+{
+    EVAL_ASSERT(!samples.empty(), "normalizer needs samples");
+    lo_.assign(1, *std::min_element(samples.begin(), samples.end()));
+    hi_.assign(1, *std::max_element(samples.begin(), samples.end()));
+}
+
+std::vector<double>
+InputNormalizer::normalize(const std::vector<double> &raw) const
+{
+    EVAL_ASSERT(raw.size() == lo_.size(), "dimension mismatch");
+    std::vector<double> out(raw.size());
+    for (std::size_t j = 0; j < raw.size(); ++j) {
+        const double span = hi_[j] - lo_[j];
+        out[j] = span > 0.0 ? (raw[j] - lo_[j]) / span : 0.5;
+    }
+    return out;
+}
+
+double
+InputNormalizer::normalizeScalar(double raw) const
+{
+    EVAL_ASSERT(lo_.size() == 1, "scalar normalizer expected");
+    const double span = hi_[0] - lo_[0];
+    return span > 0.0 ? (raw - lo_[0]) / span : 0.5;
+}
+
+double
+InputNormalizer::denormalizeScalar(double normalized) const
+{
+    EVAL_ASSERT(lo_.size() == 1, "scalar normalizer expected");
+    return lo_[0] + normalized * (hi_[0] - lo_[0]);
+}
+
+FuzzyController::FuzzyController(std::size_t numRules,
+                                 std::size_t numInputs)
+    : rules_(numRules), inputs_(numInputs),
+      mu_(numRules * numInputs, 0.0),
+      sigma_(numRules * numInputs, 0.05),
+      y_(numRules, 0.0)
+{
+    EVAL_ASSERT(numRules > 0 && numInputs > 0, "controller shape");
+}
+
+double
+FuzzyController::membership(std::size_t rule,
+                            const std::vector<double> &x) const
+{
+    // Eq 10/11: product of Gaussian memberships, computed in log space
+    // for numerical robustness.
+    double logW = 0.0;
+    const std::size_t base = rule * inputs_;
+    for (std::size_t j = 0; j < inputs_; ++j) {
+        const double d = (x[j] - mu_[base + j]) / sigma_[base + j];
+        logW -= d * d;
+    }
+    return std::exp(logW);
+}
+
+double
+FuzzyController::infer(const std::vector<double> &x) const
+{
+    EVAL_ASSERT(x.size() == inputs_, "input dimension mismatch");
+    const std::size_t active = std::max<std::size_t>(seeded_, 1);
+
+    double num = 0.0;
+    double den = 0.0;
+    double bestW = -1.0;
+    double bestY = y_[0];
+    for (std::size_t i = 0; i < active && i < rules_; ++i) {
+        const double w = membership(i, x);
+        num += w * y_[i];
+        den += w;
+        if (w > bestW) {
+            bestW = w;
+            bestY = y_[i];
+        }
+    }
+    if (den <= 1e-290)
+        return bestY;   // far outside support: nearest rule wins
+    return num / den;   // Eq 12
+}
+
+void
+FuzzyController::train(const std::vector<double> &x, double y,
+                       double learningRate, Rng &rng)
+{
+    EVAL_ASSERT(x.size() == inputs_, "input dimension mismatch");
+
+    if (seeded_ < rules_) {
+        const std::size_t base = seeded_ * inputs_;
+        for (std::size_t j = 0; j < inputs_; ++j) {
+            mu_[base + j] = x[j];
+            sigma_[base + j] = std::max(kMinSigma,
+                                        rng.uniform(0.02, 0.1));
+        }
+        y_[seeded_] = y;
+        ++seeded_;
+        return;
+    }
+
+    // Gradient step (Eq 13) on e = (y - z)^2 for every rule.
+    std::vector<double> w(rules_);
+    double den = 0.0;
+    double num = 0.0;
+    for (std::size_t i = 0; i < rules_; ++i) {
+        w[i] = membership(i, x);
+        den += w[i];
+        num += w[i] * y_[i];
+    }
+    if (den <= 1e-290)
+        return;   // no rule is responsible; skip the example
+    const double z = num / den;
+    const double err = y - z;   // d(e)/dz = -2 err
+
+    for (std::size_t i = 0; i < rules_; ++i) {
+        const double dzdW = (y_[i] - z) / den;
+        const double base = 2.0 * err;
+        const std::size_t rowBase = i * inputs_;
+
+        // y update: dz/dy_i = w_i / den.
+        y_[i] += learningRate * base * (w[i] / den);
+
+        for (std::size_t j = 0; j < inputs_; ++j) {
+            const double mu = mu_[rowBase + j];
+            const double sg = sigma_[rowBase + j];
+            const double diff = x[j] - mu;
+            const double dWdMu = w[i] * 2.0 * diff / (sg * sg);
+            const double dWdSigma =
+                w[i] * 2.0 * diff * diff / (sg * sg * sg);
+            mu_[rowBase + j] += learningRate * base * dzdW * dWdMu;
+            sigma_[rowBase + j] += learningRate * base * dzdW * dWdSigma;
+            sigma_[rowBase + j] =
+                clamp(sigma_[rowBase + j], kMinSigma, 10.0);
+        }
+    }
+}
+
+std::size_t
+FuzzyController::footprintBytes() const
+{
+    return sizeof(double) * (mu_.size() + sigma_.size() + y_.size());
+}
+
+void
+InputNormalizer::save(std::ostream &os) const
+{
+    saveVector(os, lo_);
+    saveVector(os, hi_);
+}
+
+InputNormalizer
+InputNormalizer::load(std::istream &is)
+{
+    InputNormalizer n;
+    n.lo_ = loadVector(is);
+    n.hi_ = loadVector(is);
+    EVAL_ASSERT(n.lo_.size() == n.hi_.size(),
+                "corrupt normalizer image");
+    return n;
+}
+
+void
+FuzzyController::save(std::ostream &os) const
+{
+    os << "fc " << rules_ << ' ' << inputs_ << ' ' << seeded_ << '\n';
+    saveVector(os, mu_);
+    saveVector(os, sigma_);
+    saveVector(os, y_);
+}
+
+FuzzyController
+FuzzyController::load(std::istream &is)
+{
+    std::string tag;
+    std::size_t rules = 0, inputs = 0, seeded = 0;
+    is >> tag >> rules >> inputs >> seeded;
+    EVAL_ASSERT(is.good() && tag == "fc", "not a controller image");
+    FuzzyController fc(rules, inputs);
+    fc.seeded_ = seeded;
+    fc.mu_ = loadVector(is);
+    fc.sigma_ = loadVector(is);
+    fc.y_ = loadVector(is);
+    EVAL_ASSERT(fc.mu_.size() == rules * inputs &&
+                    fc.sigma_.size() == rules * inputs &&
+                    fc.y_.size() == rules,
+                "controller image shape mismatch");
+    return fc;
+}
+
+TrainedController::TrainedController(std::size_t numRules,
+                                     std::size_t numInputs)
+    : fc_(numRules, numInputs)
+{
+}
+
+void
+TrainedController::train(const std::vector<std::vector<double>> &inputs,
+                         const std::vector<double> &outputs,
+                         double learningRate, Rng &rng)
+{
+    EVAL_ASSERT(inputs.size() == outputs.size() && !inputs.empty(),
+                "dataset shape mismatch");
+    inputNorm_.fit(inputs);
+    outputNorm_.fitScalar(outputs);
+
+    for (std::size_t k = 0; k < inputs.size(); ++k) {
+        fc_.train(inputNorm_.normalize(inputs[k]),
+                  outputNorm_.normalizeScalar(outputs[k]), learningRate,
+                  rng);
+    }
+    trained_ = true;
+}
+
+double
+TrainedController::predict(const std::vector<double> &rawInput) const
+{
+    EVAL_ASSERT(trained_, "controller used before training");
+    const double z = fc_.infer(inputNorm_.normalize(rawInput));
+    return outputNorm_.denormalizeScalar(z);
+}
+
+void
+TrainedController::save(std::ostream &os) const
+{
+    EVAL_ASSERT(trained_, "cannot save an untrained controller");
+    fc_.save(os);
+    inputNorm_.save(os);
+    outputNorm_.save(os);
+}
+
+TrainedController
+TrainedController::load(std::istream &is)
+{
+    FuzzyController fc = FuzzyController::load(is);
+    TrainedController tc(fc.numRules(), fc.numInputs());
+    tc.fc_ = std::move(fc);
+    tc.inputNorm_ = InputNormalizer::load(is);
+    tc.outputNorm_ = InputNormalizer::load(is);
+    tc.trained_ = true;
+    return tc;
+}
+
+} // namespace eval

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Fuzzy controller (Appendix A of the paper).
+ *
+ * The controller holds n rules over m input variables: matrices mu and
+ * sigma (n x m) and an output vector y.  Deployment (Eqs 10-12):
+ *
+ *   W_ij = exp(-((x_j - mu_ij) / sigma_ij)^2)
+ *   W_i  = prod_j W_ij
+ *   z    = sum_i W_i y_i / sum_i W_i
+ *
+ * Training seeds the first n rules directly from the first n examples
+ * (mu_ij = x_ij, sigma_ij random < 0.1, y_i = output), then performs
+ * gradient descent on the squared error with learning rate alpha
+ * (Eq 13; alpha = 0.04 in the paper).
+ *
+ * The controller operates in normalized coordinates; InputNormalizer
+ * maps raw physical inputs/outputs into [0, 1].
+ */
+
+#ifndef EVAL_FUZZY_FUZZY_CONTROLLER_HH
+#define EVAL_FUZZY_FUZZY_CONTROLLER_HH
+
+#include <cstddef>
+#include <iosfwd>
+#include <vector>
+
+#include "util/random.hh"
+
+namespace eval {
+
+/** Per-dimension affine normalization to [0, 1]. */
+class InputNormalizer
+{
+  public:
+    InputNormalizer() = default;
+
+    /** Fit ranges from a set of raw vectors. */
+    void fit(const std::vector<std::vector<double>> &samples);
+
+    /** Fit a scalar range. */
+    void fitScalar(const std::vector<double> &samples);
+
+    std::vector<double> normalize(const std::vector<double> &raw) const;
+    double normalizeScalar(double raw) const;
+    double denormalizeScalar(double normalized) const;
+
+    std::size_t dims() const { return lo_.size(); }
+
+    /** Plain-text persistence (the reserved-memory image). */
+    void save(std::ostream &os) const;
+    static InputNormalizer load(std::istream &is);
+
+  private:
+    std::vector<double> lo_;
+    std::vector<double> hi_;
+};
+
+/** The rule-based controller itself (normalized space). */
+class FuzzyController
+{
+  public:
+    FuzzyController(std::size_t numRules, std::size_t numInputs);
+
+    /** Eqs 10-12. Falls back to the nearest rule when all memberships
+     *  underflow (query far outside the training support). */
+    double infer(const std::vector<double> &x) const;
+
+    /**
+     * Present one training example.  The first numRules examples seed
+     * the rule base; later examples run one Eq 13 gradient step on
+     * every rule.
+     */
+    void train(const std::vector<double> &x, double y,
+               double learningRate, Rng &rng);
+
+    bool fullySeeded() const { return seeded_ >= rules_; }
+    std::size_t numRules() const { return rules_; }
+    std::size_t numInputs() const { return inputs_; }
+
+    /** Approximate data footprint in bytes (paper: ~120 KB total). */
+    std::size_t footprintBytes() const;
+
+    /** Plain-text persistence of the rule base. */
+    void save(std::ostream &os) const;
+    static FuzzyController load(std::istream &is);
+
+  private:
+    double membership(std::size_t rule, const std::vector<double> &x) const;
+
+    std::size_t rules_;
+    std::size_t inputs_;
+    std::size_t seeded_ = 0;
+    std::vector<double> mu_;      ///< [rule * inputs + j]
+    std::vector<double> sigma_;   ///< [rule * inputs + j]
+    std::vector<double> y_;       ///< [rule]
+};
+
+/** A trained controller bundled with its raw-unit normalizers. */
+class TrainedController
+{
+  public:
+    TrainedController(std::size_t numRules, std::size_t numInputs);
+
+    /**
+     * Train on a raw-unit dataset: fits the normalizers, then feeds
+     * every example through FuzzyController::train.
+     *
+     * @param inputs  raw input vectors
+     * @param outputs raw outputs (same length)
+     * @param learningRate Eq 13 alpha
+     * @param rng     sigma-seeding stream
+     */
+    void train(const std::vector<std::vector<double>> &inputs,
+               const std::vector<double> &outputs, double learningRate,
+               Rng &rng);
+
+    /** Predict a raw-unit output from a raw-unit input vector. */
+    double predict(const std::vector<double> &rawInput) const;
+
+    bool trained() const { return trained_; }
+    const FuzzyController &controller() const { return fc_; }
+
+    /**
+     * Persist / restore a trained controller (the manufacturer writes
+     * the trained rule bases into a reserved memory area that the
+     * runtime routines load, Sec 4.3.2).
+     */
+    void save(std::ostream &os) const;
+    static TrainedController load(std::istream &is);
+
+  private:
+    FuzzyController fc_;
+    InputNormalizer inputNorm_;
+    InputNormalizer outputNorm_;
+    bool trained_ = false;
+};
+
+} // namespace eval
+
+#endif // EVAL_FUZZY_FUZZY_CONTROLLER_HH

@@ -1,0 +1,104 @@
+#include "fuzzy/regressors.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "util/logging.hh"
+#include "util/math_utils.hh"
+
+namespace eval {
+
+PerceptronRegressor::PerceptronRegressor(std::size_t numInputs,
+                                         double learningRate)
+    : learningRate_(learningRate), weights_(numInputs + 1, 0.0)
+{
+    EVAL_ASSERT(numInputs > 0, "perceptron needs inputs");
+}
+
+double
+PerceptronRegressor::predict(const std::vector<double> &x) const
+{
+    EVAL_ASSERT(x.size() + 1 == weights_.size(), "dimension mismatch");
+    double acc = weights_.back();
+    for (std::size_t j = 0; j < x.size(); ++j)
+        acc += weights_[j] * x[j];
+    return acc;
+}
+
+void
+PerceptronRegressor::train(const std::vector<double> &x, double y)
+{
+    const double err = y - predict(x);
+    for (std::size_t j = 0; j < x.size(); ++j)
+        weights_[j] += learningRate_ * err * x[j];
+    weights_.back() += learningRate_ * err;
+}
+
+std::size_t
+PerceptronRegressor::footprintBytes() const
+{
+    return weights_.size() * sizeof(double);
+}
+
+TableRegressor::TableRegressor(std::size_t numInputs,
+                               std::size_t binsPerAxis)
+    : inputs_(numInputs), bins_(binsPerAxis)
+{
+    EVAL_ASSERT(numInputs > 0 && binsPerAxis > 0, "table shape");
+    // Cap the table at 2^22 cells; beyond that reduce the resolution
+    // (the memory blow-up is exactly the point of the comparison).
+    double cells = 1.0;
+    for (std::size_t j = 0; j < inputs_; ++j)
+        cells *= static_cast<double>(bins_);
+    while (cells > (1 << 22) && bins_ > 1) {
+        --bins_;
+        cells = std::pow(static_cast<double>(bins_),
+                         static_cast<double>(inputs_));
+    }
+    const auto total = static_cast<std::size_t>(cells);
+    sums_.assign(total, 0.0);
+    counts_.assign(total, 0);
+}
+
+std::size_t
+TableRegressor::index(const std::vector<double> &x) const
+{
+    EVAL_ASSERT(x.size() == inputs_, "dimension mismatch");
+    std::size_t idx = 0;
+    for (std::size_t j = 0; j < inputs_; ++j) {
+        const double t = clamp(x[j], 0.0, 1.0 - 1e-12);
+        idx = idx * bins_ +
+              static_cast<std::size_t>(t * static_cast<double>(bins_));
+    }
+    return idx;
+}
+
+void
+TableRegressor::train(const std::vector<double> &x, double y)
+{
+    const std::size_t idx = index(x);
+    sums_[idx] += y;
+    ++counts_[idx];
+    globalSum_ += y;
+    ++globalCount_;
+}
+
+double
+TableRegressor::predict(const std::vector<double> &x) const
+{
+    const std::size_t idx = index(x);
+    if (counts_[idx] > 0)
+        return sums_[idx] / counts_[idx];
+    return globalCount_ ? globalSum_ / static_cast<double>(globalCount_)
+                        : 0.0;
+}
+
+std::size_t
+TableRegressor::footprintBytes() const
+{
+    return sums_.size() * sizeof(double) +
+           counts_.size() * sizeof(std::uint32_t);
+}
+
+} // namespace eval

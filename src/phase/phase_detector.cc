@@ -1,0 +1,101 @@
+#include "phase/phase_detector.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace eval {
+
+void
+BbvAccumulator::note(std::uint64_t branchPc, std::uint32_t blockLength)
+{
+    // Multiplicative hash of the branch PC picks the bucket.
+    const std::uint64_t h = branchPc * 0x9e3779b97f4a7c15ULL;
+    const auto bucket = static_cast<std::size_t>(h >> 59);   // top 5 bits
+    static_assert(kBuckets == 32, "bucket shift assumes 32 buckets");
+
+    // Weight by block length.  The 6-bit counters age by halving every
+    // bucket when one would saturate, preserving relative proportions
+    // over arbitrarily long intervals (the hardware's shift trick).
+    const std::uint32_t add = std::max<std::uint32_t>(1, blockLength / 4);
+    if (buckets_[bucket] + add > kCounterMax) {
+        for (auto &b : buckets_)
+            b >>= 1;
+    }
+    buckets_[bucket] = std::min(kCounterMax, buckets_[bucket] + add);
+    ++blocks_;
+}
+
+std::array<double, BbvAccumulator::kBuckets>
+BbvAccumulator::normalized() const
+{
+    std::array<double, kBuckets> out{};
+    double total = 0.0;
+    for (std::uint32_t b : buckets_)
+        total += b;
+    if (total <= 0.0)
+        return out;
+    for (std::size_t i = 0; i < kBuckets; ++i)
+        out[i] = buckets_[i] / total;
+    return out;
+}
+
+void
+BbvAccumulator::reset()
+{
+    buckets_.fill(0);
+    blocks_ = 0;
+}
+
+PhaseDetector::PhaseDetector(double matchThreshold, std::size_t maxPhases)
+    : matchThreshold_(matchThreshold), maxPhases_(maxPhases)
+{
+    EVAL_ASSERT(matchThreshold > 0.0 && maxPhases > 0,
+                "detector parameters must be positive");
+}
+
+PhaseDecision
+PhaseDetector::endInterval(const BbvAccumulator &bbv)
+{
+    const auto vec = bbv.normalized();
+
+    double bestDist = 1e9;
+    std::size_t bestId = 0;
+    for (std::size_t i = 0; i < signatures_.size(); ++i) {
+        double dist = 0.0;
+        for (std::size_t b = 0; b < BbvAccumulator::kBuckets; ++b)
+            dist += std::abs(vec[b] - signatures_[i][b]);
+        if (dist < bestDist) {
+            bestDist = dist;
+            bestId = i;
+        }
+    }
+
+    PhaseDecision decision{};
+    if (!signatures_.empty() && bestDist <= matchThreshold_) {
+        decision.phaseId = bestId;
+        decision.isNewPhase = false;
+        decision.distance = bestDist;
+        // Exponentially age the signature toward the newest interval.
+        auto &sig = signatures_[bestId];
+        for (std::size_t b = 0; b < BbvAccumulator::kBuckets; ++b)
+            sig[b] = 0.75 * sig[b] + 0.25 * vec[b];
+    } else if (signatures_.size() < maxPhases_) {
+        signatures_.push_back(vec);
+        decision.phaseId = signatures_.size() - 1;
+        decision.isNewPhase = true;
+        decision.distance = bestDist;
+    } else {
+        // Table full: fall back to the closest signature.
+        decision.phaseId = bestId;
+        decision.isNewPhase = false;
+        decision.distance = bestDist;
+    }
+
+    decision.changed = !current_ || *current_ != decision.phaseId;
+    current_ = decision.phaseId;
+    return decision;
+}
+
+} // namespace eval

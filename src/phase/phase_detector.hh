@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Hardware application-phase detector after Sherwood et al. (Sec 4.3.2
+ * and Figure 7(a)): basic-block execution frequencies are accumulated
+ * into a 32-bucket vector with 6-bit saturating counters; at the end
+ * of each interval the vector is compared against the signatures of
+ * known phases (Manhattan distance) and either matched or registered
+ * as a new phase.
+ */
+
+#ifndef EVAL_PHASE_PHASE_DETECTOR_HH
+#define EVAL_PHASE_PHASE_DETECTOR_HH
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace eval {
+
+/** BBV accumulator: 32 buckets x 6-bit saturating counters. */
+class BbvAccumulator
+{
+  public:
+    static constexpr std::size_t kBuckets = 32;
+    static constexpr std::uint32_t kCounterMax = 63;   // 6 bits
+
+    /** Record the end of a basic block: its branch PC and length. */
+    void note(std::uint64_t branchPc, std::uint32_t blockLength);
+
+    /** Normalized vector (sums to ~1 when non-empty). */
+    std::array<double, kBuckets> normalized() const;
+
+    std::uint64_t blocksSeen() const { return blocks_; }
+    void reset();
+
+  private:
+    std::array<std::uint32_t, kBuckets> buckets_{};
+    std::uint64_t blocks_ = 0;
+};
+
+/** Result of closing one detection interval. */
+struct PhaseDecision
+{
+    std::size_t phaseId;    ///< matched or newly created phase
+    bool isNewPhase;        ///< first time this phase is seen
+    bool changed;           ///< different phase than the last interval
+    double distance;        ///< Manhattan distance to the matched phase
+};
+
+/** The phase classifier over interval BBVs. */
+class PhaseDetector
+{
+  public:
+    /**
+     * @param matchThreshold Manhattan distance (on normalized BBVs,
+     *                       max 2.0) under which intervals belong to
+     *                       the same phase
+     * @param maxPhases      signature-table capacity
+     */
+    explicit PhaseDetector(double matchThreshold = 0.25,
+                           std::size_t maxPhases = 64);
+
+    /** Classify the interval just ended. */
+    PhaseDecision endInterval(const BbvAccumulator &bbv);
+
+    std::size_t numPhases() const { return signatures_.size(); }
+    std::optional<std::size_t> currentPhase() const { return current_; }
+
+  private:
+    double matchThreshold_;
+    std::size_t maxPhases_;
+    std::vector<std::array<double, BbvAccumulator::kBuckets>> signatures_;
+    std::optional<std::size_t> current_;
+};
+
+} // namespace eval
+
+#endif // EVAL_PHASE_PHASE_DETECTOR_HH

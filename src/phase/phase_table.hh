@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Saved-configuration table: once the controller has chosen an
+ * operating point for a phase, re-entering that phase reuses the saved
+ * configuration instead of re-running the controller (Sec 4.3.3).
+ */
+
+#ifndef EVAL_PHASE_PHASE_TABLE_HH
+#define EVAL_PHASE_PHASE_TABLE_HH
+
+#include <cstddef>
+#include <optional>
+#include <unordered_map>
+
+namespace eval {
+
+/** Maps phase id -> saved configuration of type Config. */
+template <typename Config>
+class PhaseTable
+{
+  public:
+    /** Look up a saved configuration. */
+    std::optional<Config>
+    lookup(std::size_t phaseId) const
+    {
+        auto it = table_.find(phaseId);
+        if (it == table_.end())
+            return std::nullopt;
+        return it->second;
+    }
+
+    /** Save (or overwrite) a configuration. */
+    void
+    save(std::size_t phaseId, const Config &cfg)
+    {
+        table_[phaseId] = cfg;
+    }
+
+    /** Drop every saved configuration (e.g. after a TH change). */
+    void invalidate() { table_.clear(); }
+
+    std::size_t size() const { return table_.size(); }
+
+  private:
+    std::unordered_map<std::size_t, Config> table_;
+};
+
+} // namespace eval
+
+#endif // EVAL_PHASE_PHASE_TABLE_HH

@@ -1,0 +1,78 @@
+#include "power/knobs.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace eval {
+
+KnobRange::KnobRange(double lo, double hi, double step)
+    : step_(step)
+{
+    EVAL_ASSERT(step > 0.0 && hi >= lo, "bad knob range");
+    const auto count =
+        static_cast<std::size_t>(std::round((hi - lo) / step)) + 1;
+    values_.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        values_.push_back(lo + static_cast<double>(i) * step);
+}
+
+double
+KnobRange::quantize(double v) const
+{
+    return values_[indexOf(v)];
+}
+
+double
+KnobRange::quantizeDown(double v) const
+{
+    if (v <= values_.front())
+        return values_.front();
+    if (v >= values_.back())
+        return values_.back();
+    const auto idx = static_cast<std::size_t>(
+        std::floor((v - values_.front()) / step_ + 1e-9));
+    return values_[idx];
+}
+
+double
+KnobRange::quantizeUp(double v) const
+{
+    if (v <= values_.front())
+        return values_.front();
+    if (v >= values_.back())
+        return values_.back();
+    const auto idx = static_cast<std::size_t>(
+        std::ceil((v - values_.front()) / step_ - 1e-9));
+    return values_[std::min(idx, values_.size() - 1)];
+}
+
+std::size_t
+KnobRange::indexOf(double v) const
+{
+    if (v <= values_.front())
+        return 0;
+    if (v >= values_.back())
+        return values_.size() - 1;
+    const auto idx = static_cast<std::size_t>(
+        std::llround((v - values_.front()) / step_));
+    return std::min(idx, values_.size() - 1);
+}
+
+std::vector<double>
+KnobSpace::vddCandidates(double nominalVdd) const
+{
+    if (!hasAsv)
+        return {vdd.quantize(nominalVdd)};
+    return vdd.values();
+}
+
+std::vector<double>
+KnobSpace::vbbCandidates() const
+{
+    if (!hasAbb)
+        return {0.0};
+    return vbb.values();
+}
+
+} // namespace eval

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Adaptation-knob spaces (Figure 7(a)): discrete frequency, ASV (Vdd),
+ * and ABB (Vbb) settings, with quantization helpers.
+ *
+ *   f:   2.4 GHz .. 5.6 GHz in 100 MHz steps
+ *   ASV: 800 mV .. 1200 mV in 50 mV steps
+ *   ABB: -500 mV .. +500 mV in 50 mV steps
+ */
+
+#ifndef EVAL_POWER_KNOBS_HH
+#define EVAL_POWER_KNOBS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace eval {
+
+/** A discrete, uniformly spaced knob range. */
+class KnobRange
+{
+  public:
+    KnobRange(double lo, double hi, double step);
+
+    std::size_t size() const { return values_.size(); }
+    double value(std::size_t i) const { return values_[i]; }
+    double lo() const { return values_.front(); }
+    double hi() const { return values_.back(); }
+    double step() const { return step_; }
+    const std::vector<double> &values() const { return values_; }
+
+    /** Nearest allowed value (round-to-nearest). */
+    double quantize(double v) const;
+
+    /** Largest allowed value <= v (or lo() if none). */
+    double quantizeDown(double v) const;
+
+    /** Smallest allowed value >= v (or hi() if none). */
+    double quantizeUp(double v) const;
+
+    /** Index of the nearest allowed value. */
+    std::size_t indexOf(double v) const;
+
+  private:
+    double step_;
+    std::vector<double> values_;
+};
+
+/** The knobs a domain exposes, per the environment's capabilities. */
+struct KnobSpace
+{
+    KnobRange freq{2.4e9, 5.6e9, 0.1e9};
+    KnobRange vdd{0.80, 1.20, 0.05};
+    KnobRange vbb{-0.50, 0.50, 0.05};
+    bool hasAsv = true;   ///< per-subsystem Vdd adjustable
+    bool hasAbb = true;   ///< per-subsystem Vbb adjustable
+
+    /** Vdd candidates honouring the ASV capability. */
+    std::vector<double> vddCandidates(double nominalVdd) const;
+
+    /** Vbb candidates honouring the ABB capability. */
+    std::vector<double> vbbCandidates() const;
+};
+
+} // namespace eval
+
+#endif // EVAL_POWER_KNOBS_HH

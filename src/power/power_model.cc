@@ -1,0 +1,109 @@
+#include "power/power_model.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace eval {
+
+double
+dynamicPower(double kdyn, double alphaF, double vdd, double freqHz)
+{
+    return kdyn * alphaF * vdd * vdd * freqHz;
+}
+
+double
+staticPower(double ksta, double vdd, double tempC, double vtEff)
+{
+    const double tK = celsiusToKelvin(tempC);
+    return ksta * vdd * tK * tK * std::exp(-kQOverK * vtEff / tK);
+}
+
+namespace {
+
+/**
+ * Typical unit-level dynamic power shares for a 3-issue core at its
+ * reference activity (Wattch-style breakdown), indexed by SubsystemId.
+ */
+constexpr std::array<double, kNumSubsystems> kDynamicShare = {
+    0.18,   // Dcache
+    0.02,   // DTLB
+    0.04,   // FPQ
+    0.04,   // FPReg
+    0.07,   // LdStQ
+    0.10,   // FPUnit
+    0.02,   // FPMap
+    0.09,   // IntALU
+    0.07,   // IntReg
+    0.10,   // IntQ
+    0.03,   // IntMap
+    0.01,   // ITLB
+    0.12,   // Icache
+    0.05,   // BranchPred
+    0.06,   // Decode
+};
+
+/** Reference accesses/cycle used to fold activity out of Kdyn;
+ *  calibrated to the core model's measured activity on the suite. */
+constexpr std::array<double, kNumSubsystems> kAlphaRef = {
+    0.30,   // Dcache
+    0.30,   // DTLB
+    0.30,   // FPQ
+    0.30,   // FPReg
+    0.30,   // LdStQ
+    0.25,   // FPUnit
+    0.30,   // FPMap
+    0.60,   // IntALU
+    0.60,   // IntReg
+    0.60,   // IntQ
+    0.60,   // IntMap
+    0.25,   // ITLB
+    0.25,   // Icache
+    0.15,   // BranchPred
+    0.80,   // Decode
+};
+
+} // namespace
+
+std::array<SubsystemPowerParams, kNumSubsystems>
+calibratePower(const ProcessParams &params, const PowerCalibration &cal)
+{
+    // Normalize the dynamic shares defensively (they sum to ~1).
+    double shareSum = 0.0;
+    for (double s : kDynamicShare)
+        shareSum += s;
+    EVAL_ASSERT(shareSum > 0.0, "dynamic shares must be positive");
+
+    // Static power splits by subsystem area.
+    const Floorplan plan(1);
+    double areaSum = 0.0;
+    for (const auto &info : plan.coreSubsystems(0))
+        areaSum += info.areaFraction;
+
+    // The per-unit exponential factor at the calibration point.
+    const OperatingConditions calOp{params.vddNominal, 0.0,
+                                    cal.calibrationTempC};
+    const double vtEff = effectiveVt(params, params.vtMean, calOp);
+    const double tK = celsiusToKelvin(cal.calibrationTempC);
+    const double staUnit = params.vddNominal * tK * tK *
+                           std::exp(-kQOverK * vtEff / tK);
+    EVAL_ASSERT(staUnit > 0.0, "degenerate static-power calibration");
+
+    std::array<SubsystemPowerParams, kNumSubsystems> out;
+    const double v2f = params.vddNominal * params.vddNominal *
+                       params.freqNominal;
+    for (std::size_t i = 0; i < kNumSubsystems; ++i) {
+        const double dynTarget =
+            cal.coreDynamicTargetW * kDynamicShare[i] / shareSum;
+        out[i].alphaRef = kAlphaRef[i];
+        out[i].kdyn = dynTarget / (kAlphaRef[i] * v2f);
+
+        const double areaShare =
+            plan.coreSubsystems(0)[i].areaFraction / areaSum;
+        const double staTarget = cal.coreStaticTargetW * areaShare;
+        out[i].ksta = staTarget / staUnit;
+    }
+    return out;
+}
+
+} // namespace eval

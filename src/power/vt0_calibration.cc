@@ -1,0 +1,35 @@
+#include "power/vt0_calibration.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace eval {
+
+double
+measureVt0(const ProcessParams &params, const SubsystemPowerParams &power,
+           double trueVt0, const TesterConfig &cfg, Rng &rng)
+{
+    EVAL_ASSERT(power.ksta > 0.0, "Ksta must be known and positive");
+
+    // Forward model: leakage at the test temperature with the true Vt0.
+    const OperatingConditions op{params.vddNominal, 0.0, cfg.testTempC};
+    const double vtAtTest = effectiveVt(params, trueVt0, op);
+    const double psta =
+        staticPower(power.ksta, params.vddNominal, cfg.testTempC, vtAtTest);
+
+    // Meter noise.
+    const double measured =
+        psta * (1.0 + rng.gaussian(0.0, cfg.currentNoiseRel));
+    EVAL_ASSERT(measured > 0.0, "non-physical leakage measurement");
+
+    // Invert Eq 8 for the effective Vt at the test temperature, then
+    // back out Vt0 at the reference conditions.
+    const double tK = celsiusToKelvin(cfg.testTempC);
+    const double base = power.ksta * params.vddNominal * tK * tK;
+    const double vtEff = -(tK / kQOverK) * std::log(measured / base);
+    const double vt0 = vtEff - params.k1 * (cfg.testTempC - params.vtRefTempC);
+    return vt0;
+}
+
+} // namespace eval

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Tester-side Vt0 measurement (Sec 4.1): with the clocks suspended the
+ * tester powers each subsystem individually, measures its leakage at a
+ * known temperature, and inverts Eq 8 for Vt0.  The inferred value
+ * carries a small measurement error, which the fuzzy controllers (and
+ * the retuning cycles) must absorb.
+ */
+
+#ifndef EVAL_POWER_VT0_CALIBRATION_HH
+#define EVAL_POWER_VT0_CALIBRATION_HH
+
+#include "power/power_model.hh"
+#include "util/random.hh"
+#include "variation/process_params.hh"
+
+namespace eval {
+
+/** Tester configuration. */
+struct TesterConfig
+{
+    double testTempC = 45.0;       ///< wafer/package test temperature
+    double currentNoiseRel = 0.01; ///< relative leakage-meter noise
+};
+
+/**
+ * Simulate the tester measurement for one subsystem.
+ *
+ * @param params   process constants
+ * @param power    the subsystem's Ksta (known from CAD data)
+ * @param trueVt0  the subsystem's actual mean Vt0 (reference temp)
+ * @param cfg      tester setup
+ * @param rng      measurement-noise stream
+ * @return the inferred Vt0 in volts
+ */
+double measureVt0(const ProcessParams &params,
+                  const SubsystemPowerParams &power, double trueVt0,
+                  const TesterConfig &cfg, Rng &rng);
+
+} // namespace eval
+
+#endif // EVAL_POWER_VT0_CALIBRATION_HH

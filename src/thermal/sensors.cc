@@ -1,0 +1,23 @@
+#include "thermal/sensors.hh"
+
+#include "util/math_utils.hh"
+
+namespace eval {
+
+double
+NoisySensor::read(double truth, Rng &rng) const
+{
+    return clamp(truth + rng.gaussian(0.0, sigma_), lo_, hi_);
+}
+
+double
+SensorSuite::readPeRate(double truth, Rng &rng) const
+{
+    if (truth <= 0.0)
+        return 0.0;
+    const double noisy =
+        truth * (1.0 + rng.gaussian(0.0, peRateRelativeNoise));
+    return noisy > 0.0 ? noisy : 0.0;
+}
+
+} // namespace eval

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The controller-visible sensor suite (Sec 4.3.2): a heat-sink
+ * temperature sensor, per-subsystem thermal sensors for overheating,
+ * a core-wide power sensor, and the checker's PE counter.  Sensors add
+ * bounded measurement noise so the controller never sees exact model
+ * state.
+ */
+
+#ifndef EVAL_THERMAL_SENSORS_HH
+#define EVAL_THERMAL_SENSORS_HH
+
+#include "util/random.hh"
+
+namespace eval {
+
+/** Gaussian-noise scalar sensor with saturation. */
+class NoisySensor
+{
+  public:
+    NoisySensor(double sigma, double lo, double hi)
+        : sigma_(sigma), lo_(lo), hi_(hi)
+    {
+    }
+
+    /** Read the sensor given the true value. */
+    double read(double truth, Rng &rng) const;
+
+  private:
+    double sigma_;
+    double lo_;
+    double hi_;
+};
+
+/** Sensor package attached to one core. */
+struct SensorSuite
+{
+    NoisySensor heatsink{0.25, -20.0, 150.0};   ///< TH, refreshed ~2-3s
+    NoisySensor subsystemTemp{0.5, -20.0, 200.0};
+    NoisySensor corePower{0.15, 0.0, 200.0};    ///< W
+    /**
+     * The PE counter is digital (exact error counts from the checker),
+     * but the *rate* estimate carries sampling noise over short
+     * windows; model it as relative noise on the rate.
+     */
+    double peRateRelativeNoise = 0.05;
+
+    double readPeRate(double truth, Rng &rng) const;
+};
+
+} // namespace eval
+
+#endif // EVAL_THERMAL_SENSORS_HH

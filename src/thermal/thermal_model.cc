@@ -1,0 +1,71 @@
+#include "thermal/thermal_model.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/math_utils.hh"
+
+namespace eval {
+
+ThermalModel::ThermalModel(const ProcessParams &params, double coreAreaMm2,
+                           double spreadCoeff, double spreadExponent)
+    : params_(params), coreAreaMm2_(coreAreaMm2)
+{
+    EVAL_ASSERT(coreAreaMm2 > 0.0 && spreadCoeff > 0.0,
+                "thermal model needs positive area/coefficient");
+    EVAL_ASSERT(spreadExponent > 0.0 && spreadExponent < 1.0,
+                "spreading exponent in (0,1)");
+    const Floorplan plan(1);
+    for (std::size_t i = 0; i < kNumSubsystems; ++i) {
+        const double areaMm2 =
+            plan.coreSubsystems(0)[i].areaFraction * coreAreaMm2;
+        rth_[i] = spreadCoeff / std::pow(areaMm2, spreadExponent);
+    }
+}
+
+double
+ThermalModel::rth(SubsystemId id) const
+{
+    return rth_[static_cast<std::size_t>(id)];
+}
+
+SubsystemThermalState
+ThermalModel::solveSubsystem(const SubsystemPowerParams &power,
+                             SubsystemId id, double vt0, double vdd,
+                             double vbb, double freqHz, double alphaF,
+                             double thC) const
+{
+    const double r = rth(id);
+    const double pdyn = dynamicPower(power.kdyn, alphaF, vdd, freqHz);
+
+    // T = TH + Rth * (Pdyn + Psta(T)); solve for T.  The update is
+    // clamped so a thermally divergent setting saturates at the upper
+    // bound (reported as runaway) instead of overflowing.
+    auto update = [&](double tC) {
+        const double tSafe = clamp(tC, -50.0, 400.0);
+        const OperatingConditions op{vdd, vbb, tSafe};
+        const double vtEff = effectiveVt(params_, vt0, op);
+        const double psta = staticPower(power.ksta, vdd, tSafe, vtEff);
+        return clamp(thC + r * (pdyn + psta), -50.0, 400.0);
+    };
+
+    // The leakage feedback is a mild contraction (Rth * dPsta/dT well
+    // below 1 at sane settings), so undamped iteration converges in a
+    // handful of steps; divergent (runaway) settings hit the clamp and
+    // the iteration budget.
+    bool converged = false;
+    const double tSolved = clamp(
+        fixedPoint(update, thC + r * pdyn, 1.0, 1e-3, 120, &converged),
+        -50.0, 400.0);
+
+    SubsystemThermalState st;
+    st.tempC = tSolved;
+    st.pdyn = pdyn;
+    const OperatingConditions op{vdd, vbb, tSolved};
+    st.vtEff = effectiveVt(params_, vt0, op);
+    st.psta = staticPower(power.ksta, vdd, tSolved, st.vtEff);
+    st.runaway = !converged || tSolved >= 399.0;
+    return st;
+}
+
+} // namespace eval

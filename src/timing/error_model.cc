@@ -1,0 +1,123 @@
+#include "timing/error_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/math_utils.hh"
+
+namespace eval {
+
+StageErrorModel::StageErrorModel(const ProcessParams &params,
+                                 PathPopulation pop)
+    : params_(params), type_(pop.type), vt0Mean_(pop.vt0Mean),
+      leffMean_(pop.leffMean)
+{
+    EVAL_ASSERT(!pop.paths.empty(), "error model needs paths");
+
+    std::sort(pop.paths.begin(), pop.paths.end(),
+              [](const TimingPath &a, const TimingPath &b) {
+                  return a.delayRef < b.delayRef;
+              });
+
+    const std::size_t n = pop.paths.size();
+    delays_.resize(n);
+    survivalLog_.resize(n + 1, 0.0);
+    for (std::size_t i = 0; i < n; ++i)
+        delays_[i] = pop.paths[i].delayRef;
+    for (std::size_t i = n; i-- > 0;) {
+        const double s =
+            clamp(pop.paths[i].sensitization, 0.0, 1.0 - 1e-12);
+        survivalLog_[i] = survivalLog_[i + 1] + std::log1p(-s);
+    }
+}
+
+double
+StageErrorModel::delayScale(const OperatingConditions &op) const
+{
+    const OperatingConditions corner = OperatingConditions::nominal(params_);
+    const double atOp = gateDelayFactor(params_, vt0Mean_, leffMean_, op);
+    const double atCorner =
+        gateDelayFactor(params_, vt0Mean_, leffMean_, corner);
+    if (atOp >= kNonFunctionalDelayFactor)
+        return kNonFunctionalDelayFactor;
+    return atOp / atCorner;
+}
+
+double
+StageErrorModel::errorRatePerAccess(double clockPeriod,
+                                    const OperatingConditions &op) const
+{
+    EVAL_ASSERT(clockPeriod > 0.0, "clock period must be positive");
+    const double scale = delayScale(op);
+    if (scale >= kNonFunctionalDelayFactor)
+        return 1.0;
+    const double threshold = clockPeriod / scale;
+
+    // First path index whose reference delay exceeds the threshold.
+    const auto it =
+        std::upper_bound(delays_.begin(), delays_.end(), threshold);
+    const auto idx = static_cast<std::size_t>(it - delays_.begin());
+    return 1.0 - std::exp(survivalLog_[idx]);
+}
+
+double
+StageErrorModel::maxDelay(const OperatingConditions &op) const
+{
+    return delays_.back() * delayScale(op);
+}
+
+double
+StageErrorModel::fvar(const OperatingConditions &op) const
+{
+    const double d = maxDelay(op);
+    return d > 0.0 ? 1.0 / d : 0.0;
+}
+
+double
+StageErrorModel::maxFrequencyForErrorRate(double peBudget,
+                                          const OperatingConditions &op) const
+{
+    EVAL_ASSERT(peBudget >= 0.0, "PE budget must be non-negative");
+    const double scale = delayScale(op);
+    if (scale >= kNonFunctionalDelayFactor)
+        return 0.0;
+
+    // Walk the sorted delays from the slowest down: allowing paths
+    // [i, n) to fail yields PE = 1 - exp(survivalLog_[i]); find the
+    // smallest allowed period.  The period may sit just above delay
+    // d_{i-1} (exclusive of path i-1 failing).
+    const std::size_t n = delays_.size();
+    std::size_t lowest = n;  // first failing path index
+    while (lowest > 0) {
+        const double pe = 1.0 - std::exp(survivalLog_[lowest - 1]);
+        if (pe > peBudget)
+            break;
+        --lowest;
+    }
+    // Paths [lowest, n) may fail within budget.  The clock period must
+    // still cover path lowest-1 (and all faster ones).
+    const double coveredDelay = lowest == 0 ? 0.0 : delays_[lowest - 1];
+    if (coveredDelay <= 0.0) {
+        // Entire population may fail within budget; frequency is
+        // unbounded by this stage. Return a large sentinel.
+        return 1.0e12;
+    }
+    // Tiny margin so the rounded period never re-includes the covered
+    // path through floating-point noise.
+    return 1.0 / (coveredDelay * scale * (1.0 + 1e-9));
+}
+
+double
+processorErrorRate(const std::vector<double> &perAccessRates,
+                   const std::vector<double> &rho)
+{
+    EVAL_ASSERT(perAccessRates.size() == rho.size(),
+                "stage rate/activity size mismatch");
+    double total = 0.0;
+    for (std::size_t i = 0; i < perAccessRates.size(); ++i)
+        total += rho[i] * perAccessRates[i];
+    return total;
+}
+
+} // namespace eval

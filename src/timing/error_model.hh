@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Per-subsystem timing-error model: PE(f) curves derived from a path
+ * population (VATS, Sec 2.2), and the series-failure pipeline
+ * composition of Eq 4.
+ */
+
+#ifndef EVAL_TIMING_ERROR_MODEL_HH
+#define EVAL_TIMING_ERROR_MODEL_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "timing/alpha_power.hh"
+#include "timing/path_population.hh"
+#include "variation/process_params.hh"
+
+namespace eval {
+
+/**
+ * Error-rate model for one subsystem on one chip.
+ *
+ * The population's reference delays are fixed at construction; the
+ * voltage/bias/temperature dependence enters through a common delay
+ * scale evaluated with the subsystem's mean Vt0/Leff (paths within a
+ * subsystem are spatially close, so their systematic variation moves
+ * together; per-path differences are already baked into the reference
+ * delays).  This factorization makes PE queries O(log paths).
+ */
+class StageErrorModel
+{
+  public:
+    StageErrorModel(const ProcessParams &params, PathPopulation pop);
+
+    /** Delay multiplier vs the design corner at conditions @p op. */
+    double delayScale(const OperatingConditions &op) const;
+
+    /**
+     * Probability that one access to this subsystem suffers a timing
+     * error when clocked with @p clockPeriod seconds at @p op.
+     */
+    double errorRatePerAccess(double clockPeriod,
+                              const OperatingConditions &op) const;
+
+    /** Slowest path delay in seconds at @p op. */
+    double maxDelay(const OperatingConditions &op) const;
+
+    /** Error-free frequency at @p op (1 / maxDelay). */
+    double fvar(const OperatingConditions &op) const;
+
+    /**
+     * Highest frequency whose per-access error rate does not exceed
+     * @p peBudget at @p op (the per-stage step of the Freq algorithm).
+     */
+    double maxFrequencyForErrorRate(double peBudget,
+                                    const OperatingConditions &op) const;
+
+    StageType type() const { return type_; }
+    double vt0Mean() const { return vt0Mean_; }
+    double leffMean() const { return leffMean_; }
+    std::size_t numPaths() const { return delays_.size(); }
+
+  private:
+    const ProcessParams params_;
+    StageType type_;
+    double vt0Mean_;
+    double leffMean_;
+    /** Reference delays sorted ascending. */
+    std::vector<double> delays_;
+    /**
+     * survivalLog_[i] = sum of log(1 - s_p) over paths with index >= i
+     * in the sorted order; PE when all paths above threshold index i
+     * can fail = 1 - exp(survivalLog_[i]).
+     */
+    std::vector<double> survivalLog_;
+};
+
+/**
+ * Eq 4: processor error rate per instruction for an n-stage pipeline,
+ * given each stage's per-access error rate and its activity factor
+ * rho_i (accesses per instruction).
+ */
+double processorErrorRate(const std::vector<double> &perAccessRates,
+                          const std::vector<double> &rho);
+
+} // namespace eval
+
+#endif // EVAL_TIMING_ERROR_MODEL_HH

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Critical-path populations per pipeline subsystem (the VATS model's
+ * dynamic path-delay distributions, Sec 2.2 / Figure 1).
+ *
+ * Each subsystem is represented by a population of timing paths.  A
+ * path has a *structural* delay (what the design tools produced at the
+ * no-variation corner, as a fraction of the nominal clock period), a
+ * local Vt/Leff sampled from the chip's variation map at the path's
+ * location, and a *sensitization probability*: the chance that one
+ * access exercises the path at its full delay.
+ *
+ *  - Memory structures have homogeneous paths (wordline/bitline arrays)
+ *    with high sensitization: a sharp error onset.
+ *  - Logic has a wide structural spread and rare long sensitized paths:
+ *    a gradual onset.
+ *  - Mixed subsystems blend the two.
+ */
+
+#ifndef EVAL_TIMING_PATH_POPULATION_HH
+#define EVAL_TIMING_PATH_POPULATION_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "util/random.hh"
+#include "variation/chip.hh"
+#include "variation/floorplan.hh"
+
+namespace eval {
+
+/** One timing path after variation has been applied. */
+struct TimingPath
+{
+    /** Delay in seconds at the design-corner operating conditions,
+     *  including this path's local systematic+random variation. */
+    double delayRef;
+    /** Probability that one access exercises the path fully. */
+    double sensitization;
+};
+
+/** Knobs describing how a subsystem's structural paths are drawn. */
+struct PathPopulationParams
+{
+    std::size_t numPaths = 320;
+    /** Gates per path: random per-gate variation averages with 1/sqrt. */
+    double gatesPerPath = 12.0;
+    /**
+     * Global structural margin multiplier; 1.0 means the slowest
+     * structural path exactly meets the nominal period at the corner
+     * (the "critical-path wall" produced by design tools).
+     */
+    double structuralScale = 1.0;
+    /** Delay multiplier applied uniformly (Shift techniques). */
+    double shiftFactor = 1.0;
+    /** Low-slope FU re-optimization (Tilt): mean x0.75, variance x2. */
+    bool lowSlope = false;
+    /** Cells in a memory array; each access exercises ~one of them. */
+    std::size_t memoryTotalCells = 65536;
+    /** Upper quantile of the cell population that is importance-
+     *  sampled into the path list (the rest becomes one bulk path). */
+    double memoryTailFraction = 0.005;
+    /**
+     * Fraction of the very slowest cells repaired out by column/row
+     * redundancy (standard practice in large caches; small arrays and
+     * queues have no spares).  Repair trims the deep variation tail,
+     * so big caches stop being the universal frequency limiter.
+     */
+    double memoryRepairedFraction = 0.0;
+};
+
+/**
+ * SRAM-Razor margin of the L1 caches in EVAL environments (Sec 5): the
+ * duplicate sense amplifiers sample a fraction of a cycle later, so
+ * speculative L1 reads effectively enjoy a longer sampling window.
+ * Expressed as a structural-delay scale (< 1).  A plain (Baseline)
+ * processor has no Razor support and sees the unscaled cache timing.
+ */
+constexpr double kRazorL1Margin = 0.88;
+
+/** Per-subsystem structural defaults: array geometry, redundancy, and
+ *  the Razor assist of the L1 caches. */
+PathPopulationParams defaultPathParams(SubsystemId id);
+
+/** Result of building a population: paths plus subsystem means. */
+struct PathPopulation
+{
+    std::vector<TimingPath> paths;
+    double vt0Mean;    ///< subsystem mean Vt0 (volts, reference temp)
+    double leffMean;   ///< subsystem mean Leff (normalized)
+    StageType type;
+};
+
+/**
+ * Build the path population of one subsystem on one chip.
+ *
+ * @param chip   manufactured die
+ * @param core   core index
+ * @param id     subsystem
+ * @param params structural knobs (defaults model the plain design)
+ * @param rng    stream for structural + random-variation draws
+ */
+PathPopulation buildPathPopulation(const Chip &chip, std::size_t core,
+                                   SubsystemId id,
+                                   const PathPopulationParams &params,
+                                   Rng &rng);
+
+} // namespace eval
+
+#endif // EVAL_TIMING_PATH_POPULATION_HH

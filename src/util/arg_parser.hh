@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Minimal command-line argument parser for the CLI tool and examples:
+ * `--key value`, `--key=value`, and boolean `--flag` options, plus
+ * positional arguments.
+ */
+
+#ifndef EVAL_UTIL_ARG_PARSER_HH
+#define EVAL_UTIL_ARG_PARSER_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace eval {
+
+/** Parsed command line. */
+class ArgParser
+{
+  public:
+    /** Parse argv[1..); fatal on malformed options. */
+    ArgParser(int argc, const char *const *argv);
+
+    /** Positional arguments in order. */
+    const std::vector<std::string> &positional() const
+    {
+        return positional_;
+    }
+
+    bool has(const std::string &key) const;
+
+    std::string getString(const std::string &key,
+                          const std::string &fallback) const;
+    std::int64_t getInt(const std::string &key,
+                        std::int64_t fallback) const;
+    double getDouble(const std::string &key, double fallback) const;
+    bool getBool(const std::string &key, bool fallback = false) const;
+
+    /** Keys that were provided but never queried (typo detection). */
+    std::vector<std::string> unusedKeys() const;
+
+  private:
+    std::map<std::string, std::string> options_;
+    mutable std::map<std::string, bool> queried_;
+    std::vector<std::string> positional_;
+};
+
+} // namespace eval
+
+#endif // EVAL_UTIL_ARG_PARSER_HH

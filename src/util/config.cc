@@ -1,0 +1,81 @@
+#include "util/config.hh"
+
+#include <cstdlib>
+
+namespace eval {
+
+std::int64_t
+envInt(const char *name, std::int64_t fallback)
+{
+    const char *v = std::getenv(name);
+    if (!v || !*v)
+        return fallback;
+    char *end = nullptr;
+    const long long parsed = std::strtoll(v, &end, 10);
+    return (end && *end == '\0') ? parsed : fallback;
+}
+
+double
+envDouble(const char *name, double fallback)
+{
+    const char *v = std::getenv(name);
+    if (!v || !*v)
+        return fallback;
+    char *end = nullptr;
+    const double parsed = std::strtod(v, &end);
+    return (end && *end == '\0') ? parsed : fallback;
+}
+
+std::string
+envString(const char *name, const std::string &fallback)
+{
+    const char *v = std::getenv(name);
+    return (v && *v) ? std::string(v) : fallback;
+}
+
+bool
+envBool(const char *name, bool fallback)
+{
+    const char *v = std::getenv(name);
+    if (!v || !*v)
+        return fallback;
+    const std::string s(v);
+    return s == "1" || s == "true" || s == "yes" || s == "on";
+}
+
+std::vector<std::string>
+splitCsvList(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    auto flush = [&out, &cur]() {
+        std::size_t b = cur.find_first_not_of(" \t");
+        std::size_t e = cur.find_last_not_of(" \t");
+        if (b != std::string::npos)
+            out.push_back(cur.substr(b, e - b + 1));
+        cur.clear();
+    };
+    for (char c : s) {
+        if (c == ',')
+            flush();
+        else
+            cur.push_back(c);
+    }
+    flush();
+    return out;
+}
+
+RunConfig
+RunConfig::fromEnv()
+{
+    RunConfig cfg;
+    cfg.chips = static_cast<int>(envInt("EVAL_CHIPS", 30));
+    cfg.seed = static_cast<std::uint64_t>(envInt("EVAL_SEED", 1));
+    cfg.fast = envBool("EVAL_FAST", false);
+    cfg.apps = splitCsvList(envString("EVAL_APPS", ""));
+    if (cfg.chips < 1)
+        cfg.chips = 1;
+    return cfg;
+}
+
+} // namespace eval

@@ -1,0 +1,80 @@
+#include "util/fft.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace eval {
+
+bool
+isPowerOfTwo(std::size_t n)
+{
+    return n != 0 && (n & (n - 1)) == 0;
+}
+
+void
+fft(std::vector<Complex> &data, bool inverse)
+{
+    const std::size_t n = data.size();
+    EVAL_ASSERT(isPowerOfTwo(n), "fft length must be a power of two");
+
+    // Bit-reversal permutation.
+    for (std::size_t i = 1, j = 0; i < n; ++i) {
+        std::size_t bit = n >> 1;
+        for (; j & bit; bit >>= 1)
+            j ^= bit;
+        j ^= bit;
+        if (i < j)
+            std::swap(data[i], data[j]);
+    }
+
+    for (std::size_t len = 2; len <= n; len <<= 1) {
+        const double ang =
+            (inverse ? 2.0 : -2.0) * M_PI / static_cast<double>(len);
+        const Complex wlen(std::cos(ang), std::sin(ang));
+        for (std::size_t i = 0; i < n; i += len) {
+            Complex w(1.0, 0.0);
+            for (std::size_t k = 0; k < len / 2; ++k) {
+                const Complex u = data[i + k];
+                const Complex v = data[i + k + len / 2] * w;
+                data[i + k] = u + v;
+                data[i + k + len / 2] = u - v;
+                w *= wlen;
+            }
+        }
+    }
+}
+
+void
+fft2d(std::vector<Complex> &data, std::size_t rows, std::size_t cols,
+      bool inverse)
+{
+    EVAL_ASSERT(data.size() == rows * cols, "fft2d size mismatch");
+    EVAL_ASSERT(isPowerOfTwo(rows) && isPowerOfTwo(cols),
+                "fft2d dims must be powers of two");
+
+    std::vector<Complex> scratch(std::max(rows, cols));
+
+    // Transform rows.
+    for (std::size_t r = 0; r < rows; ++r) {
+        scratch.assign(data.begin() +
+                           static_cast<std::ptrdiff_t>(r * cols),
+                       data.begin() +
+                           static_cast<std::ptrdiff_t>((r + 1) * cols));
+        fft(scratch, inverse);
+        std::copy(scratch.begin(), scratch.end(),
+                  data.begin() + static_cast<std::ptrdiff_t>(r * cols));
+    }
+
+    // Transform columns.
+    scratch.resize(rows);
+    for (std::size_t c = 0; c < cols; ++c) {
+        for (std::size_t r = 0; r < rows; ++r)
+            scratch[r] = data[r * cols + c];
+        fft(scratch, inverse);
+        for (std::size_t r = 0; r < rows; ++r)
+            data[r * cols + c] = scratch[r];
+    }
+}
+
+} // namespace eval

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Minimal in-place radix-2 FFT (1-D and 2-D) used by the circulant-
+ * embedding generator of spatially-correlated variation fields.
+ *
+ * Only power-of-two sizes are supported; the variation grid is chosen
+ * accordingly.
+ */
+
+#ifndef EVAL_UTIL_FFT_HH
+#define EVAL_UTIL_FFT_HH
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace eval {
+
+using Complex = std::complex<double>;
+
+/** True when n is a power of two (and nonzero). */
+bool isPowerOfTwo(std::size_t n);
+
+/**
+ * In-place iterative Cooley-Tukey FFT.
+ *
+ * @param data    sequence of complex samples; length must be a power of two
+ * @param inverse when true computes the (unnormalized) inverse transform
+ */
+void fft(std::vector<Complex> &data, bool inverse);
+
+/**
+ * In-place 2-D FFT over a row-major rows x cols array.
+ * Both dimensions must be powers of two.  The inverse transform is
+ * unnormalized; callers divide by rows*cols.
+ */
+void fft2d(std::vector<Complex> &data, std::size_t rows, std::size_t cols,
+           bool inverse);
+
+} // namespace eval
+
+#endif // EVAL_UTIL_FFT_HH

@@ -1,0 +1,62 @@
+#include "util/logging.hh"
+
+#include <cstdio>
+
+namespace eval {
+
+namespace {
+bool quietFlag = false;
+} // namespace
+
+void
+setQuiet(bool quiet)
+{
+    quietFlag = quiet;
+}
+
+bool
+isQuiet()
+{
+    return quietFlag;
+}
+
+namespace detail {
+
+namespace {
+
+const char *
+levelTag(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Inform: return "info";
+      case LogLevel::Warn:   return "warn";
+      case LogLevel::Fatal:  return "fatal";
+      case LogLevel::Panic:  return "panic";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+printMessage(LogLevel level, const std::string &msg)
+{
+    if (quietFlag && (level == LogLevel::Inform || level == LogLevel::Warn))
+        return;
+    std::fprintf(stderr, "[%s] %s\n", levelTag(level), msg.c_str());
+}
+
+void
+terminateWithMessage(LogLevel level, const std::string &msg,
+                     const char *file, int line)
+{
+    std::fprintf(stderr, "[%s] %s (%s:%d)\n", levelTag(level), msg.c_str(),
+                 file, line);
+    if (level == LogLevel::Panic)
+        std::abort();
+    std::exit(1);
+}
+
+} // namespace detail
+
+} // namespace eval

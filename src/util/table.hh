@@ -1,0 +1,56 @@
+/**
+ * @file
+ * ASCII table formatting for the benchmark harness.  Every bench binary
+ * prints its figure/table as a TablePrinter so the output is uniform
+ * and machine-parseable (a CSV dump is also available).
+ */
+
+#ifndef EVAL_UTIL_TABLE_HH
+#define EVAL_UTIL_TABLE_HH
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace eval {
+
+/** Column-aligned ASCII table with a title and header row. */
+class TablePrinter
+{
+  public:
+    explicit TablePrinter(std::string title);
+
+    /** Set the header row. */
+    void header(std::vector<std::string> names);
+
+    /** Append a row of preformatted cells. */
+    void row(std::vector<std::string> cells);
+
+    /** Convenience: format doubles with the given precision. */
+    void rowValues(const std::string &label,
+                   const std::vector<double> &values, int precision = 3);
+
+    /** Render the table to a string. */
+    std::string str() const;
+
+    /** Render as CSV (no alignment, comma separated, title as comment). */
+    std::string csv() const;
+
+    /** Print to stdout. */
+    void print() const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with fixed precision. */
+std::string formatDouble(double v, int precision = 3);
+
+/** Format a value as a percentage string, e.g. 0.14 -> "14.0%". */
+std::string formatPercent(double fraction, int precision = 1);
+
+} // namespace eval
+
+#endif // EVAL_UTIL_TABLE_HH

@@ -1,0 +1,71 @@
+#include "variation/chip.hh"
+
+#include "util/logging.hh"
+
+namespace eval {
+
+Chip::Chip(std::uint64_t id, std::shared_ptr<const Floorplan> floorplan,
+           VariationMap map, Rng rng)
+    : id_(id), floorplan_(std::move(floorplan)), map_(std::move(map)),
+      rng_(rng)
+{
+    EVAL_ASSERT(floorplan_ != nullptr, "chip requires a floorplan");
+}
+
+double
+Chip::subsystemVtSys(std::size_t core, SubsystemId id) const
+{
+    return map_.vtSystematicMean(floorplan_->subsystem(core, id).rect);
+}
+
+double
+Chip::subsystemLeffSys(std::size_t core, SubsystemId id) const
+{
+    return map_.leffSystematicMean(floorplan_->subsystem(core, id).rect);
+}
+
+ChipFactory::ChipFactory(const ProcessParams &params, std::uint64_t seed,
+                         std::size_t numCores)
+    : params_(params),
+      floorplan_(std::make_shared<Floorplan>(numCores)),
+      rng_(seed)
+{
+    if (params_.vtSigmaOverMu > 0.0) {
+        fieldGen_ = std::make_unique<CorrelatedFieldGenerator>(
+            params_.gridSize, params_.phi);
+    }
+}
+
+Chip
+ChipFactory::manufacture()
+{
+    const std::uint64_t id = nextId_++;
+    Rng chipRng = rng_.fork(id + 1);
+    if (!fieldGen_) {
+        return Chip(id, floorplan_, VariationMap::flat(params_),
+                    chipRng.fork(0xC41F));
+    }
+    VariationMap map(params_, *fieldGen_, chipRng);
+    return Chip(id, floorplan_, std::move(map), chipRng.fork(0xC41F));
+}
+
+std::vector<Chip>
+ChipFactory::manufacture(std::size_t count)
+{
+    std::vector<Chip> chips;
+    chips.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        chips.push_back(manufacture());
+    return chips;
+}
+
+Chip
+ChipFactory::manufactureIdeal()
+{
+    const std::uint64_t id = nextId_++;
+    Rng chipRng = rng_.fork(id + 1);
+    return Chip(id, floorplan_, VariationMap::flat(params_.withoutVariation()),
+                chipRng.fork(0xC41F));
+}
+
+} // namespace eval

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * A manufactured chip sample: floorplan + personalized variation map,
+ * and a factory that stamps out chip populations (the paper repeats
+ * each experiment over 100 chips with distinct systematic maps).
+ */
+
+#ifndef EVAL_VARIATION_CHIP_HH
+#define EVAL_VARIATION_CHIP_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/random.hh"
+#include "variation/floorplan.hh"
+#include "variation/process_params.hh"
+#include "variation/variation_map.hh"
+
+namespace eval {
+
+/** One manufactured die. */
+class Chip
+{
+  public:
+    Chip(std::uint64_t id, std::shared_ptr<const Floorplan> floorplan,
+         VariationMap map, Rng rng);
+
+    std::uint64_t id() const { return id_; }
+    const Floorplan &floorplan() const { return *floorplan_; }
+    const VariationMap &map() const { return map_; }
+    const ProcessParams &params() const { return map_.params(); }
+
+    /** Chip-local random stream (path populations etc.). */
+    Rng forkRng(std::uint64_t label) const { return rng_.fork(label); }
+
+    /** Mean systematic Vt of a subsystem (volts at reference temp). */
+    double subsystemVtSys(std::size_t core, SubsystemId id) const;
+
+    /** Mean systematic Leff of a subsystem (normalized). */
+    double subsystemLeffSys(std::size_t core, SubsystemId id) const;
+
+  private:
+    std::uint64_t id_;
+    std::shared_ptr<const Floorplan> floorplan_;
+    VariationMap map_;
+    mutable Rng rng_;
+};
+
+/** Generates reproducible chip populations. */
+class ChipFactory
+{
+  public:
+    ChipFactory(const ProcessParams &params, std::uint64_t seed,
+                std::size_t numCores = 4);
+
+    /** Manufacture the next chip in the population. */
+    Chip manufacture();
+
+    /** Manufacture a batch of @p count chips. */
+    std::vector<Chip> manufacture(std::size_t count);
+
+    /** An ideal chip with zero variation (NoVar environment). */
+    Chip manufactureIdeal();
+
+    const ProcessParams &params() const { return params_; }
+    const std::shared_ptr<const Floorplan> &floorplan() const
+    {
+        return floorplan_;
+    }
+
+  private:
+    ProcessParams params_;
+    std::shared_ptr<const Floorplan> floorplan_;
+    std::unique_ptr<CorrelatedFieldGenerator> fieldGen_;
+    Rng rng_;
+    std::uint64_t nextId_ = 0;
+};
+
+} // namespace eval
+
+#endif // EVAL_VARIATION_CHIP_HH

@@ -1,0 +1,150 @@
+#include "variation/floorplan.hh"
+
+#include <array>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace eval {
+
+const char *
+stageTypeName(StageType t)
+{
+    switch (t) {
+      case StageType::Logic:  return "logic";
+      case StageType::Memory: return "memory";
+      case StageType::Mixed:  return "mixed";
+    }
+    return "?";
+}
+
+namespace {
+
+struct ProtoSubsystem
+{
+    SubsystemId id;
+    const char *name;
+    StageType type;
+    double areaFraction;
+    bool fpOnly;
+    bool intOnly;
+};
+
+/**
+ * Figure 7(b) subsystem list.  Area fractions are of the *core* area
+ * and sum to ~0.62; the remainder is occupied by non-adapted logic
+ * (retirement, buses, clocking) and is not a timing-adapted subsystem.
+ */
+constexpr std::array<ProtoSubsystem, kNumSubsystems> protoTable = {{
+    {SubsystemId::Dcache,     "Dcache",     StageType::Memory, 0.160,
+     false, false},
+    {SubsystemId::DTLB,       "DTLB",       StageType::Memory, 0.015,
+     false, false},
+    {SubsystemId::FPQ,        "FPQ",        StageType::Memory, 0.014,
+     true,  false},
+    {SubsystemId::FPReg,      "FPReg",      StageType::Memory, 0.020,
+     true,  false},
+    {SubsystemId::LdStQ,      "LdStQ",      StageType::Mixed,  0.028,
+     false, false},
+    {SubsystemId::FPUnit,     "FPUnit",     StageType::Logic,  0.019,
+     true,  false},
+    {SubsystemId::FPMap,      "FPMap",      StageType::Memory, 0.010,
+     true,  false},
+    {SubsystemId::IntALU,     "IntALU",     StageType::Logic,  0.0055,
+     false, true},
+    {SubsystemId::IntReg,     "IntReg",     StageType::Memory, 0.016,
+     false, false},
+    {SubsystemId::IntQ,       "IntQ",       StageType::Mixed,  0.022,
+     false, true},
+    {SubsystemId::IntMap,     "IntMap",     StageType::Memory, 0.010,
+     false, false},
+    {SubsystemId::ITLB,       "ITLB",       StageType::Memory, 0.010,
+     false, false},
+    {SubsystemId::Icache,     "Icache",     StageType::Memory, 0.160,
+     false, false},
+    {SubsystemId::BranchPred, "BranchPred", StageType::Mixed,  0.030,
+     false, false},
+    {SubsystemId::Decode,     "Decode",     StageType::Logic,  0.030,
+     false, false},
+}};
+
+} // namespace
+
+Floorplan::Floorplan(std::size_t numCores)
+    : numCores_(numCores)
+{
+    EVAL_ASSERT(numCores >= 1 && numCores <= 4,
+                "floorplan supports 1..4 cores");
+
+    // Quadrant origin per core; each core occupies a 0.5 x 0.5 tile.
+    static const double originX[4] = {0.0, 0.5, 0.0, 0.5};
+    static const double originY[4] = {0.0, 0.0, 0.5, 0.5};
+
+    subsystems_.resize(numCores_);
+    for (std::size_t core = 0; core < numCores_; ++core) {
+        auto &list = subsystems_[core];
+        list.reserve(kNumSubsystems);
+
+        // Lay the subsystems out in a 4 x 4 grid of cells within the
+        // core tile; each subsystem becomes a rectangle centered in its
+        // cell, sized to its area fraction of the core tile.
+        const double coreArea = 0.5 * 0.5;
+        for (std::size_t i = 0; i < kNumSubsystems; ++i) {
+            const auto &proto = protoTable[i];
+            const std::size_t cellX = i % 4;
+            const std::size_t cellY = i / 4;
+            const double cellW = 0.5 / 4.0;
+            const double cellCx =
+                originX[core] + (static_cast<double>(cellX) + 0.5) * cellW;
+            const double cellCy =
+                originY[core] + (static_cast<double>(cellY) + 0.5) * cellW;
+            const double side =
+                std::sqrt(proto.areaFraction * coreArea);
+            // A big unit (cache) may spill past its cell; keep it
+            // within the core tile by clamping size and shifting.
+            const double half = std::min(side / 2.0, cellW);
+            double x0 = cellCx - half;
+            double y0 = cellCy - half;
+            x0 = std::min(std::max(x0, originX[core]),
+                          originX[core] + 0.5 - 2.0 * half);
+            y0 = std::min(std::max(y0, originY[core]),
+                          originY[core] + 0.5 - 2.0 * half);
+
+            SubsystemInfo info;
+            info.id = proto.id;
+            info.name = proto.name;
+            info.type = proto.type;
+            info.areaFraction = proto.areaFraction;
+            info.isFpOnly = proto.fpOnly;
+            info.isIntOnly = proto.intOnly;
+            info.rect = {x0, y0, x0 + 2.0 * half, y0 + 2.0 * half};
+            list.push_back(info);
+        }
+    }
+}
+
+const SubsystemInfo &
+Floorplan::subsystem(std::size_t core, SubsystemId id) const
+{
+    EVAL_ASSERT(core < numCores_, "core index out of range");
+    return subsystems_[core][static_cast<std::size_t>(id)];
+}
+
+const std::vector<SubsystemInfo> &
+Floorplan::coreSubsystems(std::size_t core) const
+{
+    EVAL_ASSERT(core < numCores_, "core index out of range");
+    return subsystems_[core];
+}
+
+SubsystemId
+Floorplan::idByName(const std::string &name)
+{
+    for (const auto &proto : protoTable) {
+        if (name == proto.name)
+            return proto.id;
+    }
+    EVAL_FATAL("unknown subsystem name: ", name);
+}
+
+} // namespace eval

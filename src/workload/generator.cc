@@ -1,0 +1,219 @@
+#include "workload/generator.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/math_utils.hh"
+
+namespace eval {
+
+namespace {
+
+constexpr std::uint64_t kHotBase = 0x10000000ULL;
+constexpr std::uint64_t kWarmBase = 0x20000000ULL;
+constexpr std::uint64_t kColdBase = 0x40000000ULL;
+constexpr std::uint64_t kCodeBase = 0x00400000ULL;
+constexpr std::uint64_t kPhaseCodeStride = 0x00100000ULL;
+
+} // namespace
+
+SyntheticTrace::SyntheticTrace(const AppProfile &profile, std::uint64_t seed,
+                               TraceConfig cfg)
+    : cfg_(cfg), rng_(seed)
+{
+    buildPhases(profile);
+    opCounters_.assign(cfg_.staticOpsPerPhase * phases_.size(), 0);
+}
+
+void
+SyntheticTrace::buildPhases(const AppProfile &profile)
+{
+    std::vector<PhaseSpec> script = profile.phases;
+    if (script.empty())
+        script.push_back(PhaseSpec{});
+
+    double weightSum = 0.0;
+    for (const auto &s : script)
+        weightSum += s.weight;
+    EVAL_ASSERT(weightSum > 0.0, "phase weights must be positive");
+
+    for (std::size_t i = 0; i < script.size(); ++i) {
+        Phase ph = buildPhase(profile, script[i], i);
+        ph.dynamicLength = static_cast<std::size_t>(
+            cfg_.opsPerScriptCycle * script[i].weight / weightSum);
+        ph.dynamicLength = std::max<std::size_t>(ph.dynamicLength, 1000);
+        phases_.push_back(std::move(ph));
+    }
+}
+
+SyntheticTrace::Phase
+SyntheticTrace::buildPhase(const AppProfile &profile, const PhaseSpec &spec,
+                           std::size_t index)
+{
+    Rng rng = rng_.fork(0xBEEF + index);
+
+    // Phase-adjusted opcode mix.
+    std::array<double, kNumOpClasses> mix = profile.mix;
+    auto scale = [&mix](OpClass c, double factor) {
+        mix[static_cast<std::size_t>(c)] *= factor;
+    };
+    scale(OpClass::Load, spec.memIntensity);
+    scale(OpClass::Store, spec.memIntensity);
+    scale(OpClass::FpAdd, spec.fpIntensity);
+    scale(OpClass::FpMul, spec.fpIntensity);
+    scale(OpClass::FpDiv, spec.fpIntensity);
+
+    double mixSum = 0.0;
+    for (double m : mix)
+        mixSum += m;
+    EVAL_ASSERT(mixSum > 0.0, "profile mix must be positive");
+
+    // Phase-adjusted locality.
+    LocalityProfile loc = profile.locality;
+    loc.coldFraction = clamp(loc.coldFraction * spec.coldScale, 0.0, 0.9);
+    const double locSum =
+        loc.hotFraction + loc.warmFraction + loc.coldFraction;
+
+    // Branch placement: on average one branch per meanBlockLength ops.
+    // The branch share of the mix is respected approximately by
+    // sampling from the mix; additionally, block boundaries get branch
+    // ops so the detector sees block structure.
+    Phase phase;
+    phase.ops.reserve(cfg_.staticOpsPerPhase);
+
+    const std::uint64_t codeBase = kCodeBase + index * kPhaseCodeStride;
+    double nextBranchIn = rng.uniform(1.0, 2.0 * cfg_.meanBlockLength);
+
+    for (std::size_t i = 0; i < cfg_.staticOpsPerPhase; ++i) {
+        StaticOp op{};
+        op.pc = codeBase + i * 4;
+
+        nextBranchIn -= 1.0;
+        if (nextBranchIn <= 0.0) {
+            op.cls = OpClass::Branch;
+            nextBranchIn = rng.uniform(1.0, 2.0 * cfg_.meanBlockLength);
+        } else {
+            // Sample from the non-branch portion of the mix.
+            double r = rng.uniform() *
+                       (mixSum -
+                        mix[static_cast<std::size_t>(OpClass::Branch)]);
+            op.cls = OpClass::IntAlu;
+            for (std::size_t c = 0; c < kNumOpClasses; ++c) {
+                if (c == static_cast<std::size_t>(OpClass::Branch))
+                    continue;
+                if (r < mix[c]) {
+                    op.cls = static_cast<OpClass>(c);
+                    break;
+                }
+                r -= mix[c];
+            }
+        }
+
+        if (op.cls == OpClass::Branch) {
+            const bool biased =
+                rng.bernoulli(profile.biasedBranchFraction);
+            op.takenBias = biased ? (rng.bernoulli(0.5) ? 0.97 : 0.03)
+                                  : rng.uniform(0.25, 0.75);
+        }
+
+        if (isMemOp(op.cls)) {
+            const double r = rng.uniform() * locSum;
+            if (r < loc.hotFraction) {
+                op.region = 0;
+                op.addrBase = kHotBase;
+                op.addrSpan = loc.hotBytes;
+            } else if (r < loc.hotFraction + loc.warmFraction) {
+                op.region = 1;
+                op.addrBase = kWarmBase;
+                op.addrSpan = loc.warmBytes;
+            } else {
+                op.region = 2;
+                op.addrBase = kColdBase;
+                op.addrSpan = loc.coldBytes;
+            }
+            // Cold data is usually streamed; hot data reused randomly.
+            op.streaming = op.region == 2 ? rng.bernoulli(0.8)
+                                          : rng.bernoulli(0.3);
+            op.stride = op.streaming
+                            ? (rng.bernoulli(0.7) ? 64 : 8)
+                            : 0;
+            // Give each op a private sub-range so streams don't alias.
+            const std::uint64_t span = std::max<std::uint64_t>(
+                op.addrSpan / 16, 256);
+            op.addrBase += (rng.uniformInt(16)) * span;
+            op.addrSpan = span;
+        }
+
+        op.depMean =
+            std::max(1.0, profile.depDistanceMean * spec.ilpScale);
+        phase.ops.push_back(op);
+    }
+    phase.dynamicLength = 0;
+    return phase;
+}
+
+void
+SyntheticTrace::pinPhase(std::size_t phase)
+{
+    EVAL_ASSERT(phase < phases_.size(), "phase index out of range");
+    phaseIndex_ = phase;
+    posInPhase_ = 0;
+    opsInPhase_ = 0;
+    pinned_ = true;
+}
+
+bool
+SyntheticTrace::next(MicroOp &out)
+{
+    Phase &ph = phases_[phaseIndex_];
+    const StaticOp &sop = ph.ops[posInPhase_];
+
+    out = MicroOp{};
+    out.cls = sop.cls;
+    out.pc = sop.pc;
+
+    if (sop.cls == OpClass::Branch) {
+        out.taken = rng_.bernoulli(sop.takenBias);
+    } else if (isMemOp(sop.cls)) {
+        const std::size_t counterIdx =
+            phaseIndex_ * cfg_.staticOpsPerPhase + posInPhase_;
+        std::uint64_t &counter = opCounters_[counterIdx];
+        if (sop.streaming) {
+            out.addr = sop.addrBase +
+                       (counter * sop.stride) % sop.addrSpan;
+            ++counter;
+        } else {
+            out.addr = sop.addrBase + (rng_.uniformInt(sop.addrSpan) & ~7ULL);
+        }
+    }
+
+    // Dependency distances: geometric-ish around the phase ILP level.
+    auto drawDist = [this, &sop]() -> std::uint16_t {
+        const double u = rng_.uniform();
+        if (u < 0.15)
+            return 0;   // immediate operand / no register source
+        const double d = 1.0 - std::exp(-1.0 / sop.depMean);
+        const double g = std::floor(std::log(1.0 - rng_.uniform()) /
+                                    std::log(1.0 - d));
+        return static_cast<std::uint16_t>(clamp(1.0 + g, 1.0, 512.0));
+    };
+    out.src1Dist = drawDist();
+    out.src2Dist = (out.cls == OpClass::Branch || isMemOp(out.cls))
+                       ? (rng_.bernoulli(0.5) ? drawDist() : 0)
+                       : drawDist();
+
+    // Advance cursors.
+    ++posInPhase_;
+    if (posInPhase_ >= ph.ops.size())
+        posInPhase_ = 0;
+    ++opsInPhase_;
+    if (!pinned_ && opsInPhase_ >= ph.dynamicLength) {
+        opsInPhase_ = 0;
+        posInPhase_ = 0;
+        phaseIndex_ = (phaseIndex_ + 1) % phases_.size();
+    }
+    return true;
+}
+
+} // namespace eval

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Synthetic trace generator.
+ *
+ * Each behaviour phase of an application is modeled as a loop of
+ * static micro-ops ("the phase's code") whose per-op properties are
+ * fixed at phase-construction time: opcode class, branch bias, memory
+ * region and access pattern, and dependency-distance distribution.
+ * Walking the loop repeatedly produces a dynamic stream that is
+ * statistically stationary within a phase — so basic-block vectors are
+ * stable, branch predictors can learn, and caches see realistic reuse
+ * — while phase transitions change all of it at once.
+ */
+
+#ifndef EVAL_WORKLOAD_GENERATOR_HH
+#define EVAL_WORKLOAD_GENERATOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/isa.hh"
+#include "util/random.hh"
+#include "workload/profile.hh"
+
+namespace eval {
+
+/** Generation knobs. */
+struct TraceConfig
+{
+    /** Static ops in one phase's loop body. */
+    std::size_t staticOpsPerPhase = 2048;
+    /** Dynamic ops executed before moving to the next script phase
+     *  (scaled by the phase weight). */
+    std::size_t opsPerScriptCycle = 400000;
+    /** Mean basic-block length (ops between branches). */
+    double meanBlockLength = 6.0;
+};
+
+/** Pull-based synthetic trace for one application. */
+class SyntheticTrace : public TraceSource
+{
+  public:
+    SyntheticTrace(const AppProfile &profile, std::uint64_t seed,
+                   TraceConfig cfg = TraceConfig());
+
+    /** Infinite stream; always returns true. */
+    bool next(MicroOp &op) override;
+
+    /** Ground-truth phase index (for phase-detector validation). */
+    std::size_t currentPhase() const { return phaseIndex_; }
+
+    std::size_t numPhases() const { return phases_.size(); }
+
+    /** Force a specific phase (for per-phase characterization runs). */
+    void pinPhase(std::size_t phase);
+
+  private:
+    struct StaticOp
+    {
+        OpClass cls;
+        std::uint64_t pc;
+        double takenBias;        ///< branches: probability taken
+        int region;              ///< 0 hot, 1 warm, 2 cold
+        bool streaming;          ///< stride vs random addressing
+        std::uint64_t addrBase;
+        std::uint64_t addrSpan;  ///< bytes addressable by this op
+        std::uint32_t stride;
+        double depMean;          ///< mean dependency distance
+    };
+
+    struct Phase
+    {
+        std::vector<StaticOp> ops;
+        std::size_t dynamicLength;   ///< ops before switching
+    };
+
+    void buildPhases(const AppProfile &profile);
+    Phase buildPhase(const AppProfile &profile, const PhaseSpec &spec,
+                     std::size_t index);
+
+    TraceConfig cfg_;
+    Rng rng_;
+    std::vector<Phase> phases_;
+    std::size_t phaseIndex_ = 0;
+    std::size_t posInPhase_ = 0;     ///< static-op cursor
+    std::size_t opsInPhase_ = 0;     ///< dynamic ops since phase entry
+    bool pinned_ = false;
+    std::vector<std::uint64_t> opCounters_;  ///< per-static-op visit count
+};
+
+} // namespace eval
+
+#endif // EVAL_WORKLOAD_GENERATOR_HH

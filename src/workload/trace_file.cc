@@ -1,0 +1,110 @@
+#include "workload/trace_file.hh"
+
+#include <cstring>
+#include <fstream>
+
+#include "util/logging.hh"
+
+namespace eval {
+
+namespace {
+
+constexpr char kMagic[8] = {'E', 'V', 'A', 'L', 'T', 'R', 'C', '1'};
+
+/** On-disk record: fixed layout independent of struct padding. */
+struct DiskOp
+{
+    std::uint64_t pc;
+    std::uint64_t addr;
+    std::uint16_t src1Dist;
+    std::uint16_t src2Dist;
+    std::uint8_t cls;
+    std::uint8_t taken;
+    std::uint8_t pad[2];
+};
+static_assert(sizeof(DiskOp) == 24, "stable record size");
+
+} // namespace
+
+std::uint64_t
+recordTrace(TraceSource &source, std::uint64_t count,
+            const std::string &path)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        EVAL_FATAL("cannot open trace file for writing: ", path);
+
+    out.write(kMagic, sizeof(kMagic));
+    std::uint64_t written = 0;
+    out.write(reinterpret_cast<const char *>(&written), sizeof(written));
+
+    MicroOp op;
+    for (std::uint64_t i = 0; i < count; ++i) {
+        if (!source.next(op))
+            break;
+        DiskOp rec{};
+        rec.pc = op.pc;
+        rec.addr = op.addr;
+        rec.src1Dist = op.src1Dist;
+        rec.src2Dist = op.src2Dist;
+        rec.cls = static_cast<std::uint8_t>(op.cls);
+        rec.taken = op.taken ? 1 : 0;
+        out.write(reinterpret_cast<const char *>(&rec), sizeof(rec));
+        ++written;
+    }
+
+    // Back-patch the count.
+    out.seekp(sizeof(kMagic));
+    out.write(reinterpret_cast<const char *>(&written), sizeof(written));
+    EVAL_ASSERT(out.good(), "trace write failed");
+    return written;
+}
+
+FileTrace::FileTrace(const std::string &path, bool loop)
+    : loop_(loop)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        EVAL_FATAL("cannot open trace file: ", path);
+
+    char magic[8];
+    in.read(magic, sizeof(magic));
+    if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+        EVAL_FATAL("not an EVAL trace file: ", path);
+
+    std::uint64_t count = 0;
+    in.read(reinterpret_cast<char *>(&count), sizeof(count));
+    EVAL_ASSERT(in.good() && count < (1ULL << 32),
+                "corrupt trace header");
+
+    ops_.reserve(count);
+    DiskOp rec;
+    for (std::uint64_t i = 0; i < count; ++i) {
+        in.read(reinterpret_cast<char *>(&rec), sizeof(rec));
+        if (!in)
+            EVAL_FATAL("truncated trace file: ", path);
+        MicroOp op;
+        EVAL_ASSERT(rec.cls < kNumOpClasses, "corrupt op class");
+        op.cls = static_cast<OpClass>(rec.cls);
+        op.pc = rec.pc;
+        op.addr = rec.addr;
+        op.taken = rec.taken != 0;
+        op.src1Dist = rec.src1Dist;
+        op.src2Dist = rec.src2Dist;
+        ops_.push_back(op);
+    }
+}
+
+bool
+FileTrace::next(MicroOp &op)
+{
+    if (cursor_ >= ops_.size()) {
+        if (!loop_ || ops_.empty())
+            return false;
+        cursor_ = 0;
+    }
+    op = ops_[cursor_++];
+    return true;
+}
+
+} // namespace eval

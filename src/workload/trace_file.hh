@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Trace persistence: record any TraceSource (e.g. the synthetic
+ * generator) into a compact binary file, and replay such files through
+ * the core model.  This is the bring-your-own-trace hook: anything
+ * that can be converted to the MicroOp format — including traces
+ * captured from a real machine — can drive the simulator.
+ *
+ * Format: 16-byte header ("EVALTRC1" + little-endian op count),
+ * followed by fixed-size little-endian MicroOp records.
+ */
+
+#ifndef EVAL_WORKLOAD_TRACE_FILE_HH
+#define EVAL_WORKLOAD_TRACE_FILE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/isa.hh"
+
+namespace eval {
+
+/**
+ * Record @p count micro-ops from @p source into @p path.
+ * @return the number of ops actually written (less than @p count only
+ *         if the source ends early).
+ */
+std::uint64_t recordTrace(TraceSource &source, std::uint64_t count,
+                          const std::string &path);
+
+/**
+ * Replays a recorded trace file.  The trace loops when @p loop is set
+ * (so long simulations can run from short captures); otherwise next()
+ * returns false at end of file.
+ */
+class FileTrace : public TraceSource
+{
+  public:
+    explicit FileTrace(const std::string &path, bool loop = false);
+
+    bool next(MicroOp &op) override;
+
+    std::uint64_t size() const { return ops_.size(); }
+    void rewind() { cursor_ = 0; }
+
+  private:
+    std::vector<MicroOp> ops_;
+    std::uint64_t cursor_ = 0;
+    bool loop_;
+};
+
+} // namespace eval
+
+#endif // EVAL_WORKLOAD_TRACE_FILE_HH

@@ -1,0 +1,78 @@
+/** Tests for the gshare branch predictor. */
+
+#include <gtest/gtest.h>
+
+#include "arch/branch_predictor.hh"
+#include "util/random.hh"
+
+namespace eval {
+namespace {
+
+TEST(Gshare, LearnsAlwaysTaken)
+{
+    GsharePredictor bp(12, 4);
+    int wrong = 0;
+    for (int i = 0; i < 1000; ++i)
+        wrong += bp.predictAndUpdate(0x400000, true);
+    EXPECT_LT(wrong, 5);
+}
+
+TEST(Gshare, LearnsAlwaysNotTaken)
+{
+    GsharePredictor bp(12, 4);
+    int wrong = 0;
+    for (int i = 0; i < 1000; ++i)
+        wrong += bp.predictAndUpdate(0x400100, false);
+    EXPECT_LT(wrong, 5);
+}
+
+TEST(Gshare, TracksBiasedBranches)
+{
+    GsharePredictor bp(12, 4);
+    Rng rng(3);
+    int wrong = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const std::uint64_t pc = 0x400000 + (rng.uniformInt(64) * 4);
+        wrong += bp.predictAndUpdate(pc, rng.bernoulli(0.95));
+    }
+    // A 95%-biased branch should mispredict well under 15%.
+    EXPECT_LT(static_cast<double>(wrong) / n, 0.15);
+}
+
+TEST(Gshare, RandomBranchesNearChance)
+{
+    GsharePredictor bp(12, 4);
+    Rng rng(5);
+    int wrong = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        wrong += bp.predictAndUpdate(0x400500, rng.bernoulli(0.5));
+    const double rate = static_cast<double>(wrong) / n;
+    EXPECT_GT(rate, 0.35);
+    EXPECT_LT(rate, 0.65);
+}
+
+TEST(Gshare, CountsPredictions)
+{
+    GsharePredictor bp(12, 4);
+    for (int i = 0; i < 10; ++i)
+        bp.predictAndUpdate(0x1000, true);
+    EXPECT_EQ(bp.predictions(), 10u);
+    EXPECT_LE(bp.mispredictions(), 10u);
+}
+
+TEST(Gshare, DistinguishesManyBranches)
+{
+    GsharePredictor bp(12, 4);
+    // Two interleaved opposite-bias branches must both be learned.
+    int wrong = 0;
+    for (int i = 0; i < 2000; ++i) {
+        wrong += bp.predictAndUpdate(0x4000, true);
+        wrong += bp.predictAndUpdate(0x8000, false);
+    }
+    EXPECT_LT(wrong, 100);
+}
+
+} // namespace
+} // namespace eval

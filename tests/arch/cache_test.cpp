@@ -1,0 +1,110 @@
+/** Tests for the cache model and hierarchy. */
+
+#include <gtest/gtest.h>
+
+#include "arch/cache.hh"
+
+namespace eval {
+namespace {
+
+TEST(Cache, HitAfterFill)
+{
+    Cache c({1024, 64, 2});
+    EXPECT_FALSE(c.access(0x1000));
+    EXPECT_TRUE(c.access(0x1000));
+    EXPECT_TRUE(c.access(0x103F));   // same line
+    EXPECT_FALSE(c.access(0x1040));  // next line
+    EXPECT_EQ(c.hits(), 2u);
+    EXPECT_EQ(c.misses(), 2u);
+}
+
+TEST(Cache, LruEviction)
+{
+    // 2-way, 64B lines, 2 sets (256B total).
+    Cache c({256, 64, 2});
+    // Three lines mapping to set 0 (line addresses 0, 128, 256).
+    c.access(0);
+    c.access(128);
+    c.access(0);      // touch 0 so 128 is LRU
+    c.access(256);    // evicts 128
+    EXPECT_TRUE(c.contains(0));
+    EXPECT_FALSE(c.contains(128));
+    EXPECT_TRUE(c.contains(256));
+}
+
+TEST(Cache, ContainsDoesNotAllocate)
+{
+    Cache c({1024, 64, 2});
+    EXPECT_FALSE(c.contains(0x2000));
+    EXPECT_FALSE(c.contains(0x2000));
+    EXPECT_EQ(c.misses(), 0u);
+}
+
+TEST(Cache, FullyExercisesAllSets)
+{
+    Cache c({64 * 1024, 64, 2});
+    // Fill exactly the capacity and verify everything still fits.
+    for (std::uint64_t a = 0; a < 64 * 1024; a += 64)
+        c.access(a);
+    for (std::uint64_t a = 0; a < 64 * 1024; a += 64)
+        EXPECT_TRUE(c.contains(a)) << a;
+}
+
+TEST(Cache, WorkingSetLargerThanCapacityThrashes)
+{
+    Cache c({4096, 64, 2});
+    for (int pass = 0; pass < 3; ++pass) {
+        for (std::uint64_t a = 0; a < 16 * 4096; a += 64)
+            c.access(a);
+    }
+    // Sequential sweep over 16x capacity should miss nearly always.
+    const double hitRate = static_cast<double>(c.hits()) /
+                           static_cast<double>(c.hits() + c.misses());
+    EXPECT_LT(hitRate, 0.05);
+}
+
+TEST(Hierarchy, LevelsAndLatencies)
+{
+    Cache l2({1024 * 1024, 64, 8});
+    MemLatencies lat;
+    CacheHierarchy h({64 * 1024, 64, 2}, l2, lat);
+
+    const auto first = h.access(0x5000);
+    EXPECT_EQ(first.level, MemLevel::Memory);
+    EXPECT_EQ(first.latency, lat.memory);
+
+    const auto second = h.access(0x5000);
+    EXPECT_EQ(second.level, MemLevel::L1);
+    EXPECT_EQ(second.latency, lat.l1);
+    EXPECT_EQ(h.l2Misses(), 1u);
+}
+
+TEST(Hierarchy, L2HitAfterL1Eviction)
+{
+    Cache l2({1024 * 1024, 64, 8});
+    MemLatencies lat;
+    CacheHierarchy h({1024, 64, 2}, l2, lat);   // tiny L1
+
+    h.access(0x0);
+    // Evict 0x0 from L1 by filling its set.
+    h.access(0x0 + 1024);
+    h.access(0x0 + 2048);
+    const auto res = h.access(0x0);
+    EXPECT_EQ(res.level, MemLevel::L2);
+    EXPECT_EQ(res.latency, lat.l2);
+}
+
+TEST(Hierarchy, SharedL2BetweenTwoL1s)
+{
+    Cache l2({1024 * 1024, 64, 8});
+    MemLatencies lat;
+    CacheHierarchy i({1024, 64, 2}, l2, lat);
+    CacheHierarchy d({1024, 64, 2}, l2, lat);
+
+    i.access(0x9000);                    // fills shared L2
+    const auto res = d.access(0x9000);   // other side hits L2
+    EXPECT_EQ(res.level, MemLevel::L2);
+}
+
+} // namespace
+} // namespace eval

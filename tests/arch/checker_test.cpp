@@ -1,0 +1,86 @@
+/** Tests for the checker-architecture models (Sec 3.1). */
+
+#include <gtest/gtest.h>
+
+#include "arch/checker.hh"
+#include "arch/core.hh"
+#include "core/perf_model.hh"
+#include "workload/generator.hh"
+
+namespace eval {
+namespace {
+
+TEST(Checker, StandardParameterizations)
+{
+    const CheckerModel diva = CheckerModel::diva();
+    const CheckerModel razor = CheckerModel::razor();
+    const CheckerModel paceline = CheckerModel::paceline();
+
+    // Recovery penalty ordering: Razor's local replay is cheapest,
+    // Paceline's core re-sync most expensive.
+    EXPECT_LT(razor.recoveryPenaltyCycles, diva.recoveryPenaltyCycles);
+    EXPECT_LT(diva.recoveryPenaltyCycles,
+              paceline.recoveryPenaltyCycles);
+
+    // Diva's rp equals the branch misprediction penalty (Sec 3.1):
+    // the frontend depth plus resolve loop of the default core.
+    const CoreConfig core;
+    EXPECT_NEAR(diva.recoveryPenaltyCycles, core.frontendDepth + 4.0,
+                4.0);
+    EXPECT_EQ(CheckerModel::all().size(), 3u);
+}
+
+TEST(Checker, Names)
+{
+    EXPECT_STREQ(checkerKindName(CheckerKind::Diva), "Diva");
+    EXPECT_STREQ(checkerKindName(CheckerKind::Razor), "Razor");
+    EXPECT_STREQ(checkerKindName(CheckerKind::Paceline), "Paceline");
+}
+
+TEST(Checker, RecoveryPenaltyShapesPerformanceAtHighPe)
+{
+    // At PE = 1e-4 (the paper's target) the checker choice barely
+    // matters; at PE = 1e-2 it decides who wins (the Sec 4.1 logic).
+    PerfInputs in;
+    in.cpiComp = 0.8;
+    in.missesPerInst = 2e-3;
+    in.memPenaltySec = 150.0 / 4e9;
+
+    auto perfWith = [&in](const CheckerModel &c, double pe) {
+        PerfInputs local = in;
+        local.recoveryPenaltyCycles = c.recoveryPenaltyCycles;
+        return performance(4e9, pe, local);
+    };
+
+    const double tiny = 1e-4;
+    EXPECT_NEAR(perfWith(CheckerModel::paceline(), tiny) /
+                    perfWith(CheckerModel::razor(), tiny),
+                1.0, 0.03);
+
+    const double heavy = 1e-2;
+    EXPECT_LT(perfWith(CheckerModel::paceline(), heavy),
+              0.6 * perfWith(CheckerModel::razor(), heavy));
+}
+
+TEST(Checker, SimulatedRecoveryMatchesModel)
+{
+    // Inject errors with each checker's penalty and confirm the core's
+    // slowdown ranks the same way the models predict.
+    auto ipcWith = [](unsigned penalty) {
+        CoreConfig cfg;
+        SyntheticTrace t(appByName("gzip"), 5);
+        t.pinPhase(0);
+        Core core(cfg, 7);
+        core.run(t, 60000);
+        core.setErrorInjection(5e-3, penalty);
+        return core.run(t, 60000).ipc();
+    };
+    const double razor = ipcWith(2);
+    const double diva = ipcWith(14);
+    const double paceline = ipcWith(250);
+    EXPECT_GT(razor, diva);
+    EXPECT_GT(diva, paceline);
+}
+
+} // namespace
+} // namespace eval

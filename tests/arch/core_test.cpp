@@ -1,0 +1,234 @@
+/** Tests for the out-of-order core model. */
+
+#include <gtest/gtest.h>
+
+#include "arch/core.hh"
+#include "workload/generator.hh"
+
+namespace eval {
+namespace {
+
+/** Trace of identical independent ALU ops. */
+class IndependentAluTrace : public TraceSource
+{
+  public:
+    bool
+    next(MicroOp &op) override
+    {
+        op = MicroOp{};
+        op.cls = OpClass::IntAlu;
+        op.pc = 0x1000 + (count_++ % 512) * 4;
+        op.src1Dist = 0;
+        op.src2Dist = 0;
+        return true;
+    }
+
+  private:
+    std::uint64_t count_ = 0;
+};
+
+/** Serial dependency chain: each op needs the previous one. */
+class SerialChainTrace : public TraceSource
+{
+  public:
+    bool
+    next(MicroOp &op) override
+    {
+        op = MicroOp{};
+        op.cls = OpClass::IntAlu;
+        op.pc = 0x2000;
+        op.src1Dist = 1;
+        return true;
+    }
+};
+
+TEST(Core, IndependentOpsApproachIssueWidth)
+{
+    CoreConfig cfg;
+    Core core(cfg, 1);
+    IndependentAluTrace trace;
+    core.run(trace, 5000);   // warm the instruction cache
+    const CoreStats s = core.run(trace, 30000);
+    // 3-wide with 3 ALUs: IPC should be close to 3.
+    EXPECT_GT(s.ipc(), 2.5);
+}
+
+TEST(Core, SerialChainRunsAtOneIpcMax)
+{
+    CoreConfig cfg;
+    Core core(cfg, 1);
+    SerialChainTrace trace;
+    const CoreStats s = core.run(trace, 20000);
+    EXPECT_LE(s.ipc(), 1.05);
+    EXPECT_GT(s.ipc(), 0.5);
+}
+
+TEST(Core, SmallerQueueNeverFaster)
+{
+    const AppProfile &app = appByName("crafty");
+    double ipcFull, ipcSmall;
+    {
+        CoreConfig cfg;
+        SyntheticTrace t(app, 7);
+        t.pinPhase(0);
+        Core core(cfg, 2);
+        core.run(t, 40000);
+        ipcFull = core.run(t, 80000).ipc();
+    }
+    {
+        CoreConfig cfg;
+        cfg.queueCapacityFraction = 0.75;
+        SyntheticTrace t(app, 7);
+        t.pinPhase(0);
+        Core core(cfg, 2);
+        core.run(t, 40000);
+        ipcSmall = core.run(t, 80000).ipc();
+    }
+    EXPECT_LE(ipcSmall, ipcFull * 1.02);
+}
+
+TEST(Core, ErrorInjectionCostsPerformance)
+{
+    const AppProfile &app = appByName("gzip");
+    auto runWith = [&app](double errProb) {
+        CoreConfig cfg;
+        SyntheticTrace t(app, 9);
+        t.pinPhase(0);
+        Core core(cfg, 3);
+        core.setErrorInjection(errProb, 14);
+        core.run(t, 30000);
+        return core.run(t, 60000);
+    };
+    const CoreStats clean = runWith(0.0);
+    const CoreStats faulty = runWith(0.02);
+    EXPECT_EQ(clean.errorRecoveries, 0u);
+    EXPECT_GT(faulty.errorRecoveries, 500u);
+    EXPECT_LT(faulty.ipc(), clean.ipc());
+}
+
+TEST(Core, ErrorRateMatchesInjection)
+{
+    const AppProfile &app = appByName("gzip");
+    CoreConfig cfg;
+    SyntheticTrace t(app, 9);
+    t.pinPhase(0);
+    Core core(cfg, 3);
+    core.setErrorInjection(0.01, 14);
+    const CoreStats s = core.run(t, 100000);
+    const double measured = static_cast<double>(s.errorRecoveries) /
+                            static_cast<double>(s.instructions);
+    EXPECT_NEAR(measured, 0.01, 0.002);
+}
+
+TEST(Core, CpiDecompositionConsistent)
+{
+    const AppProfile &app = appByName("mcf");
+    CoreConfig cfg;
+    SyntheticTrace t(app, 11);
+    t.pinPhase(0);
+    Core core(cfg, 4);
+    core.run(t, 60000);
+    const CoreStats s = core.run(t, 120000);
+    EXPECT_GT(s.cpiComp(), 0.3);
+    EXPECT_LE(s.cpiComp(), s.cpi());
+    EXPECT_NEAR(s.cpiComp() +
+                    s.missesPerInstruction() * s.missPenaltyCycles(),
+                s.cpi(), 0.02 * s.cpi());
+}
+
+TEST(Core, ActivityCountsPopulated)
+{
+    const AppProfile &app = appByName("swim");
+    CoreConfig cfg;
+    SyntheticTrace t(app, 13);
+    t.pinPhase(0);
+    Core core(cfg, 5);
+    const CoreStats s = core.run(t, 60000);
+    EXPECT_GT(s.alpha(SubsystemId::Icache), 0.0);
+    EXPECT_GT(s.alpha(SubsystemId::IntALU), 0.0);
+    EXPECT_GT(s.alpha(SubsystemId::FPUnit), 0.0);   // swim is FP
+    EXPECT_GT(s.rho(SubsystemId::Dcache), 0.1);
+    // An FP app exercises the FP queue; an int app must not.
+    const AppProfile &intApp = appByName("gzip");
+    SyntheticTrace ti(intApp, 13);
+    ti.pinPhase(0);
+    Core coreInt(cfg, 5);
+    const CoreStats si = coreInt.run(ti, 60000);
+    EXPECT_DOUBLE_EQ(si.alpha(SubsystemId::FPQ), 0.0);
+}
+
+TEST(Core, MemBoundAppsShowMemStalls)
+{
+    CoreConfig cfg;
+    SyntheticTrace t(appByName("mcf"), 17);
+    t.pinPhase(0);
+    Core core(cfg, 6);
+    core.run(t, 60000);
+    const CoreStats s = core.run(t, 60000);
+    EXPECT_GT(s.memStallCycles, 0u);
+    EXPECT_GT(s.missPenaltyCycles(), 20.0);
+    EXPECT_LT(s.missPenaltyCycles(),
+              static_cast<double>(cfg.memLat.memory) + 2.0);
+}
+
+TEST(Core, FuReplicationAddsBranchLoopCycle)
+{
+    // With many mispredicted branches, the +1 redirect cycle of the
+    // replicated-FU pipeline must cost measurable CPI.
+    const AppProfile &app = appByName("gcc");
+    auto cpiWith = [&app](bool repl) {
+        CoreConfig cfg;
+        cfg.fuReplicated = repl;
+        SyntheticTrace t(app, 23);
+        t.pinPhase(0);
+        Core core(cfg, 7);
+        core.run(t, 40000);
+        return core.run(t, 80000).cpi();
+    };
+    const double plain = cpiWith(false);
+    const double repl = cpiWith(true);
+    EXPECT_GE(repl, plain);
+    EXPECT_LT(repl, plain * 1.1);   // "modest impact" (Sec 5)
+}
+
+TEST(Core, DeterministicRuns)
+{
+    const AppProfile &app = appByName("vpr");
+    auto run = [&app]() {
+        CoreConfig cfg;
+        SyntheticTrace t(app, 29);
+        t.pinPhase(0);
+        Core core(cfg, 8);
+        return core.run(t, 50000);
+    };
+    const CoreStats a = run();
+    const CoreStats b = run();
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.l2Misses, b.l2Misses);
+    EXPECT_EQ(a.branchMispredicts, b.branchMispredicts);
+}
+
+/** Property sweep: every suite app simulates cleanly with sane CPI. */
+class SuiteSweep : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(SuiteSweep, RunsWithPlausibleCpi)
+{
+    const AppProfile &app = appByName(GetParam());
+    CoreConfig cfg;
+    SyntheticTrace t(app, 31);
+    Core core(cfg, 9);
+    const CoreStats s = core.run(t, 40000);
+    EXPECT_GT(s.cpi(), 0.34);
+    EXPECT_LT(s.cpi(), 12.0);
+    EXPECT_EQ(s.instructions, 40000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Apps, SuiteSweep,
+    ::testing::Values("gzip", "mcf", "crafty", "eon", "bzip2", "swim",
+                      "art", "lucas", "mesa", "sixtrack"));
+
+} // namespace
+} // namespace eval

@@ -1,0 +1,129 @@
+/** Tests for chip-level (CMP) coordination. */
+
+#include <gtest/gtest.h>
+
+#include "cmp/cmp_system.hh"
+
+namespace eval {
+namespace {
+
+class CmpTest : public ::testing::Test
+{
+  protected:
+    static ExperimentContext &
+    ctx()
+    {
+        static ExperimentConfig cfg = [] {
+            ExperimentConfig c;
+            c.chips = 2;
+            c.simInsts = 60000;
+            return c;
+        }();
+        static ExperimentContext context(cfg);
+        return context;
+    }
+};
+
+TEST_F(CmpTest, NamedMixesResolve)
+{
+    for (const WorkloadMix &mix :
+         {intHeavyMix(), fpHeavyMix(), mixedMix(), memBoundMix()}) {
+        for (const AppProfile *app : mix)
+            ASSERT_NE(app, nullptr);
+    }
+    for (const AppProfile *app : intHeavyMix())
+        EXPECT_FALSE(app->isFp);
+    for (const AppProfile *app : fpHeavyMix())
+        EXPECT_TRUE(app->isFp);
+}
+
+TEST_F(CmpTest, HeatsinkConsistentWithChipPower)
+{
+    CmpSystem cmp(ctx(), 0);
+    const CmpRunResult res = cmp.runMix(intHeavyMix(),
+                                        EnvironmentKind::TS_ASV,
+                                        AdaptScheme::ExhDyn);
+    HeatsinkModel hs;
+    EXPECT_NEAR(res.heatsinkC, hs.tempC(res.chipPowerW), 1.0);
+    double sum = 0.0;
+    for (double p : res.corePowerW)
+        sum += p;
+    EXPECT_NEAR(sum, res.chipPowerW, 0.25 * res.chipPowerW);
+}
+
+TEST_F(CmpTest, HeatsinkConstraintHolds)
+{
+    CmpSystem cmp(ctx(), 0);
+    const CmpRunResult res = cmp.runMix(mixedMix(),
+                                        EnvironmentKind::TS_ASV_Q_FU,
+                                        AdaptScheme::ExhDyn);
+    EXPECT_LE(res.heatsinkC, ctx().config().constraints.thMaxC + 0.5);
+}
+
+TEST_F(CmpTest, ManagedBeatsBaselineThroughput)
+{
+    CmpSystem cmp(ctx(), 1);
+    const CmpRunResult base = cmp.runMix(mixedMix(),
+                                         EnvironmentKind::Baseline,
+                                         AdaptScheme::Static);
+    const CmpRunResult managed = cmp.runMix(mixedMix(),
+                                            EnvironmentKind::TS_ASV,
+                                            AdaptScheme::ExhDyn);
+    EXPECT_GT(managed.throughputRel, base.throughputRel);
+}
+
+TEST_F(CmpTest, PerCoreResultsPopulated)
+{
+    CmpSystem cmp(ctx(), 0);
+    const CmpRunResult res = cmp.runMix(fpHeavyMix(),
+                                        EnvironmentKind::TS,
+                                        AdaptScheme::ExhDyn);
+    for (std::size_t c = 0; c < 4; ++c) {
+        EXPECT_GT(res.coreFreqRel[c], 0.4) << c;
+        EXPECT_GT(res.corePerfRel[c], 0.3) << c;
+        EXPECT_GT(res.corePowerW[c], 3.0) << c;
+        EXPECT_LT(res.corePowerW[c],
+                  ctx().config().constraints.pMaxW + 1.0)
+            << c;
+    }
+    EXPECT_NEAR(res.throughputRel,
+                (res.corePerfRel[0] + res.corePerfRel[1] +
+                 res.corePerfRel[2] + res.corePerfRel[3]) / 4.0,
+                1e-9);
+}
+
+TEST(CmpThrottle, TightHeatsinkBudgetForcesGlobalThrottle)
+{
+    // With an artificially low TH_MAX the package saturates and the
+    // chip-level loop must throttle all four cores to stay legal.
+    ExperimentConfig cfg;
+    cfg.chips = 1;
+    cfg.simInsts = 50000;
+    // Just below this mix's natural operating point (~66C) but above
+    // the chip's minimum-power floor (~60C), so throttling both
+    // engages and can succeed.
+    cfg.constraints.thMaxC = 61.0;
+    ExperimentContext ctx(cfg);
+    CmpSystem cmp(ctx, 0);
+    const CmpRunResult res = cmp.runMix(intHeavyMix(),
+                                        EnvironmentKind::TS_ASV,
+                                        AdaptScheme::ExhDyn);
+    EXPECT_GT(res.throttleSteps, 0u);
+    EXPECT_LE(res.heatsinkC, cfg.constraints.thMaxC + 0.5);
+}
+
+TEST_F(CmpTest, MemBoundMixRunsCooler)
+{
+    CmpSystem cmp(ctx(), 0);
+    const CmpRunResult hot = cmp.runMix(intHeavyMix(),
+                                        EnvironmentKind::Baseline,
+                                        AdaptScheme::Static);
+    const CmpRunResult cool = cmp.runMix(memBoundMix(),
+                                         EnvironmentKind::Baseline,
+                                         AdaptScheme::Static);
+    // Memory-bound applications burn less core power.
+    EXPECT_LT(cool.chipPowerW, hot.chipPowerW);
+}
+
+} // namespace
+} // namespace eval

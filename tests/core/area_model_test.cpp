@@ -1,0 +1,53 @@
+/** Tests for the Figure 7(d) area accounting. */
+
+#include <gtest/gtest.h>
+
+#include "core/area_model.hh"
+
+namespace eval {
+namespace {
+
+TEST(AreaModel, TotalMatchesPaper)
+{
+    // Figure 7(d): 10.6% total without ABB.
+    EXPECT_NEAR(totalAreaOverheadPercent(AreaModelConfig{}), 10.6, 0.2);
+}
+
+TEST(AreaModel, ItemizedEntriesMatchFigure7d)
+{
+    const auto items = areaOverhead(AreaModelConfig{});
+    auto find = [&items](const std::string &name) {
+        for (const auto &i : items) {
+            if (i.source == name)
+                return i.areaPercent;
+        }
+        ADD_FAILURE() << "missing " << name;
+        return -1.0;
+    };
+    EXPECT_NEAR(find("IntALU Repl"), 0.7, 0.05);
+    EXPECT_NEAR(find("FPAdd/Mul Repl"), 2.5, 0.05);
+    EXPECT_DOUBLE_EQ(find("I-Queue Resize"), 0.0);
+    EXPECT_DOUBLE_EQ(find("ASV"), 0.0);
+    EXPECT_NEAR(find("Phase Detector"), 0.3, 1e-9);
+    EXPECT_NEAR(find("Sensors"), 0.1, 1e-9);
+    EXPECT_NEAR(find("Checker"), 7.0, 1e-9);
+}
+
+TEST(AreaModel, AbbAddsItsShare)
+{
+    AreaModelConfig cfg;
+    cfg.includeAbb = true;
+    EXPECT_NEAR(totalAreaOverheadPercent(cfg), 12.6, 0.2);
+}
+
+TEST(AreaModel, TotalIsSumOfItems)
+{
+    const auto items = areaOverhead(AreaModelConfig{});
+    double sum = 0.0;
+    for (std::size_t i = 0; i + 1 < items.size(); ++i)
+        sum += items[i].areaPercent;
+    EXPECT_NEAR(items.back().areaPercent, sum, 1e-12);
+}
+
+} // namespace
+} // namespace eval

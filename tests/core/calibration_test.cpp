@@ -1,0 +1,122 @@
+/**
+ * Calibration guardrails: the headline bands from the paper that the
+ * model constants are tuned to reproduce (see DESIGN.md Sec 6).
+ * If a model change moves these, the figures move with them.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/environment.hh"
+#include "util/statistics.hh"
+
+namespace eval {
+namespace {
+
+class CalibrationTest : public ::testing::Test
+{
+  protected:
+    static ExperimentContext &
+    ctx()
+    {
+        static ExperimentConfig cfg = [] {
+            ExperimentConfig c;
+            c.chips = 12;
+            c.simInsts = 160000;
+            return c;
+        }();
+        static ExperimentContext context(cfg);
+        return context;
+    }
+};
+
+TEST_F(CalibrationTest, BaselineFrequencyBand)
+{
+    // Paper: Baseline cycles at ~78% of the no-variation frequency.
+    RunningStats fr;
+    for (int c = 0; c < ctx().config().chips; ++c) {
+        fr.add(ctx().coreModel(c, c % 4).baselineFrequency() /
+               ctx().config().process.freqNominal);
+    }
+    EXPECT_GT(fr.mean(), 0.70);
+    EXPECT_LT(fr.mean(), 0.85);
+}
+
+TEST_F(CalibrationTest, NoVarPowerBand)
+{
+    // Paper Figure 12: NoVar averages ~25W against a 30W cap.
+    RunningStats p;
+    for (const char *app : {"gzip", "crafty", "swim", "mcf"}) {
+        p.add(ctx().runApp(0, 0, appByName(app), EnvironmentKind::NoVar,
+                           AdaptScheme::Static).powerW);
+    }
+    EXPECT_GT(p.mean(), 15.0);
+    EXPECT_LT(p.mean(), 28.0);
+}
+
+TEST_F(CalibrationTest, NoVarWithinThermalEnvelope)
+{
+    CoreSystemModel &ideal = ctx().idealCoreModel();
+    const auto &chr = ctx().characterizations().get(appByName("crafty"));
+    const OperatingPoint op =
+        nominalOperatingPoint(ctx().config().process);
+    const CoreEvaluation ev = ideal.evaluate(op, chr.phases[0].chr.act,
+                                             65.0);
+    EXPECT_LE(ev.maxTempC, ctx().config().constraints.tMaxC);
+    EXPECT_DOUBLE_EQ(ev.pePerInstruction, 0.0);
+}
+
+TEST_F(CalibrationTest, BaselinePowerBelowNoVar)
+{
+    // Paper Figure 12: Baseline ~17W (it runs slower).
+    const double base = ctx().runApp(1, 1, appByName("crafty"),
+                                     EnvironmentKind::Baseline,
+                                     AdaptScheme::Static).powerW;
+    const double novar = ctx().runApp(1, 1, appByName("crafty"),
+                                      EnvironmentKind::NoVar,
+                                      AdaptScheme::Static).powerW;
+    EXPECT_LT(base, novar);
+}
+
+TEST_F(CalibrationTest, MemorySubsystemsLimitFrequency)
+{
+    // Figure 8(a): the leftmost (limiting) PE curves belong to memory
+    // subsystems.  Check the rated-frequency minimum is a memory or
+    // mixed stage on most chips.
+    int memLimited = 0;
+    const int chips = ctx().config().chips;
+    for (int c = 0; c < chips; ++c) {
+        CoreSystemModel &core = ctx().coreModel(c, 0);
+        const OperatingConditions corner{
+            ctx().config().process.vddNominal, 0.0,
+            ctx().config().process.tempNominalC};
+        double fmin = 1e30;
+        StageType limiting = StageType::Logic;
+        for (std::size_t i = 0; i < kNumSubsystems; ++i) {
+            const auto id = static_cast<SubsystemId>(i);
+            const double f =
+                core.subsystem(id).errorModel(false).fvar(corner);
+            if (f < fmin) {
+                fmin = f;
+                limiting = core.subsystem(id).info().type;
+            }
+        }
+        if (limiting != StageType::Logic)
+            ++memLimited;
+    }
+    EXPECT_GE(memLimited, chips * 3 / 4);
+}
+
+TEST_F(CalibrationTest, SuiteCpiSpreadIsRealistic)
+{
+    // Compute-bound and memory-bound applications must separate.
+    const auto &crafty = ctx().characterizations().get(appByName("crafty"));
+    const auto &mcf = ctx().characterizations().get(appByName("mcf"));
+    const double cpiCrafty = crafty.phases[0].chr.perfFull.cpiComp;
+    const double mrMcf = mcf.phases[0].chr.perfFull.missesPerInst;
+    const double mrCrafty = crafty.phases[0].chr.perfFull.missesPerInst;
+    EXPECT_LT(cpiCrafty, 1.3);
+    EXPECT_GT(mrMcf, 4.0 * mrCrafty);
+}
+
+} // namespace
+} // namespace eval

@@ -1,0 +1,80 @@
+/** Tests for the Eq 5 performance model. */
+
+#include <gtest/gtest.h>
+
+#include "core/perf_model.hh"
+
+namespace eval {
+namespace {
+
+PerfInputs
+sample()
+{
+    PerfInputs in;
+    in.cpiComp = 0.8;
+    in.missesPerInst = 2e-3;
+    in.memPenaltySec = 150.0 / 4e9;
+    in.recoveryPenaltyCycles = 14.0;
+    return in;
+}
+
+TEST(PerfModel, CpiComposition)
+{
+    const PerfInputs in = sample();
+    const double cpi = cpiAt(4e9, 0.0, in);
+    EXPECT_NEAR(cpi, 0.8 + 2e-3 * 150.0, 1e-9);
+}
+
+TEST(PerfModel, MissPenaltyGrowsWithFrequency)
+{
+    const PerfInputs in = sample();
+    EXPECT_GT(cpiAt(5e9, 0.0, in), cpiAt(4e9, 0.0, in));
+    // The *cycle* count grows but wall-clock memory time is fixed:
+    // performance must still improve with f (sub-linearly).
+    EXPECT_GT(performance(5e9, 0.0, in), performance(4e9, 0.0, in));
+    EXPECT_LT(performance(5e9, 0.0, in),
+              performance(4e9, 0.0, in) * 5.0 / 4.0);
+}
+
+TEST(PerfModel, ErrorsAddRecoveryCycles)
+{
+    const PerfInputs in = sample();
+    const double clean = cpiAt(4e9, 0.0, in);
+    const double faulty = cpiAt(4e9, 1e-2, in);
+    EXPECT_NEAR(faulty - clean, 1e-2 * 14.0, 1e-12);
+}
+
+TEST(PerfModel, SmallPeHasNegligibleCost)
+{
+    // Sec 4.1: at PE = 1e-4, CPIrec is negligible.
+    const PerfInputs in = sample();
+    const double clean = performance(4e9, 0.0, in);
+    const double tiny = performance(4e9, 1e-4, in);
+    EXPECT_GT(tiny / clean, 0.998);
+}
+
+TEST(PerfModel, HugePeKillsPerformance)
+{
+    const PerfInputs in = sample();
+    const double clean = performance(4e9, 0.0, in);
+    const double dead = performance(4e9, 0.5, in);
+    EXPECT_LT(dead / clean, 0.2);
+}
+
+TEST(PerfModel, FromStatsRoundTrip)
+{
+    CoreStats stats;
+    stats.cycles = 100000;
+    stats.instructions = 80000;
+    stats.l2Misses = 200;
+    stats.memStallCycles = 20000;
+    const PerfInputs in = PerfInputs::fromStats(stats, 4e9, 14.0);
+    EXPECT_NEAR(in.cpiComp, 1.0, 1e-9);
+    EXPECT_NEAR(in.missesPerInst, 200.0 / 80000.0, 1e-12);
+    EXPECT_NEAR(in.memPenaltySec, 100.0 / 4e9, 1e-18);
+    // Eq 5 at the characterization frequency reproduces measured CPI.
+    EXPECT_NEAR(cpiAt(4e9, 0.0, in), stats.cpi(), 1e-9);
+}
+
+} // namespace
+} // namespace eval

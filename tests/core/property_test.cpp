@@ -1,0 +1,136 @@
+/**
+ * Cross-cutting property tests: invariants that must hold for any
+ * seed, chip, and application — the contracts the benches rely on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/environment.hh"
+
+namespace eval {
+namespace {
+
+/** Sweep over master seeds: one context per seed. */
+class SeedSweep : public ::testing::TestWithParam<std::uint64_t>
+{
+  protected:
+    ExperimentContext &
+    ctx()
+    {
+        static std::map<std::uint64_t,
+                        std::unique_ptr<ExperimentContext>> cache;
+        auto it = cache.find(GetParam());
+        if (it == cache.end()) {
+            ExperimentConfig cfg;
+            cfg.seed = GetParam();
+            cfg.chips = 2;
+            cfg.simInsts = 50000;
+            it = cache
+                     .emplace(GetParam(),
+                              std::make_unique<ExperimentContext>(cfg))
+                     .first;
+        }
+        return *it->second;
+    }
+};
+
+TEST_P(SeedSweep, AdaptedConfigurationAlwaysMeetsConstraints)
+{
+    const Constraints &c = ctx().config().constraints;
+    for (auto env : {EnvironmentKind::TS, EnvironmentKind::TS_ASV,
+                     EnvironmentKind::ALL}) {
+        const AppRunResult r = ctx().runApp(0, 0, appByName("gzip"), env,
+                                            AdaptScheme::ExhDyn);
+        EXPECT_LE(r.pePerInstr, c.peMax * 1.01) << environmentName(env);
+        EXPECT_LE(r.powerW, c.pMaxW * 1.02) << environmentName(env);
+        EXPECT_GT(r.freqRel, 0.5) << environmentName(env);
+    }
+}
+
+TEST_P(SeedSweep, EnvironmentOrderingHolds)
+{
+    const AppRunResult base = ctx().runApp(
+        1, 0, appByName("swim"), EnvironmentKind::Baseline,
+        AdaptScheme::Static);
+    const AppRunResult ts = ctx().runApp(1, 0, appByName("swim"),
+                                         EnvironmentKind::TS,
+                                         AdaptScheme::ExhDyn);
+    const AppRunResult asv = ctx().runApp(1, 0, appByName("swim"),
+                                          EnvironmentKind::TS_ASV,
+                                          AdaptScheme::ExhDyn);
+    EXPECT_GT(ts.freqRel, base.freqRel);
+    EXPECT_GE(asv.freqRel, ts.freqRel * 0.999);
+}
+
+TEST_P(SeedSweep, RunsAreDeterministic)
+{
+    const AppRunResult a = ctx().runApp(0, 1, appByName("mcf"),
+                                        EnvironmentKind::TS_ASV,
+                                        AdaptScheme::FuzzyDyn);
+    const AppRunResult b = ctx().runApp(0, 1, appByName("mcf"),
+                                        EnvironmentKind::TS_ASV,
+                                        AdaptScheme::FuzzyDyn);
+    EXPECT_DOUBLE_EQ(a.freqRel, b.freqRel);
+    EXPECT_DOUBLE_EQ(a.perfRel, b.perfRel);
+    EXPECT_DOUBLE_EQ(a.powerW, b.powerW);
+}
+
+TEST_P(SeedSweep, SubsystemErrorCurvesMonotone)
+{
+    CoreSystemModel &core = ctx().coreModel(0, 0);
+    const OperatingConditions op{1.0, 0.0, 70.0};
+    for (std::size_t i = 0; i < kNumSubsystems; ++i) {
+        const auto id = static_cast<SubsystemId>(i);
+        const StageErrorModel &m = core.subsystem(id).errorModel(false);
+        double prev = -1.0;
+        for (double fr = 0.8; fr <= 1.4; fr += 0.05) {
+            const double pe = m.errorRatePerAccess(
+                1.0 / (fr * ctx().config().process.freqNominal), op);
+            EXPECT_GE(pe, prev) << "subsystem " << i << " fr " << fr;
+            prev = pe;
+        }
+    }
+}
+
+TEST_P(SeedSweep, FuzzyPredictionsStayOnTheGrid)
+{
+    const EnvCapabilities caps = environmentCaps(EnvironmentKind::TS_ASV);
+    const CoreFuzzySystem &fc = ctx().coreFuzzy(0, 0, caps);
+    CoreSystemModel &core = ctx().coreModel(0, 0);
+    FuzzyOptimizer opt(fc);
+    const KnobSpace ks = caps.knobSpace();
+    Rng rng(GetParam() ^ 0xF00D);
+    for (int k = 0; k < 50; ++k) {
+        const auto id = static_cast<SubsystemId>(
+            rng.uniformInt(kNumSubsystems));
+        const double th = rng.uniform(45.0, 70.0);
+        const double a = rng.uniform(0.05, 1.5);
+        const double f = opt.maxFrequency(core, id, false, a, th);
+        EXPECT_GE(f, ks.freq.lo());
+        EXPECT_LE(f, ks.freq.hi());
+        const auto knobs = opt.minimizePower(core, id, false, f, a, th);
+        ASSERT_TRUE(knobs.has_value());
+        EXPECT_GE(knobs->vdd, ks.vdd.lo());
+        EXPECT_LE(knobs->vdd, ks.vdd.hi());
+        EXPECT_DOUBLE_EQ(knobs->vbb, 0.0);
+    }
+}
+
+TEST_P(SeedSweep, BaselineNeverExceedsManagedExhaustive)
+{
+    for (int chip = 0; chip < 2; ++chip) {
+        const AppRunResult base = ctx().runApp(
+            chip, 2, appByName("crafty"), EnvironmentKind::Baseline,
+            AdaptScheme::Static);
+        const AppRunResult managed = ctx().runApp(
+            chip, 2, appByName("crafty"), EnvironmentKind::TS_ASV_Q_FU,
+            AdaptScheme::ExhDyn);
+        EXPECT_LE(base.freqRel, managed.freqRel) << "chip " << chip;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
+                         ::testing::Values(1u, 7u, 42u, 1234u));
+
+} // namespace
+} // namespace eval

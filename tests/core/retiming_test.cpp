@@ -1,0 +1,83 @@
+/** Tests for the dynamic-retiming baseline (Sec 7 comparison). */
+
+#include <gtest/gtest.h>
+
+#include "core/environment.hh"
+#include "core/retiming.hh"
+#include "util/statistics.hh"
+
+namespace eval {
+namespace {
+
+class RetimingTest : public ::testing::Test
+{
+  protected:
+    static ExperimentContext &
+    ctx()
+    {
+        static ExperimentConfig cfg = [] {
+            ExperimentConfig c;
+            c.chips = 6;
+            c.simInsts = 50000;
+            return c;
+        }();
+        static ExperimentContext context(cfg);
+        return context;
+    }
+};
+
+TEST_F(RetimingTest, BeatsBaselineOnEveryChip)
+{
+    for (int chip = 0; chip < ctx().config().chips; ++chip) {
+        CoreSystemModel &core = ctx().coreModel(chip, 0);
+        EXPECT_GT(retimedFrequency(core), core.baselineFrequency())
+            << "chip " << chip;
+    }
+}
+
+TEST_F(RetimingTest, GainInPaperBand)
+{
+    // Sec 7: dynamic retiming gains ~10-20% over the worst-case
+    // design; EVAL's framing depends on this being meaningfully less
+    // than its own gains.
+    RunningStats gain;
+    for (int chip = 0; chip < ctx().config().chips; ++chip) {
+        CoreSystemModel &core = ctx().coreModel(chip, 0);
+        gain.add(retimedFrequency(core) / core.baselineFrequency() - 1.0);
+    }
+    EXPECT_GT(gain.mean(), 0.05);
+    EXPECT_LT(gain.mean(), 0.30);
+}
+
+TEST_F(RetimingTest, EfficiencyMonotone)
+{
+    CoreSystemModel &core = ctx().coreModel(0, 0);
+    double prev = 0.0;
+    for (double eff : {0.0, 0.3, 0.6, 0.9}) {
+        RetimingConfig cfg;
+        cfg.slackPassEfficiency = eff;
+        const double f = retimedFrequency(core, cfg);
+        EXPECT_GE(f, prev);
+        prev = f;
+    }
+    // Zero efficiency degenerates to the baseline rating.
+    RetimingConfig none;
+    none.slackPassEfficiency = 0.0;
+    EXPECT_NEAR(retimedFrequency(core, none), core.baselineFrequency(),
+                0.01 * core.baselineFrequency());
+}
+
+TEST_F(RetimingTest, StaysBelowEvalDynamic)
+{
+    // The headline Sec 7 claim: EVAL outperforms retiming.
+    CoreSystemModel &core = ctx().coreModel(1, 1);
+    const double retimed =
+        retimedFrequency(core) / ctx().config().process.freqNominal;
+    const AppRunResult ev = ctx().runApp(1, 1, appByName("gzip"),
+                                         EnvironmentKind::TS_ASV_Q_FU,
+                                         AdaptScheme::ExhDyn);
+    EXPECT_GT(ev.freqRel, retimed);
+}
+
+} // namespace
+} // namespace eval

@@ -1,0 +1,170 @@
+/** Tests for the per-core EVAL system model. */
+
+#include <gtest/gtest.h>
+
+#include "core/environment.hh"
+#include "core/subsystem_model.hh"
+
+namespace eval {
+namespace {
+
+struct Fixture
+{
+    ExperimentConfig cfg;
+    std::unique_ptr<ExperimentContext> ctx;
+
+    Fixture()
+    {
+        cfg.chips = 2;
+        ctx = std::make_unique<ExperimentContext>(cfg);
+    }
+
+    CoreSystemModel &core() { return ctx->coreModel(0, 0); }
+
+    ActivityVector
+    activity()
+    {
+        ActivityVector act;
+        for (std::size_t i = 0; i < kNumSubsystems; ++i) {
+            act.alpha[i] = ctx->powerParams()[i].alphaRef;
+            act.rho[i] = act.alpha[i];
+        }
+        return act;
+    }
+};
+
+TEST(SubsystemModel, AlternatesOnlyWhereExpected)
+{
+    Fixture f;
+    for (std::size_t i = 0; i < kNumSubsystems; ++i) {
+        const auto id = static_cast<SubsystemId>(i);
+        const bool expectAlt =
+            id == SubsystemId::IntALU || id == SubsystemId::FPUnit ||
+            id == SubsystemId::IntQ || id == SubsystemId::FPQ;
+        EXPECT_EQ(f.core().subsystem(id).hasAlternate(), expectAlt) << i;
+    }
+}
+
+TEST(SubsystemModel, PowerFactors)
+{
+    Fixture f;
+    EXPECT_DOUBLE_EQ(
+        f.core().subsystem(SubsystemId::IntALU).powerFactor(true), 1.30);
+    EXPECT_DOUBLE_EQ(
+        f.core().subsystem(SubsystemId::IntQ).powerFactor(true), 0.85);
+    EXPECT_DOUBLE_EQ(
+        f.core().subsystem(SubsystemId::Dcache).powerFactor(true), 1.0);
+    EXPECT_DOUBLE_EQ(
+        f.core().subsystem(SubsystemId::IntALU).powerFactor(false), 1.0);
+}
+
+TEST(SubsystemModel, MeasuredVt0CloseToTruth)
+{
+    Fixture f;
+    for (std::size_t i = 0; i < kNumSubsystems; ++i) {
+        const auto &sub = f.core().subsystem(static_cast<SubsystemId>(i));
+        EXPECT_NEAR(sub.vt0Measured(), sub.vt0True(), 0.003) << i;
+    }
+}
+
+TEST(SubsystemModel, AppTypeSelectsTechniqueTargets)
+{
+    Fixture f;
+    f.core().setAppType(false);
+    EXPECT_EQ(f.core().fuSubsystem(), SubsystemId::IntALU);
+    EXPECT_EQ(f.core().queueSubsystem(), SubsystemId::IntQ);
+    f.core().setAppType(true);
+    EXPECT_EQ(f.core().fuSubsystem(), SubsystemId::FPUnit);
+    EXPECT_EQ(f.core().queueSubsystem(), SubsystemId::FPQ);
+}
+
+TEST(SubsystemModel, UsesAlternateFollowsOperatingPoint)
+{
+    Fixture f;
+    f.core().setAppType(false);
+    OperatingPoint op = nominalOperatingPoint(f.cfg.process);
+    EXPECT_FALSE(f.core().usesAlternate(SubsystemId::IntALU, op));
+    op.lowSlopeFu = true;
+    op.smallQueue = true;
+    EXPECT_TRUE(f.core().usesAlternate(SubsystemId::IntALU, op));
+    EXPECT_TRUE(f.core().usesAlternate(SubsystemId::IntQ, op));
+    EXPECT_FALSE(f.core().usesAlternate(SubsystemId::FPUnit, op));
+    EXPECT_FALSE(f.core().usesAlternate(SubsystemId::Dcache, op));
+}
+
+TEST(SubsystemModel, EvaluationAggregatesSubsystems)
+{
+    Fixture f;
+    const OperatingPoint op = nominalOperatingPoint(f.cfg.process);
+    const CoreEvaluation ev = f.core().evaluate(op, f.activity(), 65.0);
+    EXPECT_TRUE(ev.functional);
+    EXPECT_GT(ev.subsystemPowerW, 5.0);
+    EXPECT_GT(ev.totalPowerW, ev.subsystemPowerW);
+    EXPECT_GT(ev.maxTempC, 65.0);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < kNumSubsystems; ++i)
+        sum += ev.thermal[i].power();
+    EXPECT_NEAR(sum, ev.subsystemPowerW, 1e-9);
+}
+
+TEST(SubsystemModel, HigherFrequencyMoreErrorsMorePower)
+{
+    Fixture f;
+    OperatingPoint slow = nominalOperatingPoint(f.cfg.process);
+    slow.freq = 3.0e9;
+    OperatingPoint fast = slow;
+    fast.freq = 5.0e9;
+    const CoreEvaluation evSlow = f.core().evaluate(slow, f.activity(),
+                                                    65.0);
+    const CoreEvaluation evFast = f.core().evaluate(fast, f.activity(),
+                                                    65.0);
+    EXPECT_GE(evFast.pePerInstruction, evSlow.pePerInstruction);
+    EXPECT_GT(evFast.totalPowerW, evSlow.totalPowerW);
+}
+
+TEST(SubsystemModel, SmallQueueLowersItsErrorRate)
+{
+    Fixture f;
+    f.core().setAppType(false);
+    OperatingPoint op = nominalOperatingPoint(f.cfg.process);
+    op.freq = 4.2e9;   // into the error region
+    const auto idx = static_cast<std::size_t>(SubsystemId::IntQ);
+
+    const CoreEvaluation large = f.core().evaluate(op, f.activity(), 65.0);
+    op.smallQueue = true;
+    const CoreEvaluation small = f.core().evaluate(op, f.activity(), 65.0);
+    EXPECT_LE(small.peAccess[idx], large.peAccess[idx]);
+}
+
+TEST(SubsystemModel, ConstraintChecks)
+{
+    Constraints c;
+    CoreEvaluation ev;
+    ev.maxTempC = 80.0;
+    ev.totalPowerW = 20.0;
+    ev.pePerInstruction = 1e-5;
+    EXPECT_TRUE(ev.meets(c));
+    ev.maxTempC = 90.0;
+    EXPECT_TRUE(ev.violatesTemp(c));
+    EXPECT_FALSE(ev.meets(c));
+    ev.maxTempC = 80.0;
+    ev.totalPowerW = 31.0;
+    EXPECT_TRUE(ev.violatesPower(c));
+    ev.totalPowerW = 20.0;
+    ev.pePerInstruction = 2e-4;
+    EXPECT_TRUE(ev.violatesError(c));
+}
+
+TEST(SubsystemModel, IdealChipBaselineIsNominal)
+{
+    Fixture f;
+    // Guardband-free variation; the droop guardband still applies, so
+    // the ideal chip rates slightly below nominal but above 90%.
+    const double fr = f.ctx->idealCoreModel().baselineFrequency() /
+                      f.cfg.process.freqNominal;
+    EXPECT_GT(fr, 0.90);
+    EXPECT_LE(fr, 1.0 + 1e-9);
+}
+
+} // namespace
+} // namespace eval

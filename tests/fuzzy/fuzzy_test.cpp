@@ -1,0 +1,186 @@
+/** Tests for the fuzzy controller (Appendix A). */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "fuzzy/fuzzy_controller.hh"
+#include "util/random.hh"
+#include "util/statistics.hh"
+
+namespace eval {
+namespace {
+
+TEST(Normalizer, MapsRangeToUnit)
+{
+    InputNormalizer n;
+    n.fit({{0.0, 10.0}, {2.0, 30.0}});
+    const auto v = n.normalize({1.0, 20.0});
+    EXPECT_NEAR(v[0], 0.5, 1e-12);
+    EXPECT_NEAR(v[1], 0.5, 1e-12);
+}
+
+TEST(Normalizer, ConstantDimensionMapsToHalf)
+{
+    InputNormalizer n;
+    n.fit({{5.0}, {5.0}});
+    EXPECT_NEAR(n.normalize({5.0})[0], 0.5, 1e-12);
+}
+
+TEST(Normalizer, ScalarRoundTrip)
+{
+    InputNormalizer n;
+    n.fitScalar({2.0, 4.0, 10.0});
+    const double z = n.normalizeScalar(6.0);
+    EXPECT_NEAR(n.denormalizeScalar(z), 6.0, 1e-12);
+}
+
+TEST(FuzzyController, SeedingReproducesSeedOutputs)
+{
+    FuzzyController fc(4, 2);
+    Rng rng(1);
+    fc.train({0.1, 0.1}, 1.0, 0.04, rng);
+    fc.train({0.9, 0.9}, 2.0, 0.04, rng);
+    fc.train({0.1, 0.9}, 3.0, 0.04, rng);
+    fc.train({0.9, 0.1}, 4.0, 0.04, rng);
+    EXPECT_TRUE(fc.fullySeeded());
+    // Queries exactly at the rule centers return ~the seed outputs.
+    EXPECT_NEAR(fc.infer({0.1, 0.1}), 1.0, 0.05);
+    EXPECT_NEAR(fc.infer({0.9, 0.9}), 2.0, 0.05);
+}
+
+TEST(FuzzyController, SeededRulesStayBounded)
+{
+    // Freshly seeded rules are narrow (sigma < 0.1, Appendix A), so a
+    // mid-point query is dominated by whichever rule reaches further —
+    // it must stay within the convex hull of the rule outputs.
+    FuzzyController fc(2, 1);
+    Rng rng(2);
+    fc.train({0.0}, 0.0, 0.04, rng);
+    fc.train({1.0}, 1.0, 0.04, rng);
+    const double mid = fc.infer({0.5});
+    EXPECT_GE(mid, 0.0);
+    EXPECT_LE(mid, 1.0);
+}
+
+TEST(FuzzyController, TrainingWidensInterpolation)
+{
+    // After gradient training on a dense line, mid-point queries do
+    // interpolate.
+    FuzzyController fc(8, 1);
+    Rng rng(2);
+    for (int k = 0; k < 4000; ++k) {
+        const double x = rng.uniform();
+        fc.train({x}, x, 0.04, rng);
+    }
+    EXPECT_NEAR(fc.infer({0.5}), 0.5, 0.1);
+}
+
+TEST(FuzzyController, FarQueryFallsBackToARule)
+{
+    FuzzyController fc(2, 1);
+    Rng rng(3);
+    fc.train({0.0}, 5.0, 0.04, rng);
+    fc.train({0.2}, 7.0, 0.04, rng);
+    // Way outside the support: must return one of the rule outputs
+    // (membership-nearest), never NaN or an extrapolated value.
+    const double out = fc.infer({50.0});
+    EXPECT_TRUE(std::isfinite(out));
+    EXPECT_TRUE(std::abs(out - 5.0) < 1e-6 ||
+                std::abs(out - 7.0) < 1e-6);
+}
+
+TEST(FuzzyController, GradientTrainingReducesError)
+{
+    // Learn z = x1 + x2 on [0,1]^2.
+    const std::size_t rules = 16;
+    FuzzyController fc(rules, 2);
+    Rng rng(4);
+    auto target = [](double a, double b) { return a + b; };
+
+    // Seed + train.
+    for (int k = 0; k < 4000; ++k) {
+        const double a = rng.uniform(), b = rng.uniform();
+        fc.train({a, b}, target(a, b), 0.04, rng);
+    }
+    RunningStats err;
+    for (int k = 0; k < 500; ++k) {
+        const double a = rng.uniform(), b = rng.uniform();
+        err.add(std::abs(fc.infer({a, b}) - target(a, b)));
+    }
+    EXPECT_LT(err.mean(), 0.08);
+}
+
+TEST(FuzzyController, LearnsNonLinearFunction)
+{
+    FuzzyController fc(25, 2);
+    Rng rng(5);
+    auto target = [](double a, double b) {
+        return std::sin(3.0 * a) * b;
+    };
+    for (int k = 0; k < 12000; ++k) {
+        const double a = rng.uniform(), b = rng.uniform();
+        fc.train({a, b}, target(a, b), 0.04, rng);
+    }
+    RunningStats err;
+    for (int k = 0; k < 500; ++k) {
+        const double a = rng.uniform(), b = rng.uniform();
+        err.add(std::abs(fc.infer({a, b}) - target(a, b)));
+    }
+    EXPECT_LT(err.mean(), 0.1);
+}
+
+TEST(FuzzyController, FootprintMatchesShape)
+{
+    FuzzyController fc(25, 7);
+    // mu + sigma matrices (25x7 each) plus y vector (25 doubles).
+    EXPECT_EQ(fc.footprintBytes(), sizeof(double) * (25 * 7 * 2 + 25));
+}
+
+TEST(TrainedController, RawUnitsEndToEnd)
+{
+    // Learn fmax ~ 5e9 - 2e9 * load in raw physical units.
+    TrainedController tc(16, 1);
+    Rng rng(6);
+    std::vector<std::vector<double>> in;
+    std::vector<double> out;
+    for (int k = 0; k < 3000; ++k) {
+        const double load = rng.uniform(0.0, 1.0);
+        in.push_back({load});
+        out.push_back(5e9 - 2e9 * load);
+    }
+    tc.train(in, out, 0.04, rng);
+    EXPECT_TRUE(tc.trained());
+    EXPECT_NEAR(tc.predict({0.25}), 4.5e9, 0.1e9);
+    EXPECT_NEAR(tc.predict({0.75}), 3.5e9, 0.1e9);
+}
+
+/** Property: accuracy improves (or holds) with more training data. */
+class TrainingSizeSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(TrainingSizeSweep, ErrorBoundedByBudget)
+{
+    const int examples = GetParam();
+    FuzzyController fc(16, 1);
+    Rng rng(7);
+    for (int k = 0; k < examples; ++k) {
+        const double a = rng.uniform();
+        fc.train({a}, a * a, 0.04, rng);
+    }
+    RunningStats err;
+    for (int k = 0; k < 300; ++k) {
+        const double a = rng.uniform();
+        err.add(std::abs(fc.infer({a}) - a * a));
+    }
+    // Generous budget: shrinking with training size.
+    const double budget = examples >= 2000 ? 0.05 : 0.25;
+    EXPECT_LT(err.mean(), budget);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TrainingSizeSweep,
+                         ::testing::Values(100, 500, 2000, 8000));
+
+} // namespace
+} // namespace eval

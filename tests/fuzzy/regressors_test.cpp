@@ -1,0 +1,114 @@
+/** Tests for the Appendix A comparison regressors. */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "fuzzy/regressors.hh"
+#include "util/random.hh"
+#include "util/statistics.hh"
+
+namespace eval {
+namespace {
+
+TEST(Perceptron, LearnsLinearFunction)
+{
+    PerceptronRegressor p(2, 0.1);
+    Rng rng(1);
+    for (int k = 0; k < 5000; ++k) {
+        const double a = rng.uniform(), b = rng.uniform();
+        p.train({a, b}, 0.3 * a - 0.5 * b + 0.2);
+    }
+    RunningStats err;
+    for (int k = 0; k < 200; ++k) {
+        const double a = rng.uniform(), b = rng.uniform();
+        err.add(std::abs(p.predict({a, b}) - (0.3 * a - 0.5 * b + 0.2)));
+    }
+    EXPECT_LT(err.mean(), 0.01);
+}
+
+TEST(Perceptron, CannotLearnNonLinearFunction)
+{
+    // Appendix A's point: the perceptron's output is linear in the
+    // inputs, so a product target defeats it.
+    PerceptronRegressor p(2, 0.05);
+    Rng rng(2);
+    auto target = [](double a, double b) {
+        return (a - 0.5) * (b - 0.5) * 4.0;
+    };
+    for (int k = 0; k < 10000; ++k) {
+        const double a = rng.uniform(), b = rng.uniform();
+        p.train({a, b}, target(a, b));
+    }
+    RunningStats err;
+    for (int k = 0; k < 500; ++k) {
+        const double a = rng.uniform(), b = rng.uniform();
+        err.add(std::abs(p.predict({a, b}) - target(a, b)));
+    }
+    EXPECT_GT(err.mean(), 0.1);   // stuck near the best linear fit
+}
+
+TEST(Perceptron, FootprintIsTiny)
+{
+    PerceptronRegressor p(6);
+    EXPECT_EQ(p.footprintBytes(), 7 * sizeof(double));
+}
+
+TEST(Table, LearnsWithEnoughCellsAndData)
+{
+    TableRegressor t(2, 8);
+    Rng rng(3);
+    auto target = [](double a, double b) { return a * b; };
+    for (int k = 0; k < 20000; ++k) {
+        const double a = rng.uniform(), b = rng.uniform();
+        t.train({a, b}, target(a, b));
+    }
+    RunningStats err;
+    for (int k = 0; k < 500; ++k) {
+        const double a = rng.uniform(), b = rng.uniform();
+        err.add(std::abs(t.predict({a, b}) - target(a, b)));
+    }
+    // In-cell averaging limits accuracy to ~cell size.
+    EXPECT_LT(err.mean(), 0.08);
+}
+
+TEST(Table, UntouchedCellFallsBackToGlobalMean)
+{
+    TableRegressor t(1, 10);
+    t.train({0.05}, 2.0);
+    t.train({0.15}, 4.0);
+    EXPECT_NEAR(t.predict({0.95}), 3.0, 1e-9);   // global mean
+    EXPECT_NEAR(t.predict({0.05}), 2.0, 1e-9);
+}
+
+TEST(Table, EmptyPredictsZero)
+{
+    TableRegressor t(2, 4);
+    EXPECT_DOUBLE_EQ(t.predict({0.5, 0.5}), 0.0);
+}
+
+TEST(Table, MemoryGrowsExponentiallyWithDims)
+{
+    TableRegressor small(2, 16);
+    TableRegressor big(4, 16);
+    EXPECT_GT(big.footprintBytes(), 50 * small.footprintBytes());
+}
+
+TEST(Table, ResolutionCapProtectsMemory)
+{
+    // 64 bins over 7 inputs would want 64^7 cells; the cap kicks in.
+    TableRegressor t(7, 64);
+    EXPECT_LE(t.cells(), std::size_t{1} << 22);
+}
+
+TEST(Table, ClampsOutOfRangeInputs)
+{
+    TableRegressor t(1, 4);
+    t.train({5.0}, 1.0);     // clamps into the last bin
+    t.train({-3.0}, -1.0);   // clamps into the first bin
+    EXPECT_NEAR(t.predict({0.999}), 1.0, 1e-9);
+    EXPECT_NEAR(t.predict({0.0}), -1.0, 1e-9);
+}
+
+} // namespace
+} // namespace eval

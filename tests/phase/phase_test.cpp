@@ -1,0 +1,160 @@
+/** Tests for the BBV phase detector and the phase table. */
+
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "arch/isa.hh"
+#include "phase/phase_detector.hh"
+#include "phase/phase_table.hh"
+#include "workload/generator.hh"
+
+namespace eval {
+namespace {
+
+TEST(Bbv, AccumulatesAndNormalizes)
+{
+    BbvAccumulator bbv;
+    bbv.note(0x1000, 8);
+    bbv.note(0x2000, 8);
+    const auto v = bbv.normalized();
+    double sum = 0.0;
+    for (double x : v)
+        sum += x;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+    EXPECT_EQ(bbv.blocksSeen(), 2u);
+}
+
+TEST(Bbv, EmptyNormalizesToZero)
+{
+    BbvAccumulator bbv;
+    for (double x : bbv.normalized())
+        EXPECT_DOUBLE_EQ(x, 0.0);
+}
+
+TEST(Bbv, CountersSaturate)
+{
+    BbvAccumulator bbv;
+    for (int i = 0; i < 1000; ++i)
+        bbv.note(0x1000, 64);
+    // Saturation means no overflow and still a valid distribution.
+    const auto v = bbv.normalized();
+    double sum = 0.0;
+    for (double x : v)
+        sum += x;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Bbv, ResetClears)
+{
+    BbvAccumulator bbv;
+    bbv.note(0x1000, 4);
+    bbv.reset();
+    EXPECT_EQ(bbv.blocksSeen(), 0u);
+}
+
+TEST(Detector, SameBbvSamePhase)
+{
+    PhaseDetector det;
+    BbvAccumulator bbv;
+    bbv.note(0x1000, 8);
+    bbv.note(0x2040, 4);
+
+    const auto d1 = det.endInterval(bbv);
+    EXPECT_TRUE(d1.isNewPhase);
+    const auto d2 = det.endInterval(bbv);
+    EXPECT_FALSE(d2.isNewPhase);
+    EXPECT_EQ(d2.phaseId, d1.phaseId);
+    EXPECT_FALSE(d2.changed);
+}
+
+TEST(Detector, DistinctBbvNewPhase)
+{
+    PhaseDetector det;
+    BbvAccumulator a, b;
+    a.note(0x1000, 8);
+    for (int i = 0; i < 8; ++i)
+        b.note(0x99000 + i * 4096, 8);
+
+    const auto d1 = det.endInterval(a);
+    const auto d2 = det.endInterval(b);
+    EXPECT_TRUE(d2.isNewPhase);
+    EXPECT_NE(d2.phaseId, d1.phaseId);
+    EXPECT_TRUE(d2.changed);
+}
+
+TEST(Detector, TableCapacityRespected)
+{
+    PhaseDetector det(0.05, 4);
+    Rng rng(3);
+    for (int p = 0; p < 10; ++p) {
+        BbvAccumulator bbv;
+        for (int i = 0; i < 16; ++i)
+            bbv.note(rng.next(), 8);
+        det.endInterval(bbv);
+    }
+    EXPECT_LE(det.numPhases(), 4u);
+}
+
+TEST(Detector, RecognizesWorkloadPhases)
+{
+    // Stream a 3-phase application through the detector and check the
+    // detector's phase ids track the generator's ground truth.
+    const AppProfile &app = appByName("gcc");
+    SyntheticTrace trace(app, 5);
+    PhaseDetector det(0.25, 16);
+
+    const int intervalOps = 20000;
+    std::map<std::size_t, std::map<std::size_t, int>> confusion;
+    MicroOp op;
+    std::uint64_t lastBranchPc = 0;
+    std::uint32_t blockLen = 0;
+    for (int interval = 0; interval < 60; ++interval) {
+        BbvAccumulator bbv;
+        const std::size_t truth = trace.currentPhase();
+        for (int i = 0; i < intervalOps; ++i) {
+            trace.next(op);
+            ++blockLen;
+            if (op.cls == OpClass::Branch) {
+                lastBranchPc = op.pc;
+                bbv.note(lastBranchPc, blockLen);
+                blockLen = 0;
+            }
+        }
+        const auto d = det.endInterval(bbv);
+        ++confusion[truth][d.phaseId];
+    }
+
+    // Majority detected id per ground-truth phase must be distinct.
+    std::set<std::size_t> majors;
+    for (const auto &[truth, detected] : confusion) {
+        std::size_t best = 0;
+        int bestCount = -1;
+        for (const auto &[id, count] : detected) {
+            if (count > bestCount) {
+                bestCount = count;
+                best = id;
+            }
+        }
+        majors.insert(best);
+    }
+    EXPECT_EQ(majors.size(), confusion.size());
+}
+
+TEST(PhaseTable, SaveLookupInvalidate)
+{
+    PhaseTable<int> table;
+    EXPECT_FALSE(table.lookup(3).has_value());
+    table.save(3, 42);
+    ASSERT_TRUE(table.lookup(3).has_value());
+    EXPECT_EQ(*table.lookup(3), 42);
+    table.save(3, 43);
+    EXPECT_EQ(*table.lookup(3), 43);
+    EXPECT_EQ(table.size(), 1u);
+    table.invalidate();
+    EXPECT_FALSE(table.lookup(3).has_value());
+}
+
+} // namespace
+} // namespace eval

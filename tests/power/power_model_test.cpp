@@ -1,0 +1,142 @@
+/** Tests for the Eq 7/8 power models, knobs, and Vt0 calibration. */
+
+#include <gtest/gtest.h>
+
+#include "power/knobs.hh"
+#include "power/power_model.hh"
+#include "power/vt0_calibration.hh"
+
+namespace eval {
+namespace {
+
+TEST(DynamicPower, ScalesQuadraticallyWithVdd)
+{
+    const double p1 = dynamicPower(1e-12, 0.5, 1.0, 4e9);
+    const double p2 = dynamicPower(1e-12, 0.5, 1.2, 4e9);
+    EXPECT_NEAR(p2 / p1, 1.44, 1e-9);
+}
+
+TEST(DynamicPower, LinearInActivityAndFrequency)
+{
+    const double base = dynamicPower(1e-12, 0.5, 1.0, 4e9);
+    EXPECT_NEAR(dynamicPower(1e-12, 1.0, 1.0, 4e9), 2.0 * base, 1e-12);
+    EXPECT_NEAR(dynamicPower(1e-12, 0.5, 1.0, 8e9), 2.0 * base, 1e-12);
+}
+
+TEST(StaticPower, GrowsWithTemperature)
+{
+    const double cold = staticPower(1e-3, 1.0, 45.0, 0.15);
+    const double hot = staticPower(1e-3, 1.0, 95.0, 0.15);
+    EXPECT_GT(hot, cold * 2.0);
+}
+
+TEST(StaticPower, ShrinksExponentiallyWithVt)
+{
+    const double lowVt = staticPower(1e-3, 1.0, 70.0, 0.12);
+    const double highVt = staticPower(1e-3, 1.0, 70.0, 0.18);
+    EXPECT_GT(lowVt / highVt, 5.0);
+}
+
+TEST(Calibration, MeetsChipTargets)
+{
+    ProcessParams params;
+    PowerCalibration cal;
+    const auto table = calibratePower(params, cal);
+
+    double dyn = 0.0, sta = 0.0;
+    const double tK = celsiusToKelvin(cal.calibrationTempC);
+    const OperatingConditions calOp{params.vddNominal, 0.0,
+                                    cal.calibrationTempC};
+    const double vtEff = effectiveVt(params, params.vtMean, calOp);
+    for (const auto &p : table) {
+        dyn += dynamicPower(p.kdyn, p.alphaRef, params.vddNominal,
+                            params.freqNominal);
+        sta += p.ksta * params.vddNominal * tK * tK *
+               std::exp(-kQOverK * vtEff / tK);
+    }
+    EXPECT_NEAR(dyn, cal.coreDynamicTargetW, 0.02 * cal.coreDynamicTargetW);
+    EXPECT_NEAR(sta, cal.coreStaticTargetW, 0.02 * cal.coreStaticTargetW);
+}
+
+TEST(Calibration, AllConstantsPositive)
+{
+    const auto table = calibratePower(ProcessParams{}, PowerCalibration{});
+    for (const auto &p : table) {
+        EXPECT_GT(p.kdyn, 0.0);
+        EXPECT_GT(p.ksta, 0.0);
+        EXPECT_GT(p.alphaRef, 0.0);
+    }
+}
+
+TEST(KnobRange, Figure7aRanges)
+{
+    KnobSpace ks;
+    EXPECT_DOUBLE_EQ(ks.vdd.lo(), 0.80);
+    EXPECT_DOUBLE_EQ(ks.vdd.hi(), 1.20);
+    EXPECT_DOUBLE_EQ(ks.vdd.step(), 0.05);
+    EXPECT_DOUBLE_EQ(ks.vbb.lo(), -0.50);
+    EXPECT_DOUBLE_EQ(ks.vbb.hi(), 0.50);
+    EXPECT_DOUBLE_EQ(ks.freq.step(), 0.1e9);
+    EXPECT_GE(ks.freq.lo(), 2.4e9 - 1.0);
+}
+
+TEST(KnobRange, QuantizeVariants)
+{
+    KnobRange r(0.0, 1.0, 0.1);
+    EXPECT_NEAR(r.quantize(0.44), 0.4, 1e-12);
+    EXPECT_NEAR(r.quantize(0.46), 0.5, 1e-12);
+    EXPECT_NEAR(r.quantizeDown(0.49), 0.4, 1e-12);
+    EXPECT_NEAR(r.quantizeDown(0.50), 0.5, 1e-12);
+    EXPECT_NEAR(r.quantizeUp(0.41), 0.5, 1e-12);
+    EXPECT_NEAR(r.quantizeUp(0.40), 0.4, 1e-12);
+    EXPECT_NEAR(r.quantize(-5.0), 0.0, 1e-12);
+    EXPECT_NEAR(r.quantize(5.0), 1.0, 1e-12);
+}
+
+TEST(KnobSpace, CapabilityFiltering)
+{
+    KnobSpace ks;
+    ks.hasAsv = false;
+    ks.hasAbb = false;
+    EXPECT_EQ(ks.vddCandidates(1.0).size(), 1u);
+    EXPECT_DOUBLE_EQ(ks.vddCandidates(1.0)[0], 1.0);
+    EXPECT_EQ(ks.vbbCandidates().size(), 1u);
+    EXPECT_DOUBLE_EQ(ks.vbbCandidates()[0], 0.0);
+
+    ks.hasAsv = true;
+    ks.hasAbb = true;
+    EXPECT_EQ(ks.vddCandidates(1.0).size(), 9u);
+    EXPECT_EQ(ks.vbbCandidates().size(), 21u);
+}
+
+TEST(Vt0Calibration, RecoversTrueVt0)
+{
+    ProcessParams params;
+    const auto table = calibratePower(params, PowerCalibration{});
+    TesterConfig cfg;
+    cfg.currentNoiseRel = 0.0;   // noiseless meter
+    Rng rng(1);
+    for (double trueVt0 : {0.13, 0.15, 0.17}) {
+        const double measured = measureVt0(
+            params, table[0], trueVt0, cfg, rng);
+        EXPECT_NEAR(measured, trueVt0, 1e-6);
+    }
+}
+
+TEST(Vt0Calibration, NoiseStaysSmall)
+{
+    ProcessParams params;
+    const auto table = calibratePower(params, PowerCalibration{});
+    TesterConfig cfg;   // default 1% meter noise
+    Rng rng(2);
+    double worst = 0.0;
+    for (int i = 0; i < 200; ++i) {
+        const double m = measureVt0(params, table[3], 0.15, cfg, rng);
+        worst = std::max(worst, std::abs(m - 0.15));
+    }
+    // 1% current error maps to ~ (kT/q) * 1% ~ 0.3 mV.
+    EXPECT_LT(worst, 0.002);
+}
+
+} // namespace
+} // namespace eval

@@ -1,0 +1,221 @@
+/** Tests for path populations and the VATS PE(f) error model. */
+
+#include <gtest/gtest.h>
+
+#include "timing/error_model.hh"
+#include "timing/path_population.hh"
+#include "variation/chip.hh"
+
+namespace eval {
+namespace {
+
+struct Fixture
+{
+    ProcessParams params;
+    ChipFactory factory{params, 99};
+    Chip chip{factory.manufacture()};
+    Chip ideal{factory.manufactureIdeal()};
+};
+
+PathPopulation
+build(const Chip &chip, SubsystemId id, PathPopulationParams pp = {})
+{
+    Rng rng = chip.forkRng(0x1234 +
+                           static_cast<std::uint64_t>(id) * 7);
+    return buildPathPopulation(chip, 0, id, pp, rng);
+}
+
+TEST(PathPopulation, IdealChipMeetsNominalPeriodExactly)
+{
+    Fixture f;
+    const PathPopulation pop = build(f.ideal, SubsystemId::Decode);
+    double maxDelay = 0.0;
+    for (const auto &p : pop.paths)
+        maxDelay = std::max(maxDelay, p.delayRef);
+    // The critical-path wall: slowest structural path == Tnom.
+    EXPECT_NEAR(maxDelay, 1.0 / f.params.freqNominal,
+                0.01 / f.params.freqNominal);
+}
+
+TEST(PathPopulation, VariationMakesSomePathsSlower)
+{
+    Fixture f;
+    const PathPopulation pop = build(f.chip, SubsystemId::Icache);
+    double maxDelay = 0.0;
+    for (const auto &p : pop.paths)
+        maxDelay = std::max(maxDelay, p.delayRef);
+    // With a 4+ sigma memory tail the slowest cell should exceed Tnom.
+    EXPECT_GT(maxDelay, 1.0 / f.params.freqNominal);
+}
+
+TEST(PathPopulation, SubsystemMeansTrackTheMap)
+{
+    Fixture f;
+    const PathPopulation pop = build(f.chip, SubsystemId::Dcache);
+    const double expected = f.chip.subsystemVtSys(0, SubsystemId::Dcache);
+    EXPECT_NEAR(pop.vt0Mean, expected, 1e-12);
+}
+
+TEST(PathPopulation, LowSlopeKeepsSlowestStructuralPath)
+{
+    Fixture f;
+    PathPopulationParams normal;
+    PathPopulationParams low;
+    low.lowSlope = true;
+    // Use the ideal chip so only the structural transform acts.
+    const PathPopulation a = build(f.ideal, SubsystemId::IntALU, normal);
+    const PathPopulation b = build(f.ideal, SubsystemId::IntALU, low);
+    auto maxOf = [](const PathPopulation &p) {
+        double m = 0.0;
+        for (const auto &path : p.paths)
+            m = std::max(m, path.delayRef);
+        return m;
+    };
+    auto meanOf = [](const PathPopulation &p) {
+        double s = 0.0;
+        for (const auto &path : p.paths)
+            s += path.delayRef;
+        return s / p.paths.size();
+    };
+    EXPECT_NEAR(maxOf(a), maxOf(b), 0.02 * maxOf(a));
+    EXPECT_LT(meanOf(b), meanOf(a));   // bulk moved away from the wall
+}
+
+TEST(PathPopulation, ShiftFactorScalesAllDelays)
+{
+    Fixture f;
+    PathPopulationParams shifted;
+    shifted.shiftFactor = 0.92;
+    const PathPopulation a = build(f.ideal, SubsystemId::IntQ);
+    const PathPopulation b = build(f.ideal, SubsystemId::IntQ, shifted);
+    ASSERT_EQ(a.paths.size(), b.paths.size());
+    for (std::size_t i = 0; i < a.paths.size(); ++i)
+        EXPECT_NEAR(b.paths[i].delayRef, 0.92 * a.paths[i].delayRef,
+                    1e-15);
+}
+
+TEST(StageErrorModel, ZeroErrorsBelowFvar)
+{
+    Fixture f;
+    StageErrorModel model(f.params, build(f.chip, SubsystemId::Icache));
+    const OperatingConditions corner =
+        OperatingConditions::nominal(f.params);
+    const double fvar = model.fvar(corner);
+    EXPECT_DOUBLE_EQ(
+        model.errorRatePerAccess(1.0 / (0.99 * fvar), corner), 0.0);
+    EXPECT_GT(model.errorRatePerAccess(1.0 / (1.05 * fvar), corner),
+              0.0);
+}
+
+TEST(StageErrorModel, ErrorRateMonotoneInFrequency)
+{
+    Fixture f;
+    StageErrorModel model(f.params, build(f.chip, SubsystemId::Decode));
+    const OperatingConditions corner =
+        OperatingConditions::nominal(f.params);
+    double prev = -1.0;
+    for (double fr = 0.7; fr <= 1.6; fr += 0.05) {
+        const double pe = model.errorRatePerAccess(
+            1.0 / (fr * f.params.freqNominal), corner);
+        EXPECT_GE(pe, prev);
+        prev = pe;
+    }
+    EXPECT_GT(prev, 0.5);   // deep overclock fails nearly always
+}
+
+TEST(StageErrorModel, MemoryOnsetSteeperThanLogic)
+{
+    // Figure 8(a): memory structures have a rapid error onset, logic a
+    // gradual one.  5% past the error-free frequency, a memory array
+    // is already failing on most accesses while logic still errs
+    // rarely.
+    Fixture f;
+    StageErrorModel mem(f.params, build(f.chip, SubsystemId::Icache));
+    StageErrorModel logic(f.params, build(f.chip, SubsystemId::Decode));
+    const OperatingConditions corner =
+        OperatingConditions::nominal(f.params);
+
+    auto peBeyondFvar = [&corner](const StageErrorModel &m, double fr) {
+        const double f = fr * m.fvar(corner);
+        return m.errorRatePerAccess(1.0 / f, corner);
+    };
+    // 10% past fvar a memory array fails orders of magnitude more
+    // often than logic does.
+    EXPECT_GT(peBeyondFvar(mem, 1.10), 20.0 * peBeyondFvar(logic, 1.10));
+    // Just past fvar, logic errs rarely (the gradual onset TS needs).
+    EXPECT_LT(peBeyondFvar(logic, 1.03), 1e-2);
+}
+
+TEST(StageErrorModel, HigherVddShiftsCurveRight)
+{
+    Fixture f;
+    StageErrorModel model(f.params, build(f.chip, SubsystemId::IntReg));
+    OperatingConditions low = OperatingConditions::nominal(f.params);
+    OperatingConditions high = low;
+    high.vdd = 1.2;
+    EXPECT_GT(model.fvar(high), model.fvar(low));
+}
+
+TEST(StageErrorModel, CoolerShiftsCurveRight)
+{
+    Fixture f;
+    StageErrorModel model(f.params, build(f.chip, SubsystemId::IntReg));
+    OperatingConditions hot = OperatingConditions::nominal(f.params);
+    OperatingConditions cool = hot;
+    cool.tempC = 50.0;
+    EXPECT_GT(model.fvar(cool), model.fvar(hot));
+}
+
+TEST(StageErrorModel, MaxFrequencyForErrorRateRespectsBudget)
+{
+    Fixture f;
+    StageErrorModel model(f.params, build(f.chip, SubsystemId::Decode));
+    const OperatingConditions corner =
+        OperatingConditions::nominal(f.params);
+    for (double budget : {1e-6, 1e-4, 1e-2}) {
+        const double fmax = model.maxFrequencyForErrorRate(budget, corner);
+        EXPECT_LE(model.errorRatePerAccess(1.0 / fmax, corner),
+                  budget * (1.0 + 1e-9));
+    }
+}
+
+TEST(StageErrorModel, BudgetZeroGivesFvar)
+{
+    Fixture f;
+    StageErrorModel model(f.params, build(f.chip, SubsystemId::DTLB));
+    const OperatingConditions corner =
+        OperatingConditions::nominal(f.params);
+    EXPECT_NEAR(model.maxFrequencyForErrorRate(0.0, corner),
+                model.fvar(corner), 1e-3 * model.fvar(corner));
+}
+
+TEST(PipelineModel, Eq4SumsActivityWeightedRates)
+{
+    const std::vector<double> pe{1e-4, 2e-4, 0.0};
+    const std::vector<double> rho{1.0, 0.5, 3.0};
+    EXPECT_NEAR(processorErrorRate(pe, rho), 1e-4 + 1e-4, 1e-12);
+}
+
+/** Property sweep: the error model behaves sanely for every subsystem. */
+class AllSubsystems : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(AllSubsystems, FvarWithinPlausibleBand)
+{
+    Fixture f;
+    const auto id = static_cast<SubsystemId>(GetParam());
+    StageErrorModel model(f.params, build(f.chip, id));
+    const OperatingConditions corner =
+        OperatingConditions::nominal(f.params);
+    const double fr = model.fvar(corner) / f.params.freqNominal;
+    EXPECT_GT(fr, 0.5);
+    EXPECT_LT(fr, 1.3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ids, AllSubsystems,
+                         ::testing::Range<std::size_t>(0,
+                                                       kNumSubsystems));
+
+} // namespace
+} // namespace eval

@@ -1,0 +1,102 @@
+/** Tests for per-subsystem path-population defaults (array geometry,
+ *  redundancy repair, and the SRAM-Razor L1 margin). */
+
+#include <gtest/gtest.h>
+
+#include "timing/error_model.hh"
+#include "timing/path_population.hh"
+#include "variation/chip.hh"
+
+namespace eval {
+namespace {
+
+struct Fixture
+{
+    ProcessParams params;
+    ChipFactory factory{params, 321};
+    Chip chip{factory.manufacture()};
+};
+
+TEST(PathParams, CachesGetRazorMarginAndRepair)
+{
+    const PathPopulationParams dc = defaultPathParams(SubsystemId::Dcache);
+    EXPECT_DOUBLE_EQ(dc.structuralScale, kRazorL1Margin);
+    EXPECT_GT(dc.memoryRepairedFraction, 0.0);
+    EXPECT_EQ(dc.memoryTotalCells, 65536u);
+
+    const PathPopulationParams iq = defaultPathParams(SubsystemId::IntQ);
+    EXPECT_DOUBLE_EQ(iq.structuralScale, 1.0);
+    EXPECT_DOUBLE_EQ(iq.memoryRepairedFraction, 0.0);
+}
+
+TEST(PathParams, SmallArraysHaveShallowerTails)
+{
+    // A 128-row register file cannot contain a 4.5-sigma cell; its
+    // worst path is set by its own size.  The 8K-cell queue CAM digs
+    // deeper into the tail, so (same location, same structural wall)
+    // its fvar is lower.
+    Fixture f;
+    const OperatingConditions corner =
+        OperatingConditions::nominal(f.params);
+
+    auto fvarWithCells = [&f, &corner](std::size_t cells) {
+        PathPopulationParams pp;
+        pp.memoryTotalCells = cells;
+        Rng rng = f.chip.forkRng(0x7A11);   // identical draw stream
+        const PathPopulation pop = buildPathPopulation(
+            f.chip, 0, SubsystemId::IntReg, pp, rng);
+        return StageErrorModel(f.params, std::move(pop)).fvar(corner);
+    };
+    EXPECT_GT(fvarWithCells(128), fvarWithCells(8192));
+}
+
+TEST(PathParams, RepairRaisesCacheFvar)
+{
+    Fixture f;
+    const OperatingConditions corner =
+        OperatingConditions::nominal(f.params);
+
+    auto fvarWithRepair = [&f, &corner](double repaired) {
+        PathPopulationParams pp = defaultPathParams(SubsystemId::Dcache);
+        pp.memoryRepairedFraction = repaired;
+        Rng rng = f.chip.forkRng(0xD0C7);
+        const PathPopulation pop = buildPathPopulation(
+            f.chip, 0, SubsystemId::Dcache, pp, rng);
+        return StageErrorModel(f.params, std::move(pop)).fvar(corner);
+    };
+    EXPECT_GT(fvarWithRepair(0.01), fvarWithRepair(0.0));
+}
+
+TEST(PathParams, RazorMarginSpeedsCachesByItsFactor)
+{
+    Fixture f;
+    const OperatingConditions corner =
+        OperatingConditions::nominal(f.params);
+    PathPopulationParams with = defaultPathParams(SubsystemId::Icache);
+    PathPopulationParams without = with;
+    without.structuralScale = 1.0;
+
+    Rng rngA = f.chip.forkRng(0x1CA);
+    Rng rngB = f.chip.forkRng(0x1CA);
+    StageErrorModel a(f.params,
+                      buildPathPopulation(f.chip, 0, SubsystemId::Icache,
+                                          with, rngA));
+    StageErrorModel b(f.params,
+                      buildPathPopulation(f.chip, 0, SubsystemId::Icache,
+                                          without, rngB));
+    EXPECT_NEAR(a.fvar(corner) * kRazorL1Margin, b.fvar(corner),
+                0.01 * b.fvar(corner));
+}
+
+TEST(PathParams, EveryMemoryTypeHasGeometry)
+{
+    for (std::size_t i = 0; i < kNumSubsystems; ++i) {
+        const auto id = static_cast<SubsystemId>(i);
+        const PathPopulationParams pp = defaultPathParams(id);
+        EXPECT_GE(pp.memoryTotalCells, 64u) << i;
+        EXPECT_GT(pp.structuralScale, 0.5) << i;
+    }
+}
+
+} // namespace
+} // namespace eval

@@ -1,0 +1,135 @@
+/** Tests for the deterministic PRNG (util/random.hh). */
+
+#include <gtest/gtest.h>
+
+#include "util/random.hh"
+#include "util/statistics.hh"
+
+namespace eval {
+namespace {
+
+TEST(Rng, DeterministicFromSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformRangeRespectsBounds)
+{
+    Rng rng(9);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(-3.0, 5.0);
+        EXPECT_GE(u, -3.0);
+        EXPECT_LT(u, 5.0);
+    }
+}
+
+TEST(Rng, UniformIntWithinBound)
+{
+    Rng rng(11);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.uniformInt(17), 17u);
+}
+
+TEST(Rng, UniformIntCoversAllResidues)
+{
+    Rng rng(13);
+    std::array<int, 8> seen{};
+    for (int i = 0; i < 4000; ++i)
+        ++seen[rng.uniformInt(8)];
+    for (int count : seen)
+        EXPECT_GT(count, 300);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(17);
+    RunningStats stats;
+    for (int i = 0; i < 200000; ++i)
+        stats.add(rng.gaussian());
+    EXPECT_NEAR(stats.mean(), 0.0, 0.02);
+    EXPECT_NEAR(stats.stddev(), 1.0, 0.02);
+}
+
+TEST(Rng, GaussianScaled)
+{
+    Rng rng(19);
+    RunningStats stats;
+    for (int i = 0; i < 100000; ++i)
+        stats.add(rng.gaussian(5.0, 2.0));
+    EXPECT_NEAR(stats.mean(), 5.0, 0.05);
+    EXPECT_NEAR(stats.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, BernoulliFrequency)
+{
+    Rng rng(23);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.bernoulli(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ForkIsDeterministic)
+{
+    Rng a(5), b(5);
+    Rng fa = a.fork(100);
+    Rng fb = b.fork(100);
+    for (int i = 0; i < 32; ++i)
+        EXPECT_EQ(fa.next(), fb.next());
+}
+
+TEST(Rng, ForkLabelsIndependent)
+{
+    Rng parent(5);
+    Rng f1 = parent.fork(1);
+    Rng f2 = parent.fork(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (f1.next() == f2.next());
+    EXPECT_LT(same, 2);
+}
+
+/** Property sweep: uniformInt stays unbiased across bounds. */
+class UniformIntSweep : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(UniformIntSweep, MeanNearHalfBound)
+{
+    const std::uint64_t bound = GetParam();
+    Rng rng(29 + bound);
+    RunningStats stats;
+    for (int i = 0; i < 50000; ++i)
+        stats.add(static_cast<double>(rng.uniformInt(bound)));
+    const double expected = (static_cast<double>(bound) - 1.0) / 2.0;
+    EXPECT_NEAR(stats.mean(), expected,
+                0.02 * static_cast<double>(bound) + 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, UniformIntSweep,
+                         ::testing::Values(2, 3, 7, 16, 100, 1000));
+
+} // namespace
+} // namespace eval

@@ -1,0 +1,117 @@
+/** Tests for streaming statistics (util/statistics.hh). */
+
+#include <gtest/gtest.h>
+
+#include "util/random.hh"
+#include "util/statistics.hh"
+
+namespace eval {
+namespace {
+
+TEST(RunningStats, Empty)
+{
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownSequence)
+{
+    RunningStats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    // Sample variance of the classic dataset is 32/7.
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeMatchesSingleStream)
+{
+    Rng rng(3);
+    RunningStats whole, a, b;
+    for (int i = 0; i < 1000; ++i) {
+        const double x = rng.gaussian(3.0, 2.0);
+        whole.add(x);
+        (i % 2 ? a : b).add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), whole.count());
+    EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), whole.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), whole.min());
+    EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmpty)
+{
+    RunningStats a, b;
+    a.add(1.0);
+    a.add(3.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+    b.merge(a);
+    EXPECT_EQ(b.count(), 2u);
+    EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(Histogram, BinningAndClamping)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(0.5);
+    h.add(5.5);
+    h.add(5.6);
+    h.add(-100.0);   // clamps into the first bin
+    h.add(100.0);    // clamps into the last bin
+    EXPECT_DOUBLE_EQ(h.count(0), 2.0);
+    EXPECT_DOUBLE_EQ(h.count(5), 2.0);
+    EXPECT_DOUBLE_EQ(h.count(9), 1.0);
+    EXPECT_DOUBLE_EQ(h.totalWeight(), 5.0);
+}
+
+TEST(Histogram, WeightedQuantile)
+{
+    Histogram h(0.0, 100.0, 100);
+    for (int i = 0; i < 100; ++i)
+        h.add(i + 0.5);
+    EXPECT_NEAR(h.quantile(0.5), 50.0, 1.5);
+    EXPECT_NEAR(h.quantile(0.9), 90.0, 1.5);
+    EXPECT_NEAR(h.quantile(0.0), 0.0, 1.0);
+}
+
+TEST(Histogram, RenderContainsBars)
+{
+    Histogram h(0.0, 2.0, 2);
+    h.add(0.5);
+    h.add(0.6);
+    h.add(1.5);
+    const std::string s = h.render(10);
+    EXPECT_NE(s.find('#'), std::string::npos);
+}
+
+TEST(SampleSet, Percentiles)
+{
+    SampleSet s;
+    for (int i = 1; i <= 100; ++i)
+        s.add(static_cast<double>(i));
+    EXPECT_NEAR(s.percentile(0.0), 1.0, 1e-12);
+    EXPECT_NEAR(s.percentile(1.0), 100.0, 1e-12);
+    EXPECT_NEAR(s.percentile(0.5), 50.5, 1e-9);
+    EXPECT_NEAR(s.mean(), 50.5, 1e-9);
+}
+
+TEST(SampleSet, PercentileUnsortedInput)
+{
+    SampleSet s;
+    for (double x : {9.0, 1.0, 5.0, 3.0, 7.0})
+        s.add(x);
+    EXPECT_DOUBLE_EQ(s.percentile(0.5), 5.0);
+}
+
+} // namespace
+} // namespace eval

@@ -1,0 +1,82 @@
+/** Tests for table/CSV formatting (util/table.hh, util/csv.hh). */
+
+#include <gtest/gtest.h>
+
+#include "util/csv.hh"
+#include "util/table.hh"
+
+namespace eval {
+namespace {
+
+TEST(Format, Doubles)
+{
+    EXPECT_EQ(formatDouble(3.14159, 2), "3.14");
+    EXPECT_EQ(formatDouble(1.0, 0), "1");
+    EXPECT_EQ(formatPercent(0.145, 1), "14.5%");
+}
+
+TEST(TablePrinter, RendersHeaderAndRows)
+{
+    TablePrinter t("demo");
+    t.header({"name", "value"});
+    t.row({"alpha", "1"});
+    t.rowValues("beta", {2.5, 3.5}, 1);
+    const std::string s = t.str();
+    EXPECT_NE(s.find("demo"), std::string::npos);
+    EXPECT_NE(s.find("alpha"), std::string::npos);
+    EXPECT_NE(s.find("2.5"), std::string::npos);
+    EXPECT_NE(s.find("3.5"), std::string::npos);
+}
+
+TEST(TablePrinter, CsvOutput)
+{
+    TablePrinter t("csvdemo");
+    t.header({"a", "b"});
+    t.row({"1", "2"});
+    const std::string csv = t.csv();
+    EXPECT_NE(csv.find("# csvdemo"), std::string::npos);
+    EXPECT_NE(csv.find("a,b"), std::string::npos);
+    EXPECT_NE(csv.find("1,2"), std::string::npos);
+}
+
+TEST(TablePrinter, RaggedRowsAreTolerated)
+{
+    TablePrinter t("ragged");
+    t.header({"x", "y", "z"});
+    t.row({"only-one"});
+    EXPECT_NE(t.str().find("only-one"), std::string::npos);
+}
+
+TEST(SeriesSet, CsvBlock)
+{
+    SeriesSet s("curves", "f");
+    const std::size_t a = s.addSeries("pe");
+    const std::size_t b = s.addSeries("perf");
+    s.addSample(1.0);
+    s.setValue(a, 0.1);
+    s.setValue(b, 0.9);
+    s.addSample(2.0);
+    s.setValue(a, 0.2);
+
+    const std::string csv = s.csv(3);
+    EXPECT_NE(csv.find("# curves"), std::string::npos);
+    EXPECT_NE(csv.find("f,pe,perf"), std::string::npos);
+    EXPECT_NE(csv.find("1,0.1,0.9"), std::string::npos);
+    // Missing value renders as an empty cell.
+    EXPECT_NE(csv.find("2,0.2,"), std::string::npos);
+}
+
+TEST(SeriesSet, SeriesAddedAfterSamplesBackfillsNan)
+{
+    SeriesSet s("late", "x");
+    s.addSample(1.0);
+    const std::size_t idx = s.addSeries("l");
+    s.addSample(2.0);
+    s.setValue(idx, 5.0);
+    const std::string csv = s.csv();
+    EXPECT_NE(csv.find("1,"), std::string::npos);
+    EXPECT_NE(csv.find("2,5"), std::string::npos);
+}
+
+} // namespace
+} // namespace eval

@@ -1,0 +1,139 @@
+/** Tests for floorplan, variation maps, and chip manufacturing. */
+
+#include <gtest/gtest.h>
+
+#include "util/statistics.hh"
+#include "variation/chip.hh"
+
+namespace eval {
+namespace {
+
+TEST(Floorplan, HasAllSubsystems)
+{
+    Floorplan plan(4);
+    EXPECT_EQ(plan.numCores(), 4u);
+    for (std::size_t core = 0; core < 4; ++core) {
+        EXPECT_EQ(plan.coreSubsystems(core).size(), kNumSubsystems);
+    }
+}
+
+TEST(Floorplan, RectanglesInsideChip)
+{
+    Floorplan plan(4);
+    for (std::size_t core = 0; core < 4; ++core) {
+        for (const auto &info : plan.coreSubsystems(core)) {
+            EXPECT_GE(info.rect.x0, -1e-9) << info.name;
+            EXPECT_GE(info.rect.y0, -1e-9) << info.name;
+            EXPECT_LE(info.rect.x1, 1.0 + 1e-9) << info.name;
+            EXPECT_LE(info.rect.y1, 1.0 + 1e-9) << info.name;
+            EXPECT_GT(info.rect.area(), 0.0) << info.name;
+        }
+    }
+}
+
+TEST(Floorplan, CoresOccupyDistinctQuadrants)
+{
+    Floorplan plan(4);
+    // Icache of core 0 and core 1 must not overlap.
+    const Rect &a = plan.subsystem(0, SubsystemId::Icache).rect;
+    const Rect &b = plan.subsystem(1, SubsystemId::Icache).rect;
+    const bool disjoint = a.x1 <= b.x0 || b.x1 <= a.x0 || a.y1 <= b.y0 ||
+                          b.y1 <= a.y0;
+    EXPECT_TRUE(disjoint);
+}
+
+TEST(Floorplan, TypesMatchFigure7)
+{
+    Floorplan plan(1);
+    EXPECT_EQ(plan.subsystem(0, SubsystemId::Dcache).type,
+              StageType::Memory);
+    EXPECT_EQ(plan.subsystem(0, SubsystemId::IntALU).type,
+              StageType::Logic);
+    EXPECT_EQ(plan.subsystem(0, SubsystemId::IntQ).type,
+              StageType::Mixed);
+    EXPECT_EQ(plan.subsystem(0, SubsystemId::BranchPred).type,
+              StageType::Mixed);
+    EXPECT_EQ(plan.subsystem(0, SubsystemId::Decode).type,
+              StageType::Logic);
+}
+
+TEST(Floorplan, IdByNameRoundTrip)
+{
+    Floorplan plan(1);
+    for (const auto &info : plan.coreSubsystems(0))
+        EXPECT_EQ(Floorplan::idByName(info.name), info.id);
+}
+
+TEST(VariationMap, FlatMapHasNoVariation)
+{
+    ProcessParams params;
+    const VariationMap map = VariationMap::flat(params);
+    EXPECT_DOUBLE_EQ(map.vtSystematicAt(0.1, 0.9), params.vtMean);
+    EXPECT_DOUBLE_EQ(map.leffSystematicAt(0.7, 0.2), params.leffMean);
+}
+
+TEST(VariationMap, SystematicStatisticsMatchParams)
+{
+    ProcessParams params;
+    CorrelatedFieldGenerator gen(params.gridSize, params.phi);
+    Rng rng(3);
+    RunningStats vt;
+    for (int s = 0; s < 30; ++s) {
+        VariationMap map(params, gen, rng);
+        for (int i = 0; i < 200; ++i) {
+            const double x = (i % 20) / 20.0;
+            const double y = (i / 20) / 10.0;
+            vt.add(map.vtSystematicAt(x, y));
+        }
+    }
+    EXPECT_NEAR(vt.mean(), params.vtMean, 0.003);
+    EXPECT_NEAR(vt.stddev(), params.vtSigmaSys(), 0.002);
+}
+
+TEST(ChipFactory, Deterministic)
+{
+    ProcessParams params;
+    ChipFactory f1(params, 42), f2(params, 42);
+    const Chip a = f1.manufacture();
+    const Chip b = f2.manufacture();
+    EXPECT_EQ(a.id(), b.id());
+    EXPECT_DOUBLE_EQ(a.subsystemVtSys(0, SubsystemId::Icache),
+                     b.subsystemVtSys(0, SubsystemId::Icache));
+}
+
+TEST(ChipFactory, ChipsDiffer)
+{
+    ProcessParams params;
+    ChipFactory factory(params, 42);
+    const Chip a = factory.manufacture();
+    const Chip b = factory.manufacture();
+    EXPECT_NE(a.subsystemVtSys(0, SubsystemId::Icache),
+              b.subsystemVtSys(0, SubsystemId::Icache));
+}
+
+TEST(ChipFactory, IdealChipIsFlat)
+{
+    ProcessParams params;
+    ChipFactory factory(params, 42);
+    const Chip ideal = factory.manufactureIdeal();
+    EXPECT_DOUBLE_EQ(ideal.subsystemVtSys(0, SubsystemId::Icache),
+                     params.vtMean);
+    EXPECT_DOUBLE_EQ(ideal.map().vtSigmaRandom(), 0.0);
+}
+
+TEST(ChipFactory, PopulationSpreadIsPlausible)
+{
+    ProcessParams params;
+    ChipFactory factory(params, 7);
+    RunningStats vt;
+    for (const Chip &chip : factory.manufacture(40))
+        vt.add(chip.subsystemVtSys(0, SubsystemId::Dcache));
+    // Subsystem means average the field, so spread is below the raw
+    // sigma_sys but clearly nonzero.
+    EXPECT_GT(vt.stddev(), 0.2 * params.vtSigmaSys());
+    EXPECT_LT(vt.stddev(), 1.2 * params.vtSigmaSys());
+    EXPECT_NEAR(vt.mean(), params.vtMean, 0.005);
+}
+
+} // namespace
+} // namespace eval

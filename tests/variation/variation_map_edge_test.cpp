@@ -1,0 +1,104 @@
+/** Edge-case tests for the variation map and floorplan sampling. */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/statistics.hh"
+#include "variation/chip.hh"
+
+namespace eval {
+namespace {
+
+struct Fixture
+{
+    ProcessParams params;
+    ChipFactory factory{params, 55};
+    Chip chip{factory.manufacture()};
+};
+
+TEST(VariationMapEdge, CornersAndOutOfRangeClamp)
+{
+    Fixture f;
+    const VariationMap &map = f.chip.map();
+    // All four corners are valid and coordinates clamp outside [0,1].
+    for (double x : {0.0, 1.0}) {
+        for (double y : {0.0, 1.0}) {
+            const double v = map.vtSystematicAt(x, y);
+            EXPECT_GT(v, 0.05);
+            EXPECT_LT(v, 0.30);
+        }
+    }
+    EXPECT_DOUBLE_EQ(map.vtSystematicAt(-0.5, 0.3),
+                     map.vtSystematicAt(0.0, 0.3));
+    EXPECT_DOUBLE_EQ(map.vtSystematicAt(1.7, 0.3),
+                     map.vtSystematicAt(1.0, 0.3));
+}
+
+TEST(VariationMapEdge, BilinearIsContinuous)
+{
+    Fixture f;
+    const VariationMap &map = f.chip.map();
+    // Tiny coordinate steps produce tiny value steps (no seams).
+    double prev = map.vtSystematicAt(0.0, 0.42);
+    for (double x = 0.001; x <= 1.0; x += 0.001) {
+        const double v = map.vtSystematicAt(x, 0.42);
+        EXPECT_LT(std::abs(v - prev), 0.004) << "x=" << x;
+        prev = v;
+    }
+}
+
+TEST(VariationMapEdge, RectMeanBetweenLocalExtremes)
+{
+    Fixture f;
+    for (const auto &info : f.chip.floorplan().coreSubsystems(0)) {
+        const double mean = f.chip.map().vtSystematicMean(info.rect);
+        double lo = 1e9, hi = -1e9;
+        for (int i = 0; i < 25; ++i) {
+            const double x =
+                info.rect.x0 + info.rect.width() * (i % 5) / 4.0;
+            const double y =
+                info.rect.y0 + info.rect.height() * (i / 5) / 4.0;
+            const double v = f.chip.map().vtSystematicAt(x, y);
+            lo = std::min(lo, v);
+            hi = std::max(hi, v);
+        }
+        EXPECT_GE(mean, lo - 1e-3) << info.name;
+        EXPECT_LE(mean, hi + 1e-3) << info.name;
+    }
+}
+
+TEST(VariationMapEdge, NearbySubsystemsAreCorrelated)
+{
+    // Spatial correlation: a subsystem's mean Vt should be closer to
+    // its neighbours on the same die than to the same subsystem on
+    // other dies, on average.
+    ProcessParams params;
+    ChipFactory factory(params, 77);
+    RunningStats withinDie, acrossDies;
+    std::vector<Chip> chips = factory.manufacture(24);
+    for (std::size_t c = 0; c < chips.size(); ++c) {
+        const double a = chips[c].subsystemVtSys(0, SubsystemId::IntQ);
+        const double b =
+            chips[c].subsystemVtSys(0, SubsystemId::IntReg);
+        withinDie.add(std::abs(a - b));
+        const double other =
+            chips[(c + 1) % chips.size()].subsystemVtSys(
+                0, SubsystemId::IntReg);
+        acrossDies.add(std::abs(a - other));
+    }
+    EXPECT_LT(withinDie.mean(), acrossDies.mean());
+}
+
+TEST(VariationMapEdge, FourCoreQuadrantsDiffer)
+{
+    Fixture f;
+    // The same subsystem in different quadrants sees different
+    // systematic silicon (that is the whole CMP-variation premise).
+    const double c0 = f.chip.subsystemVtSys(0, SubsystemId::Icache);
+    const double c3 = f.chip.subsystemVtSys(3, SubsystemId::Icache);
+    EXPECT_NE(c0, c3);
+}
+
+} // namespace
+} // namespace eval

@@ -1,0 +1,123 @@
+/** Tests for trace record/replay. */
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "arch/core.hh"
+#include "workload/generator.hh"
+#include "workload/trace_file.hh"
+
+namespace eval {
+namespace {
+
+class TraceFileTest : public ::testing::Test
+{
+  protected:
+    std::string
+    path() const
+    {
+        return std::string(::testing::TempDir()) + "eval_trace_" +
+               ::testing::UnitTest::GetInstance()
+                   ->current_test_info()
+                   ->name() +
+               ".trc";
+    }
+
+    void
+    TearDown() override
+    {
+        std::remove(path().c_str());
+    }
+};
+
+TEST_F(TraceFileTest, RoundTripPreservesOps)
+{
+    SyntheticTrace gen(appByName("gzip"), 42);
+    std::vector<MicroOp> expected(5000);
+    {
+        SyntheticTrace copy(appByName("gzip"), 42);
+        for (auto &op : expected)
+            copy.next(op);
+    }
+    EXPECT_EQ(recordTrace(gen, 5000, path()), 5000u);
+
+    FileTrace replay(path());
+    EXPECT_EQ(replay.size(), 5000u);
+    MicroOp op;
+    for (const MicroOp &want : expected) {
+        ASSERT_TRUE(replay.next(op));
+        EXPECT_EQ(op.pc, want.pc);
+        EXPECT_EQ(op.addr, want.addr);
+        EXPECT_EQ(op.cls, want.cls);
+        EXPECT_EQ(op.taken, want.taken);
+        EXPECT_EQ(op.src1Dist, want.src1Dist);
+        EXPECT_EQ(op.src2Dist, want.src2Dist);
+    }
+    EXPECT_FALSE(replay.next(op));   // exhausted, no loop
+}
+
+TEST_F(TraceFileTest, LoopingReplayWraps)
+{
+    SyntheticTrace gen(appByName("swim"), 7);
+    recordTrace(gen, 100, path());
+    FileTrace replay(path(), /*loop=*/true);
+    MicroOp op;
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_TRUE(replay.next(op));
+}
+
+TEST_F(TraceFileTest, CoreRunsFromFileDeterministically)
+{
+    SyntheticTrace gen(appByName("crafty"), 9);
+    recordTrace(gen, 60000, path());
+
+    auto run = [this]() {
+        FileTrace replay(path(), true);
+        CoreConfig cfg;
+        Core core(cfg, 3);
+        return core.run(replay, 40000);
+    };
+    const CoreStats a = run();
+    const CoreStats b = run();
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_GT(a.ipc(), 0.2);
+}
+
+TEST_F(TraceFileTest, ReplayMatchesLiveGeneration)
+{
+    // A core fed from the file must behave exactly like one fed from
+    // the live generator emitting the same stream.
+    SyntheticTrace gen(appByName("vpr"), 11);
+    recordTrace(gen, 80000, path());
+
+    CoreConfig cfg;
+    CoreStats live, replayed;
+    {
+        SyntheticTrace fresh(appByName("vpr"), 11);
+        Core core(cfg, 4);
+        live = core.run(fresh, 50000);
+    }
+    {
+        FileTrace file(path(), true);
+        Core core(cfg, 4);
+        replayed = core.run(file, 50000);
+    }
+    EXPECT_EQ(live.cycles, replayed.cycles);
+    EXPECT_EQ(live.l2Misses, replayed.l2Misses);
+    EXPECT_EQ(live.branchMispredicts, replayed.branchMispredicts);
+}
+
+TEST_F(TraceFileTest, RejectsGarbageFile)
+{
+    {
+        std::ofstream out(path());
+        out << "this is not a trace";
+    }
+    EXPECT_DEATH({ FileTrace t(path()); }, "not an EVAL trace");
+}
+
+} // namespace
+} // namespace eval
