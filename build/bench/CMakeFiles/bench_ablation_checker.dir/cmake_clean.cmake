@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_checker.dir/bench_ablation_checker.cpp.o"
+  "CMakeFiles/bench_ablation_checker.dir/bench_ablation_checker.cpp.o.d"
+  "bench_ablation_checker"
+  "bench_ablation_checker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_checker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

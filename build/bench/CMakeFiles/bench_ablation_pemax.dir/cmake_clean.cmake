@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_pemax.dir/bench_ablation_pemax.cpp.o"
+  "CMakeFiles/bench_ablation_pemax.dir/bench_ablation_pemax.cpp.o.d"
+  "bench_ablation_pemax"
+  "bench_ablation_pemax.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pemax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

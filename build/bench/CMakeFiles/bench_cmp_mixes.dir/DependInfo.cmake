@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_cmp_mixes.cpp" "bench/CMakeFiles/bench_cmp_mixes.dir/bench_cmp_mixes.cpp.o" "gcc" "bench/CMakeFiles/bench_cmp_mixes.dir/bench_cmp_mixes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cmp/CMakeFiles/eval_cmp.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/eval_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/eval_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/eval_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/eval_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/variation/CMakeFiles/eval_variation.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/eval_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/eval_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/fuzzy/CMakeFiles/eval_fuzzy.dir/DependInfo.cmake"
+  "/root/repo/build/src/phase/CMakeFiles/eval_phase.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/eval_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cmp_mixes.dir/bench_cmp_mixes.cpp.o"
+  "CMakeFiles/bench_cmp_mixes.dir/bench_cmp_mixes.cpp.o.d"
+  "bench_cmp_mixes"
+  "bench_cmp_mixes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cmp_mixes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

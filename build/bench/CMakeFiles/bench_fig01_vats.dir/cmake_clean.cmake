@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_vats.dir/bench_fig01_vats.cpp.o"
+  "CMakeFiles/bench_fig01_vats.dir/bench_fig01_vats.cpp.o.d"
+  "bench_fig01_vats"
+  "bench_fig01_vats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_vats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_surfaces.dir/bench_fig09_surfaces.cpp.o"
+  "CMakeFiles/bench_fig09_surfaces.dir/bench_fig09_surfaces.cpp.o.d"
+  "bench_fig09_surfaces"
+  "bench_fig09_surfaces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_surfaces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_related_retiming.dir/bench_related_retiming.cpp.o"
+  "CMakeFiles/bench_related_retiming.dir/bench_related_retiming.cpp.o.d"
+  "bench_related_retiming"
+  "bench_related_retiming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_related_retiming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

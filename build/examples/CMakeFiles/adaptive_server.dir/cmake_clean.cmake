@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_server.dir/adaptive_server.cpp.o"
+  "CMakeFiles/adaptive_server.dir/adaptive_server.cpp.o.d"
+  "adaptive_server"
+  "adaptive_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

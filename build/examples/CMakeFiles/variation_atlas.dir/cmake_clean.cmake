@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/variation_atlas.dir/variation_atlas.cpp.o"
+  "CMakeFiles/variation_atlas.dir/variation_atlas.cpp.o.d"
+  "variation_atlas"
+  "variation_atlas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/variation_atlas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/branch_predictor.cc" "src/arch/CMakeFiles/eval_arch.dir/branch_predictor.cc.o" "gcc" "src/arch/CMakeFiles/eval_arch.dir/branch_predictor.cc.o.d"
+  "/root/repo/src/arch/cache.cc" "src/arch/CMakeFiles/eval_arch.dir/cache.cc.o" "gcc" "src/arch/CMakeFiles/eval_arch.dir/cache.cc.o.d"
+  "/root/repo/src/arch/checker.cc" "src/arch/CMakeFiles/eval_arch.dir/checker.cc.o" "gcc" "src/arch/CMakeFiles/eval_arch.dir/checker.cc.o.d"
+  "/root/repo/src/arch/core.cc" "src/arch/CMakeFiles/eval_arch.dir/core.cc.o" "gcc" "src/arch/CMakeFiles/eval_arch.dir/core.cc.o.d"
+  "/root/repo/src/arch/isa.cc" "src/arch/CMakeFiles/eval_arch.dir/isa.cc.o" "gcc" "src/arch/CMakeFiles/eval_arch.dir/isa.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/variation/CMakeFiles/eval_variation.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/eval_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_arch.dir/branch_predictor.cc.o"
+  "CMakeFiles/eval_arch.dir/branch_predictor.cc.o.d"
+  "CMakeFiles/eval_arch.dir/cache.cc.o"
+  "CMakeFiles/eval_arch.dir/cache.cc.o.d"
+  "CMakeFiles/eval_arch.dir/checker.cc.o"
+  "CMakeFiles/eval_arch.dir/checker.cc.o.d"
+  "CMakeFiles/eval_arch.dir/core.cc.o"
+  "CMakeFiles/eval_arch.dir/core.cc.o.d"
+  "CMakeFiles/eval_arch.dir/isa.cc.o"
+  "CMakeFiles/eval_arch.dir/isa.cc.o.d"
+  "libeval_arch.a"
+  "libeval_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

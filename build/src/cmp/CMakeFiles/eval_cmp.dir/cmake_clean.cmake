@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_cmp.dir/cmp_system.cc.o"
+  "CMakeFiles/eval_cmp.dir/cmp_system.cc.o.d"
+  "libeval_cmp.a"
+  "libeval_cmp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_cmp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/area_model.cc" "src/core/CMakeFiles/eval_core.dir/area_model.cc.o" "gcc" "src/core/CMakeFiles/eval_core.dir/area_model.cc.o.d"
+  "/root/repo/src/core/characterization.cc" "src/core/CMakeFiles/eval_core.dir/characterization.cc.o" "gcc" "src/core/CMakeFiles/eval_core.dir/characterization.cc.o.d"
+  "/root/repo/src/core/controller.cc" "src/core/CMakeFiles/eval_core.dir/controller.cc.o" "gcc" "src/core/CMakeFiles/eval_core.dir/controller.cc.o.d"
+  "/root/repo/src/core/environment.cc" "src/core/CMakeFiles/eval_core.dir/environment.cc.o" "gcc" "src/core/CMakeFiles/eval_core.dir/environment.cc.o.d"
+  "/root/repo/src/core/eval_params.cc" "src/core/CMakeFiles/eval_core.dir/eval_params.cc.o" "gcc" "src/core/CMakeFiles/eval_core.dir/eval_params.cc.o.d"
+  "/root/repo/src/core/fuzzy_adaptation.cc" "src/core/CMakeFiles/eval_core.dir/fuzzy_adaptation.cc.o" "gcc" "src/core/CMakeFiles/eval_core.dir/fuzzy_adaptation.cc.o.d"
+  "/root/repo/src/core/optimizer.cc" "src/core/CMakeFiles/eval_core.dir/optimizer.cc.o" "gcc" "src/core/CMakeFiles/eval_core.dir/optimizer.cc.o.d"
+  "/root/repo/src/core/perf_model.cc" "src/core/CMakeFiles/eval_core.dir/perf_model.cc.o" "gcc" "src/core/CMakeFiles/eval_core.dir/perf_model.cc.o.d"
+  "/root/repo/src/core/retiming.cc" "src/core/CMakeFiles/eval_core.dir/retiming.cc.o" "gcc" "src/core/CMakeFiles/eval_core.dir/retiming.cc.o.d"
+  "/root/repo/src/core/subsystem_model.cc" "src/core/CMakeFiles/eval_core.dir/subsystem_model.cc.o" "gcc" "src/core/CMakeFiles/eval_core.dir/subsystem_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/thermal/CMakeFiles/eval_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/eval_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/eval_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/variation/CMakeFiles/eval_variation.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/eval_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/eval_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/fuzzy/CMakeFiles/eval_fuzzy.dir/DependInfo.cmake"
+  "/root/repo/build/src/phase/CMakeFiles/eval_phase.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/eval_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

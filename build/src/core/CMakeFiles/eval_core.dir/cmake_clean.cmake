@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_core.dir/area_model.cc.o"
+  "CMakeFiles/eval_core.dir/area_model.cc.o.d"
+  "CMakeFiles/eval_core.dir/characterization.cc.o"
+  "CMakeFiles/eval_core.dir/characterization.cc.o.d"
+  "CMakeFiles/eval_core.dir/controller.cc.o"
+  "CMakeFiles/eval_core.dir/controller.cc.o.d"
+  "CMakeFiles/eval_core.dir/environment.cc.o"
+  "CMakeFiles/eval_core.dir/environment.cc.o.d"
+  "CMakeFiles/eval_core.dir/eval_params.cc.o"
+  "CMakeFiles/eval_core.dir/eval_params.cc.o.d"
+  "CMakeFiles/eval_core.dir/fuzzy_adaptation.cc.o"
+  "CMakeFiles/eval_core.dir/fuzzy_adaptation.cc.o.d"
+  "CMakeFiles/eval_core.dir/optimizer.cc.o"
+  "CMakeFiles/eval_core.dir/optimizer.cc.o.d"
+  "CMakeFiles/eval_core.dir/perf_model.cc.o"
+  "CMakeFiles/eval_core.dir/perf_model.cc.o.d"
+  "CMakeFiles/eval_core.dir/retiming.cc.o"
+  "CMakeFiles/eval_core.dir/retiming.cc.o.d"
+  "CMakeFiles/eval_core.dir/subsystem_model.cc.o"
+  "CMakeFiles/eval_core.dir/subsystem_model.cc.o.d"
+  "libeval_core.a"
+  "libeval_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

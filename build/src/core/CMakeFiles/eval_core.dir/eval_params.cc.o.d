@@ -1,0 +1,3 @@
+src/core/CMakeFiles/eval_core.dir/eval_params.cc.o: \
+ /root/repo/src/core/eval_params.cc /usr/include/stdc-predef.h \
+ /root/repo/src/core/eval_params.hh

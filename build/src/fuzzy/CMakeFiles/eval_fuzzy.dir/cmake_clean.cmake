@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_fuzzy.dir/fuzzy_controller.cc.o"
+  "CMakeFiles/eval_fuzzy.dir/fuzzy_controller.cc.o.d"
+  "CMakeFiles/eval_fuzzy.dir/regressors.cc.o"
+  "CMakeFiles/eval_fuzzy.dir/regressors.cc.o.d"
+  "libeval_fuzzy.a"
+  "libeval_fuzzy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_fuzzy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

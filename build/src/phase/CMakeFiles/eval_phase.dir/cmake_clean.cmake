@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_phase.dir/phase_detector.cc.o"
+  "CMakeFiles/eval_phase.dir/phase_detector.cc.o.d"
+  "libeval_phase.a"
+  "libeval_phase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_phase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

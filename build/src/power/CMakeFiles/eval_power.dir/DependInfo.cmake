@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/knobs.cc" "src/power/CMakeFiles/eval_power.dir/knobs.cc.o" "gcc" "src/power/CMakeFiles/eval_power.dir/knobs.cc.o.d"
+  "/root/repo/src/power/power_model.cc" "src/power/CMakeFiles/eval_power.dir/power_model.cc.o" "gcc" "src/power/CMakeFiles/eval_power.dir/power_model.cc.o.d"
+  "/root/repo/src/power/vt0_calibration.cc" "src/power/CMakeFiles/eval_power.dir/vt0_calibration.cc.o" "gcc" "src/power/CMakeFiles/eval_power.dir/vt0_calibration.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/timing/CMakeFiles/eval_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/variation/CMakeFiles/eval_variation.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/eval_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_power.dir/knobs.cc.o"
+  "CMakeFiles/eval_power.dir/knobs.cc.o.d"
+  "CMakeFiles/eval_power.dir/power_model.cc.o"
+  "CMakeFiles/eval_power.dir/power_model.cc.o.d"
+  "CMakeFiles/eval_power.dir/vt0_calibration.cc.o"
+  "CMakeFiles/eval_power.dir/vt0_calibration.cc.o.d"
+  "libeval_power.a"
+  "libeval_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/thermal/sensors.cc" "src/thermal/CMakeFiles/eval_thermal.dir/sensors.cc.o" "gcc" "src/thermal/CMakeFiles/eval_thermal.dir/sensors.cc.o.d"
+  "/root/repo/src/thermal/thermal_model.cc" "src/thermal/CMakeFiles/eval_thermal.dir/thermal_model.cc.o" "gcc" "src/thermal/CMakeFiles/eval_thermal.dir/thermal_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/power/CMakeFiles/eval_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/eval_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/eval_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/variation/CMakeFiles/eval_variation.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

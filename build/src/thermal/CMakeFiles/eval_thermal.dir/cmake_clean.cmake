@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_thermal.dir/sensors.cc.o"
+  "CMakeFiles/eval_thermal.dir/sensors.cc.o.d"
+  "CMakeFiles/eval_thermal.dir/thermal_model.cc.o"
+  "CMakeFiles/eval_thermal.dir/thermal_model.cc.o.d"
+  "libeval_thermal.a"
+  "libeval_thermal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/timing/alpha_power.cc" "src/timing/CMakeFiles/eval_timing.dir/alpha_power.cc.o" "gcc" "src/timing/CMakeFiles/eval_timing.dir/alpha_power.cc.o.d"
+  "/root/repo/src/timing/error_model.cc" "src/timing/CMakeFiles/eval_timing.dir/error_model.cc.o" "gcc" "src/timing/CMakeFiles/eval_timing.dir/error_model.cc.o.d"
+  "/root/repo/src/timing/path_population.cc" "src/timing/CMakeFiles/eval_timing.dir/path_population.cc.o" "gcc" "src/timing/CMakeFiles/eval_timing.dir/path_population.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/variation/CMakeFiles/eval_variation.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/eval_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

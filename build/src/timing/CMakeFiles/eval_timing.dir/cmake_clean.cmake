@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_timing.dir/alpha_power.cc.o"
+  "CMakeFiles/eval_timing.dir/alpha_power.cc.o.d"
+  "CMakeFiles/eval_timing.dir/error_model.cc.o"
+  "CMakeFiles/eval_timing.dir/error_model.cc.o.d"
+  "CMakeFiles/eval_timing.dir/path_population.cc.o"
+  "CMakeFiles/eval_timing.dir/path_population.cc.o.d"
+  "libeval_timing.a"
+  "libeval_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

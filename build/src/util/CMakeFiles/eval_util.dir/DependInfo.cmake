@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/arg_parser.cc" "src/util/CMakeFiles/eval_util.dir/arg_parser.cc.o" "gcc" "src/util/CMakeFiles/eval_util.dir/arg_parser.cc.o.d"
+  "/root/repo/src/util/config.cc" "src/util/CMakeFiles/eval_util.dir/config.cc.o" "gcc" "src/util/CMakeFiles/eval_util.dir/config.cc.o.d"
+  "/root/repo/src/util/csv.cc" "src/util/CMakeFiles/eval_util.dir/csv.cc.o" "gcc" "src/util/CMakeFiles/eval_util.dir/csv.cc.o.d"
+  "/root/repo/src/util/fft.cc" "src/util/CMakeFiles/eval_util.dir/fft.cc.o" "gcc" "src/util/CMakeFiles/eval_util.dir/fft.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/util/CMakeFiles/eval_util.dir/logging.cc.o" "gcc" "src/util/CMakeFiles/eval_util.dir/logging.cc.o.d"
+  "/root/repo/src/util/math_utils.cc" "src/util/CMakeFiles/eval_util.dir/math_utils.cc.o" "gcc" "src/util/CMakeFiles/eval_util.dir/math_utils.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/util/CMakeFiles/eval_util.dir/random.cc.o" "gcc" "src/util/CMakeFiles/eval_util.dir/random.cc.o.d"
+  "/root/repo/src/util/statistics.cc" "src/util/CMakeFiles/eval_util.dir/statistics.cc.o" "gcc" "src/util/CMakeFiles/eval_util.dir/statistics.cc.o.d"
+  "/root/repo/src/util/table.cc" "src/util/CMakeFiles/eval_util.dir/table.cc.o" "gcc" "src/util/CMakeFiles/eval_util.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

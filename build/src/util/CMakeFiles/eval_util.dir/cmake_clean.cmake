@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_util.dir/arg_parser.cc.o"
+  "CMakeFiles/eval_util.dir/arg_parser.cc.o.d"
+  "CMakeFiles/eval_util.dir/config.cc.o"
+  "CMakeFiles/eval_util.dir/config.cc.o.d"
+  "CMakeFiles/eval_util.dir/csv.cc.o"
+  "CMakeFiles/eval_util.dir/csv.cc.o.d"
+  "CMakeFiles/eval_util.dir/fft.cc.o"
+  "CMakeFiles/eval_util.dir/fft.cc.o.d"
+  "CMakeFiles/eval_util.dir/logging.cc.o"
+  "CMakeFiles/eval_util.dir/logging.cc.o.d"
+  "CMakeFiles/eval_util.dir/math_utils.cc.o"
+  "CMakeFiles/eval_util.dir/math_utils.cc.o.d"
+  "CMakeFiles/eval_util.dir/random.cc.o"
+  "CMakeFiles/eval_util.dir/random.cc.o.d"
+  "CMakeFiles/eval_util.dir/statistics.cc.o"
+  "CMakeFiles/eval_util.dir/statistics.cc.o.d"
+  "CMakeFiles/eval_util.dir/table.cc.o"
+  "CMakeFiles/eval_util.dir/table.cc.o.d"
+  "libeval_util.a"
+  "libeval_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

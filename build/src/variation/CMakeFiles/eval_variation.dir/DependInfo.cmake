@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/variation/chip.cc" "src/variation/CMakeFiles/eval_variation.dir/chip.cc.o" "gcc" "src/variation/CMakeFiles/eval_variation.dir/chip.cc.o.d"
+  "/root/repo/src/variation/correlated_field.cc" "src/variation/CMakeFiles/eval_variation.dir/correlated_field.cc.o" "gcc" "src/variation/CMakeFiles/eval_variation.dir/correlated_field.cc.o.d"
+  "/root/repo/src/variation/floorplan.cc" "src/variation/CMakeFiles/eval_variation.dir/floorplan.cc.o" "gcc" "src/variation/CMakeFiles/eval_variation.dir/floorplan.cc.o.d"
+  "/root/repo/src/variation/variation_map.cc" "src/variation/CMakeFiles/eval_variation.dir/variation_map.cc.o" "gcc" "src/variation/CMakeFiles/eval_variation.dir/variation_map.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/eval_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

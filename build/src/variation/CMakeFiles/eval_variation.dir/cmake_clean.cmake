@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_variation.dir/chip.cc.o"
+  "CMakeFiles/eval_variation.dir/chip.cc.o.d"
+  "CMakeFiles/eval_variation.dir/correlated_field.cc.o"
+  "CMakeFiles/eval_variation.dir/correlated_field.cc.o.d"
+  "CMakeFiles/eval_variation.dir/floorplan.cc.o"
+  "CMakeFiles/eval_variation.dir/floorplan.cc.o.d"
+  "CMakeFiles/eval_variation.dir/variation_map.cc.o"
+  "CMakeFiles/eval_variation.dir/variation_map.cc.o.d"
+  "libeval_variation.a"
+  "libeval_variation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_variation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libeval_variation.a"
+)

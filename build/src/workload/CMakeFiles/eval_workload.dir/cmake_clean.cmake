@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_workload.dir/generator.cc.o"
+  "CMakeFiles/eval_workload.dir/generator.cc.o.d"
+  "CMakeFiles/eval_workload.dir/profile.cc.o"
+  "CMakeFiles/eval_workload.dir/profile.cc.o.d"
+  "CMakeFiles/eval_workload.dir/trace_file.cc.o"
+  "CMakeFiles/eval_workload.dir/trace_file.cc.o.d"
+  "libeval_workload.a"
+  "libeval_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arch_branch_predictor_test.dir/arch/branch_predictor_test.cpp.o"
+  "CMakeFiles/arch_branch_predictor_test.dir/arch/branch_predictor_test.cpp.o.d"
+  "arch_branch_predictor_test"
+  "arch_branch_predictor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arch_branch_predictor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arch_cache_test.dir/arch/cache_test.cpp.o"
+  "CMakeFiles/arch_cache_test.dir/arch/cache_test.cpp.o.d"
+  "arch_cache_test"
+  "arch_cache_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arch_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

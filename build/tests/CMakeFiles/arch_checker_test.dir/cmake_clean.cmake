@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arch_checker_test.dir/arch/checker_test.cpp.o"
+  "CMakeFiles/arch_checker_test.dir/arch/checker_test.cpp.o.d"
+  "arch_checker_test"
+  "arch_checker_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arch_checker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

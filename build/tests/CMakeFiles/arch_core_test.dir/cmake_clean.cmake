@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arch_core_test.dir/arch/core_test.cpp.o"
+  "CMakeFiles/arch_core_test.dir/arch/core_test.cpp.o.d"
+  "arch_core_test"
+  "arch_core_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arch_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

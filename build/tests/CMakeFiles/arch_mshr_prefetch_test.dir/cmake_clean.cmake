@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arch_mshr_prefetch_test.dir/arch/mshr_prefetch_test.cpp.o"
+  "CMakeFiles/arch_mshr_prefetch_test.dir/arch/mshr_prefetch_test.cpp.o.d"
+  "arch_mshr_prefetch_test"
+  "arch_mshr_prefetch_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arch_mshr_prefetch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

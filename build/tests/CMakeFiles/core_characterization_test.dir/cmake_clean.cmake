@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_characterization_test.dir/core/characterization_test.cpp.o"
+  "CMakeFiles/core_characterization_test.dir/core/characterization_test.cpp.o.d"
+  "core_characterization_test"
+  "core_characterization_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_characterization_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

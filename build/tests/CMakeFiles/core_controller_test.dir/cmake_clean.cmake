@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_controller_test.dir/core/controller_test.cpp.o"
+  "CMakeFiles/core_controller_test.dir/core/controller_test.cpp.o.d"
+  "core_controller_test"
+  "core_controller_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_controller_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_environment_test.dir/core/environment_test.cpp.o"
+  "CMakeFiles/core_environment_test.dir/core/environment_test.cpp.o.d"
+  "core_environment_test"
+  "core_environment_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_environment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_eq5_validation_test.dir/core/eq5_validation_test.cpp.o"
+  "CMakeFiles/core_eq5_validation_test.dir/core/eq5_validation_test.cpp.o.d"
+  "core_eq5_validation_test"
+  "core_eq5_validation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_eq5_validation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_fuzzy_adaptation_test.dir/core/fuzzy_adaptation_test.cpp.o"
+  "CMakeFiles/core_fuzzy_adaptation_test.dir/core/fuzzy_adaptation_test.cpp.o.d"
+  "core_fuzzy_adaptation_test"
+  "core_fuzzy_adaptation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_fuzzy_adaptation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

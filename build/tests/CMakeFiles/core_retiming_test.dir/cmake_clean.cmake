@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_retiming_test.dir/core/retiming_test.cpp.o"
+  "CMakeFiles/core_retiming_test.dir/core/retiming_test.cpp.o.d"
+  "core_retiming_test"
+  "core_retiming_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_retiming_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzzy_regressors_test.dir/fuzzy/regressors_test.cpp.o"
+  "CMakeFiles/fuzzy_regressors_test.dir/fuzzy/regressors_test.cpp.o.d"
+  "fuzzy_regressors_test"
+  "fuzzy_regressors_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzzy_regressors_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzzy_serialization_test.dir/fuzzy/serialization_test.cpp.o"
+  "CMakeFiles/fuzzy_serialization_test.dir/fuzzy/serialization_test.cpp.o.d"
+  "fuzzy_serialization_test"
+  "fuzzy_serialization_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzzy_serialization_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzzy_test.dir/fuzzy/fuzzy_test.cpp.o"
+  "CMakeFiles/fuzzy_test.dir/fuzzy/fuzzy_test.cpp.o.d"
+  "fuzzy_test"
+  "fuzzy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzzy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timing_alpha_power_test.dir/timing/alpha_power_test.cpp.o"
+  "CMakeFiles/timing_alpha_power_test.dir/timing/alpha_power_test.cpp.o.d"
+  "timing_alpha_power_test"
+  "timing_alpha_power_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timing_alpha_power_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

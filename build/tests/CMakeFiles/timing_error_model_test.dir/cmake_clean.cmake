@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timing_error_model_test.dir/timing/error_model_test.cpp.o"
+  "CMakeFiles/timing_error_model_test.dir/timing/error_model_test.cpp.o.d"
+  "timing_error_model_test"
+  "timing_error_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timing_error_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

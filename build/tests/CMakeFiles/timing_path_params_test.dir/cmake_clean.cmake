@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timing_path_params_test.dir/timing/path_params_test.cpp.o"
+  "CMakeFiles/timing_path_params_test.dir/timing/path_params_test.cpp.o.d"
+  "timing_path_params_test"
+  "timing_path_params_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timing_path_params_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

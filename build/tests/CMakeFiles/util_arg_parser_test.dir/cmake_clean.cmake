@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_arg_parser_test.dir/util/arg_parser_test.cpp.o"
+  "CMakeFiles/util_arg_parser_test.dir/util/arg_parser_test.cpp.o.d"
+  "util_arg_parser_test"
+  "util_arg_parser_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_arg_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

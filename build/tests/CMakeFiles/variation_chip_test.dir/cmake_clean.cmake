@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/variation_chip_test.dir/variation/chip_test.cpp.o"
+  "CMakeFiles/variation_chip_test.dir/variation/chip_test.cpp.o.d"
+  "variation_chip_test"
+  "variation_chip_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/variation_chip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

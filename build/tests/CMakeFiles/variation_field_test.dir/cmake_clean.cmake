@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/variation_field_test.dir/variation/correlated_field_test.cpp.o"
+  "CMakeFiles/variation_field_test.dir/variation/correlated_field_test.cpp.o.d"
+  "variation_field_test"
+  "variation_field_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/variation_field_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

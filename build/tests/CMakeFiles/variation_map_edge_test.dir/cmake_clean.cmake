@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/variation_map_edge_test.dir/variation/variation_map_edge_test.cpp.o"
+  "CMakeFiles/variation_map_edge_test.dir/variation/variation_map_edge_test.cpp.o.d"
+  "variation_map_edge_test"
+  "variation_map_edge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/variation_map_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for variation_map_edge_test.
+# This may be replaced when dependencies are built.
