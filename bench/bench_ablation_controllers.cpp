@@ -15,6 +15,7 @@ using namespace eval;
 int
 main()
 {
+    BenchReporter reporter("ablation_controllers");
     ExperimentConfig cfg = ExperimentConfig::fromEnv();
     cfg.chips = 1;
     ExperimentContext ctx(cfg);
@@ -95,6 +96,9 @@ main()
         table.row({"fuzzy (25 rules)",
                    formatDouble(err.mean() * 1000.0, 1),
                    std::to_string(fc.footprintBytes())});
+        reporter.metric("fuzzy_err_mv", err.mean() * 1000.0);
+        reporter.metric("fuzzy_footprint_bytes",
+                        static_cast<double>(fc.footprintBytes()));
     }
     for (auto &entry : regressors) {
         for (std::size_t k = 0; k < trainN; ++k)

@@ -12,6 +12,7 @@ using namespace eval;
 int
 main()
 {
+    BenchReporter reporter("ablation_fc_training");
     ExperimentConfig cfg = ExperimentConfig::fromEnv();
     cfg.chips = 1;
     ExperimentContext ctx(cfg);
@@ -25,6 +26,7 @@ main()
                        "(mean fmax error, % of nominal)");
     table.header({"rules", "100 ex", "400 ex", "1600 ex", "6400 ex"});
 
+    double paperPointErr = 0.0;
     for (std::size_t rules : {9u, 25u, 49u}) {
         std::vector<std::string> row{std::to_string(rules)};
         for (std::size_t examples : {100u, 400u, 1600u, 6400u}) {
@@ -51,10 +53,13 @@ main()
                 err.add(std::abs(fFc - fExh) / fNom);
             }
             row.push_back(formatPercent(err.mean(), 2));
+            if (rules == 25u && examples == 6400u)
+                paperPointErr = err.mean();
         }
         table.row(row);
     }
     table.print();
     std::printf("\npaper setting: 25 rules, 10,000 examples per FC.\n");
+    reporter.metric("fmax_err_25rules_6400ex", paperPointErr);
     return 0;
 }

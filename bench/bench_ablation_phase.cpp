@@ -72,6 +72,7 @@ scoreDetector(const AppProfile &app, double threshold, int intervals,
 int
 main()
 {
+    BenchReporter reporter("ablation_phase");
     const std::vector<std::string> apps = {"gcc", "gzip", "perlbmk",
                                            "galgel", "apsi"};
 
@@ -93,6 +94,10 @@ main()
                    formatPercent(stable.mean(), 1),
                    formatPercent(purity.mean(), 1),
                    formatDouble(phases.mean(), 1)});
+        if (threshold == 0.25) {
+            reporter.metric("stable_share_default", stable.mean());
+            reporter.metric("purity_default", purity.mean());
+        }
     }
     table.print();
 

@@ -16,6 +16,7 @@ using namespace eval;
 int
 main()
 {
+    BenchReporter reporter("ablation_techniques");
     ExperimentContext ctx(benchConfig(6));
     const ExperimentConfig &cfg = ctx.config();
 
@@ -86,5 +87,7 @@ main()
     std::printf("\npaper shape: Q and FU add ~2%% without ASV but "
                 "meaningfully more once ASV pushes the FUs and queues "
                 "critical (Sec 6.2).\n");
+    reporter.metric("freq_rel_ts", fr["TS"]);
+    reporter.metric("freq_rel_ts_asv_q_fu", fr["TS+ASV+Q+FU"]);
     return 0;
 }

@@ -11,6 +11,7 @@ using namespace eval;
 int
 main()
 {
+    BenchReporter reporter("area_overhead");
     for (const bool withAbb : {false, true}) {
         AreaModelConfig cfg;
         cfg.includeAbb = withAbb;
@@ -22,6 +23,9 @@ main()
             table.row({item.source, formatDouble(item.areaPercent, 1)});
         table.print();
         std::printf("\n");
+        reporter.metric(withAbb ? "total_area_pct_abb"
+                                : "total_area_pct_preferred",
+                        totalAreaOverheadPercent(cfg));
     }
     return 0;
 }

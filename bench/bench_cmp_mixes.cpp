@@ -15,6 +15,7 @@ using namespace eval;
 int
 main()
 {
+    BenchReporter reporter("cmp_mixes");
     ExperimentContext ctx(benchConfig(4));
 
     const std::vector<std::pair<std::string, WorkloadMix>> mixes = {
@@ -33,6 +34,7 @@ main()
     table.header({"mix", "environment", "throughputRel", "chip W",
                   "TH (C)", "throttle steps"});
 
+    double totalThrottleSteps = 0.0;
     for (const auto &[mixName, mix] : mixes) {
         for (const auto &[env, scheme] : setups) {
             RunningStats tput, power, th, throttle;
@@ -43,6 +45,7 @@ main()
                 power.add(res.chipPowerW);
                 th.add(res.heatsinkC);
                 throttle.add(res.throttleSteps);
+                totalThrottleSteps += res.throttleSteps;
             }
             table.row({mixName,
                        std::string(environmentName(env)) + "/" +
@@ -57,5 +60,7 @@ main()
     std::printf("\nTH_MAX = %.0f C; the heat sink couples the four "
                 "per-core controllers (Sec 5's CMP).\n",
                 ctx.config().constraints.thMaxC);
+    reporter.metric("total_throttle_steps", totalThrottleSteps);
+    reporter.metric("chips", ctx.config().chips);
     return 0;
 }

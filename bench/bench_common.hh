@@ -7,20 +7,123 @@
  * Conventions (DESIGN.md Sec 5): EVAL_CHIPS overrides the per-bench
  * default chip count (the paper uses 100); EVAL_SEED, EVAL_APPS and
  * EVAL_FAST are honoured through ExperimentConfig::fromEnv.
+ *
+ * Observability (DESIGN.md "Observability"): every bench constructs a
+ * BenchReporter, which prints one machine-readable JSON footer line
+ * ("BENCH_JSON {...}") with the bench name, wall-clock seconds, and
+ * its key metrics.  The reporter also honours:
+ *   EVAL_BENCH_JSON=path   append the footer line to a file
+ *   EVAL_STATS_OUT=path    dump the stat registry (JSON, or CSV when
+ *                          the path ends in .csv) on exit
+ *   EVAL_TRACE_OUT=path    record and export the decision trace
+ *   EVAL_PROFILE=1         enable ScopedTimers, print the self-profile
  */
 
 #ifndef EVAL_BENCH_BENCH_COMMON_HH
 #define EVAL_BENCH_BENCH_COMMON_HH
 
+#include <chrono>
 #include <cstdio>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/eval.hh"
+#include "stats/stats.hh"
 #include "util/logging.hh"
 
 namespace eval {
+
+/**
+ * Uniform bench footer: collects key metrics during the run and, on
+ * destruction, prints exactly one line
+ *   BENCH_JSON {"bench": "<name>", "wall_clock_s": W, "metrics": {...}}
+ * so trajectory tooling can scrape every bench the same way.  Also
+ * wires the EVAL_STATS_OUT / EVAL_TRACE_OUT / EVAL_PROFILE env hooks
+ * described in the file header.
+ */
+class BenchReporter
+{
+  public:
+    explicit BenchReporter(std::string name)
+        : name_(std::move(name)),
+          start_(std::chrono::steady_clock::now())
+    {
+        if (!envString("EVAL_TRACE_OUT", "").empty())
+            DecisionTrace::global().setEnabled(true);
+        if (envBool("EVAL_PROFILE", false))
+            setProfilingEnabled(true);
+    }
+
+    BenchReporter(const BenchReporter &) = delete;
+    BenchReporter &operator=(const BenchReporter &) = delete;
+
+    void
+    metric(const std::string &key, double value)
+    {
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.9g", value);
+        metrics_.emplace_back(key, buf);
+    }
+
+    void
+    metric(const std::string &key, const std::string &value)
+    {
+        metrics_.emplace_back(key, "\"" + value + "\"");
+    }
+
+    ~BenchReporter()
+    {
+        const double wallS =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start_)
+                .count();
+        std::string json = "{\"bench\": \"" + name_ +
+                           "\", \"wall_clock_s\": ";
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.3f", wallS);
+        json += buf;
+        json += ", \"metrics\": {";
+        for (std::size_t i = 0; i < metrics_.size(); ++i) {
+            json += (i ? ", \"" : "\"") + metrics_[i].first +
+                    "\": " + metrics_[i].second;
+        }
+        json += "}}\n";
+        std::fputs(("BENCH_JSON " + json).c_str(), stdout);
+
+        // The file gets the bare object so it is valid JSONL.
+        const std::string jsonPath = envString("EVAL_BENCH_JSON", "");
+        if (!jsonPath.empty()) {
+            if (std::FILE *f = std::fopen(jsonPath.c_str(), "a")) {
+                std::fputs(json.c_str(), f);
+                std::fclose(f);
+            } else {
+                warn("cannot append bench footer to '", jsonPath, "'");
+            }
+        }
+
+        const std::string statsPath = envString("EVAL_STATS_OUT", "");
+        if (!statsPath.empty()) {
+            if (statsPath.size() > 4 &&
+                statsPath.compare(statsPath.size() - 4, 4, ".csv") == 0) {
+                StatRegistry::global().writeCsv(statsPath);
+            } else {
+                StatRegistry::global().writeJson(statsPath);
+            }
+        }
+        const std::string tracePath = envString("EVAL_TRACE_OUT", "");
+        if (!tracePath.empty())
+            DecisionTrace::global().writeJsonl(tracePath);
+        if (envBool("EVAL_PROFILE", false))
+            StatRegistry::global().printProfile();
+    }
+
+  private:
+    std::string name_;
+    std::chrono::steady_clock::time_point start_;
+    std::vector<std::pair<std::string, std::string>> metrics_;
+};
 
 /** Chip count: EVAL_CHIPS if set, otherwise the bench's default. */
 inline int

@@ -31,6 +31,7 @@ delayHistogram(const Chip &chip, SubsystemId id)
 int
 main()
 {
+    BenchReporter reporter("fig01_vats");
     ExperimentConfig cfg = ExperimentConfig::fromEnv();
     cfg.chips = 1;
     ProcessParams proc = cfg.process;
@@ -79,5 +80,7 @@ main()
                 "(Tnom period corresponds to %.2f GHz)\n",
                 logic.fvar(corner) / 1e9, memory.fvar(corner) / 1e9,
                 proc.freqNominal / 1e9);
+    reporter.metric("fvar_logic_ghz", logic.fvar(corner) / 1e9);
+    reporter.metric("fvar_memory_ghz", memory.fvar(corner) / 1e9);
     return 0;
 }

@@ -82,6 +82,7 @@ struct Sweep
 int
 main()
 {
+    BenchReporter reporter("fig08_tradeoff");
     ExperimentConfig cfg = ExperimentConfig::fromEnv();
     cfg.chips = 1;
     ExperimentContext ctx(cfg);
@@ -104,5 +105,7 @@ main()
     sweep.emit("Figure 8(c)/(d): subsystem PE and PerfR vs fR under "
                "TS+ASV+ABB (Exhaustive)",
                true);
+    reporter.metric("baseline_freq_rel",
+                    core.baselineFrequency() / cfg.process.freqNominal);
     return 0;
 }

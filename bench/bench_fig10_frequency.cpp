@@ -15,6 +15,7 @@ using namespace eval;
 int
 main()
 {
+    BenchReporter reporter("fig10_frequency");
     ExperimentContext ctx(benchConfig(16));
     const SweepResult sweep =
         runEnvironmentSweep(ctx, figureEnvironments(), allSchemes());
@@ -34,5 +35,8 @@ main()
                 100.0 * (preferred.freqRel.mean() /
                              sweep.baseline.freqRel.mean() -
                          1.0));
+    reporter.metric("baseline_freq_rel", sweep.baseline.freqRel.mean());
+    reporter.metric("preferred_freq_rel", preferred.freqRel.mean());
+    reporter.metric("chips", ctx.config().chips);
     return 0;
 }

@@ -15,6 +15,7 @@ using namespace eval;
 int
 main()
 {
+    BenchReporter reporter("fig11_performance");
     ExperimentContext ctx(benchConfig(16));
     const SweepResult sweep =
         runEnvironmentSweep(ctx, figureEnvironments(), allSchemes());
@@ -33,5 +34,8 @@ main()
                 100.0 * (preferred.perfRel.mean() /
                              sweep.baseline.perfRel.mean() -
                          1.0));
+    reporter.metric("baseline_perf_rel", sweep.baseline.perfRel.mean());
+    reporter.metric("preferred_perf_rel", preferred.perfRel.mean());
+    reporter.metric("chips", ctx.config().chips);
     return 0;
 }

@@ -15,6 +15,7 @@ using namespace eval;
 int
 main()
 {
+    BenchReporter reporter("fig12_power");
     ExperimentContext ctx(benchConfig(16));
     const SweepResult sweep =
         runEnvironmentSweep(ctx, figureEnvironments(), allSchemes());
@@ -30,5 +31,8 @@ main()
                 sweep.novar.powerW.mean(), sweep.baseline.powerW.mean(),
                 preferred.powerW.mean(),
                 ctx.config().constraints.pMaxW);
+    reporter.metric("baseline_power_w", sweep.baseline.powerW.mean());
+    reporter.metric("preferred_power_w", preferred.powerW.mean());
+    reporter.metric("pmax_w", ctx.config().constraints.pMaxW);
     return 0;
 }

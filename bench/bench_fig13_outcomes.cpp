@@ -33,6 +33,7 @@ makeCaps(bool abb, bool asv, bool fu, bool queue)
 int
 main()
 {
+    BenchReporter reporter("fig13_outcomes");
     ExperimentContext ctx(benchConfig(10));
     const auto apps = ctx.selectedApps();
 
@@ -56,6 +57,8 @@ main()
     TablePrinter table("Figure 13: fuzzy controller outcomes (%)");
     table.header({"techniques", "environment", "NoChange", "LowFreq",
                   "Error", "Temp", "Power", "invocations"});
+
+    std::uint64_t totalInvocations = 0, totalNoChange = 0;
 
     for (const auto &[techName, tech] : techniques) {
         for (const auto &[envName, volt] : voltages) {
@@ -100,11 +103,19 @@ main()
             }
             row.push_back(std::to_string(cell.total));
             table.row(row);
+            totalInvocations += cell.total;
+            totalNoChange += cell.counts[RetuneOutcome::NoChange];
         }
     }
     table.print();
     std::printf("\npaper shape: NoChange dominates under TS; "
                 "NoChange+LowFreq >= ~50%% in every bar; Temp is "
                 "infrequent.\n");
+    reporter.metric("invocations", static_cast<double>(totalInvocations));
+    reporter.metric("no_change_share",
+                    totalInvocations
+                        ? static_cast<double>(totalNoChange) /
+                              static_cast<double>(totalInvocations)
+                        : 0.0);
     return 0;
 }

@@ -8,6 +8,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hh"
 #include "core/eval.hh"
 
 namespace eval {
@@ -153,4 +154,14 @@ BENCHMARK(BM_ChipManufacture);
 } // namespace
 } // namespace eval
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    eval::BenchReporter reporter("microbench");
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -16,6 +16,7 @@ using namespace eval;
 int
 main()
 {
+    BenchReporter reporter("related_retiming");
     ExperimentContext ctx(benchConfig(12));
     const ExperimentConfig &cfg = ctx.config();
     const auto apps = ctx.selectedApps();
@@ -57,5 +58,8 @@ main()
                 basePerf.mean(), evalPerf.mean(),
                 100.0 * (evalPerf.mean() / basePerf.mean() - 1.0));
     std::printf("paper: retiming gains 10-20%%, EVAL ~40%% (Sec 7).\n");
+    reporter.metric("retiming_freq_gain",
+                    retimeF.mean() / baseF.mean() - 1.0);
+    reporter.metric("eval_freq_gain", evalF.mean() / baseF.mean() - 1.0);
     return 0;
 }

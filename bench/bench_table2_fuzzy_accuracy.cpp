@@ -40,6 +40,7 @@ typeIndex(StageType t)
 int
 main()
 {
+    BenchReporter reporter("table2_fuzzy_accuracy");
     ExperimentContext ctx(benchConfig(6));
     const double fNom = ctx.config().process.freqNominal;
     const int queriesPerCore =
@@ -140,5 +141,12 @@ main()
     std::printf("\n%d queries per core, %d chips; paper reports "
                 "~135-450 MHz freq error and ~14-24 mV Vdd error.\n",
                 queriesPerCore, ctx.config().chips);
+    RunningStats freqErrMhz;
+    for (std::size_t e = 0; e < envs.size(); ++e) {
+        for (int t = 0; t < 3; ++t)
+            freqErrMhz.add(errs[0][e][t].mean() / 1e6);
+    }
+    reporter.metric("mean_freq_err_mhz", freqErrMhz.mean());
+    reporter.metric("queries_per_core", queriesPerCore);
     return 0;
 }

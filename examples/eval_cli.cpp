@@ -11,6 +11,13 @@
  *       a mini Figure 10/11/12 table
  *   eval_cli record --app gcc --ops 100000 --out trace.trc
  *   eval_cli replay --trace trace.trc [--insts 50000]
+ *
+ * Observability flags (any command; see DESIGN.md "Observability"):
+ *   --stats-out=FILE   dump the stat registry on exit (JSON, or CSV
+ *                      when FILE ends in .csv)
+ *   --trace-out=FILE   record every adaptation decision, export JSONL
+ *   --profile          enable ScopedTimers and print the self-profile
+ * With any of these flags present the command defaults to `run`.
  */
 
 #include <cstdio>
@@ -18,6 +25,7 @@
 #include "core/eval.hh"
 #include "util/logging.hh"
 #include "core/retiming.hh"
+#include "stats/stats.hh"
 #include "util/arg_parser.hh"
 #include "workload/trace_file.hh"
 
@@ -200,8 +208,28 @@ usage()
 {
     std::fprintf(stderr,
                  "usage: eval_cli <chips|run|sweep|record|replay> "
+                 "[--stats-out=FILE] [--trace-out=FILE] [--profile] "
                  "[options]\n(see the file header for options)\n");
     return 2;
+}
+
+/** Export stats/trace/profile per the observability flags. */
+void
+dumpObservability(const std::string &statsOut,
+                  const std::string &traceOut, bool profile)
+{
+    if (!statsOut.empty()) {
+        if (statsOut.size() > 4 &&
+            statsOut.compare(statsOut.size() - 4, 4, ".csv") == 0) {
+            StatRegistry::global().writeCsv(statsOut);
+        } else {
+            StatRegistry::global().writeJson(statsOut);
+        }
+    }
+    if (!traceOut.empty())
+        DecisionTrace::global().writeJsonl(traceOut);
+    if (profile)
+        StatRegistry::global().printProfile();
 }
 
 } // namespace
@@ -210,10 +238,23 @@ int
 main(int argc, char **argv)
 {
     ArgParser args(argc, argv);
-    if (args.positional().empty())
-        return usage();
 
-    const std::string &cmd = args.positional().front();
+    const std::string statsOut = args.getString("stats-out", "");
+    const std::string traceOut = args.getString("trace-out", "");
+    const bool profile = args.getBool("profile", false);
+    if (!traceOut.empty())
+        DecisionTrace::global().setEnabled(true);
+    if (profile)
+        setProfilingEnabled(true);
+
+    // With observability flags but no command, default to `run`.
+    const bool observing =
+        !statsOut.empty() || !traceOut.empty() || profile;
+    if (args.positional().empty() && !observing)
+        return usage();
+    const std::string cmd =
+        args.positional().empty() ? "run" : args.positional().front();
+
     int rc;
     if (cmd == "chips")
         rc = cmdChips(args);
@@ -227,6 +268,8 @@ main(int argc, char **argv)
         rc = cmdReplay(args);
     else
         return usage();
+
+    dumpObservability(statsOut, traceOut, profile);
 
     for (const std::string &key : args.unusedKeys())
         warn("unused option --", key);

@@ -30,9 +30,6 @@ main()
 
     // --- 2. How variation slows down one core ---
     CoreSystemModel &core = ctx.coreModel(0, 0);
-    const PhaseCharacterization stress = stressCharacterization(
-        ctx.powerParams(), cfg.recovery, cfg.process.freqNominal);
-
     TablePrinter table("subsystems of chip 0, core 0");
     table.header({"subsystem", "type", "Vt0 (mV)", "fvar (GHz)",
                   "Rth (K/W)"});

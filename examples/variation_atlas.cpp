@@ -58,8 +58,6 @@ main(int argc, char **argv)
     std::printf("wrote %s (darker = slower silicon)\n\n", path);
 
     // Where did each core's subsystems land?
-    const OperatingConditions corner{proc.vddNominal, 0.0,
-                                     proc.tempNominalC};
     for (std::size_t core = 0; core < 4; ++core) {
         TablePrinter table("core " + std::to_string(core));
         table.header({"subsystem", "Vt_sys (mV)", "vs chip mean"});

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure with warnings-as-errors, build
+# everything, run the full test suite.  This is what CI runs; run it
+# locally before pushing.
+#
+# Usage: scripts/check.sh [build-dir]   (default: build-check)
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-$repo_root/build-check}"
+
+cmake -B "$build_dir" -S "$repo_root" -DEVAL_WERROR=ON
+cmake --build "$build_dir" -j"$(nproc)"
+ctest --test-dir "$build_dir" --output-on-failure -j"$(nproc)"
+
+echo "check.sh: all tests passed"

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/perf_model.hh"
+#include "stats/stat_registry.hh"
 #include "util/logging.hh"
 #include "util/math_utils.hh"
 
@@ -131,6 +132,17 @@ CmpRunResult
 CmpSystem::runMix(const WorkloadMix &mix, EnvironmentKind env,
                   AdaptScheme scheme)
 {
+    static TimerStat &timer =
+        StatRegistry::global().timer("profile.cmp.run_mix");
+    static Counter &iterations =
+        StatRegistry::global().counter("chip.thermal.iterations");
+    static Counter &throttles =
+        StatRegistry::global().counter("chip.thermal.throttle_steps");
+    static Gauge &heatsink =
+        StatRegistry::global().gauge("chip.thermal.heatsink_c");
+    ScopedTimer scope(timer);
+    StatRegistry::global().counter("chip.mix_runs").inc();
+
     const ExperimentConfig &cfg = ctx_.config();
     CmpRunResult result;
     double thC = 60.0;
@@ -141,6 +153,7 @@ CmpSystem::runMix(const WorkloadMix &mix, EnvironmentKind env,
     // exceeded even at the fixed point.  The budget covers the worst
     // case of stepping through the full throttle range.
     for (int iter = 0; iter < 120; ++iter) {
+        iterations.inc();
         double totalPower = 0.0;
         std::array<CoreOutcome, 4> outcomes;
         for (std::size_t core = 0; core < 4; ++core) {
@@ -157,8 +170,10 @@ CmpSystem::runMix(const WorkloadMix &mix, EnvironmentKind env,
             if (thC > cfg.constraints.thMaxC + 0.25 && throttle < 16) {
                 ++throttle;
                 ++result.throttleSteps;
+                throttles.inc();
                 continue;   // re-run cooler
             }
+            heatsink.set(thC);
             for (std::size_t core = 0; core < 4; ++core) {
                 result.coreFreqRel[core] =
                     outcomes[core].freq / cfg.process.freqNominal;

@@ -2,9 +2,62 @@
 
 #include <algorithm>
 
+#include "stats/decision_trace.hh"
+#include "stats/stat_registry.hh"
 #include "util/logging.hh"
 
 namespace eval {
+
+namespace {
+
+/** Append one adaptation decision to the global trace and counters. */
+void
+recordDecision(std::size_t phaseId, double thC,
+               const PhaseAdaptation &ad, double predictedPe,
+               double predictedPerf)
+{
+    static Counter &adaptations =
+        StatRegistry::global().counter("controller.adaptations");
+    static Counter &reuses =
+        StatRegistry::global().counter("controller.saved_reuse");
+    static Counter &steps =
+        StatRegistry::global().counter("controller.retune_steps");
+    adaptations.inc();
+    if (ad.reusedSaved)
+        reuses.inc();
+    steps.inc(ad.retuneSteps);
+    StatRegistry::global()
+        .counter(std::string("controller.outcome.") +
+                 retuneOutcomeName(ad.outcome))
+        .inc();
+
+    DecisionTrace &trace = DecisionTrace::global();
+    if (!trace.enabled())
+        return;
+    DecisionRecord r;
+    r.phaseId = phaseId;
+    r.reusedSaved = ad.reusedSaved;
+    r.thC = thC;
+    r.freqHz = ad.op.freq;
+    double vdd = 0.0, vbb = 0.0;
+    for (const SubsystemKnobs &k : ad.op.knobs) {
+        vdd += k.vdd;
+        vbb += k.vbb;
+    }
+    r.meanVddV = vdd / static_cast<double>(ad.op.knobs.size());
+    r.meanVbbV = vbb / static_cast<double>(ad.op.knobs.size());
+    r.smallQueue = ad.op.smallQueue;
+    r.lowSlopeFu = ad.op.lowSlopeFu;
+    r.predictedPe = predictedPe;
+    r.realizedPe = ad.eval.pePerInstruction;
+    r.predictedPerf = predictedPerf;
+    r.powerW = ad.eval.totalPowerW;
+    r.outcome = retuneOutcomeName(ad.outcome);
+    r.retuneSteps = ad.retuneSteps;
+    trace.record(std::move(r));
+}
+
+} // namespace
 
 const char *
 retuneOutcomeName(RetuneOutcome o)
@@ -135,6 +188,10 @@ DynamicController::adaptPhase(const CoreSystemModel &core,
                               const PhaseCharacterization &phase,
                               double thC)
 {
+    static TimerStat &timer =
+        StatRegistry::global().timer("profile.controller.adapt_phase");
+    ScopedTimer scope(timer);
+
     PhaseAdaptation out;
 
     if (auto savedOp = saved_.lookup(phaseId)) {
@@ -149,6 +206,10 @@ DynamicController::adaptPhase(const CoreSystemModel &core,
         out.retuneSteps = res.steps;
         out.reusedSaved = true;
         saved_.save(phaseId, res.op);
+        // The "prediction" of a reused configuration is the table's
+        // expectation that it still holds: the realized state itself.
+        recordDecision(phaseId, thC, out, res.eval.pePerInstruction,
+                       0.0);
         return out;
     }
 
@@ -175,6 +236,8 @@ DynamicController::adaptPhase(const CoreSystemModel &core,
     out.outcome = res.outcome;
     out.retuneSteps = res.steps;
     saved_.save(phaseId, res.op);
+    recordDecision(phaseId, thC, out, choice.predictedPe,
+                   choice.predictedPerf);
     return out;
 }
 

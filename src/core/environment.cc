@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "core/perf_model.hh"
+#include "stats/decision_trace.hh"
+#include "stats/stat_registry.hh"
 #include "util/logging.hh"
 #include "util/math_utils.hh"
 
@@ -151,6 +153,9 @@ ExperimentContext::coreFuzzy(std::size_t chipIndex, std::size_t core,
         tcfg.seed = cfg_.seed ^ (chipIndex * 131 + core * 17 + capsKey);
         auto sys = std::make_unique<CoreFuzzySystem>(
             coreModel(chipIndex, core), caps, cfg_.constraints, tcfg);
+        inform("training fuzzy controllers for chip ", chipIndex,
+               " core ", core, " (", tcfg.examplesPerFc,
+               " examples per FC)");
         sys->train();
         it = fuzzy_.emplace(key, std::move(sys)).first;
     }
@@ -288,6 +293,8 @@ ExperimentContext::runManaged(std::size_t chipIndex, std::size_t coreIdx,
     const EnvCapabilities caps = environmentCaps(env);
     EVAL_ASSERT(caps.timingSpec, "managed run requires TS");
     CoreSystemModel &core = coreModel(chipIndex, coreIdx);
+    DecisionTrace::global().setContext(static_cast<int>(chipIndex),
+                                       static_cast<int>(coreIdx));
 
     // Pick the per-subsystem optimizer.
     std::unique_ptr<ExhaustiveOptimizer> exh;
@@ -399,6 +406,11 @@ ExperimentContext::runApp(std::size_t chipIndex, std::size_t core,
                           const AppProfile &app, EnvironmentKind env,
                           AdaptScheme scheme)
 {
+    static TimerStat &timer =
+        StatRegistry::global().timer("profile.experiment.run_app");
+    ScopedTimer scope(timer);
+    StatRegistry::global().counter("experiment.app_runs").inc();
+
     if (env == EnvironmentKind::NoVar) {
         AppRunResult res = runNoVar(app);
         res.perfRel = 1.0;

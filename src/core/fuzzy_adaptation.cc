@@ -1,5 +1,6 @@
 #include "core/fuzzy_adaptation.hh"
 
+#include "stats/stat_registry.hh"
 #include "util/config.hh"
 #include "util/logging.hh"
 #include "util/math_utils.hh"
@@ -31,6 +32,11 @@ CoreFuzzySystem::freqInput(SubsystemId id, double thC, double alphaF,
 void
 CoreFuzzySystem::train()
 {
+    static TimerStat &timer =
+        StatRegistry::global().timer("profile.fuzzy.train");
+    ScopedTimer scope(timer);
+    StatRegistry::global().counter("fuzzy.trainings").inc();
+
     ExhaustiveOptimizer exhaustive(caps_, constraints_);
     const KnobSpace knobs = caps_.knobSpace();
     Rng rng(cfg_.seed);
@@ -107,6 +113,12 @@ CoreFuzzySystem::predictFmax(SubsystemId id, double thC, double alphaF,
                              bool altConfig) const
 {
     EVAL_ASSERT(trained_, "fuzzy system queried before training");
+    static TimerStat &timer =
+        StatRegistry::global().timer("profile.fuzzy.predict");
+    static Counter &inferences =
+        StatRegistry::global().counter("fuzzy.inferences");
+    ScopedTimer scope(timer);
+    inferences.inc();
     return fmaxFc_[static_cast<std::size_t>(id)]->predict(
         freqInput(id, thC, alphaF, altConfig));
 }
@@ -116,6 +128,12 @@ CoreFuzzySystem::predictKnobs(SubsystemId id, double thC, double alphaF,
                               bool altConfig, double fcore) const
 {
     EVAL_ASSERT(trained_, "fuzzy system queried before training");
+    static TimerStat &timer =
+        StatRegistry::global().timer("profile.fuzzy.predict");
+    static Counter &inferences =
+        StatRegistry::global().counter("fuzzy.inferences");
+    ScopedTimer scope(timer);
+    inferences.inc();
     SubsystemKnobs k{core_.params().vddNominal, 0.0};
     auto in = freqInput(id, thC, alphaF, altConfig);
     in.push_back(fcore);

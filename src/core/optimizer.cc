@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "stats/stat_registry.hh"
 #include "util/logging.hh"
 #include "util/math_utils.hh"
 
@@ -82,6 +83,13 @@ ExhaustiveOptimizer::maxFrequency(const CoreSystemModel &core,
                                   SubsystemId id, bool useAlternate,
                                   double alphaF, double thC)
 {
+    static TimerStat &timer =
+        StatRegistry::global().timer("profile.optimizer.max_frequency");
+    static Counter &queries =
+        StatRegistry::global().counter("optimizer.freq_queries");
+    ScopedTimer scope(timer);
+    queries.inc();
+
     const double vddNom = core.params().vddNominal;
     const auto &freqs = knobs_.freq;
 
@@ -116,6 +124,13 @@ ExhaustiveOptimizer::minimizePower(const CoreSystemModel &core,
                                    double fcore, double alphaF,
                                    double thC)
 {
+    static TimerStat &timer =
+        StatRegistry::global().timer("profile.optimizer.minimize_power");
+    static Counter &queries =
+        StatRegistry::global().counter("optimizer.power_queries");
+    ScopedTimer scope(timer);
+    queries.inc();
+
     const double budget = perAccessErrorBudget(constraints_, alphaF);
     const auto vdds = knobs_.vddCandidates(core.params().vddNominal);
     const auto vbbs = knobs_.vbbCandidates();
@@ -208,6 +223,13 @@ AdaptationResult
 CoreOptimizer::choose(const CoreSystemModel &core,
                       const PhaseCharacterization &phase, double thC)
 {
+    static TimerStat &timer =
+        StatRegistry::global().timer("profile.optimizer.choose");
+    static Counter &calls =
+        StatRegistry::global().counter("optimizer.choose_calls");
+    ScopedTimer scope(timer);
+    calls.inc();
+
     AdaptationResult result;
 
     // --- Freq algorithm per candidate queue configuration ---
@@ -283,10 +305,14 @@ CoreOptimizer::choose(const CoreSystemModel &core,
             op.freq <= knobs_.freq.lo()) {
             result.predictedPerf =
                 performance(op.freq, ev.pePerInstruction, perfIn);
+            result.predictedPe = ev.pePerInstruction;
             break;
         }
         op.freq = knobs_.freq.quantizeDown(op.freq - knobs_.freq.step());
     }
+
+    if (!result.feasible)
+        StatRegistry::global().counter("optimizer.infeasible").inc();
 
     result.op = op;
     return result;

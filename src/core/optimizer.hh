@@ -113,6 +113,7 @@ struct AdaptationResult
     OperatingPoint op;
     bool feasible = true;
     double predictedPerf = 0.0;   ///< instructions/second via Eq 5
+    double predictedPe = 0.0;     ///< err/instr expected at `op`
     std::array<double, kNumSubsystems> fmax{};   ///< diagnostics
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "stats/stat_registry.hh"
 #include "util/logging.hh"
 
 namespace eval {
@@ -95,6 +96,18 @@ PhaseDetector::endInterval(const BbvAccumulator &bbv)
 
     decision.changed = !current_ || *current_ != decision.phaseId;
     current_ = decision.phaseId;
+
+    static Counter &intervals =
+        StatRegistry::global().counter("phase.intervals");
+    static Counter &newPhases =
+        StatRegistry::global().counter("phase.new_phases");
+    static Counter &changes =
+        StatRegistry::global().counter("phase.changes");
+    intervals.inc();
+    if (decision.isNewPhase)
+        newPhases.inc();
+    if (decision.changed)
+        changes.inc();
     return decision;
 }
 

@@ -1,0 +1,137 @@
+#include "stats/decision_trace.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace eval {
+
+DecisionTrace::DecisionTrace(std::size_t capacity)
+    : capacity_(capacity ? capacity : 1)
+{
+}
+
+DecisionTrace &
+DecisionTrace::global()
+{
+    static DecisionTrace trace;
+    return trace;
+}
+
+void
+DecisionTrace::setCapacity(std::size_t capacity)
+{
+    capacity_ = capacity ? capacity : 1;
+    clear();
+}
+
+void
+DecisionTrace::setContext(int chip, int core)
+{
+    chip_ = chip;
+    core_ = core;
+}
+
+void
+DecisionTrace::record(DecisionRecord r)
+{
+    if (!enabled_)
+        return;
+    r.sequence = total_++;
+    if (r.chip < 0)
+        r.chip = chip_;
+    if (r.core < 0)
+        r.core = core_;
+    if (ring_.size() < capacity_) {
+        ring_.push_back(std::move(r));
+    } else {
+        ring_[head_] = std::move(r);
+    }
+    head_ = (head_ + 1) % capacity_;
+}
+
+std::size_t
+DecisionTrace::size() const
+{
+    return ring_.size();
+}
+
+const DecisionRecord &
+DecisionTrace::at(std::size_t i) const
+{
+    EVAL_ASSERT(i < ring_.size(), "trace index out of range");
+    // Until the ring wraps, head_ == size and oldest is index 0.
+    const std::size_t base = ring_.size() < capacity_ ? 0 : head_;
+    return ring_[(base + i) % ring_.size()];
+}
+
+namespace {
+
+std::string
+num(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    return buf;
+}
+
+} // namespace
+
+std::string
+DecisionTrace::jsonl() const
+{
+    std::ostringstream os;
+    for (std::size_t i = 0; i < size(); ++i) {
+        const DecisionRecord &r = at(i);
+        os << "{\"seq\": " << r.sequence
+           << ", \"chip\": " << r.chip
+           << ", \"core\": " << r.core
+           << ", \"phase_id\": " << r.phaseId
+           << ", \"reused_saved\": " << (r.reusedSaved ? "true" : "false")
+           << ", \"th_c\": " << num(r.thC)
+           << ", \"freq_ghz\": " << num(r.freqHz / 1e9)
+           << ", \"mean_vdd_v\": " << num(r.meanVddV)
+           << ", \"mean_vbb_v\": " << num(r.meanVbbV)
+           << ", \"small_queue\": " << (r.smallQueue ? "true" : "false")
+           << ", \"low_slope_fu\": " << (r.lowSlopeFu ? "true" : "false")
+           << ", \"predicted_pe\": " << num(r.predictedPe)
+           << ", \"realized_pe\": " << num(r.realizedPe)
+           << ", \"predicted_perf\": " << num(r.predictedPerf)
+           << ", \"power_w\": " << num(r.powerW)
+           << ", \"outcome\": \"" << r.outcome << "\""
+           << ", \"retune_steps\": " << r.retuneSteps
+           << "}\n";
+    }
+    return os.str();
+}
+
+bool
+DecisionTrace::writeJsonl(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        warn("cannot open '", path, "' for writing");
+        return false;
+    }
+    const std::string text = jsonl();
+    const bool ok =
+        std::fwrite(text.data(), 1, text.size(), f) == text.size();
+    std::fclose(f);
+    if (!ok)
+        warn("short write to '", path, "'");
+    return ok;
+}
+
+void
+DecisionTrace::clear()
+{
+    ring_.clear();
+    head_ = 0;
+    total_ = 0;
+}
+
+} // namespace eval

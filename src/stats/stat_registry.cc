@@ -1,0 +1,401 @@
+#include "stats/stat_registry.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "util/csv.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+
+namespace eval {
+
+const char *
+statTypeName(StatType t)
+{
+    switch (t) {
+      case StatType::Counter:   return "counter";
+      case StatType::Gauge:     return "gauge";
+      case StatType::Histogram: return "histogram";
+      case StatType::Timer:     return "timer";
+    }
+    return "?";
+}
+
+void
+HistogramStat::reset()
+{
+    hist_ = Histogram(lo_, hi_, nbins_);
+    moments_.reset();
+}
+
+namespace {
+
+std::atomic<bool> profilingFlag{false};
+
+/** JSON number: finite values via %.12g, otherwise null. */
+std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.12g", v);
+    return buf;
+}
+
+std::vector<std::string>
+splitDotted(const std::string &name)
+{
+    std::vector<std::string> parts;
+    std::size_t start = 0;
+    for (std::size_t i = 0; i <= name.size(); ++i) {
+        if (i == name.size() || name[i] == '.') {
+            parts.push_back(name.substr(start, i - start));
+            start = i + 1;
+        }
+    }
+    return parts;
+}
+
+} // namespace
+
+void
+setProfilingEnabled(bool enabled)
+{
+    profilingFlag.store(enabled, std::memory_order_relaxed);
+}
+
+bool
+profilingEnabled()
+{
+    return profilingFlag.load(std::memory_order_relaxed);
+}
+
+StatRegistry &
+StatRegistry::global()
+{
+    static StatRegistry registry;
+    return registry;
+}
+
+StatRegistry::Slot &
+StatRegistry::slot(const std::string &name, StatType type, double lo,
+                   double hi, std::size_t bins)
+{
+    EVAL_ASSERT(!name.empty(), "stat name must not be empty");
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = stats_.find(name);
+    if (it != stats_.end()) {
+        const StatType existing =
+            static_cast<StatType>(it->second->index());
+        if (existing != type) {
+            EVAL_FATAL("stat '", name, "' already registered as ",
+                       statTypeName(existing), ", requested as ",
+                       statTypeName(type));
+        }
+        return *it->second;
+    }
+
+    // A dotted name is a tree path: a leaf cannot double as a group.
+    const std::string prefix = name + ".";
+    for (const auto &[other, unused] : stats_) {
+        (void)unused;
+        if (other.compare(0, prefix.size(), prefix) == 0 ||
+            name.compare(0, other.size() + 1, other + ".") == 0) {
+            EVAL_FATAL("stat '", name, "' conflicts with the hierarchy "
+                       "of existing stat '", other, "'");
+        }
+    }
+
+    std::unique_ptr<Slot> made;
+    switch (type) {
+      case StatType::Counter:
+        made = std::make_unique<Slot>(std::in_place_type<Counter>);
+        break;
+      case StatType::Gauge:
+        made = std::make_unique<Slot>(std::in_place_type<Gauge>);
+        break;
+      case StatType::Histogram:
+        made = std::make_unique<Slot>(
+            std::in_place_type<HistogramStat>, lo, hi, bins);
+        break;
+      case StatType::Timer:
+        made = std::make_unique<Slot>(std::in_place_type<TimerStat>);
+        break;
+    }
+    it = stats_.emplace(name, std::move(made)).first;
+    return *it->second;
+}
+
+Counter &
+StatRegistry::counter(const std::string &name)
+{
+    return std::get<Counter>(slot(name, StatType::Counter));
+}
+
+Gauge &
+StatRegistry::gauge(const std::string &name)
+{
+    return std::get<Gauge>(slot(name, StatType::Gauge));
+}
+
+HistogramStat &
+StatRegistry::histogram(const std::string &name, double lo, double hi,
+                        std::size_t bins)
+{
+    return std::get<HistogramStat>(
+        slot(name, StatType::Histogram, lo, hi, bins));
+}
+
+TimerStat &
+StatRegistry::timer(const std::string &name)
+{
+    return std::get<TimerStat>(slot(name, StatType::Timer));
+}
+
+bool
+StatRegistry::has(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_.count(name) > 0;
+}
+
+std::size_t
+StatRegistry::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_.size();
+}
+
+void
+StatRegistry::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &[name, s] : stats_) {
+        (void)name;
+        std::visit([](auto &stat) { stat.reset(); }, *s);
+    }
+}
+
+std::string
+StatRegistry::json() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::ostringstream os;
+    os << "{";
+    std::vector<std::string> open;   // current group path
+    bool firstEntry = true;
+
+    const auto indent = [&os](std::size_t depth) {
+        os << "\n";
+        for (std::size_t i = 0; i < depth + 1; ++i)
+            os << "  ";
+    };
+
+    for (const auto &[name, s] : stats_) {
+        std::vector<std::string> parts = splitDotted(name);
+        const std::string leaf = parts.back();
+        parts.pop_back();
+
+        std::size_t common = 0;
+        while (common < open.size() && common < parts.size() &&
+               open[common] == parts[common]) {
+            ++common;
+        }
+        // Close groups below the common prefix.
+        while (open.size() > common) {
+            open.pop_back();
+            indent(open.size());
+            os << "}";
+        }
+        if (!firstEntry)
+            os << ",";
+        firstEntry = false;
+        // Open the new groups.
+        while (open.size() < parts.size()) {
+            indent(open.size());
+            os << "\"" << parts[open.size()] << "\": {";
+            open.push_back(parts[open.size()]);
+        }
+        indent(open.size());
+
+        os << "\"" << leaf << "\": ";
+        std::visit(
+            [&os](const auto &stat) {
+                using T = std::decay_t<decltype(stat)>;
+                if constexpr (std::is_same_v<T, Counter>) {
+                    os << "{\"type\": \"counter\", \"value\": "
+                       << stat.value() << "}";
+                } else if constexpr (std::is_same_v<T, Gauge>) {
+                    os << "{\"type\": \"gauge\", \"value\": "
+                       << jsonNumber(stat.value()) << "}";
+                } else if constexpr (std::is_same_v<T, HistogramStat>) {
+                    os << "{\"type\": \"histogram\", \"count\": "
+                       << stat.count()
+                       << ", \"mean\": " << jsonNumber(stat.mean())
+                       << ", \"stddev\": " << jsonNumber(stat.stddev())
+                       << ", \"min\": " << jsonNumber(stat.min())
+                       << ", \"max\": " << jsonNumber(stat.max())
+                       << ", \"p50\": " << jsonNumber(stat.quantile(0.5))
+                       << ", \"p90\": " << jsonNumber(stat.quantile(0.9))
+                       << ", \"p99\": " << jsonNumber(stat.quantile(0.99))
+                       << "}";
+                } else {
+                    os << "{\"type\": \"timer\", \"calls\": "
+                       << stat.calls()
+                       << ", \"total_ms\": "
+                       << jsonNumber(static_cast<double>(stat.totalNs()) /
+                                     1e6)
+                       << ", \"mean_us\": "
+                       << jsonNumber(stat.meanNs() / 1e3)
+                       << ", \"min_us\": "
+                       << jsonNumber(static_cast<double>(stat.minNs()) /
+                                     1e3)
+                       << ", \"max_us\": "
+                       << jsonNumber(static_cast<double>(stat.maxNs()) /
+                                     1e3)
+                       << "}";
+                }
+            },
+            *s);
+    }
+    while (!open.empty()) {
+        open.pop_back();
+        indent(open.size());
+        os << "}";
+    }
+    os << "\n}\n";
+    return os.str();
+}
+
+std::string
+StatRegistry::csv() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    CsvTable table({"name", "type", "count", "value", "mean", "min",
+                    "max", "p50", "p90", "p99"});
+    for (const auto &[name, s] : stats_) {
+        std::visit(
+            [&table, &name = name](const auto &stat) {
+                using T = std::decay_t<decltype(stat)>;
+                if constexpr (std::is_same_v<T, Counter>) {
+                    table.row({name, "counter", "",
+                               std::to_string(stat.value()), "", "", "",
+                               "", "", ""});
+                } else if constexpr (std::is_same_v<T, Gauge>) {
+                    table.row({name, "gauge", "",
+                               formatDouble(stat.value(), 6), "", "",
+                               "", "", "", ""});
+                } else if constexpr (std::is_same_v<T, HistogramStat>) {
+                    table.row({name, "histogram",
+                               std::to_string(stat.count()), "",
+                               formatDouble(stat.mean(), 6),
+                               formatDouble(stat.min(), 6),
+                               formatDouble(stat.max(), 6),
+                               formatDouble(stat.quantile(0.5), 6),
+                               formatDouble(stat.quantile(0.9), 6),
+                               formatDouble(stat.quantile(0.99), 6)});
+                } else {
+                    table.row({name, "timer",
+                               std::to_string(stat.calls()),
+                               formatDouble(static_cast<double>(
+                                                stat.totalNs()) / 1e6,
+                                            3),
+                               formatDouble(stat.meanNs() / 1e3, 3),
+                               formatDouble(static_cast<double>(
+                                                stat.minNs()) / 1e3,
+                                            3),
+                               formatDouble(static_cast<double>(
+                                                stat.maxNs()) / 1e3,
+                                            3),
+                               "", "", ""});
+                }
+            },
+            *s);
+    }
+    return table.str();
+}
+
+namespace {
+
+bool
+writeTextFile(const std::string &path, const std::string &text)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        warn("cannot open '", path, "' for writing");
+        return false;
+    }
+    const bool ok =
+        std::fwrite(text.data(), 1, text.size(), f) == text.size();
+    std::fclose(f);
+    if (!ok)
+        warn("short write to '", path, "'");
+    return ok;
+}
+
+} // namespace
+
+bool
+StatRegistry::writeJson(const std::string &path) const
+{
+    return writeTextFile(path, json());
+}
+
+bool
+StatRegistry::writeCsv(const std::string &path) const
+{
+    return writeTextFile(path, csv());
+}
+
+void
+StatRegistry::printProfile() const
+{
+    struct Row
+    {
+        std::string name;
+        const TimerStat *timer;
+    };
+    std::vector<Row> rows;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (const auto &[name, s] : stats_) {
+            if (const auto *t = std::get_if<TimerStat>(s.get())) {
+                if (t->calls() > 0)
+                    rows.push_back({name, t});
+            }
+        }
+    }
+    if (rows.empty()) {
+        std::printf("self-profile: no timer samples "
+                    "(enable with --profile / setProfilingEnabled)\n");
+        return;
+    }
+    std::sort(rows.begin(), rows.end(),
+              [](const Row &a, const Row &b) {
+                  return a.timer->totalNs() > b.timer->totalNs();
+              });
+    double grandNs = 0.0;
+    for (const Row &r : rows)
+        grandNs += static_cast<double>(r.timer->totalNs());
+
+    TablePrinter table("self-profile (wall-clock per instrumented region)");
+    table.header({"region", "calls", "total (ms)", "mean (us)",
+                  "max (us)", "share"});
+    for (const Row &r : rows) {
+        table.row({r.name, std::to_string(r.timer->calls()),
+                   formatDouble(
+                       static_cast<double>(r.timer->totalNs()) / 1e6, 3),
+                   formatDouble(r.timer->meanNs() / 1e3, 2),
+                   formatDouble(
+                       static_cast<double>(r.timer->maxNs()) / 1e3, 2),
+                   formatPercent(
+                       static_cast<double>(r.timer->totalNs()) /
+                       grandNs)});
+    }
+    table.print();
+}
+
+} // namespace eval

@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Simulator-wide statistics registry in the spirit of gem5's Stats
+ * framework: named Counter / Gauge / Histogram / Timer instruments,
+ * registered under dotted hierarchical names
+ * ("core0.controller.retunes", "chip.thermal.throttle_steps"),
+ * snapshotable mid-run and dumpable as nested JSON or flat CSV.
+ *
+ * Conventions:
+ *  - Registration is idempotent: asking for an existing name of the
+ *    same type returns the same instrument; a type clash or a
+ *    group/leaf clash ("a.b" vs "a.b.c") is a fatal error.
+ *  - Instruments are never deallocated while the registry lives, so
+ *    hot paths may cache references (typically as function-local
+ *    statics).  reset() zeroes values but keeps registrations.
+ *  - Value updates are plain (non-atomic) operations: the simulator
+ *    is single-threaded.  Registration itself is mutex-protected.
+ *  - Timers are driven by ScopedTimer and sample only while profiling
+ *    is enabled (setProfilingEnabled); when disabled a ScopedTimer
+ *    costs one relaxed atomic load and no clock reads.
+ */
+
+#ifndef EVAL_STATS_STAT_REGISTRY_HH
+#define EVAL_STATS_STAT_REGISTRY_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "util/statistics.hh"
+
+namespace eval {
+
+/** Kind tag of one registered instrument. */
+enum class StatType { Counter, Gauge, Histogram, Timer };
+
+const char *statTypeName(StatType t);
+
+/** Monotonic event counter. */
+class Counter
+{
+  public:
+    void inc(std::uint64_t n = 1) { value_ += n; }
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Last-value instrument (temperatures, table sizes, ...). */
+class Gauge
+{
+  public:
+    void set(double v) { value_ = v; }
+    double value() const { return value_; }
+    void reset() { value_ = 0.0; }
+
+  private:
+    double value_ = 0.0;
+};
+
+/**
+ * Binned distribution plus streaming moments: the fixed-bin histogram
+ * answers quantile queries while RunningStats keeps exact
+ * mean/min/max (the bins clamp out-of-range samples).
+ */
+class HistogramStat
+{
+  public:
+    HistogramStat(double lo, double hi, std::size_t bins)
+        : lo_(lo), hi_(hi), nbins_(bins), hist_(lo, hi, bins)
+    {
+    }
+
+    void
+    add(double x)
+    {
+        hist_.add(x);
+        moments_.add(x);
+    }
+
+    std::size_t count() const { return moments_.count(); }
+    double mean() const { return moments_.mean(); }
+    double stddev() const { return moments_.stddev(); }
+    double min() const { return moments_.min(); }
+    double max() const { return moments_.max(); }
+    double quantile(double q) const { return hist_.quantile(q); }
+    const Histogram &bins() const { return hist_; }
+
+    void reset();
+
+  private:
+    double lo_;
+    double hi_;
+    std::size_t nbins_;
+    Histogram hist_;
+    RunningStats moments_;
+};
+
+/** Accumulated wall-clock time of one instrumented region. */
+class TimerStat
+{
+  public:
+    void
+    addSample(std::uint64_t ns)
+    {
+        ++calls_;
+        totalNs_ += ns;
+        if (calls_ == 1 || ns < minNs_)
+            minNs_ = ns;
+        if (ns > maxNs_)
+            maxNs_ = ns;
+    }
+
+    std::uint64_t calls() const { return calls_; }
+    std::uint64_t totalNs() const { return totalNs_; }
+    std::uint64_t minNs() const { return calls_ ? minNs_ : 0; }
+    std::uint64_t maxNs() const { return maxNs_; }
+    double
+    meanNs() const
+    {
+        return calls_ ? static_cast<double>(totalNs_) /
+                            static_cast<double>(calls_)
+                      : 0.0;
+    }
+
+    void reset() { calls_ = totalNs_ = minNs_ = maxNs_ = 0; }
+
+  private:
+    std::uint64_t calls_ = 0;
+    std::uint64_t totalNs_ = 0;
+    std::uint64_t minNs_ = 0;
+    std::uint64_t maxNs_ = 0;
+};
+
+/** Globally enable/disable ScopedTimer sampling (the --profile flag). */
+void setProfilingEnabled(bool enabled);
+bool profilingEnabled();
+
+/**
+ * RAII region timer feeding a TimerStat.  When profiling is disabled
+ * the constructor takes no clock sample, so the per-call overhead is
+ * a single relaxed atomic load.
+ */
+class ScopedTimer
+{
+  public:
+    explicit ScopedTimer(TimerStat &timer)
+        : timer_(profilingEnabled() ? &timer : nullptr)
+    {
+        if (timer_)
+            start_ = std::chrono::steady_clock::now();
+    }
+
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+    ~ScopedTimer()
+    {
+        if (timer_) {
+            const auto ns =
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - start_)
+                    .count();
+            timer_->addSample(static_cast<std::uint64_t>(ns));
+        }
+    }
+
+  private:
+    TimerStat *timer_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+/**
+ * The hierarchical instrument registry.  Most code uses the process
+ * singleton (global()); tests may build private instances.
+ */
+class StatRegistry
+{
+  public:
+    StatRegistry() = default;
+    StatRegistry(const StatRegistry &) = delete;
+    StatRegistry &operator=(const StatRegistry &) = delete;
+
+    /** The simulator-wide registry. */
+    static StatRegistry &global();
+
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    HistogramStat &histogram(const std::string &name, double lo,
+                             double hi, std::size_t bins);
+    TimerStat &timer(const std::string &name);
+
+    /** Whether @p name is registered (any type). */
+    bool has(const std::string &name) const;
+
+    std::size_t size() const;
+
+    /** Zero every instrument, keeping registrations (and therefore
+     *  any cached references) valid. */
+    void reset();
+
+    /** Nested-JSON snapshot of every instrument, grouped by the
+     *  dotted-name hierarchy. */
+    std::string json() const;
+
+    /** Flat CSV snapshot: name,type,count,value,mean,min,max,p50,p90,p99. */
+    std::string csv() const;
+
+    bool writeJson(const std::string &path) const;
+    bool writeCsv(const std::string &path) const;
+
+    /** Print the self-profile table (all timers, sorted by total
+     *  time) to stdout.  No-op message when nothing was sampled. */
+    void printProfile() const;
+
+  private:
+    using Slot =
+        std::variant<Counter, Gauge, HistogramStat, TimerStat>;
+
+    /** Find-or-create @p name; fatal on type or hierarchy clash. */
+    Slot &slot(const std::string &name, StatType type,
+               double lo = 0.0, double hi = 1.0, std::size_t bins = 1);
+
+    mutable std::mutex mutex_;
+    /** Ordered so dumps group hierarchy prefixes together. */
+    std::map<std::string, std::unique_ptr<Slot>> stats_;
+};
+
+} // namespace eval
+
+#endif // EVAL_STATS_STAT_REGISTRY_HH

@@ -1,0 +1,14 @@
+/**
+ * @file
+ * Umbrella header for the observability subsystem: the hierarchical
+ * stat registry (counters/gauges/histograms/timers + ScopedTimer
+ * profiling) and the adaptation decision trace.
+ */
+
+#ifndef EVAL_STATS_STATS_HH
+#define EVAL_STATS_STATS_HH
+
+#include "stats/decision_trace.hh"
+#include "stats/stat_registry.hh"
+
+#endif // EVAL_STATS_STATS_HH

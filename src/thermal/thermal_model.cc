@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "stats/stat_registry.hh"
 #include "util/logging.hh"
 #include "util/math_utils.hh"
 
@@ -35,6 +36,13 @@ ThermalModel::solveSubsystem(const SubsystemPowerParams &power,
                              double vbb, double freqHz, double alphaF,
                              double thC) const
 {
+    static Counter &solves =
+        StatRegistry::global().counter("thermal.solves");
+    static TimerStat &timer =
+        StatRegistry::global().timer("profile.thermal.solve_subsystem");
+    ScopedTimer scope(timer);
+    solves.inc();
+
     const double r = rth(id);
     const double pdyn = dynamicPower(power.kdyn, alphaF, vdd, freqHz);
 
@@ -65,6 +73,8 @@ ThermalModel::solveSubsystem(const SubsystemPowerParams &power,
     st.vtEff = effectiveVt(params_, vt0, op);
     st.psta = staticPower(power.ksta, vdd, tSolved, st.vtEff);
     st.runaway = !converged || tSolved >= 399.0;
+    if (st.runaway)
+        StatRegistry::global().counter("thermal.runaways").inc();
     return st;
 }
 

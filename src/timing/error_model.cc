@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "stats/stat_registry.hh"
 #include "util/logging.hh"
 #include "util/math_utils.hh"
 
@@ -49,6 +50,12 @@ StageErrorModel::errorRatePerAccess(double clockPeriod,
                                     const OperatingConditions &op) const
 {
     EVAL_ASSERT(clockPeriod > 0.0, "clock period must be positive");
+    static Counter &evals =
+        StatRegistry::global().counter("timing.error_evals");
+    static TimerStat &timer =
+        StatRegistry::global().timer("profile.timing.error_eval");
+    ScopedTimer scope(timer);
+    evals.inc();
     const double scale = delayScale(op);
     if (scale >= kNonFunctionalDelayFactor)
         return 1.0;

@@ -1,23 +1,83 @@
 #include "util/logging.hh"
 
+#include <atomic>
 #include <cstdio>
+#include <cstring>
+#include <ctime>
+
+#include <sys/time.h>
 
 namespace eval {
 
 namespace {
-bool quietFlag = false;
+
+std::atomic<bool> quietFlag{false};
+std::atomic<bool> timestampsFlag{[] {
+    const char *v = std::getenv("EVAL_LOG_TIMESTAMPS");
+    return v && (std::strcmp(v, "1") == 0 || std::strcmp(v, "true") == 0 ||
+                 std::strcmp(v, "yes") == 0);
+}()};
+
+LogLevel
+levelFromEnv()
+{
+    const char *v = std::getenv("EVAL_LOG_LEVEL");
+    if (!v)
+        return LogLevel::Inform;
+    if (std::strcmp(v, "info") == 0 || std::strcmp(v, "inform") == 0)
+        return LogLevel::Inform;
+    if (std::strcmp(v, "warn") == 0 || std::strcmp(v, "warning") == 0)
+        return LogLevel::Warn;
+    if (std::strcmp(v, "fatal") == 0 || std::strcmp(v, "quiet") == 0 ||
+        std::strcmp(v, "none") == 0) {
+        return LogLevel::Fatal;
+    }
+    std::fprintf(stderr,
+                 "[warn] unknown EVAL_LOG_LEVEL '%s' "
+                 "(info|warn|fatal|quiet); using info\n",
+                 v);
+    return LogLevel::Inform;
+}
+
+std::atomic<int> minLevel{static_cast<int>(levelFromEnv())};
+
 } // namespace
 
 void
 setQuiet(bool quiet)
 {
-    quietFlag = quiet;
+    quietFlag.store(quiet, std::memory_order_relaxed);
 }
 
 bool
 isQuiet()
 {
-    return quietFlag;
+    return quietFlag.load(std::memory_order_relaxed);
+}
+
+void
+setMinLogLevel(LogLevel level)
+{
+    minLevel.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel
+minLogLevel()
+{
+    return static_cast<LogLevel>(
+        minLevel.load(std::memory_order_relaxed));
+}
+
+void
+setLogTimestamps(bool enabled)
+{
+    timestampsFlag.store(enabled, std::memory_order_relaxed);
+}
+
+bool
+logTimestamps()
+{
+    return timestampsFlag.load(std::memory_order_relaxed);
 }
 
 namespace detail {
@@ -36,21 +96,51 @@ levelTag(LogLevel level)
     return "?";
 }
 
+/** "HH:MM:SS.mmm " prefix, or an empty string when disabled. */
+std::string
+timestampPrefix()
+{
+    if (!logTimestamps())
+        return "";
+    struct timeval tv;
+    gettimeofday(&tv, nullptr);
+    struct tm tmBuf;
+    localtime_r(&tv.tv_sec, &tmBuf);
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%02d:%02d:%02d.%03d ", tmBuf.tm_hour,
+                  tmBuf.tm_min, tmBuf.tm_sec,
+                  static_cast<int>(tv.tv_usec / 1000));
+    return buf;
+}
+
+bool
+suppressed(LogLevel level)
+{
+    if (level == LogLevel::Fatal || level == LogLevel::Panic)
+        return false;
+    if (isQuiet())
+        return true;
+    return static_cast<int>(level) <
+           static_cast<int>(minLogLevel());
+}
+
 } // namespace
 
 void
 printMessage(LogLevel level, const std::string &msg)
 {
-    if (quietFlag && (level == LogLevel::Inform || level == LogLevel::Warn))
+    if (suppressed(level))
         return;
-    std::fprintf(stderr, "[%s] %s\n", levelTag(level), msg.c_str());
+    std::fprintf(stderr, "%s[%s] %s\n", timestampPrefix().c_str(),
+                 levelTag(level), msg.c_str());
 }
 
 void
 terminateWithMessage(LogLevel level, const std::string &msg,
                      const char *file, int line)
 {
-    std::fprintf(stderr, "[%s] %s (%s:%d)\n", levelTag(level), msg.c_str(),
+    std::fprintf(stderr, "%s[%s] %s (%s:%d)\n",
+                 timestampPrefix().c_str(), levelTag(level), msg.c_str(),
                  file, line);
     if (level == LogLevel::Panic)
         std::abort();

@@ -7,6 +7,13 @@
  * aborts.  fatal() is for user errors (bad configuration, impossible
  * parameters); it exits with an error code.  warn() and inform() print
  * status without stopping the run.
+ *
+ * Output filtering (thread-safe):
+ *  - EVAL_LOG_LEVEL=info|warn|fatal|quiet sets the minimum severity
+ *    printed ("quiet" silences everything below fatal, like
+ *    setQuiet(true)); setMinLogLevel() overrides it programmatically.
+ *  - EVAL_LOG_TIMESTAMPS=1 prefixes each line with wall-clock
+ *    HH:MM:SS.mmm.
  */
 
 #ifndef EVAL_UTIL_LOGGING_HH
@@ -79,6 +86,14 @@ inform(Args &&...args)
 /** Globally silence inform()/warn() output (used by benches). */
 void setQuiet(bool quiet);
 bool isQuiet();
+
+/** Minimum severity that is printed (default from EVAL_LOG_LEVEL). */
+void setMinLogLevel(LogLevel level);
+LogLevel minLogLevel();
+
+/** Prefix log lines with wall-clock timestamps (EVAL_LOG_TIMESTAMPS). */
+void setLogTimestamps(bool enabled);
+bool logTimestamps();
 
 } // namespace eval
 

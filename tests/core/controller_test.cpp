@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "core/environment.hh"
+#include "stats/stats.hh"
 
 namespace eval {
 namespace {
@@ -135,6 +136,36 @@ TEST(DynamicController, ExhaustiveChoiceNeedsLittleRetuning)
                                                f.phase("gzip"), 65.0);
     // The exhaustive pick is near-optimal: few single-step moves.
     EXPECT_LE(res.retuneSteps, 4u);
+}
+
+TEST(DynamicController, TracedRunRecordsOneDecisionPerPhase)
+{
+    Fixture f;
+    ExhaustiveOptimizer exh(f.caps, f.cfg.constraints);
+    DynamicController ctl(exh, f.caps, f.cfg.constraints, f.cfg.recovery);
+    f.core().setAppType(false);
+
+    DecisionTrace &trace = DecisionTrace::global();
+    trace.clear();
+    trace.setEnabled(true);
+
+    const std::size_t phases = 3;
+    for (std::size_t p = 0; p < phases; ++p)
+        ctl.adaptPhase(f.core(), p, f.phase("gcc", p % 2), 65.0);
+    // Re-adapting a known phase reuses the saved config; that reuse is
+    // a decision too and must be traced.
+    ctl.adaptPhase(f.core(), 0, f.phase("gcc", 0), 65.0);
+
+    trace.setEnabled(false);
+    ASSERT_EQ(trace.size(), phases + 1);
+    for (std::size_t i = 0; i < phases; ++i) {
+        EXPECT_FALSE(trace.at(i).reusedSaved) << i;
+        EXPECT_EQ(trace.at(i).phaseId, i);
+        EXPECT_GT(trace.at(i).freqHz, 0.0);
+        EXPECT_FALSE(trace.at(i).outcome.empty());
+    }
+    EXPECT_TRUE(trace.at(phases).reusedSaved);
+    trace.clear();
 }
 
 TEST(StaticQualifier, ConfigurationSafeUnderStress)

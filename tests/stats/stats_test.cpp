@@ -1,0 +1,371 @@
+/**
+ * @file
+ * Unit tests for the stats subsystem: instrument semantics, registry
+ * registration rules, JSON/CSV snapshots, and the decision trace ring.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "stats/stats.hh"
+
+using namespace eval;
+
+namespace {
+
+/**
+ * Minimal JSON reader for the round-trip test: validates syntax and
+ * records every "group.leaf"-style path to a scalar.  Supports the
+ * subset the registry emits (objects, strings, numbers, null).
+ */
+class MiniJsonReader
+{
+  public:
+    bool
+    parse(const std::string &text)
+    {
+        text_ = &text;
+        pos_ = 0;
+        if (!parseValue(""))
+            return false;
+        skipWs();
+        return pos_ == text.size();
+    }
+
+    bool
+    hasScalar(const std::string &path) const
+    {
+        for (const auto &[p, v] : scalars_) {
+            (void)v;
+            if (p == path)
+                return true;
+        }
+        return false;
+    }
+
+    std::string
+    scalar(const std::string &path) const
+    {
+        for (const auto &[p, v] : scalars_) {
+            if (p == path)
+                return v;
+        }
+        return "";
+    }
+
+  private:
+    void
+    skipWs()
+    {
+        while (pos_ < text_->size() &&
+               std::isspace(static_cast<unsigned char>((*text_)[pos_]))) {
+            ++pos_;
+        }
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        skipWs();
+        if (pos_ >= text_->size() || (*text_)[pos_] != '"')
+            return false;
+        ++pos_;
+        out.clear();
+        while (pos_ < text_->size() && (*text_)[pos_] != '"')
+            out.push_back((*text_)[pos_++]);
+        if (pos_ >= text_->size())
+            return false;
+        ++pos_;   // closing quote
+        return true;
+    }
+
+    bool
+    parseValue(const std::string &path)
+    {
+        skipWs();
+        if (pos_ >= text_->size())
+            return false;
+        const char c = (*text_)[pos_];
+        if (c == '{')
+            return parseObject(path);
+        if (c == '"') {
+            std::string s;
+            if (!parseString(s))
+                return false;
+            scalars_.emplace_back(path, s);
+            return true;
+        }
+        // number / null / bool token
+        std::string token;
+        while (pos_ < text_->size() &&
+               (std::isalnum(static_cast<unsigned char>((*text_)[pos_])) ||
+                (*text_)[pos_] == '-' || (*text_)[pos_] == '+' ||
+                (*text_)[pos_] == '.' || (*text_)[pos_] == 'e' ||
+                (*text_)[pos_] == 'E')) {
+            token.push_back((*text_)[pos_++]);
+        }
+        if (token.empty())
+            return false;
+        scalars_.emplace_back(path, token);
+        return true;
+    }
+
+    bool
+    parseObject(const std::string &path)
+    {
+        ++pos_;   // '{'
+        skipWs();
+        if (pos_ < text_->size() && (*text_)[pos_] == '}') {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            std::string key;
+            if (!parseString(key))
+                return false;
+            skipWs();
+            if (pos_ >= text_->size() || (*text_)[pos_] != ':')
+                return false;
+            ++pos_;
+            if (!parseValue(path.empty() ? key : path + "." + key))
+                return false;
+            skipWs();
+            if (pos_ >= text_->size())
+                return false;
+            if ((*text_)[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if ((*text_)[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    const std::string *text_ = nullptr;
+    std::size_t pos_ = 0;
+    std::vector<std::pair<std::string, std::string>> scalars_;
+};
+
+std::vector<std::string>
+splitLines(const std::string &text)
+{
+    std::vector<std::string> lines;
+    std::istringstream is(text);
+    std::string line;
+    while (std::getline(is, line)) {
+        if (!line.empty())
+            lines.push_back(line);
+    }
+    return lines;
+}
+
+TEST(CounterTest, IncrementAndReset)
+{
+    StatRegistry reg;
+    Counter &c = reg.counter("core.retunes");
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(41);
+    EXPECT_EQ(c.value(), 42u);
+
+    // Idempotent registration: same name, same instrument.
+    EXPECT_EQ(&reg.counter("core.retunes"), &c);
+    EXPECT_EQ(reg.size(), 1u);
+
+    reg.reset();
+    EXPECT_EQ(c.value(), 0u);      // reference survives reset
+    EXPECT_TRUE(reg.has("core.retunes"));
+}
+
+TEST(GaugeTest, SetOverwrites)
+{
+    StatRegistry reg;
+    Gauge &g = reg.gauge("chip.heatsink_c");
+    g.set(55.0);
+    g.set(61.5);
+    EXPECT_DOUBLE_EQ(g.value(), 61.5);
+    reg.reset();
+    EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(HistogramStatTest, MomentsAndQuantiles)
+{
+    StatRegistry reg;
+    HistogramStat &h = reg.histogram("perf.cpi", 0.0, 10.0, 100);
+    for (int i = 1; i <= 100; ++i)
+        h.add(i / 10.0);
+    EXPECT_EQ(h.count(), 100u);
+    EXPECT_NEAR(h.mean(), 5.05, 1e-9);
+    EXPECT_NEAR(h.min(), 0.1, 1e-9);
+    EXPECT_NEAR(h.max(), 10.0, 1e-9);
+    EXPECT_NEAR(h.quantile(0.5), 5.0, 0.2);
+    EXPECT_LT(h.quantile(0.5), h.quantile(0.9));
+    EXPECT_LE(h.quantile(0.9), h.quantile(0.99));
+
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    h.add(3.0);
+    EXPECT_NEAR(h.mean(), 3.0, 1e-9);
+}
+
+TEST(TimerStatTest, SampleAccumulation)
+{
+    StatRegistry reg;
+    TimerStat &t = reg.timer("profile.solve");
+    EXPECT_EQ(t.calls(), 0u);
+    EXPECT_DOUBLE_EQ(t.meanNs(), 0.0);
+
+    t.addSample(100);
+    t.addSample(300);
+    t.addSample(200);
+    EXPECT_EQ(t.calls(), 3u);
+    EXPECT_EQ(t.totalNs(), 600u);
+    EXPECT_EQ(t.minNs(), 100u);
+    EXPECT_EQ(t.maxNs(), 300u);
+    EXPECT_DOUBLE_EQ(t.meanNs(), 200.0);
+
+    t.reset();
+    EXPECT_EQ(t.calls(), 0u);
+    EXPECT_EQ(t.minNs(), 0u);
+}
+
+TEST(ScopedTimerTest, GatedOnProfilingFlag)
+{
+    StatRegistry reg;
+    TimerStat &t = reg.timer("profile.region");
+
+    setProfilingEnabled(false);
+    {
+        ScopedTimer timer(t);
+    }
+    EXPECT_EQ(t.calls(), 0u);      // disabled: no sample taken
+
+    setProfilingEnabled(true);
+    {
+        ScopedTimer timer(t);
+    }
+    setProfilingEnabled(false);
+    EXPECT_EQ(t.calls(), 1u);
+}
+
+TEST(StatRegistryDeathTest, TypeClashIsFatal)
+{
+    StatRegistry reg;
+    reg.counter("a.b");
+    EXPECT_EXIT(reg.gauge("a.b"), ::testing::ExitedWithCode(1),
+                "already registered");
+}
+
+TEST(StatRegistryDeathTest, HierarchyClashIsFatal)
+{
+    StatRegistry reg;
+    reg.counter("a.b");
+    // "a.b" is a leaf; it cannot also be a group.
+    EXPECT_EXIT(reg.counter("a.b.c"), ::testing::ExitedWithCode(1),
+                "conflicts with the hierarchy");
+    EXPECT_EXIT(reg.counter("a"), ::testing::ExitedWithCode(1),
+                "conflicts with the hierarchy");
+}
+
+TEST(StatRegistryTest, JsonRoundTrip)
+{
+    StatRegistry reg;
+    reg.counter("controller.adaptations").inc(7);
+    reg.gauge("chip.thermal.heatsink_c").set(58.25);
+    reg.histogram("perf.cpi", 0.0, 4.0, 16).add(1.5);
+    reg.timer("profile.opt").addSample(2500);
+
+    const std::string text = reg.json();
+    MiniJsonReader json;
+    ASSERT_TRUE(json.parse(text)) << text;
+
+    EXPECT_EQ(json.scalar("controller.adaptations.type"), "counter");
+    EXPECT_EQ(json.scalar("controller.adaptations.value"), "7");
+    EXPECT_EQ(json.scalar("chip.thermal.heatsink_c.type"), "gauge");
+    EXPECT_EQ(json.scalar("chip.thermal.heatsink_c.value"), "58.25");
+    EXPECT_EQ(json.scalar("perf.cpi.count"), "1");
+    EXPECT_TRUE(json.hasScalar("perf.cpi.p50"));
+    EXPECT_EQ(json.scalar("profile.opt.calls"), "1");
+    EXPECT_TRUE(json.hasScalar("profile.opt.mean_us"));
+}
+
+TEST(StatRegistryTest, CsvShape)
+{
+    StatRegistry reg;
+    reg.counter("x.count").inc(3);
+    reg.gauge("x.level").set(1.25);
+    reg.timer("y.timer").addSample(1000);
+
+    const auto lines = splitLines(reg.csv());
+    ASSERT_EQ(lines.size(), 4u);   // header + 3 instruments
+    EXPECT_EQ(lines[0],
+              "name,type,count,value,mean,min,max,p50,p90,p99");
+    for (std::size_t i = 1; i < lines.size(); ++i) {
+        std::size_t commas = 0;
+        for (char c : lines[i])
+            commas += (c == ',');
+        EXPECT_EQ(commas, 9u) << lines[i];
+    }
+    EXPECT_EQ(lines[1].rfind("x.count,counter,,3", 0), 0u);
+}
+
+TEST(DecisionTraceTest, DisabledRecordIsNoOp)
+{
+    DecisionTrace trace(8);
+    DecisionRecord r;
+    trace.record(r);
+    EXPECT_EQ(trace.size(), 0u);
+    EXPECT_EQ(trace.totalRecorded(), 0u);
+}
+
+TEST(DecisionTraceTest, RingOverflowKeepsNewestOldestFirst)
+{
+    DecisionTrace trace(4);
+    trace.setEnabled(true);
+    for (int i = 0; i < 6; ++i) {
+        DecisionRecord r;
+        r.phaseId = static_cast<std::uint64_t>(i);
+        trace.record(r);
+    }
+    EXPECT_EQ(trace.size(), 4u);
+    EXPECT_EQ(trace.totalRecorded(), 6u);
+    // Oldest surviving record is decision #2 (0 and 1 overwritten).
+    EXPECT_EQ(trace.at(0).phaseId, 2u);
+    EXPECT_EQ(trace.at(3).phaseId, 5u);
+    // Sequence numbers are stamped monotonically.
+    EXPECT_EQ(trace.at(0).sequence + 3, trace.at(3).sequence);
+}
+
+TEST(DecisionTraceTest, ContextStampingAndJsonl)
+{
+    DecisionTrace trace(8);
+    trace.setEnabled(true);
+    trace.setContext(3, 1);
+    DecisionRecord r;
+    r.phaseId = 9;
+    r.outcome = "NoChange";
+    trace.record(r);
+    EXPECT_EQ(trace.at(0).chip, 3);
+    EXPECT_EQ(trace.at(0).core, 1);
+
+    const auto lines = splitLines(trace.jsonl());
+    ASSERT_EQ(lines.size(), 1u);
+    MiniJsonReader json;
+    ASSERT_TRUE(json.parse(lines[0])) << lines[0];
+    EXPECT_EQ(json.scalar("chip"), "3");
+    EXPECT_EQ(json.scalar("core"), "1");
+    EXPECT_EQ(json.scalar("phase_id"), "9");
+    EXPECT_EQ(json.scalar("outcome"), "NoChange");
+
+    trace.clear();
+    EXPECT_EQ(trace.size(), 0u);
+}
+
+} // namespace

@@ -1,0 +1,87 @@
+/** Tests for log filtering: levels, quiet mode, timestamps. */
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+
+namespace eval {
+namespace {
+
+/** Restore global logging state around each test. */
+class LoggingTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        setQuiet(false);
+        setMinLogLevel(LogLevel::Inform);
+        setLogTimestamps(false);
+    }
+
+    void
+    TearDown() override
+    {
+        setQuiet(false);
+        setMinLogLevel(LogLevel::Inform);
+        setLogTimestamps(false);
+    }
+
+    std::string
+    captured(void (*emit)())
+    {
+        ::testing::internal::CaptureStderr();
+        emit();
+        return ::testing::internal::GetCapturedStderr();
+    }
+};
+
+TEST_F(LoggingTest, InformPrintsAtDefaultLevel)
+{
+    const std::string out = captured([] { inform("hello ", 42); });
+    EXPECT_EQ(out, "[info] hello 42\n");
+}
+
+TEST_F(LoggingTest, MinLevelFiltersBelow)
+{
+    setMinLogLevel(LogLevel::Warn);
+    EXPECT_EQ(captured([] { inform("dropped"); }), "");
+    EXPECT_EQ(captured([] { warn("kept"); }), "[warn] kept\n");
+
+    setMinLogLevel(LogLevel::Fatal);
+    EXPECT_EQ(captured([] { warn("dropped too"); }), "");
+}
+
+TEST_F(LoggingTest, QuietSuppressesEverythingBelowFatal)
+{
+    setQuiet(true);
+    EXPECT_TRUE(isQuiet());
+    EXPECT_EQ(captured([] { inform("x"); }), "");
+    EXPECT_EQ(captured([] { warn("y"); }), "");
+    setQuiet(false);
+    EXPECT_FALSE(isQuiet());
+}
+
+TEST_F(LoggingTest, TimestampPrefixShape)
+{
+    setLogTimestamps(true);
+    EXPECT_TRUE(logTimestamps());
+    const std::string out = captured([] { warn("stamped"); });
+    // "HH:MM:SS.mmm [warn] stamped\n"
+    ASSERT_GE(out.size(), 13u);
+    EXPECT_EQ(out[2], ':');
+    EXPECT_EQ(out[5], ':');
+    EXPECT_EQ(out[8], '.');
+    EXPECT_EQ(out[12], ' ');
+    EXPECT_NE(out.find("[warn] stamped\n"), std::string::npos);
+}
+
+TEST_F(LoggingTest, FatalStillTerminatesWhenQuiet)
+{
+    setQuiet(true);
+    EXPECT_EXIT(EVAL_FATAL("bad config"),
+                ::testing::ExitedWithCode(1), "bad config");
+}
+
+} // namespace
+} // namespace eval
