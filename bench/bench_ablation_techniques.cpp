@@ -64,20 +64,31 @@ main()
         ExhaustiveOptimizer exh(caps, cfg.constraints);
         CoreOptimizer opt(exh, caps, cfg.constraints, cfg.recovery);
 
+        // Per-chip fan-out (the shared CoreOptimizer only issues const
+        // queries); serial chip-order accumulation keeps the stats
+        // bit-identical to a serial run.
+        const auto perChip = globalPool().parallelMap(
+            static_cast<std::size_t>(cfg.chips),
+            [&ctx, &apps, &opt, &cfg](std::size_t chip) {
+                std::vector<double> freqs;
+                for (std::size_t a = 0; a < apps.size(); a += 3) {
+                    const AppProfile &app = *apps[a];
+                    CoreSystemModel &core =
+                        ctx.coreModel(chip, (chip + a) % 4);
+                    core.setAppType(app.isFp);
+                    const auto &phase =
+                        ctx.characterizations().get(app).phases[0].chr;
+                    const AdaptationResult res =
+                        opt.choose(core, phase, 65.0);
+                    freqs.push_back(res.op.freq /
+                                    cfg.process.freqNominal);
+                }
+                return freqs;
+            });
         RunningStats freq;
-        for (int chip = 0; chip < cfg.chips; ++chip) {
-            for (std::size_t a = 0; a < apps.size(); a += 3) {
-                const AppProfile &app = *apps[a];
-                CoreSystemModel &core =
-                    ctx.coreModel(chip, (chip + a) % 4);
-                core.setAppType(app.isFp);
-                const auto &phase =
-                    ctx.characterizations().get(app).phases[0].chr;
-                const AdaptationResult res = opt.choose(core, phase,
-                                                        65.0);
-                freq.add(res.op.freq / cfg.process.freqNominal);
-            }
-        }
+        for (const auto &freqs : perChip)
+            for (double f : freqs)
+                freq.add(f);
         fr[combo.name] = freq.mean();
         const double base = combo.asv ? fr["TS+ASV"] : fr["TS"];
         ft.row({combo.name, formatDouble(freq.mean(), 3),

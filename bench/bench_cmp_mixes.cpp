@@ -37,10 +37,18 @@ main()
     double totalThrottleSteps = 0.0;
     for (const auto &[mixName, mix] : mixes) {
         for (const auto &[env, scheme] : setups) {
+            // One task per chip; each CmpSystem drives only its own
+            // chip's core models.  Accumulate serially in chip order
+            // so the stats match a serial run bit for bit.
+            const auto perChip = globalPool().parallelMap(
+                static_cast<std::size_t>(ctx.config().chips),
+                [&ctx, &mix, env = env, scheme = scheme]
+                (std::size_t chip) {
+                    CmpSystem cmp(ctx, chip);
+                    return cmp.runMix(mix, env, scheme);
+                });
             RunningStats tput, power, th, throttle;
-            for (int chip = 0; chip < ctx.config().chips; ++chip) {
-                CmpSystem cmp(ctx, chip);
-                const CmpRunResult res = cmp.runMix(mix, env, scheme);
+            for (const CmpRunResult &res : perChip) {
                 tput.add(res.throughputRel);
                 power.add(res.chipPowerW);
                 th.add(res.heatsinkC);

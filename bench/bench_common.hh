@@ -6,7 +6,10 @@
  *
  * Conventions (DESIGN.md Sec 5): EVAL_CHIPS overrides the per-bench
  * default chip count (the paper uses 100); EVAL_SEED, EVAL_APPS and
- * EVAL_FAST are honoured through ExperimentConfig::fromEnv.
+ * EVAL_FAST are honoured through ExperimentConfig::fromEnv;
+ * EVAL_THREADS sizes the global thread pool for the per-chip fan-out
+ * (unset = hardware concurrency; results are bit-identical either
+ * way, see DESIGN.md Sec 5c).
  *
  * Observability (DESIGN.md "Observability"): every bench constructs a
  * BenchReporter, which prints one machine-readable JSON footer line
@@ -30,6 +33,7 @@
 #include <vector>
 
 #include "core/eval.hh"
+#include "exec/thread_pool.hh"
 #include "stats/stats.hh"
 #include "util/logging.hh"
 
@@ -50,6 +54,11 @@ class BenchReporter
         : name_(std::move(name)),
           start_(std::chrono::steady_clock::now())
     {
+        // Benches opt in to the parallel execution layer: EVAL_THREADS
+        // when set, hardware concurrency otherwise (the library
+        // default stays serial).  The resulting thread count is
+        // reported in the footer.
+        setGlobalThreads(0);
         if (!envString("EVAL_TRACE_OUT", "").empty())
             DecisionTrace::global().setEnabled(true);
         if (envBool("EVAL_PROFILE", false))
@@ -84,6 +93,7 @@ class BenchReporter
         char buf[40];
         std::snprintf(buf, sizeof(buf), "%.3f", wallS);
         json += buf;
+        json += ", \"threads\": " + std::to_string(globalThreads());
         json += ", \"metrics\": {";
         for (std::size_t i = 0; i < metrics_.size(); ++i) {
             json += (i ? ", \"" : "\"") + metrics_[i].first +
@@ -186,9 +196,24 @@ allSchemes()
             AdaptScheme::ExhDyn};
 }
 
+/** One chip's sweep samples: [app][baseline, novar, managed...]. */
+struct ChipSweepRuns
+{
+    std::vector<AppRunResult> base;
+    std::vector<AppRunResult> novar;
+    /** [app * numManaged + (env, scheme) flat index] */
+    std::vector<AppRunResult> managed;
+};
+
 /**
  * Run the Figure 10-12 sweep.  Each application runs on one core of
  * each chip (core rotates so all four quadrants are exercised).
+ *
+ * Chips fan out across the global thread pool (one task per chip —
+ * each task drives its own per-chip core models; the shared context
+ * caches are internally synchronized).  The per-chip samples are then
+ * folded into the RunningStats serially in chip order, so the sweep
+ * result is bit-identical for every thread count.
  */
 inline SweepResult
 runEnvironmentSweep(ExperimentContext &ctx,
@@ -199,30 +224,61 @@ runEnvironmentSweep(ExperimentContext &ctx,
     SweepResult result;
     const auto apps = ctx.selectedApps();
     const int chips = ctx.config().chips;
+    const std::size_t numManaged = envs.size() * schemes.size();
 
+    // Prewarm the shared caches (characterizations, NoVar reference)
+    // serially so parallel chip tasks do not duplicate that work on
+    // their first miss.
+    for (const AppProfile *app : apps)
+        ctx.novarPerf(*app);
+
+    const auto perChip = globalPool().parallelMap(
+        static_cast<std::size_t>(chips), [&](std::size_t chip) {
+            ChipSweepRuns runs;
+            runs.base.resize(apps.size());
+            runs.novar.resize(apps.size());
+            runs.managed.resize(apps.size() * numManaged);
+            for (std::size_t a = 0; a < apps.size(); ++a) {
+                const AppProfile &app = *apps[a];
+                const std::size_t core = (chip + a) % 4;
+                runs.base[a] = ctx.runApp(chip, core, app,
+                                          EnvironmentKind::Baseline,
+                                          AdaptScheme::Static);
+                runs.novar[a] = ctx.runApp(chip, core, app,
+                                           EnvironmentKind::NoVar,
+                                           AdaptScheme::Static);
+                std::size_t m = a * numManaged;
+                for (EnvironmentKind env : envs)
+                    for (AdaptScheme scheme : schemes)
+                        runs.managed[m++] =
+                            ctx.runApp(chip, core, app, env, scheme);
+            }
+            if (progress && !isQuiet()) {
+                std::fprintf(stderr, "[bench] chip %zu/%d done\n",
+                             chip + 1, chips);
+            }
+            return runs;
+        });
+
+    // Serial accumulation in chip order: RunningStats additions follow
+    // exactly the order the serial sweep would use.
     for (int chip = 0; chip < chips; ++chip) {
+        const ChipSweepRuns &runs = perChip[chip];
         for (std::size_t a = 0; a < apps.size(); ++a) {
-            const AppProfile &app = *apps[a];
-            const std::size_t core = (chip + a) % 4;
-
-            const AppRunResult base = ctx.runApp(
-                chip, core, app, EnvironmentKind::Baseline,
-                AdaptScheme::Static);
+            const AppRunResult &base = runs.base[a];
             result.baseline.freqRel.add(base.freqRel);
             result.baseline.perfRel.add(base.perfRel);
             result.baseline.powerW.add(base.powerW);
 
-            const AppRunResult nv = ctx.runApp(
-                chip, core, app, EnvironmentKind::NoVar,
-                AdaptScheme::Static);
+            const AppRunResult &nv = runs.novar[a];
             result.novar.freqRel.add(nv.freqRel);
             result.novar.perfRel.add(nv.perfRel);
             result.novar.powerW.add(nv.powerW);
 
+            std::size_t m = a * numManaged;
             for (EnvironmentKind env : envs) {
                 for (AdaptScheme scheme : schemes) {
-                    const AppRunResult r =
-                        ctx.runApp(chip, core, app, env, scheme);
+                    const AppRunResult &r = runs.managed[m++];
                     SweepCell &cell =
                         result.cells[SweepResult::key(env, scheme)];
                     cell.freqRel.add(r.freqRel);
@@ -234,10 +290,6 @@ runEnvironmentSweep(ExperimentContext &ctx,
                     }
                 }
             }
-        }
-        if (progress && !isQuiet()) {
-            std::fprintf(stderr, "[bench] chip %d/%d done\n", chip + 1,
-                         chips);
         }
     }
     return result;

@@ -64,29 +64,43 @@ main()
         for (const auto &[envName, volt] : voltages) {
             const EnvCapabilities caps = makeCaps(
                 volt.first, volt.second, tech.first, tech.second);
-            Cell cell;
 
-            for (int chip = 0; chip < ctx.config().chips; ++chip) {
-                for (std::size_t a = 0; a < apps.size(); ++a) {
-                    const AppProfile &app = *apps[a];
-                    const std::size_t coreIdx = (chip + a) % 4;
-                    CoreSystemModel &core = ctx.coreModel(chip, coreIdx);
-                    core.setAppType(app.isFp);
-                    FuzzyOptimizer fuzzy(
-                        ctx.coreFuzzy(chip, coreIdx, caps));
-                    DynamicController ctl(fuzzy, caps,
-                                          ctx.config().constraints,
-                                          ctx.config().recovery);
-                    const auto &chr = ctx.characterizations().get(app);
-                    for (std::size_t p = 0; p < chr.phases.size(); ++p) {
-                        const PhaseAdaptation ad = ctl.adaptPhase(
-                            core, p, chr.phases[p].chr, 65.0);
-                        if (!ad.reusedSaved) {
-                            ++cell.counts[ad.outcome];
-                            ++cell.total;
+            // One task per chip (each drives its own chip's models);
+            // per-chip tallies merge serially in chip order.
+            const auto perChip = globalPool().parallelMap(
+                static_cast<std::size_t>(ctx.config().chips),
+                [&ctx, &apps, &caps](std::size_t chip) {
+                    Cell local;
+                    for (std::size_t a = 0; a < apps.size(); ++a) {
+                        const AppProfile &app = *apps[a];
+                        const std::size_t coreIdx = (chip + a) % 4;
+                        CoreSystemModel &core =
+                            ctx.coreModel(chip, coreIdx);
+                        core.setAppType(app.isFp);
+                        FuzzyOptimizer fuzzy(
+                            ctx.coreFuzzy(chip, coreIdx, caps));
+                        DynamicController ctl(fuzzy, caps,
+                                              ctx.config().constraints,
+                                              ctx.config().recovery);
+                        const auto &chr =
+                            ctx.characterizations().get(app);
+                        for (std::size_t p = 0; p < chr.phases.size();
+                             ++p) {
+                            const PhaseAdaptation ad = ctl.adaptPhase(
+                                core, p, chr.phases[p].chr, 65.0);
+                            if (!ad.reusedSaved) {
+                                ++local.counts[ad.outcome];
+                                ++local.total;
+                            }
                         }
                     }
-                }
+                    return local;
+                });
+            Cell cell;
+            for (const Cell &local : perChip) {
+                for (const auto &[o, n] : local.counts)
+                    cell.counts[o] += n;
+                cell.total += local.total;
             }
 
             std::vector<std::string> row{techName, envName};

@@ -151,6 +151,48 @@ BM_ChipManufacture(benchmark::State &state)
 }
 BENCHMARK(BM_ChipManufacture);
 
+void
+BM_CounterContended(benchmark::State &state)
+{
+    // StatRegistry hot-path increment under concurrency: parallel
+    // per-chip tasks bump shared counters, so the relaxed fetch_add
+    // must stay cheap when several threads hammer one cache line.
+    static Counter &counter =
+        StatRegistry::global().counter("microbench.contended");
+    for (auto _ : state)
+        counter.inc();
+}
+BENCHMARK(BM_CounterContended)->Threads(1)->Threads(4);
+
+void
+BM_ScopedTimerDisabled(benchmark::State &state)
+{
+    // The disabled ScopedTimer guarantee: one relaxed atomic load,
+    // no lock — also under threads (profiling off is the hot case).
+    static TimerStat &timer =
+        StatRegistry::global().timer("microbench.disabled_timer");
+    for (auto _ : state) {
+        ScopedTimer scope(timer);
+        benchmark::DoNotOptimize(&scope);
+    }
+}
+BENCHMARK(BM_ScopedTimerDisabled)->Threads(1)->Threads(4);
+
+void
+BM_ErrorRateQueryCached(benchmark::State &state)
+{
+    // Same PE query from several threads: each thread has its own
+    // memo cache, so the steady state is a thread-local hit.
+    ExperimentContext &ctx = sharedContext();
+    const CoreSystemModel &core = ctx.coreModel(0, 0);
+    const StageErrorModel &model =
+        core.subsystem(SubsystemId::Icache).errorModel(false);
+    const OperatingConditions op{1.0, 0.0, 70.0};
+    for (auto _ : state)
+        benchmark::DoNotOptimize(model.errorRatePerAccess(2.4e-10, op));
+}
+BENCHMARK(BM_ErrorRateQueryCached)->Threads(4);
+
 } // namespace
 } // namespace eval
 

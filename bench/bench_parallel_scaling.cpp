@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Scaling study of the parallel execution layer: the per-chip Monte
+ * Carlo fan-out (manufacture + adapt one app per chip) at 1/2/4/8
+ * threads over the same chip population.  Two properties are checked
+ * and reported:
+ *   - wall-clock speedup vs the single-thread run (the work is
+ *     embarrassingly parallel, so it should approach the thread count
+ *     on an idle multi-core host);
+ *   - bit-identical results: every per-chip metric must match the
+ *     1-thread run exactly at every thread count (the determinism
+ *     contract of Rng::split + serial-order accumulation).
+ *
+ * EVAL_CHIPS resizes the population (default 32).
+ */
+
+#include <cstring>
+
+#include "bench_common.hh"
+
+using namespace eval;
+
+namespace {
+
+struct ScalingRun
+{
+    double wallS = 0.0;
+    std::vector<AppRunResult> runs;
+};
+
+bool
+bitIdentical(const AppRunResult &a, const AppRunResult &b)
+{
+    return std::memcmp(&a.freqRel, &b.freqRel, sizeof a.freqRel) == 0 &&
+           std::memcmp(&a.perfRel, &b.perfRel, sizeof a.perfRel) == 0 &&
+           std::memcmp(&a.powerW, &b.powerW, sizeof a.powerW) == 0 &&
+           std::memcmp(&a.pePerInstr, &b.pePerInstr,
+                       sizeof a.pePerInstr) == 0;
+}
+
+/**
+ * One full pipeline at @p threads: manufacture the population
+ * (parallel variation-field FFTs), then adapt one app on every chip
+ * (parallel per-chip fan-out).  The shared-cache prewarm between the
+ * two segments (characterization + NoVar reference) is excluded from
+ * the timing: it is inherently serial, identical at every thread
+ * count, and not part of the parallel layer under study.
+ */
+ScalingRun
+runAtThreads(const ExperimentConfig &cfg, std::size_t threads)
+{
+    setGlobalThreads(threads);
+    const AppProfile &app = appByName("gzip");
+
+    const auto t0 = std::chrono::steady_clock::now();
+    ExperimentContext ctx(cfg);
+    const auto t1 = std::chrono::steady_clock::now();
+
+    ctx.novarPerf(app);   // untimed prewarm of the shared caches
+
+    const auto t2 = std::chrono::steady_clock::now();
+    auto runs = globalPool().parallelMap(
+        static_cast<std::size_t>(cfg.chips), [&](std::size_t chip) {
+            AppRunResult r =
+                ctx.runApp(chip, 0, app, EnvironmentKind::TS_ASV,
+                           AdaptScheme::ExhDyn);
+            return r;
+        });
+    const auto t3 = std::chrono::steady_clock::now();
+
+    ScalingRun out;
+    out.wallS = std::chrono::duration<double>(t1 - t0).count() +
+                std::chrono::duration<double>(t3 - t2).count();
+    out.runs = std::move(runs);
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    BenchReporter reporter("parallel_scaling");
+    ExperimentConfig cfg = ExperimentConfig::fromEnv();
+    cfg.chips = benchChips(32);
+
+    const std::vector<std::size_t> threadCounts = {1, 2, 4, 8};
+    std::vector<ScalingRun> results;
+    for (std::size_t n : threadCounts)
+        results.push_back(runAtThreads(cfg, n));
+
+    bool identical = true;
+    for (std::size_t i = 1; i < results.size(); ++i) {
+        for (int c = 0; c < cfg.chips; ++c) {
+            if (!bitIdentical(results[0].runs[c], results[i].runs[c]))
+                identical = false;
+        }
+    }
+
+    TablePrinter table("Parallel scaling: per-chip fan-out");
+    table.header({"threads", "wall (s)", "speedup"});
+    const double base = results[0].wallS;
+    for (std::size_t i = 0; i < threadCounts.size(); ++i) {
+        table.row({std::to_string(threadCounts[i]),
+                   formatDouble(results[i].wallS, 2),
+                   formatDouble(base / results[i].wallS, 2)});
+    }
+    table.print();
+    std::printf("\n%d chips, %u hardware threads; results %s across "
+                "thread counts.\n",
+                cfg.chips, std::thread::hardware_concurrency(),
+                identical ? "BIT-IDENTICAL" : "DIVERGED");
+
+    for (std::size_t i = 0; i < threadCounts.size(); ++i) {
+        reporter.metric(
+            "wall_s_" + std::to_string(threadCounts[i]) + "t",
+            results[i].wallS);
+    }
+    reporter.metric("speedup_8t", base / results.back().wallS);
+    reporter.metric("bit_identical", identical ? 1.0 : 0.0);
+    reporter.metric("chips", cfg.chips);
+    return identical ? 0 : 1;
+}

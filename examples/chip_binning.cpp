@@ -12,12 +12,14 @@
 #include <cstdio>
 
 #include "core/eval.hh"
+#include "exec/thread_pool.hh"
 
 using namespace eval;
 
 int
 main()
 {
+    setGlobalThreads(0);   // EVAL_THREADS, else hardware concurrency
     ExperimentConfig cfg = ExperimentConfig::fromEnv();
     cfg.chips = static_cast<int>(envInt("EVAL_CHIPS", 40));
     ExperimentContext ctx(cfg);
@@ -29,12 +31,27 @@ main()
     Histogram evalBins(2.4, 5.2, 14);
     RunningStats baseF, evalF, evalPower;
 
+    // Bin the chips in parallel (one task per chip), then report in
+    // chip order so the printout and stats match a serial run.
+    struct BinRun
+    {
+        AppRunResult base, adapted;
+    };
+    const auto perChip = globalPool().parallelMap(
+        static_cast<std::size_t>(cfg.chips), [&](std::size_t chip) {
+            BinRun run;
+            run.base = ctx.runApp(chip, 0, app,
+                                  EnvironmentKind::Baseline,
+                                  AdaptScheme::Static);
+            run.adapted = ctx.runApp(chip, 0, app,
+                                     EnvironmentKind::TS_ASV_Q_FU,
+                                     AdaptScheme::FuzzyDyn);
+            return run;
+        });
+
     for (int chip = 0; chip < cfg.chips; ++chip) {
-        const AppRunResult base = ctx.runApp(
-            chip, 0, app, EnvironmentKind::Baseline, AdaptScheme::Static);
-        const AppRunResult adapted = ctx.runApp(
-            chip, 0, app, EnvironmentKind::TS_ASV_Q_FU,
-            AdaptScheme::FuzzyDyn);
+        const AppRunResult &base = perChip[chip].base;
+        const AppRunResult &adapted = perChip[chip].adapted;
 
         baseBins.add(base.freqRel * fNom / 1e9);
         evalBins.add(adapted.freqRel * fNom / 1e9);

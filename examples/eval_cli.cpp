@@ -18,11 +18,17 @@
  *   --trace-out=FILE   record every adaptation decision, export JSONL
  *   --profile          enable ScopedTimers and print the self-profile
  * With any of these flags present the command defaults to `run`.
+ *
+ * Execution:
+ *   --threads=N        size of the worker pool for the parallel loops
+ *                      (default: EVAL_THREADS, else all hardware
+ *                      threads; results are identical for any N)
  */
 
 #include <cstdio>
 
 #include "core/eval.hh"
+#include "exec/thread_pool.hh"
 #include "util/logging.hh"
 #include "core/retiming.hh"
 #include "stats/stats.hh"
@@ -209,7 +215,8 @@ usage()
     std::fprintf(stderr,
                  "usage: eval_cli <chips|run|sweep|record|replay> "
                  "[--stats-out=FILE] [--trace-out=FILE] [--profile] "
-                 "[options]\n(see the file header for options)\n");
+                 "[--threads=N] [options]\n"
+                 "(see the file header for options)\n");
     return 2;
 }
 
@@ -242,6 +249,11 @@ main(int argc, char **argv)
     const std::string statsOut = args.getString("stats-out", "");
     const std::string traceOut = args.getString("trace-out", "");
     const bool profile = args.getBool("profile", false);
+    // --threads=N overrides EVAL_THREADS / hardware concurrency (0 =
+    // auto); results do not depend on the thread count.
+    const std::int64_t threadsArg = args.getInt("threads", 0);
+    setGlobalThreads(
+        threadsArg > 0 ? static_cast<std::size_t>(threadsArg) : 0);
     if (!traceOut.empty())
         DecisionTrace::global().setEnabled(true);
     if (profile)

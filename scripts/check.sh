@@ -4,10 +4,34 @@
 # locally before pushing.
 #
 # Usage: scripts/check.sh [build-dir]   (default: build-check)
+#        scripts/check.sh --tsan [build-dir]
+#
+# --tsan (or CHECK_TSAN=1) configures with -DEVAL_TSAN=ON and runs the
+# concurrency-sensitive test subset (exec, stats, core, cmp) under
+# ThreadSanitizer instead of the full Werror build.
 
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+
+tsan="${CHECK_TSAN:-0}"
+if [[ "${1:-}" == "--tsan" ]]; then
+    tsan=1
+    shift
+fi
+
+if [[ "$tsan" == "1" ]]; then
+    build_dir="${1:-$repo_root/build-tsan}"
+    cmake -B "$build_dir" -S "$repo_root" -DEVAL_TSAN=ON
+    cmake --build "$build_dir" -j"$(nproc)"
+    # Exercise the parallel layer for real: the determinism test and the
+    # stats test both fan out on multi-thread pools.
+    EVAL_THREADS=4 ctest --test-dir "$build_dir" --output-on-failure \
+        -R 'exec_|stats_|core_|cmp_'
+    echo "check.sh: TSan tests passed"
+    exit 0
+fi
+
 build_dir="${1:-$repo_root/build-check}"
 
 cmake -B "$build_dir" -S "$repo_root" -DEVAL_WERROR=ON

@@ -27,15 +27,21 @@ CharacterizationCache::CharacterizationCache(const RecoveryModel &recovery,
 const AppCharacterization &
 CharacterizationCache::get(const AppProfile &profile)
 {
-    auto it = cache_.find(profile.name);
-    if (it == cache_.end()) {
-        it = cache_
-                 .emplace(profile.name,
-                          std::make_unique<AppCharacterization>(
-                              characterize(profile)))
-                 .first;
+    Entry *entry;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        std::unique_ptr<Entry> &slot = cache_[profile.name];
+        if (!slot)
+            slot = std::make_unique<Entry>();
+        entry = slot.get();
     }
-    return *it->second;
+    // Characterize outside the map lock so distinct apps proceed in
+    // parallel; call_once makes concurrent requests for the *same*
+    // app wait for one characterization instead of duplicating it.
+    std::call_once(entry->once, [this, entry, &profile] {
+        entry->chr = characterize(profile);
+    });
+    return entry->chr;
 }
 
 AppCharacterization

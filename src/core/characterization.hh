@@ -12,6 +12,7 @@
 #define EVAL_CORE_CHARACTERIZATION_HH
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -53,18 +54,31 @@ class CharacterizationCache
     CharacterizationCache(const RecoveryModel &recovery, double refFreqHz,
                           std::uint64_t seed, std::uint64_t simInsts);
 
-    /** Characterize (or fetch the cached) application. */
+    /**
+     * Characterize (or fetch the cached) application.  Safe to call
+     * from parallel per-chip tasks: each application is characterized
+     * exactly once (other callers block on it), and the returned
+     * reference stays valid for the cache's lifetime.
+     */
     const AppCharacterization &get(const AppProfile &profile);
 
   private:
+    /** Cache slot: call_once gates the (expensive) characterization
+     *  so concurrent first requests do not duplicate the work. */
+    struct Entry
+    {
+        std::once_flag once;
+        AppCharacterization chr;
+    };
+
     AppCharacterization characterize(const AppProfile &profile);
 
     RecoveryModel recovery_;
     double refFreqHz_;
     std::uint64_t seed_;
     std::uint64_t simInsts_;
-    std::unordered_map<std::string,
-                       std::unique_ptr<AppCharacterization>> cache_;
+    std::mutex mutex_;   ///< guards the map shape (not the entries)
+    std::unordered_map<std::string, std::unique_ptr<Entry>> cache_;
 };
 
 } // namespace eval

@@ -117,20 +117,26 @@ ExperimentContext::coreModel(std::size_t chipIndex, std::size_t core)
 {
     EVAL_ASSERT(chipIndex < chips_.size(), "chip index out of range");
     const auto key = std::make_pair(chipIndex, core);
-    auto it = models_.find(key);
-    if (it == models_.end()) {
-        it = models_
-                 .emplace(key, std::make_unique<CoreSystemModel>(
-                                   chips_[chipIndex], core, power_,
-                                   cfg_.powerCal, thermal_))
-                 .first;
+    {
+        std::lock_guard<std::mutex> lock(modelsMutex_);
+        auto it = models_.find(key);
+        if (it != models_.end())
+            return *it->second;
     }
-    return *it->second;
+    // Build outside the lock: per-chip tasks construct distinct
+    // models, so serializing construction would flatten the fan-out.
+    // std::map nodes are stable, so references survive later inserts;
+    // emplace keeps the first entry if someone raced us to this key.
+    auto model = std::make_unique<CoreSystemModel>(
+        chips_[chipIndex], core, power_, cfg_.powerCal, thermal_);
+    std::lock_guard<std::mutex> lock(modelsMutex_);
+    return *models_.emplace(key, std::move(model)).first->second;
 }
 
 CoreSystemModel &
 ExperimentContext::idealCoreModel()
 {
+    std::lock_guard<std::mutex> lock(idealMutex_);
     if (!idealModel_) {
         idealModel_ = std::make_unique<CoreSystemModel>(
             *idealChip_, 0, power_, cfg_.powerCal, thermal_);
@@ -144,22 +150,28 @@ ExperimentContext::coreFuzzy(std::size_t chipIndex, std::size_t core,
 {
     const int capsKey = (caps.asv ? 1 : 0) | (caps.abb ? 2 : 0);
     const auto key = std::make_tuple(chipIndex, core, capsKey);
-    auto it = fuzzy_.find(key);
-    if (it == fuzzy_.end()) {
-        FuzzyTrainingConfig tcfg;
-        tcfg.examplesPerFc = static_cast<std::size_t>(envInt(
-            "EVAL_FC_EXAMPLES",
-            static_cast<std::int64_t>(tcfg.examplesPerFc)));
-        tcfg.seed = cfg_.seed ^ (chipIndex * 131 + core * 17 + capsKey);
-        auto sys = std::make_unique<CoreFuzzySystem>(
-            coreModel(chipIndex, core), caps, cfg_.constraints, tcfg);
-        inform("training fuzzy controllers for chip ", chipIndex,
-               " core ", core, " (", tcfg.examplesPerFc,
-               " examples per FC)");
-        sys->train();
-        it = fuzzy_.emplace(key, std::move(sys)).first;
+    {
+        std::lock_guard<std::mutex> lock(fuzzyMutex_);
+        auto it = fuzzy_.find(key);
+        if (it != fuzzy_.end())
+            return *it->second;
     }
-    return *it->second;
+    // Train outside the lock (training is the expensive part and each
+    // chip task trains its own key); emplace keeps the winner if two
+    // tasks ever raced on the same key.
+    FuzzyTrainingConfig tcfg;
+    tcfg.examplesPerFc = static_cast<std::size_t>(envInt(
+        "EVAL_FC_EXAMPLES",
+        static_cast<std::int64_t>(tcfg.examplesPerFc)));
+    tcfg.seed = cfg_.seed ^ (chipIndex * 131 + core * 17 + capsKey);
+    auto sys = std::make_unique<CoreFuzzySystem>(
+        coreModel(chipIndex, core), caps, cfg_.constraints, tcfg);
+    inform("training fuzzy controllers for chip ", chipIndex,
+           " core ", core, " (", tcfg.examplesPerFc,
+           " examples per FC)");
+    sys->train();
+    std::lock_guard<std::mutex> lock(fuzzyMutex_);
+    return *fuzzy_.emplace(key, std::move(sys)).first->second;
 }
 
 const OperatingPoint &
@@ -170,22 +182,25 @@ ExperimentContext::staticConfig(std::size_t chipIndex, std::size_t core,
                         (caps.queueResize ? 4 : 0) |
                         (caps.fuReplication ? 8 : 0);
     const auto key = std::make_tuple(chipIndex, core, capsKey, fpApp);
-    auto it = staticConfigs_.find(key);
-    if (it == staticConfigs_.end()) {
-        CoreSystemModel &model = coreModel(chipIndex, core);
-        model.setAppType(fpApp);
-        ExhaustiveOptimizer exh(caps, cfg_.constraints);
-        StaticQualifier qualifier(exh, caps, cfg_.constraints,
-                                  cfg_.recovery);
-        const PhaseCharacterization stress = stressCharacterization(
-            power_, cfg_.recovery, cfg_.process.freqNominal);
-        it = staticConfigs_
-                 .emplace(key, qualifier.qualify(
-                                   model, stress,
-                                   cfg_.constraints.thMaxC))
-                 .first;
+    {
+        std::lock_guard<std::mutex> lock(staticMutex_);
+        auto it = staticConfigs_.find(key);
+        if (it != staticConfigs_.end())
+            return it->second;
     }
-    return it->second;
+    // Qualify outside the lock: it drives this chip's own core model,
+    // which only this chip's task touches.
+    CoreSystemModel &model = coreModel(chipIndex, core);
+    model.setAppType(fpApp);
+    ExhaustiveOptimizer exh(caps, cfg_.constraints);
+    StaticQualifier qualifier(exh, caps, cfg_.constraints,
+                              cfg_.recovery);
+    const PhaseCharacterization stress = stressCharacterization(
+        power_, cfg_.recovery, cfg_.process.freqNominal);
+    OperatingPoint op =
+        qualifier.qualify(model, stress, cfg_.constraints.thMaxC);
+    std::lock_guard<std::mutex> lock(staticMutex_);
+    return staticConfigs_.emplace(key, op).first->second;
 }
 
 ExperimentContext::EnvRun
@@ -213,9 +228,19 @@ ExperimentContext::evaluateFixed(CoreSystemModel &core,
 AppRunResult
 ExperimentContext::runNoVar(const AppProfile &app)
 {
-    CoreSystemModel &core = idealCoreModel();
-    core.setAppType(app.isFp);
+    // Characterize before taking the ideal-model lock (chars_ has its
+    // own synchronization; no need to serialize on both).
     const AppCharacterization &chr = chars_.get(app);
+
+    // The ideal model is shared by every task, and this run mutates
+    // it (setAppType) and iterates it, so the whole run serializes.
+    std::lock_guard<std::mutex> lock(idealMutex_);
+    if (!idealModel_) {
+        idealModel_ = std::make_unique<CoreSystemModel>(
+            *idealChip_, 0, power_, cfg_.powerCal, thermal_);
+    }
+    CoreSystemModel &core = *idealModel_;
+    core.setAppType(app.isFp);
     const OperatingPoint op = nominalOperatingPoint(cfg_.process);
 
     double thC = 60.0;
@@ -240,15 +265,28 @@ ExperimentContext::runNoVar(const AppProfile &app)
     return result;
 }
 
+const AppRunResult &
+ExperimentContext::novarRun(const AppProfile &app)
+{
+    {
+        std::lock_guard<std::mutex> lock(novarMutex_);
+        auto it = novarRunCache_.find(app.name);
+        if (it != novarRunCache_.end())
+            return it->second;
+    }
+    // runNoVar is deterministic per app, so a concurrent first miss
+    // computes the same value twice; emplace keeps one copy.  Map
+    // nodes are stable, so the returned reference outlives later
+    // inserts.
+    const AppRunResult res = runNoVar(app);
+    std::lock_guard<std::mutex> lock(novarMutex_);
+    return novarRunCache_.emplace(app.name, res).first->second;
+}
+
 double
 ExperimentContext::novarPerf(const AppProfile &app)
 {
-    auto it = novarPerfCache_.find(app.name);
-    if (it == novarPerfCache_.end()) {
-        const AppRunResult res = runNoVar(app);
-        it = novarPerfCache_.emplace(app.name, res.perfRel).first;
-    }
-    return it->second;
+    return novarRun(app).perfRel;
 }
 
 AppRunResult
@@ -412,7 +450,7 @@ ExperimentContext::runApp(std::size_t chipIndex, std::size_t core,
     StatRegistry::global().counter("experiment.app_runs").inc();
 
     if (env == EnvironmentKind::NoVar) {
-        AppRunResult res = runNoVar(app);
+        AppRunResult res = novarRun(app);
         res.perfRel = 1.0;
         res.freqRel = 1.0;
         return res;

@@ -10,6 +10,7 @@
 #define EVAL_CORE_ENVIRONMENT_HH
 
 #include <map>
+#include <mutex>
 #include <tuple>
 #include <memory>
 #include <string>
@@ -74,6 +75,17 @@ struct ExperimentConfig
  * Owns the shared state of one experiment: the chip population, the
  * power/thermal calibration, the workload characterizations, and the
  * per-core EVAL models (built lazily).
+ *
+ * Thread-safety: designed for a per-chip fan-out (ThreadPool
+ * parallelFor with one task per chip).  The lazy caches (core models,
+ * fuzzy controllers, static configs, NoVar reference performance,
+ * characterizations) are internally synchronized; each (chip, core)
+ * pair must be driven by at most one task at a time because the
+ * returned CoreSystemModel is stateful (setAppType, thermal iterate).
+ * The ideal-chip model is shared across tasks, so runNoVar/novarPerf
+ * serialize on it internally — prewarm novarPerf for the selected
+ * apps before fanning out to keep that serialization off the
+ * parallel path.
  */
 class ExperimentContext
 {
@@ -143,6 +155,8 @@ class ExperimentContext
                          bool includeChecker, double pePerInstr) const;
 
     AppRunResult runNoVar(const AppProfile &app);
+    /** Cached runNoVar (per app; runNoVar is deterministic). */
+    const AppRunResult &novarRun(const AppProfile &app);
     AppRunResult runBaseline(CoreSystemModel &core,
                              const AppCharacterization &app);
     AppRunResult runManaged(std::size_t chipIndex, std::size_t core,
@@ -156,13 +170,20 @@ class ExperimentContext
     std::vector<Chip> chips_;
     std::unique_ptr<Chip> idealChip_;
     CharacterizationCache chars_;
+    std::mutex modelsMutex_;   ///< guards models_ map shape
     std::map<std::pair<std::size_t, std::size_t>,
              std::unique_ptr<CoreSystemModel>> models_;
+    /** Serializes idealModel_ creation and every runNoVar, which
+     *  mutates the shared ideal model (setAppType). */
+    std::mutex idealMutex_;
     std::unique_ptr<CoreSystemModel> idealModel_;
-    std::map<std::string, double> novarPerfCache_;
+    std::mutex novarMutex_;    ///< guards novarRunCache_
+    std::map<std::string, AppRunResult> novarRunCache_;
+    std::mutex fuzzyMutex_;    ///< guards fuzzy_ map shape
     /** key: (chip, core, asv|abb<<1) */
     std::map<std::tuple<std::size_t, std::size_t, int>,
              std::unique_ptr<CoreFuzzySystem>> fuzzy_;
+    std::mutex staticMutex_;   ///< guards staticConfigs_ map shape
     /** key: (chip, core, full caps bits, fpApp) */
     std::map<std::tuple<std::size_t, std::size_t, int, bool>,
              OperatingPoint> staticConfigs_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "exec/thread_pool.hh"
 #include "stats/stat_registry.hh"
 #include "util/logging.hh"
 #include "util/math_utils.hh"
@@ -186,23 +187,31 @@ CoreOptimizer::freqForConfig(const CoreSystemModel &core,
     const SubsystemId fuId = core.fuSubsystem();
     const SubsystemId queueId = core.queueSubsystem();
 
-    double minRest = 1e30;
     double fNormal = 0.0;
     double fLowSlope = 0.0;
 
-    for (std::size_t i = 0; i < kNumSubsystems; ++i) {
+    // The per-subsystem Freq queries are independent const scans, so
+    // fan them out; every task writes its own slot (the FU task its
+    // own two locals), and the min-reduction below runs serially, so
+    // the result is bit-identical to the serial loop.
+    globalPool().parallelFor(0, kNumSubsystems, 1, [&](std::size_t i) {
         const auto id = static_cast<SubsystemId>(i);
         const double alphaF = phase.act.alpha[i];
 
         if (caps_.fuReplication && id == fuId) {
             fNormal = sub_.maxFrequency(core, id, false, alphaF, thC);
             fLowSlope = sub_.maxFrequency(core, id, true, alphaF, thC);
-            continue;
+            return;
         }
         const bool alt = smallQueue && id == queueId;
-        const double f = sub_.maxFrequency(core, id, alt, alphaF, thC);
-        fmaxOut[i] = f;
-        minRest = std::min(minRest, f);
+        fmaxOut[i] = sub_.maxFrequency(core, id, alt, alphaF, thC);
+    });
+
+    double minRest = 1e30;
+    for (std::size_t i = 0; i < kNumSubsystems; ++i) {
+        if (caps_.fuReplication && static_cast<SubsystemId>(i) == fuId)
+            continue;
+        minRest = std::min(minRest, fmaxOut[i]);
     }
 
     if (!caps_.fuReplication) {
@@ -281,14 +290,22 @@ CoreOptimizer::choose(const CoreSystemModel &core,
     const PerfInputs &perfIn =
         smallQueue ? phase.perfSmall : phase.perfFull;
     for (int guard = 0; guard < 40; ++guard) {
-        for (std::size_t i = 0; i < kNumSubsystems; ++i) {
+        // Independent per-subsystem Power queries: fan out, then fold
+        // the per-slot answers into op serially (op is read by every
+        // task via usesAlternate, so tasks must not write it).
+        std::array<std::optional<SubsystemKnobs>, kNumSubsystems> picks;
+        globalPool().parallelFor(0, kNumSubsystems, 1,
+                                 [&](std::size_t i) {
             const auto id = static_cast<SubsystemId>(i);
             const bool alt = core.usesAlternate(id, op);
-            const auto k = sub_.minimizePower(core, id, alt, op.freq,
-                                              phase.act.alpha[i], thC);
-            if (k) {
-                op.knobsOf(id) = {knobs_.vdd.quantize(k->vdd),
-                                  knobs_.vbb.quantize(k->vbb)};
+            picks[i] = sub_.minimizePower(core, id, alt, op.freq,
+                                          phase.act.alpha[i], thC);
+        });
+        for (std::size_t i = 0; i < kNumSubsystems; ++i) {
+            const auto id = static_cast<SubsystemId>(i);
+            if (picks[i]) {
+                op.knobsOf(id) = {knobs_.vdd.quantize(picks[i]->vdd),
+                                  knobs_.vbb.quantize(picks[i]->vbb)};
             } else {
                 // Best effort: fastest available setting.
                 op.knobsOf(id) = {knobs_.vdd.hi(),

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Fixed-size work-stealing thread pool for the simulator's
+ * embarrassingly parallel loops (per-chip Monte Carlo fan-out,
+ * per-subsystem knob scans, FFT rows/columns).
+ *
+ * Design:
+ *  - A pool of `threads` execution contexts: `threads - 1` persistent
+ *    worker threads plus the caller, which always participates in the
+ *    region it submitted.  `ThreadPool(1)` spawns no threads at all
+ *    and parallelFor degenerates to a plain serial loop.
+ *  - parallelFor(first, last, grain, fn) splits [first, last) into
+ *    per-context spans; a context drains its own span from the front
+ *    and, when empty, steals grain-sized chunks from the tail of the
+ *    fullest victim span.  Every index is executed exactly once, so
+ *    results are independent of the schedule; determinism is then the
+ *    responsibility of the loop body (write to your own slot, derive
+ *    RNG streams from the index — see Rng::split).
+ *  - The first exception thrown by any body is captured, the region is
+ *    cancelled (remaining chunks are dropped), and the exception is
+ *    rethrown on the submitting thread.
+ *  - Nested parallelism is safe: a parallelFor issued from inside a
+ *    worker of the same pool runs inline and serially, so inner loops
+ *    can be parallelized unconditionally without deadlock.
+ *
+ * The process-wide pool (globalPool) is sized once from --threads /
+ * EVAL_THREADS (see setGlobalThreads); the library default is 1 so
+ * that unit tests and library consumers stay serial unless they ask.
+ */
+
+#ifndef EVAL_EXEC_THREAD_POOL_HH
+#define EVAL_EXEC_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace eval {
+
+class ThreadPool
+{
+  public:
+    /** @param threads total execution contexts (min 1; the submitting
+     *  thread is one of them, so `threads - 1` workers are spawned). */
+    explicit ThreadPool(std::size_t threads);
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    ~ThreadPool();
+
+    /** Execution contexts (worker threads + the caller). */
+    std::size_t size() const { return threads_; }
+
+    /**
+     * Apply @p fn to every index in [first, last).  @p grainSize is
+     * the scheduling granularity: contexts claim chunks of up to
+     * `grainSize` consecutive indices (min 1).  Blocks until every
+     * index ran; rethrows the first exception any body threw.
+     */
+    template <typename Fn>
+    void
+    parallelFor(std::size_t first, std::size_t last,
+                std::size_t grainSize, Fn &&fn)
+    {
+        if (first >= last)
+            return;
+        if (threads_ == 1 || insideThisPool() ||
+            last - first <= std::max<std::size_t>(grainSize, 1)) {
+            for (std::size_t i = first; i < last; ++i)
+                fn(i);
+            return;
+        }
+        const std::function<void(std::size_t, std::size_t)> body =
+            [&fn](std::size_t b, std::size_t e) {
+                for (std::size_t i = b; i < e; ++i)
+                    fn(i);
+            };
+        runRegion(first, last, std::max<std::size_t>(grainSize, 1),
+                  body);
+    }
+
+    /**
+     * Map @p fn over indices [0, n); returns the results in index
+     * order.  The result type must be default-constructible.
+     */
+    template <typename Fn>
+    auto
+    parallelMap(std::size_t n, Fn &&fn)
+        -> std::vector<decltype(fn(std::size_t{}))>
+    {
+        std::vector<decltype(fn(std::size_t{}))> out(n);
+        parallelFor(0, n, 1,
+                    [&out, &fn](std::size_t i) { out[i] = fn(i); });
+        return out;
+    }
+
+    /** Map @p fn over a vector of items; results in item order. */
+    template <typename T, typename Fn>
+    auto
+    parallelMap(const std::vector<T> &items, Fn &&fn)
+        -> std::vector<decltype(fn(items.front()))>
+    {
+        return parallelMap(items.size(), [&items, &fn](std::size_t i) {
+            return fn(items[i]);
+        });
+    }
+
+    /** Whether the calling thread is a worker of this pool. */
+    bool insideThisPool() const;
+
+  private:
+    /** One context's share of the iteration space.  `begin`/`end`
+     *  move toward each other: the owner pops from the front, thieves
+     *  take from the back.  Guarded by `m` (claims are O(1), so the
+     *  lock is uncontended except on the final chunks). */
+    struct Span
+    {
+        std::mutex m;
+        std::size_t begin = 0;
+        std::size_t end = 0;
+    };
+
+    /** The parallel region currently executing (one at a time). */
+    struct Region
+    {
+        const std::function<void(std::size_t, std::size_t)> *body =
+            nullptr;
+        // Heap array, not vector: Span holds a mutex and cannot move.
+        std::unique_ptr<Span[]> spans;
+        std::size_t numSpans = 0;
+        std::size_t grain = 1;
+        bool cancelled = false;          ///< under exceptionMutex
+        std::exception_ptr exception;    ///< under exceptionMutex
+        std::mutex exceptionMutex;
+    };
+
+    void runRegion(std::size_t first, std::size_t last,
+                   std::size_t grain,
+                   const std::function<void(std::size_t, std::size_t)>
+                       &body);
+    /** Drain the region as context @p self (own span, then steal). */
+    void participate(Region &region, std::size_t self);
+    bool claimOwn(Region &region, std::size_t self, std::size_t &b,
+                  std::size_t &e);
+    bool claimSteal(Region &region, std::size_t self, std::size_t &b,
+                    std::size_t &e);
+    void workerLoop(std::size_t index);
+
+    std::size_t threads_;
+    std::vector<std::thread> workers_;
+
+    /** Serializes top-level submissions from distinct threads. */
+    std::mutex submitMutex_;
+
+    std::mutex mutex_;                   ///< guards the fields below
+    std::condition_variable wake_;       ///< workers: new region / stop
+    std::condition_variable done_;       ///< submitter: workers drained
+    Region *region_ = nullptr;
+    std::uint64_t regionSeq_ = 0;
+    std::size_t activeWorkers_ = 0;
+    bool stop_ = false;
+};
+
+/**
+ * The process-wide pool.  Sized by the last setGlobalThreads() call;
+ * defaults to 1 (serial) until configured.  The pool is created
+ * lazily on first use.
+ */
+ThreadPool &globalPool();
+
+/**
+ * Configure the process-wide pool size before parallel work starts:
+ * @p threads execution contexts, or 0 to auto-detect from
+ * EVAL_THREADS (falling back to std::thread::hardware_concurrency).
+ * Recreates the pool; do not call concurrently with globalPool use.
+ */
+void setGlobalThreads(std::size_t threads);
+
+/** Execution contexts the global pool is (or would be) sized to. */
+std::size_t globalThreads();
+
+/** EVAL_THREADS when set and positive, else hardware concurrency. */
+std::size_t defaultThreads();
+
+} // namespace eval
+
+#endif // EVAL_EXEC_THREAD_POOL_HH

@@ -20,30 +20,43 @@ DecisionTrace::global()
     return trace;
 }
 
+namespace {
+
+/** Per-thread ambient context: parallel chip tasks each set their
+ *  own without synchronizing (see DecisionTrace::setContext). */
+thread_local int traceChip = -1;
+thread_local int traceCore = -1;
+
+} // namespace
+
 void
 DecisionTrace::setCapacity(std::size_t capacity)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     capacity_ = capacity ? capacity : 1;
-    clear();
+    ring_.clear();
+    head_ = 0;
+    total_ = 0;
 }
 
 void
 DecisionTrace::setContext(int chip, int core)
 {
-    chip_ = chip;
-    core_ = core;
+    traceChip = chip;
+    traceCore = core;
 }
 
 void
 DecisionTrace::record(DecisionRecord r)
 {
-    if (!enabled_)
+    if (!enabled())
         return;
-    r.sequence = total_++;
     if (r.chip < 0)
-        r.chip = chip_;
+        r.chip = traceChip;
     if (r.core < 0)
-        r.core = core_;
+        r.core = traceCore;
+    std::lock_guard<std::mutex> lock(mutex_);
+    r.sequence = total_++;
     if (ring_.size() < capacity_) {
         ring_.push_back(std::move(r));
     } else {
@@ -55,12 +68,21 @@ DecisionTrace::record(DecisionRecord r)
 std::size_t
 DecisionTrace::size() const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     return ring_.size();
+}
+
+std::uint64_t
+DecisionTrace::totalRecorded() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return total_;
 }
 
 const DecisionRecord &
 DecisionTrace::at(std::size_t i) const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     EVAL_ASSERT(i < ring_.size(), "trace index out of range");
     // Until the ring wraps, head_ == size and oldest is index 0.
     const std::size_t base = ring_.size() < capacity_ ? 0 : head_;
@@ -84,9 +106,12 @@ num(double v)
 std::string
 DecisionTrace::jsonl() const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     std::ostringstream os;
-    for (std::size_t i = 0; i < size(); ++i) {
-        const DecisionRecord &r = at(i);
+    for (std::size_t i = 0; i < ring_.size(); ++i) {
+        const std::size_t base =
+            ring_.size() < capacity_ ? 0 : head_;
+        const DecisionRecord &r = ring_[(base + i) % ring_.size()];
         os << "{\"seq\": " << r.sequence
            << ", \"chip\": " << r.chip
            << ", \"core\": " << r.core
@@ -129,6 +154,7 @@ DecisionTrace::writeJsonl(const std::string &path) const
 void
 DecisionTrace::clear()
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     ring_.clear();
     head_ = 0;
     total_ = 0;

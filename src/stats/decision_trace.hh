@@ -14,7 +14,9 @@
 #ifndef EVAL_STATS_DECISION_TRACE_HH
 #define EVAL_STATS_DECISION_TRACE_HH
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -45,7 +47,15 @@ struct DecisionRecord
     unsigned retuneSteps = 0;    ///< frequency moves during retuning
 };
 
-/** Bounded in-memory decision log with JSONL export. */
+/**
+ * Bounded in-memory decision log with JSONL export.  Safe for
+ * concurrent record() calls from parallel per-chip tasks: appends are
+ * mutex-guarded, the enabled check is one relaxed atomic load, and
+ * the ambient (chip, core) context is per-thread, so each task's
+ * records carry the chip it is simulating.  Under a multi-threaded
+ * run the interleaving (and thus sequence stamps) follows completion
+ * order, not chip order.
+ */
 class DecisionTrace
 {
   public:
@@ -56,13 +66,23 @@ class DecisionTrace
     /** The simulator-wide trace written by the controllers. */
     static DecisionTrace &global();
 
-    bool enabled() const { return enabled_; }
-    void setEnabled(bool enabled) { enabled_ = enabled; }
+    bool
+    enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+    void
+    setEnabled(bool enabled)
+    {
+        enabled_.store(enabled, std::memory_order_relaxed);
+    }
 
     /** Resize the ring; drops buffered records. */
     void setCapacity(std::size_t capacity);
 
-    /** Ambient (chip, core) stamped onto subsequent records. */
+    /** Ambient (chip, core) stamped onto records from the calling
+     *  thread (thread-local, so parallel chip tasks do not clobber
+     *  each other's context). */
     void setContext(int chip, int core);
 
     /** Append a decision (no-op when disabled). */
@@ -72,7 +92,7 @@ class DecisionTrace
     std::size_t size() const;
 
     /** Total records ever accepted, including overwritten ones. */
-    std::uint64_t totalRecorded() const { return total_; }
+    std::uint64_t totalRecorded() const;
 
     /** Buffered record @p i, oldest first. */
     const DecisionRecord &at(std::size_t i) const;
@@ -84,9 +104,8 @@ class DecisionTrace
     void clear();
 
   private:
-    bool enabled_ = false;
-    int chip_ = -1;
-    int core_ = -1;
+    std::atomic<bool> enabled_{false};
+    mutable std::mutex mutex_;   ///< guards the ring fields below
     std::size_t capacity_;
     std::size_t head_ = 0;       ///< next write position
     std::uint64_t total_ = 0;

@@ -26,6 +26,7 @@ statTypeName(StatType t)
 void
 HistogramStat::reset()
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     hist_ = Histogram(lo_, hi_, nbins_);
     moments_.reset();
 }

@@ -13,11 +13,14 @@
  *  - Instruments are never deallocated while the registry lives, so
  *    hot paths may cache references (typically as function-local
  *    statics).  reset() zeroes values but keeps registrations.
- *  - Value updates are plain (non-atomic) operations: the simulator
- *    is single-threaded.  Registration itself is mutex-protected.
+ *  - Every instrument is safe to update from concurrent parallelFor
+ *    bodies: Counter and Gauge use relaxed atomics (an increment is
+ *    one uncontended atomic RMW), Histogram and Timer samples take a
+ *    per-instrument mutex.  Registration itself is mutex-protected.
  *  - Timers are driven by ScopedTimer and sample only while profiling
  *    is enabled (setProfilingEnabled); when disabled a ScopedTimer
- *    costs one relaxed atomic load and no clock reads.
+ *    costs one relaxed atomic load and no clock reads (and takes no
+ *    lock), preserving the disabled-path guarantee under threading.
  */
 
 #ifndef EVAL_STATS_STAT_REGISTRY_HH
@@ -42,28 +45,45 @@ enum class StatType { Counter, Gauge, Histogram, Timer };
 
 const char *statTypeName(StatType t);
 
-/** Monotonic event counter. */
+/**
+ * Monotonic event counter.  Increments are relaxed atomic RMWs, so
+ * hot loops may bump a cached Counter& from any pool thread; totals
+ * are exact (the relaxed order only relaxes inter-stat ordering).
+ */
 class Counter
 {
   public:
-    void inc(std::uint64_t n = 1) { value_ += n; }
-    std::uint64_t value() const { return value_; }
-    void reset() { value_ = 0; }
+    void
+    inc(std::uint64_t n = 1)
+    {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+    std::uint64_t
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+    void reset() { value_.store(0, std::memory_order_relaxed); }
 
   private:
-    std::uint64_t value_ = 0;
+    std::atomic<std::uint64_t> value_{0};
 };
 
-/** Last-value instrument (temperatures, table sizes, ...). */
+/** Last-value instrument (temperatures, table sizes, ...).  Atomic
+ *  store/load; concurrent setters race benignly (last writer wins). */
 class Gauge
 {
   public:
-    void set(double v) { value_ = v; }
-    double value() const { return value_; }
-    void reset() { value_ = 0.0; }
+    void set(double v) { value_.store(v, std::memory_order_relaxed); }
+    double
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+    void reset() { value_.store(0.0, std::memory_order_relaxed); }
 
   private:
-    double value_ = 0.0;
+    std::atomic<double> value_{0.0};
 };
 
 /**
@@ -82,21 +102,60 @@ class HistogramStat
     void
     add(double x)
     {
+        std::lock_guard<std::mutex> lock(mutex_);
         hist_.add(x);
         moments_.add(x);
     }
 
-    std::size_t count() const { return moments_.count(); }
-    double mean() const { return moments_.mean(); }
-    double stddev() const { return moments_.stddev(); }
-    double min() const { return moments_.min(); }
-    double max() const { return moments_.max(); }
-    double quantile(double q) const { return hist_.quantile(q); }
-    const Histogram &bins() const { return hist_; }
+    std::size_t
+    count() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return moments_.count();
+    }
+    double
+    mean() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return moments_.mean();
+    }
+    double
+    stddev() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return moments_.stddev();
+    }
+    double
+    min() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return moments_.min();
+    }
+    double
+    max() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return moments_.max();
+    }
+    double
+    quantile(double q) const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return hist_.quantile(q);
+    }
+    /** Snapshot of the bins (by value: the live bins may be written
+     *  concurrently). */
+    Histogram
+    bins() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return hist_;
+    }
 
     void reset();
 
   private:
+    mutable std::mutex mutex_;
     double lo_;
     double hi_;
     std::size_t nbins_;
@@ -104,13 +163,16 @@ class HistogramStat
     RunningStats moments_;
 };
 
-/** Accumulated wall-clock time of one instrumented region. */
+/** Accumulated wall-clock time of one instrumented region.  Samples
+ *  are mutex-guarded; the lock is only ever taken while profiling is
+ *  enabled (ScopedTimer skips the call entirely when disabled). */
 class TimerStat
 {
   public:
     void
     addSample(std::uint64_t ns)
     {
+        std::lock_guard<std::mutex> lock(mutex_);
         ++calls_;
         totalNs_ += ns;
         if (calls_ == 1 || ns < minNs_)
@@ -119,21 +181,48 @@ class TimerStat
             maxNs_ = ns;
     }
 
-    std::uint64_t calls() const { return calls_; }
-    std::uint64_t totalNs() const { return totalNs_; }
-    std::uint64_t minNs() const { return calls_ ? minNs_ : 0; }
-    std::uint64_t maxNs() const { return maxNs_; }
+    std::uint64_t
+    calls() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return calls_;
+    }
+    std::uint64_t
+    totalNs() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return totalNs_;
+    }
+    std::uint64_t
+    minNs() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return calls_ ? minNs_ : 0;
+    }
+    std::uint64_t
+    maxNs() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return maxNs_;
+    }
     double
     meanNs() const
     {
+        std::lock_guard<std::mutex> lock(mutex_);
         return calls_ ? static_cast<double>(totalNs_) /
                             static_cast<double>(calls_)
                       : 0.0;
     }
 
-    void reset() { calls_ = totalNs_ = minNs_ = maxNs_ = 0; }
+    void
+    reset()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        calls_ = totalNs_ = minNs_ = maxNs_ = 0;
+    }
 
   private:
+    mutable std::mutex mutex_;
     std::uint64_t calls_ = 0;
     std::uint64_t totalNs_ = 0;
     std::uint64_t minNs_ = 0;

@@ -1,18 +1,71 @@
 #include "timing/error_model.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstring>
 
 #include "stats/stat_registry.hh"
+#include "util/config.hh"
 #include "util/logging.hh"
 #include "util/math_utils.hh"
 
 namespace eval {
 
+namespace {
+
+std::uint64_t
+nextCacheId()
+{
+    static std::atomic<std::uint64_t> counter{1};
+    return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+/**
+ * Per-thread direct-mapped memo cache for errorRatePerAccess.
+ *
+ * Keys are the exact bit patterns of the query, so a hit returns
+ * precisely the value a recomputation would — results are therefore
+ * independent of hit/miss history and identical across any thread
+ * count (each thread simply keeps its own working set).  4096 entries
+ * cover one core's knob grid (~15 subsystems x ~200 knob points) with
+ * room for several phases' thermal iterates.
+ */
+struct PeCacheEntry
+{
+    std::uint64_t id = 0;        ///< 0 = empty
+    std::uint64_t periodBits = 0;
+    std::uint64_t vddBits = 0;
+    std::uint64_t vbbBits = 0;
+    std::uint64_t tempBits = 0;
+    double value = 0.0;
+};
+
+constexpr std::size_t kPeCacheSize = 4096;   // power of two
+
+thread_local PeCacheEntry peCache[kPeCacheSize];
+
+std::uint64_t
+doubleBits(double v)
+{
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    return bits;
+}
+
+bool
+peCacheEnabled()
+{
+    static const bool enabled = envBool("EVAL_PE_CACHE", true);
+    return enabled;
+}
+
+} // namespace
+
 StageErrorModel::StageErrorModel(const ProcessParams &params,
                                  PathPopulation pop)
     : params_(params), type_(pop.type), vt0Mean_(pop.vt0Mean),
-      leffMean_(pop.leffMean)
+      leffMean_(pop.leffMean), cacheId_(nextCacheId())
 {
     EVAL_ASSERT(!pop.paths.empty(), "error model needs paths");
 
@@ -52,10 +105,43 @@ StageErrorModel::errorRatePerAccess(double clockPeriod,
     EVAL_ASSERT(clockPeriod > 0.0, "clock period must be positive");
     static Counter &evals =
         StatRegistry::global().counter("timing.error_evals");
+    static Counter &hits =
+        StatRegistry::global().counter("timing.error_cache_hits");
+    evals.inc();
+
+    if (!peCacheEnabled())
+        return computeErrorRatePerAccess(clockPeriod, op);
+
+    const std::uint64_t periodBits = doubleBits(clockPeriod);
+    const std::uint64_t vddBits = doubleBits(op.vdd);
+    const std::uint64_t vbbBits = doubleBits(op.vbb);
+    const std::uint64_t tempBits = doubleBits(op.tempC);
+    // FNV-1a style mix over the key words.
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (std::uint64_t w :
+         {cacheId_, periodBits, vddBits, vbbBits, tempBits}) {
+        h ^= w;
+        h *= 0x100000001b3ULL;
+    }
+    PeCacheEntry &e = peCache[h & (kPeCacheSize - 1)];
+    if (e.id == cacheId_ && e.periodBits == periodBits &&
+        e.vddBits == vddBits && e.vbbBits == vbbBits &&
+        e.tempBits == tempBits) {
+        hits.inc();
+        return e.value;
+    }
+    const double pe = computeErrorRatePerAccess(clockPeriod, op);
+    e = {cacheId_, periodBits, vddBits, vbbBits, tempBits, pe};
+    return pe;
+}
+
+double
+StageErrorModel::computeErrorRatePerAccess(
+    double clockPeriod, const OperatingConditions &op) const
+{
     static TimerStat &timer =
         StatRegistry::global().timer("profile.timing.error_eval");
     ScopedTimer scope(timer);
-    evals.inc();
     const double scale = delayScale(op);
     if (scale >= kNonFunctionalDelayFactor)
         return 1.0;

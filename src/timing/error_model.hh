@@ -9,6 +9,7 @@
 #define EVAL_TIMING_ERROR_MODEL_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "timing/alpha_power.hh"
@@ -38,6 +39,13 @@ class StageErrorModel
     /**
      * Probability that one access to this subsystem suffers a timing
      * error when clocked with @p clockPeriod seconds at @p op.
+     *
+     * Queries are memoized in a per-thread cache keyed on this model
+     * plus the exact (period, Vdd, Vbb, T) tuple: the exhaustive knob
+     * scans re-evaluate identical points across phases and retune
+     * cycles, and knob values come from a discrete grid, so exact-bit
+     * keys hit without perturbing any result (a hit returns the very
+     * value a recomputation would).  Set EVAL_PE_CACHE=0 to disable.
      */
     double errorRatePerAccess(double clockPeriod,
                               const OperatingConditions &op) const;
@@ -61,10 +69,18 @@ class StageErrorModel
     std::size_t numPaths() const { return delays_.size(); }
 
   private:
+    /** Uncached evaluation backing errorRatePerAccess. */
+    double computeErrorRatePerAccess(double clockPeriod,
+                                     const OperatingConditions &op) const;
+
     const ProcessParams params_;
     StageType type_;
     double vt0Mean_;
     double leffMean_;
+    /** Distinct per construction; copies share it (identical content
+     *  yields identical query results, so sharing is safe).  Memo
+     *  cache keys include this id so two chips' models never alias. */
+    std::uint64_t cacheId_;
     /** Reference delays sorted ascending. */
     std::vector<double> delays_;
     /**

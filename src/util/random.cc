@@ -107,10 +107,16 @@ Rng::bernoulli(double p)
 Rng
 Rng::fork(std::uint64_t streamLabel)
 {
+    return split(streamLabel);
+}
+
+Rng
+Rng::split(std::uint64_t streamId) const
+{
     // Derive the child seed from the parent state and the label so
-    // forks are reproducible and distinct per label.
+    // splits are reproducible and distinct per label.
     std::uint64_t mix = state_[0] ^ rotl(state_[2], 29) ^
-                        (streamLabel * 0xd1342543de82ef95ULL + 1);
+                        (streamId * 0xd1342543de82ef95ULL + 1);
     return Rng(splitmix64(mix));
 }
 

@@ -54,6 +54,16 @@ class Rng
      */
     Rng fork(std::uint64_t streamLabel);
 
+    /**
+     * Derive child stream @p streamId without touching this
+     * generator's state (split is const and fork never advances the
+     * parent, so split(i) == fork(i) for every i).  This is the
+     * parallel-safe seeding primitive: a per-chip task seeded with
+     * `master.split(chipIndex)` draws the same sequence whether the
+     * chips run serially or fanned out across a thread pool.
+     */
+    Rng split(std::uint64_t streamId) const;
+
   private:
     std::array<std::uint64_t, 4> state_;
     double cachedGaussian_ = 0.0;

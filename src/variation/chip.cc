@@ -1,5 +1,6 @@
 #include "variation/chip.hh"
 
+#include "exec/thread_pool.hh"
 #include "util/logging.hh"
 
 namespace eval {
@@ -37,10 +38,13 @@ ChipFactory::ChipFactory(const ProcessParams &params, std::uint64_t seed,
 }
 
 Chip
-ChipFactory::manufacture()
+ChipFactory::manufactureChip(std::uint64_t id) const
 {
-    const std::uint64_t id = nextId_++;
-    Rng chipRng = rng_.fork(id + 1);
+    // Everything below depends only on (factory seed, id): split()
+    // derives the chip stream without advancing rng_, so chips can be
+    // stamped out in any order — or concurrently — with identical
+    // results.
+    Rng chipRng = rng_.split(id + 1);
     if (!fieldGen_) {
         return Chip(id, floorplan_, VariationMap::flat(params_),
                     chipRng.fork(0xC41F));
@@ -49,13 +53,29 @@ ChipFactory::manufacture()
     return Chip(id, floorplan_, std::move(map), chipRng.fork(0xC41F));
 }
 
+Chip
+ChipFactory::manufacture()
+{
+    return manufactureChip(nextId_++);
+}
+
 std::vector<Chip>
 ChipFactory::manufacture(std::size_t count)
 {
+    // Reserve the id range up front, then fill the batch in parallel;
+    // each task owns its slot.  (Chip has no default constructor, so
+    // the map produces heap chips that are then moved into place.)
+    const std::uint64_t base = nextId_;
+    nextId_ += count;
+    auto made = globalPool().parallelMap(
+        count, [this, base](std::size_t i) {
+            return std::make_unique<Chip>(
+                manufactureChip(base + static_cast<std::uint64_t>(i)));
+        });
     std::vector<Chip> chips;
     chips.reserve(count);
-    for (std::size_t i = 0; i < count; ++i)
-        chips.push_back(manufacture());
+    for (auto &chip : made)
+        chips.push_back(std::move(*chip));
     return chips;
 }
 

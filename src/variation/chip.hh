@@ -57,7 +57,13 @@ class ChipFactory
     /** Manufacture the next chip in the population. */
     Chip manufacture();
 
-    /** Manufacture a batch of @p count chips. */
+    /**
+     * Manufacture a batch of @p count chips.  Chips are generated in
+     * parallel on the global thread pool; chip @p i depends only on
+     * the factory seed and its id (Rng::split), so the population is
+     * identical to @p count serial manufacture() calls for any thread
+     * count.
+     */
     std::vector<Chip> manufacture(std::size_t count);
 
     /** An ideal chip with zero variation (NoVar environment). */
@@ -70,6 +76,9 @@ class ChipFactory
     }
 
   private:
+    /** Stamp out the chip with identity @p id (pure in (seed, id)). */
+    Chip manufactureChip(std::uint64_t id) const;
+
     ProcessParams params_;
     std::shared_ptr<const Floorplan> floorplan_;
     std::unique_ptr<CorrelatedFieldGenerator> fieldGen_;

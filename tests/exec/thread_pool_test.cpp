@@ -1,0 +1,189 @@
+/** Tests for the work-stealing thread pool (src/exec). */
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exec/thread_pool.hh"
+
+using namespace eval;
+
+TEST(ThreadPool, PoolOfOneEqualsSerial)
+{
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.size(), 1u);
+    std::vector<int> hits(100, 0);
+    pool.parallelFor(0, hits.size(), 1,
+                     [&](std::size_t i) { hits[i]++; });
+    for (int h : hits)
+        EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, EveryIndexRunsExactlyOnce)
+{
+    ThreadPool pool(4);
+    const std::size_t n = 10000;
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallelFor(0, n, 7, [&](std::size_t i) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, NonZeroFirstIndex)
+{
+    ThreadPool pool(3);
+    std::vector<std::atomic<int>> hits(50);
+    pool.parallelFor(10, 50, 4, [&](std::size_t i) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < 10; ++i)
+        EXPECT_EQ(hits[i].load(), 0);
+    for (std::size_t i = 10; i < 50; ++i)
+        EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPool, EmptyAndReversedRangesAreNoOps)
+{
+    ThreadPool pool(4);
+    int calls = 0;
+    pool.parallelFor(5, 5, 1, [&](std::size_t) { ++calls; });
+    pool.parallelFor(9, 3, 1, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPool, RangeSmallerThanGrainRunsInline)
+{
+    ThreadPool pool(4);
+    // 3 indices with grain 16: the pool should not bother fanning out.
+    std::vector<int> hits(3, 0);
+    pool.parallelFor(0, 3, 16, [&](std::size_t i) { hits[i]++; });
+    EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 3);
+}
+
+TEST(ThreadPool, GrainZeroIsTreatedAsOne)
+{
+    ThreadPool pool(2);
+    std::vector<std::atomic<int>> hits(64);
+    pool.parallelFor(0, 64, 0, [&](std::size_t i) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < 64; ++i)
+        EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPool, ExceptionPropagatesToSubmitter)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(
+        pool.parallelFor(0, 1000, 1,
+                         [](std::size_t i) {
+                             if (i == 373)
+                                 throw std::runtime_error("boom");
+                         }),
+        std::runtime_error);
+    // The pool survives the exception and runs the next region.
+    std::atomic<int> count{0};
+    pool.parallelFor(0, 100, 1, [&](std::size_t) {
+        count.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ExceptionCancelsRemainingWork)
+{
+    ThreadPool pool(2);
+    std::atomic<int> ran{0};
+    try {
+        pool.parallelFor(0, 100000, 1, [&](std::size_t i) {
+            if (i == 0)
+                throw std::runtime_error("early");
+            ran.fetch_add(1, std::memory_order_relaxed);
+        });
+        FAIL() << "expected an exception";
+    } catch (const std::runtime_error &) {
+    }
+    // Cancellation is chunk-granular, so some work may run, but the
+    // bulk of the region must have been dropped.
+    EXPECT_LT(ran.load(), 100000 - 1);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline)
+{
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(32 * 32);
+    pool.parallelFor(0, 32, 1, [&](std::size_t i) {
+        EXPECT_TRUE(pool.insideThisPool());
+        // Nested region on the same pool: must not deadlock; runs
+        // serially inside this task.
+        pool.parallelFor(0, 32, 1, [&](std::size_t j) {
+            hits[i * 32 + j].fetch_add(1, std::memory_order_relaxed);
+        });
+    });
+    for (std::size_t k = 0; k < hits.size(); ++k)
+        EXPECT_EQ(hits[k].load(), 1);
+    EXPECT_FALSE(pool.insideThisPool());
+}
+
+TEST(ThreadPool, ParallelMapPreservesIndexOrder)
+{
+    ThreadPool pool(4);
+    const auto out = pool.parallelMap(
+        std::size_t{257}, [](std::size_t i) { return 3 * i + 1; });
+    ASSERT_EQ(out.size(), 257u);
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], 3 * i + 1);
+}
+
+TEST(ThreadPool, ParallelMapOverItems)
+{
+    ThreadPool pool(3);
+    const std::vector<int> items = {5, 7, 11, 13};
+    const auto out =
+        pool.parallelMap(items, [](int v) { return v * v; });
+    ASSERT_EQ(out.size(), items.size());
+    for (std::size_t i = 0; i < items.size(); ++i)
+        EXPECT_EQ(out[i], items[i] * items[i]);
+}
+
+TEST(ThreadPool, ConcurrentSubmittersSerialize)
+{
+    // Two threads submitting top-level regions to one pool: regions
+    // must serialize, not corrupt each other.
+    ThreadPool pool(4);
+    std::atomic<int> total{0};
+    std::vector<std::thread> submitters;
+    for (int s = 0; s < 3; ++s) {
+        submitters.emplace_back([&pool, &total] {
+            for (int r = 0; r < 5; ++r) {
+                pool.parallelFor(0, 100, 8, [&](std::size_t) {
+                    total.fetch_add(1, std::memory_order_relaxed);
+                });
+            }
+        });
+    }
+    for (auto &t : submitters)
+        t.join();
+    EXPECT_EQ(total.load(), 3 * 5 * 100);
+}
+
+TEST(ThreadPool, GlobalPoolDefaultsToSerial)
+{
+    // The library default is one context until someone opts in.
+    EXPECT_GE(globalThreads(), 1u);
+    EXPECT_GE(defaultThreads(), 1u);
+}
+
+TEST(ThreadPool, SetGlobalThreadsResizes)
+{
+    setGlobalThreads(3);
+    EXPECT_EQ(globalThreads(), 3u);
+    EXPECT_EQ(globalPool().size(), 3u);
+    setGlobalThreads(1);
+    EXPECT_EQ(globalPool().size(), 1u);
+}
