@@ -10,6 +10,8 @@
  * C: TS+ASV, D: TS+ABB+ASV}.
  */
 
+#include <cctype>
+
 #include "bench_common.hh"
 
 using namespace eval;
@@ -59,6 +61,10 @@ main()
                   "Error", "Temp", "Power", "invocations"});
 
     std::uint64_t totalInvocations = 0, totalNoChange = 0;
+    // Per-voltage-environment tallies (across all technique sets) for
+    // the footer metrics: the NoChange+LowFreq share per environment
+    // is the shape the golden paper-anchor test pins.
+    std::map<std::string, Cell> perEnv;
 
     for (const auto &[techName, tech] : techniques) {
         for (const auto &[envName, volt] : voltages) {
@@ -119,6 +125,10 @@ main()
             table.row(row);
             totalInvocations += cell.total;
             totalNoChange += cell.counts[RetuneOutcome::NoChange];
+            Cell &env = perEnv[envName];
+            for (const auto &[o, n] : cell.counts)
+                env.counts[o] += n;
+            env.total += cell.total;
         }
     }
     table.print();
@@ -131,5 +141,22 @@ main()
                         ? static_cast<double>(totalNoChange) /
                               static_cast<double>(totalInvocations)
                         : 0.0);
+    for (auto &[envName, env] : perEnv) {
+        // "A:TS" -> "env_a", "D:TS+ABB+ASV" -> "env_d".
+        std::string key = "env_";
+        key.push_back(
+            static_cast<char>(std::tolower(envName.front())));
+        const double total = static_cast<double>(env.total);
+        const double good = static_cast<double>(
+            env.counts[RetuneOutcome::NoChange] +
+            env.counts[RetuneOutcome::LowFreq]);
+        reporter.metric(key + "_good_share", env.total ? good / total : 0.0);
+        reporter.metric(key + "_error_share",
+                        env.total
+                            ? static_cast<double>(
+                                  env.counts[RetuneOutcome::Error]) /
+                                  total
+                            : 0.0);
+    }
     return 0;
 }

@@ -1,26 +1,37 @@
 #!/usr/bin/env bash
 # Tier-1 verification: configure with warnings-as-errors, build
-# everything, run the full test suite.  This is what CI runs; run it
-# locally before pushing.
+# everything, run the test suite tier by tier (ctest labels: tier1,
+# fuzz, golden).  This is what CI runs; run it locally before pushing.
 #
-# Usage: scripts/check.sh [build-dir]   (default: build-check)
+# Usage: scripts/check.sh [build-dir]     (default: build-check)
 #        scripts/check.sh --tsan [build-dir]
+#        scripts/check.sh --coverage [build-dir]
 #
 # --tsan (or CHECK_TSAN=1) configures with -DEVAL_TSAN=ON and runs the
 # concurrency-sensitive test subset (exec, stats, core, cmp) under
 # ThreadSanitizer instead of the full Werror build.
+#
+# --coverage (or CHECK_COVERAGE=1) configures with -DEVAL_COVERAGE=ON,
+# runs the tier1+fuzz tests, and reports line coverage over src/ with
+# gcovr, enforcing the ratchet threshold below.  Degrades to a warning
+# if gcovr is not installed.
 
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 
-tsan="${CHECK_TSAN:-0}"
-if [[ "${1:-}" == "--tsan" ]]; then
-    tsan=1
-    shift
-fi
+# Line-coverage ratchet: raise when coverage improves, never lower.
+coverage_floor=70
 
-if [[ "$tsan" == "1" ]]; then
+mode="build"
+case "${1:-}" in
+  --tsan)     mode="tsan";     shift ;;
+  --coverage) mode="coverage"; shift ;;
+esac
+[[ "${CHECK_TSAN:-0}" == "1" ]] && mode="tsan"
+[[ "${CHECK_COVERAGE:-0}" == "1" ]] && mode="coverage"
+
+if [[ "$mode" == "tsan" ]]; then
     build_dir="${1:-$repo_root/build-tsan}"
     cmake -B "$build_dir" -S "$repo_root" -DEVAL_TSAN=ON
     cmake --build "$build_dir" -j"$(nproc)"
@@ -32,10 +43,37 @@ if [[ "$tsan" == "1" ]]; then
     exit 0
 fi
 
+if [[ "$mode" == "coverage" ]]; then
+    build_dir="${1:-$repo_root/build-coverage}"
+    cmake -B "$build_dir" -S "$repo_root" -DEVAL_COVERAGE=ON
+    cmake --build "$build_dir" -j"$(nproc)"
+    ctest --test-dir "$build_dir" --output-on-failure -j"$(nproc)" \
+        -L 'tier1|fuzz'
+    if command -v gcovr >/dev/null 2>&1; then
+        gcovr --root "$repo_root" --filter "$repo_root/src/" \
+            --exclude-throw-branches \
+            --fail-under-line "$coverage_floor" \
+            --print-summary "$build_dir"
+        echo "check.sh: coverage >= ${coverage_floor}% line floor"
+    else
+        echo "check.sh: WARNING gcovr not found, skipping coverage report"
+    fi
+    exit 0
+fi
+
 build_dir="${1:-$repo_root/build-check}"
 
 cmake -B "$build_dir" -S "$repo_root" -DEVAL_WERROR=ON
 cmake --build "$build_dir" -j"$(nproc)"
-ctest --test-dir "$build_dir" --output-on-failure -j"$(nproc)"
 
-echo "check.sh: all tests passed"
+# Tier 1 (fast unit/integration) and fuzz first: fail fast before the
+# slower golden tier, and keep per-tier timing visible.
+ctest --test-dir "$build_dir" --output-on-failure -j"$(nproc)" -L tier1
+ctest --test-dir "$build_dir" --output-on-failure -j"$(nproc)" -L fuzz
+
+# Golden tier: bit-stability, paper anchors, differential runs.  Diff
+# artifacts land in EVAL_GOLDEN_DIFF_DIR (default: golden-diffs/) on
+# mismatch; CI uploads them.
+ctest --test-dir "$build_dir" --output-on-failure -L golden
+
+echo "check.sh: all tiers passed"

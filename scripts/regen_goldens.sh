@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Regenerate the golden reference files in tests/golden/data/.
+#
+# Usage: scripts/regen_goldens.sh [build-dir]   (default: build)
+#
+# Protocol (see TESTING.md):
+#   1. record the goldens from the current tree,
+#   2. record them a second time and require byte-identical output
+#      (catches nondeterminism before it can be committed),
+#   3. re-run the golden tier in compare mode to prove the new goldens
+#      are self-consistent.
+#
+# Only commit regenerated goldens together with the change that
+# justifies them, and mention the regeneration in the commit message.
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+data_dir="$repo_root/tests/golden/data"
+
+if [[ ! -d "$build_dir" ]]; then
+    cmake -B "$build_dir" -S "$repo_root"
+fi
+cmake --build "$build_dir" -j"$(nproc)" \
+    --target golden_compare_test golden_paper_anchor_test
+
+recorders=(
+    "$build_dir/tests/golden_compare_test"
+    "$build_dir/tests/golden_paper_anchor_test"
+)
+
+record_all() {
+    for bin in "${recorders[@]}"; do
+        EVAL_GOLDEN_MODE=record "$bin" >/dev/null
+    done
+}
+
+echo "regen_goldens: recording pass 1"
+record_all
+pass1="$(sha256sum "$data_dir"/*.golden)"
+
+echo "regen_goldens: recording pass 2 (determinism check)"
+record_all
+pass2="$(sha256sum "$data_dir"/*.golden)"
+
+if [[ "$pass1" != "$pass2" ]]; then
+    echo "regen_goldens: ERROR recorded goldens differ between runs:" >&2
+    diff <(echo "$pass1") <(echo "$pass2") >&2 || true
+    exit 1
+fi
+
+echo "regen_goldens: verifying in compare mode"
+ctest --test-dir "$build_dir" --output-on-failure -L golden
+
+echo "regen_goldens: goldens regenerated and verified:"
+echo "$pass2"

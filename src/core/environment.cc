@@ -78,6 +78,7 @@ ExperimentConfig::fromEnv()
     cfg.chips = rc.chips;
     cfg.simInsts = static_cast<std::uint64_t>(
         envInt("EVAL_SIM_INSTS", 160000));
+    cfg.apps = rc.apps;
     if (rc.fast) {
         cfg.chips = std::min(cfg.chips, 8);
         cfg.simInsts = std::min<std::uint64_t>(cfg.simInsts, 60000);
@@ -100,13 +101,15 @@ ExperimentContext::ExperimentContext(const ExperimentConfig &cfg)
 std::vector<const AppProfile *>
 ExperimentContext::selectedApps() const
 {
-    const RunConfig rc = RunConfig::fromEnv();
+    std::vector<std::string> names = cfg_.apps;
+    if (names.empty())
+        names = RunConfig::fromEnv().apps;
     std::vector<const AppProfile *> apps;
-    if (rc.apps.empty()) {
+    if (names.empty()) {
         for (const auto &p : specSuite())
             apps.push_back(&p);
     } else {
-        for (const auto &name : rc.apps)
+        for (const auto &name : names)
             apps.push_back(&appByName(name));
     }
     return apps;

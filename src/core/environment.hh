@@ -62,6 +62,10 @@ struct ExperimentConfig
     std::uint64_t seed = 1;
     int chips = 30;
     std::uint64_t simInsts = 160000;
+    /** Application subset by name; empty = EVAL_APPS env, then the
+     *  full suite.  Validation experiments pin this explicitly so
+     *  golden runs do not depend on the caller's environment. */
+    std::vector<std::string> apps;
     ProcessParams process;
     Constraints constraints;
     RecoveryModel recovery;

@@ -53,14 +53,26 @@ doubleBits(double v)
     return bits;
 }
 
+/** -1 = follow EVAL_PE_CACHE, otherwise the forced 0/1 setting. */
+std::atomic<int> peCacheOverride{-1};
+
+} // namespace
+
+void
+setPeCacheEnabled(bool enabled)
+{
+    peCacheOverride.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
 bool
 peCacheEnabled()
 {
+    const int forced = peCacheOverride.load(std::memory_order_relaxed);
+    if (forced >= 0)
+        return forced != 0;
     static const bool enabled = envBool("EVAL_PE_CACHE", true);
     return enabled;
 }
-
-} // namespace
 
 StageErrorModel::StageErrorModel(const ProcessParams &params,
                                  PathPopulation pop)

@@ -120,4 +120,24 @@ Rng::split(std::uint64_t streamId) const
     return Rng(splitmix64(mix));
 }
 
+Rng::State
+Rng::state() const
+{
+    State s;
+    s.words = state_;
+    s.cachedGaussian = cachedGaussian_;
+    s.hasCachedGaussian = hasCachedGaussian_;
+    return s;
+}
+
+Rng
+Rng::fromState(const State &state)
+{
+    Rng rng;
+    rng.state_ = state.words;
+    rng.cachedGaussian_ = state.cachedGaussian;
+    rng.hasCachedGaussian_ = state.hasCachedGaussian;
+    return rng;
+}
+
 } // namespace eval

@@ -64,6 +64,23 @@ class Rng
      */
     Rng split(std::uint64_t streamId) const;
 
+    /**
+     * Complete generator state for snapshotting: the xoshiro words
+     * plus the Box-Muller spare, so a restored generator continues the
+     * exact sequence (including a pending cached gaussian).
+     */
+    struct State
+    {
+        std::array<std::uint64_t, 4> words{};
+        double cachedGaussian = 0.0;
+        bool hasCachedGaussian = false;
+    };
+
+    State state() const;
+
+    /** Rebuild a generator from a snapshotted state. */
+    static Rng fromState(const State &state);
+
   private:
     std::array<std::uint64_t, 4> state_;
     double cachedGaussian_ = 0.0;

@@ -89,7 +89,15 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 void
 Histogram::add(double x, double weight)
 {
+    // NaN samples have no meaningful bin; drop them so quantile() and
+    // render() stay NaN-free.  Infinities clamp to the edge bins like
+    // any other out-of-range sample.
+    if (std::isnan(x) || std::isnan(weight))
+        return;
     double t = (x - lo_) / width_;
+    if (std::isnan(t))
+        t = 0.0;
+    t = std::min(std::max(t, -1e18), 1e18);
     auto idx = static_cast<long>(std::floor(t));
     idx = std::max<long>(0, std::min<long>(idx,
               static_cast<long>(counts_.size()) - 1));
@@ -113,6 +121,9 @@ double
 Histogram::quantile(double q) const
 {
     EVAL_ASSERT(q >= 0.0 && q <= 1.0, "quantile domain is [0,1]");
+    // Empty (or weightless) histogram: every quantile is the range
+    // floor, never NaN — callers such as the stats-registry CSV dump
+    // query p50/p90/p99 before any sample arrives.
     if (total_ <= 0.0)
         return lo_;
     const double target = q * total_;
@@ -147,8 +158,11 @@ Histogram::render(std::size_t barWidth) const
 double
 SampleSet::percentile(double p) const
 {
-    EVAL_ASSERT(!samples_.empty(), "percentile of empty sample set");
     EVAL_ASSERT(p >= 0.0 && p <= 1.0, "percentile domain is [0,1]");
+    // Defined, NaN-free result on no data (summary tables query
+    // percentiles of cells that may have collected nothing).
+    if (samples_.empty())
+        return 0.0;
     std::vector<double> sorted(samples_);
     std::sort(sorted.begin(), sorted.end());
     const double pos = p * static_cast<double>(sorted.size() - 1);

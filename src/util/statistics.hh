@@ -43,7 +43,12 @@ class RunningStats
     double max_ = 0.0;
 };
 
-/** Fixed-bin histogram over [lo, hi); out-of-range samples clamp. */
+/**
+ * Fixed-bin histogram over [lo, hi); out-of-range samples clamp to
+ * the edge bins and NaN samples are dropped, so every summary query
+ * (quantile, render) is defined and NaN-free even before the first
+ * sample.
+ */
 class Histogram
 {
   public:
@@ -58,7 +63,8 @@ class Histogram
     double count(std::size_t i) const { return counts_[i]; }
     double totalWeight() const { return total_; }
 
-    /** Weighted quantile (q in [0, 1]) using linear in-bin blending. */
+    /** Weighted quantile (q in [0, 1]) using linear in-bin blending;
+     *  lo() when the histogram holds no weight. */
     double quantile(double q) const;
 
     /** Render as a one-line-per-bin ASCII bar chart. */
@@ -79,6 +85,7 @@ class SampleSet
     void add(double x) { samples_.push_back(x); }
     std::size_t size() const { return samples_.size(); }
     bool empty() const { return samples_.empty(); }
+    /** Linear-interpolated percentile; 0.0 on an empty set. */
     double percentile(double p) const;
     double mean() const;
     const std::vector<double> &samples() const { return samples_; }

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Differential-testing driver: runs one validation experiment under
+ * configurations that must not change the answer — serial vs threaded
+ * execution (1/2/4/8 workers) and PE memo cache on vs off — and
+ * asserts bit-identical metric files.  This is the executable form of
+ * the repo's determinism contract: parallel fan-out and caching are
+ * pure optimizations.
+ */
+
+#ifndef EVAL_VALID_DIFFERENTIAL_HH
+#define EVAL_VALID_DIFFERENTIAL_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "valid/experiments.hh"
+
+namespace eval {
+
+/** One configuration-vs-reference comparison. */
+struct DifferentialCheck
+{
+    std::string label;    ///< e.g. "threads=4" or "pe_cache=off"
+    bool identical = false;
+    std::string detail;   ///< first differing metrics when not identical
+};
+
+/** Everything one differential run produced. */
+struct DifferentialReport
+{
+    std::string experiment;
+    std::vector<DifferentialCheck> checks;
+
+    bool allIdentical() const;
+    /** Multi-line human-readable summary (for assertion messages). */
+    std::string summary() const;
+};
+
+/**
+ * Run @p experiment serially (threads=1, PE cache on) as the
+ * reference, then once per entry in @p threadCounts and once with the
+ * PE cache disabled, comparing each rerun bit-for-bit against the
+ * reference.  The global pool size and cache setting are restored
+ * before returning.
+ */
+DifferentialReport
+runDifferential(const std::string &experiment,
+                const std::vector<std::size_t> &threadCounts = {2, 4, 8},
+                const ExperimentTweaks &tweaks = {});
+
+} // namespace eval
+
+#endif // EVAL_VALID_DIFFERENTIAL_HH

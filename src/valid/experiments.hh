@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The validation experiments: small, fully-pinned simulator runs whose
+ * results are captured as golden metric files.  Every experiment fixes
+ * its seed, chip count, application list and instruction budget in
+ * code — no environment variable can change what a golden run
+ * measures — so a metric drift always means a behaviour change.
+ *
+ * Experiments:
+ *  - chip_population: manufactured-chip digests + subsystem means
+ *    (exact; pins the variation-map pipeline and Rng::split fan-out);
+ *  - optimizer_decisions: exhaustive-optimizer choices per phase
+ *    (exact; pins the Freq/Power algorithms and the error model);
+ *  - sweep_micro: a miniature Figure 10-12 environment sweep
+ *    (exact; pins the end-to-end managed-run path);
+ *  - fig13_micro: fuzzy-controller outcome mix across the four
+ *    voltage environments (exact; pins Figure 13 shape);
+ *  - paper_headline: the headline frequency/power numbers compared
+ *    with relative tolerance (the paper-anchor golden).
+ */
+
+#ifndef EVAL_VALID_EXPERIMENTS_HH
+#define EVAL_VALID_EXPERIMENTS_HH
+
+#include <string>
+#include <vector>
+
+#include "valid/golden.hh"
+
+namespace eval {
+
+/**
+ * Deliberate model perturbations used by negative tests: the golden
+ * suite must *fail* when the physics changes.  Scales multiply the
+ * corresponding ProcessParams field before the experiment runs.
+ */
+struct ExperimentTweaks
+{
+    /** Scales delayVariationGain — the error-model sensitivity knob.
+     *  1.01 is the canonical "1% error-model perturbation". */
+    double delayVariationGainScale = 1.0;
+};
+
+/** Names accepted by runValidationExperiment, in canonical order. */
+std::vector<std::string> validationExperiments();
+
+/**
+ * Run one validation experiment and return its metric fingerprint.
+ * Fatal on an unknown name.  Deterministic for a fixed tweak set:
+ * bit-identical across thread counts and PE-cache settings (the
+ * differential tests hold that contract).
+ */
+GoldenFile runValidationExperiment(const std::string &name,
+                                   const ExperimentTweaks &tweaks = {});
+
+} // namespace eval
+
+#endif // EVAL_VALID_EXPERIMENTS_HH

@@ -1,0 +1,325 @@
+#include "valid/golden.hh"
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/config.hh"
+#include "util/logging.hh"
+#include "valid/json_value.hh"
+
+namespace eval {
+
+namespace {
+
+constexpr char kHeader[] = "# eval golden file v1";
+
+bool
+bitEqual(double a, double b)
+{
+    std::uint64_t ab, bb;
+    std::memcpy(&ab, &a, sizeof(ab));
+    std::memcpy(&bb, &b, sizeof(bb));
+    return ab == bb;
+}
+
+bool
+metricMatches(const GoldenMetric &expected, double actual,
+              std::string *note)
+{
+    switch (expected.kind) {
+      case MetricKind::Exact:
+        if (bitEqual(expected.value, actual))
+            return true;
+        *note = "exact mismatch";
+        return false;
+      case MetricKind::Relative: {
+        if (bitEqual(expected.value, actual))
+            return true;
+        const double scale =
+            std::max(std::fabs(expected.value), std::fabs(actual));
+        const double gap = std::fabs(expected.value - actual);
+        if (std::isfinite(gap) && gap <= expected.eps * scale)
+            return true;
+        *note = "relative gap " + formatExactDouble(
+                    scale > 0.0 ? gap / scale : gap) +
+                " > eps " + formatExactDouble(expected.eps);
+        return false;
+      }
+      case MetricKind::Absolute: {
+        if (bitEqual(expected.value, actual))
+            return true;
+        const double gap = std::fabs(expected.value - actual);
+        if (std::isfinite(gap) && gap <= expected.eps)
+            return true;
+        *note = "absolute gap " + formatExactDouble(gap) + " > eps " +
+                formatExactDouble(expected.eps);
+        return false;
+      }
+    }
+    *note = "unknown metric kind";
+    return false;
+}
+
+std::string
+diffReport(const GoldenFile &expected, const GoldenFile &actual,
+           const std::vector<MetricDiff> &diffs)
+{
+    std::ostringstream out;
+    out << "golden mismatch for '" << expected.name() << "': "
+        << diffs.size() << " metric(s) differ\n";
+    for (const MetricDiff &d : diffs) {
+        out << "  " << d.metric << ": expected "
+            << formatExactDouble(d.expected) << ", actual "
+            << formatExactDouble(d.actual) << " (" << d.note << ")\n";
+    }
+    (void)actual;
+    return out.str();
+}
+
+bool
+writeTextFile(const std::string &path, const std::string &text)
+{
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) {
+        warn("cannot open for writing: ", path);
+        return false;
+    }
+    out << text;
+    return out.good();
+}
+
+} // namespace
+
+const char *
+metricKindName(MetricKind kind)
+{
+    switch (kind) {
+      case MetricKind::Exact:
+        return "exact";
+      case MetricKind::Relative:
+        return "rel";
+      case MetricKind::Absolute:
+        return "abs";
+    }
+    return "?";
+}
+
+void
+GoldenFile::add(const std::string &name, MetricKind kind, double eps,
+                double value)
+{
+    EVAL_ASSERT(!name.empty() &&
+                    name.find_first_of(" \t\n") == std::string::npos,
+                "golden metric names must be non-empty and "
+                "whitespace-free");
+    EVAL_ASSERT(find(name) == nullptr,
+                "duplicate golden metric name: ", name);
+    metrics_.push_back({name, kind, eps, value});
+}
+
+void
+GoldenFile::addExact(const std::string &name, double value)
+{
+    add(name, MetricKind::Exact, 0.0, value);
+}
+
+void
+GoldenFile::addRelative(const std::string &name, double eps,
+                        double value)
+{
+    add(name, MetricKind::Relative, eps, value);
+}
+
+const GoldenMetric *
+GoldenFile::find(const std::string &name) const
+{
+    for (const GoldenMetric &m : metrics_) {
+        if (m.name == name)
+            return &m;
+    }
+    return nullptr;
+}
+
+std::string
+GoldenFile::serialize() const
+{
+    std::ostringstream out;
+    out << kHeader << "\n";
+    out << "# name: " << name_ << "\n";
+    out << "# columns: metric <name> <exact|rel|abs> <eps> <value>\n";
+    for (const GoldenMetric &m : metrics_) {
+        out << "metric " << m.name << " " << metricKindName(m.kind)
+            << " " << formatExactDouble(m.eps) << " "
+            << formatExactDouble(m.value) << "\n";
+    }
+    return out.str();
+}
+
+GoldenFile
+GoldenFile::parse(const std::string &text)
+{
+    GoldenFile file;
+    std::istringstream in(text);
+    std::string line;
+    std::size_t lineNo = 0;
+    bool sawHeader = false;
+    while (std::getline(in, line)) {
+        ++lineNo;
+        if (lineNo == 1) {
+            if (line != kHeader)
+                throw std::runtime_error(
+                    "golden file missing v1 header");
+            sawHeader = true;
+            continue;
+        }
+        if (line.empty())
+            continue;
+        if (line[0] == '#') {
+            const std::string namePrefix = "# name: ";
+            if (line.rfind(namePrefix, 0) == 0)
+                file.name_ = line.substr(namePrefix.size());
+            continue;
+        }
+        std::istringstream fields(line);
+        std::string tag, name, kindStr, epsStr, valueStr;
+        if (!(fields >> tag >> name >> kindStr >> epsStr >> valueStr) ||
+            tag != "metric") {
+            throw std::runtime_error("golden file line " +
+                                     std::to_string(lineNo) +
+                                     " is malformed: " + line);
+        }
+        std::string trailing;
+        if (fields >> trailing) {
+            throw std::runtime_error("golden file line " +
+                                     std::to_string(lineNo) +
+                                     " has trailing fields");
+        }
+        MetricKind kind;
+        if (kindStr == "exact")
+            kind = MetricKind::Exact;
+        else if (kindStr == "rel")
+            kind = MetricKind::Relative;
+        else if (kindStr == "abs")
+            kind = MetricKind::Absolute;
+        else
+            throw std::runtime_error("golden file line " +
+                                     std::to_string(lineNo) +
+                                     " has unknown kind: " + kindStr);
+        file.add(name, kind, std::strtod(epsStr.c_str(), nullptr),
+                 std::strtod(valueStr.c_str(), nullptr));
+    }
+    if (!sawHeader)
+        throw std::runtime_error("golden file is empty");
+    return file;
+}
+
+std::vector<MetricDiff>
+compareGolden(const GoldenFile &expected, const GoldenFile &actual)
+{
+    std::vector<MetricDiff> diffs;
+    for (const GoldenMetric &m : expected.metrics()) {
+        const GoldenMetric *a = actual.find(m.name);
+        if (a == nullptr) {
+            diffs.push_back(
+                {m.name, "missing from actual run", m.value, 0.0});
+            continue;
+        }
+        std::string note;
+        if (!metricMatches(m, a->value, &note))
+            diffs.push_back({m.name, note, m.value, a->value});
+    }
+    for (const GoldenMetric &m : actual.metrics()) {
+        if (expected.find(m.name) == nullptr) {
+            diffs.push_back(
+                {m.name, "not present in golden", 0.0, m.value});
+        }
+    }
+    return diffs;
+}
+
+bool
+compareBitIdentical(const GoldenFile &a, const GoldenFile &b)
+{
+    return a.serialize() == b.serialize();
+}
+
+std::string
+goldenDataDir()
+{
+#ifdef EVAL_GOLDEN_DATA_DIR
+    const std::string fallback = EVAL_GOLDEN_DATA_DIR;
+#else
+    const std::string fallback = "tests/golden/data";
+#endif
+    return envString("EVAL_GOLDEN_DIR", fallback);
+}
+
+bool
+goldenRecordMode()
+{
+    return envString("EVAL_GOLDEN_MODE", "") == "record";
+}
+
+GoldenCheckResult
+checkGolden(const GoldenFile &actual)
+{
+    GoldenCheckResult result;
+    const std::string dir = goldenDataDir();
+    result.goldenPath = dir + "/" + actual.name() + ".golden";
+
+    if (goldenRecordMode()) {
+        std::error_code ec;
+        std::filesystem::create_directories(dir, ec);
+        result.recorded = true;
+        result.ok = writeTextFile(result.goldenPath, actual.serialize());
+        if (!result.ok)
+            result.message =
+                "failed to record golden: " + result.goldenPath;
+        return result;
+    }
+
+    std::ifstream in(result.goldenPath);
+    if (!in) {
+        result.message = "golden file missing: " + result.goldenPath +
+                         " (run with EVAL_GOLDEN_MODE=record or "
+                         "scripts/regen_goldens.sh)";
+        return result;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    GoldenFile expected;
+    try {
+        expected = GoldenFile::parse(buf.str());
+    } catch (const std::runtime_error &e) {
+        result.message = "cannot parse golden " + result.goldenPath +
+                         ": " + e.what();
+        return result;
+    }
+
+    result.diffs = compareGolden(expected, actual);
+    if (result.diffs.empty()) {
+        result.ok = true;
+        return result;
+    }
+
+    result.message = diffReport(expected, actual, result.diffs);
+    const std::string diffDir =
+        envString("EVAL_GOLDEN_DIFF_DIR", "golden-diffs");
+    std::error_code ec;
+    std::filesystem::create_directories(diffDir, ec);
+    const std::string actualPath =
+        diffDir + "/" + actual.name() + ".actual.golden";
+    const std::string reportPath =
+        diffDir + "/" + actual.name() + ".diff.txt";
+    if (writeTextFile(actualPath, actual.serialize()) &&
+        writeTextFile(reportPath, result.message)) {
+        result.diffPath = reportPath;
+    }
+    return result;
+}
+
+} // namespace eval

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Golden-reference file harness: named metric sets with per-metric
+ * tolerance specs, a deterministic text serialization, and a
+ * record/compare driver.
+ *
+ * A golden file is a list of `metric <name> <kind> <eps> <value>`
+ * lines.  Values are printed with %.17g so doubles round-trip exactly
+ * through strtod; `exact` metrics therefore pin bit patterns
+ * (determinism contracts), while `rel`/`abs` metrics tolerate the
+ * stated epsilon (physics outputs).
+ *
+ * checkGolden() is the single entry point used by tests:
+ *  - EVAL_GOLDEN_MODE=record rewrites the golden from the actual run;
+ *  - otherwise the actual run is compared against the stored golden
+ *    using the *stored* tolerances, and on mismatch a diff artifact is
+ *    written for CI upload.
+ */
+
+#ifndef EVAL_VALID_GOLDEN_HH
+#define EVAL_VALID_GOLDEN_HH
+
+#include <string>
+#include <vector>
+
+namespace eval {
+
+/** How a golden metric is compared against a fresh measurement. */
+enum class MetricKind {
+    Exact,    ///< bit-identical doubles (determinism contract)
+    Relative, ///< |a-b| <= eps * max(|a|, |b|)
+    Absolute, ///< |a-b| <= eps
+};
+
+const char *metricKindName(MetricKind kind);
+
+/** One named measurement with its comparison policy. */
+struct GoldenMetric {
+    std::string name;
+    MetricKind kind = MetricKind::Exact;
+    double eps = 0.0;
+    double value = 0.0;
+};
+
+/** A named, ordered set of metrics — one experiment's fingerprint. */
+class GoldenFile
+{
+  public:
+    GoldenFile() = default;
+    explicit GoldenFile(std::string name) : name_(std::move(name)) {}
+
+    const std::string &name() const { return name_; }
+    const std::vector<GoldenMetric> &metrics() const { return metrics_; }
+
+    /** Append a metric; names must be unique within a file. */
+    void add(const std::string &name, MetricKind kind, double eps,
+             double value);
+    void addExact(const std::string &name, double value);
+    void addRelative(const std::string &name, double eps, double value);
+
+    /** Lookup by name; returns nullptr when absent. */
+    const GoldenMetric *find(const std::string &name) const;
+
+    /** Deterministic text form (stable across runs and platforms). */
+    std::string serialize() const;
+
+    /** Inverse of serialize(); throws std::runtime_error on bad input. */
+    static GoldenFile parse(const std::string &text);
+
+  private:
+    std::string name_;
+    std::vector<GoldenMetric> metrics_;
+};
+
+/** One metric-level discrepancy from compareGolden(). */
+struct MetricDiff {
+    std::string metric;
+    std::string note; ///< human-readable reason
+    double expected = 0.0;
+    double actual = 0.0;
+};
+
+/**
+ * Compare @p actual against @p expected using the tolerances stored in
+ * @p expected (the golden file owns the policy).  Reports missing and
+ * unexpected metrics as diffs too.
+ */
+std::vector<MetricDiff> compareGolden(const GoldenFile &expected,
+                                      const GoldenFile &actual);
+
+/** True iff both files serialize to the same bytes. */
+bool compareBitIdentical(const GoldenFile &a, const GoldenFile &b);
+
+/** Outcome of a checkGolden() run, suitable for gtest assertions. */
+struct GoldenCheckResult {
+    bool ok = false;
+    bool recorded = false; ///< true when record mode rewrote the file
+    std::string goldenPath;
+    std::string diffPath; ///< non-empty when a diff artifact was written
+    std::string message;  ///< failure summary (empty when ok)
+    std::vector<MetricDiff> diffs;
+};
+
+/** Directory goldens are read from / recorded into: EVAL_GOLDEN_DIR
+ *  env override, else the compiled-in tests/golden/data path. */
+std::string goldenDataDir();
+
+/** True when EVAL_GOLDEN_MODE=record. */
+bool goldenRecordMode();
+
+/**
+ * Record or compare @p actual against `<dir>/<actual.name()>.golden`.
+ * In compare mode a mismatch writes the actual file and a diff report
+ * under EVAL_GOLDEN_DIFF_DIR (default ./golden-diffs) so CI can
+ * upload them.
+ */
+GoldenCheckResult checkGolden(const GoldenFile &actual);
+
+} // namespace eval
+
+#endif // EVAL_VALID_GOLDEN_HH

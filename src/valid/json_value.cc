@@ -1,0 +1,570 @@
+#include "valid/json_value.hh"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace eval {
+
+namespace {
+
+[[noreturn]] void
+typeError(const char *want, JsonValue::Type got)
+{
+    static const char *names[] = {"null",   "bool",  "int",   "double",
+                                  "string", "array", "object"};
+    throw std::runtime_error(std::string("JSON value is not ") + want +
+                             " (it is " +
+                             names[static_cast<int>(got)] + ")");
+}
+
+void
+appendEscaped(std::string &out, const std::string &s)
+{
+    out.push_back('"');
+    for (char c : s) {
+        switch (c) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned char>(c));
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    out.push_back('"');
+}
+
+/** Recursive-descent parser over a string_view. */
+class Parser
+{
+  public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    JsonValue
+    parseDocument()
+    {
+        JsonValue v = parseValue();
+        skipWs();
+        if (pos_ != text_.size())
+            fail("trailing characters after JSON document");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &what)
+    {
+        throw JsonParseError(what, pos_);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    bool
+    consumeLiteral(std::string_view lit)
+    {
+        if (text_.substr(pos_, lit.size()) == lit) {
+            pos_ += lit.size();
+            return true;
+        }
+        return false;
+    }
+
+    JsonValue
+    parseValue()
+    {
+        // Guard against stack exhaustion on adversarial nesting.
+        if (++depth_ > 256)
+            fail("nesting too deep");
+        skipWs();
+        JsonValue v = parseValueInner();
+        --depth_;
+        return v;
+    }
+
+    JsonValue
+    parseValueInner()
+    {
+        const char c = peek();
+        if (c == '{')
+            return parseObject();
+        if (c == '[')
+            return parseArray();
+        if (c == '"')
+            return JsonValue(parseString());
+        if (consumeLiteral("true"))
+            return JsonValue(true);
+        if (consumeLiteral("false"))
+            return JsonValue(false);
+        if (consumeLiteral("null"))
+            return JsonValue();
+        if (consumeLiteral("NaN"))
+            return JsonValue(std::nan(""));
+        if (consumeLiteral("Infinity"))
+            return JsonValue(HUGE_VAL);
+        if (consumeLiteral("-Infinity"))
+            return JsonValue(-HUGE_VAL);
+        if (c == '-' || (c >= '0' && c <= '9'))
+            return parseNumber();
+        fail("unexpected character");
+    }
+
+    JsonValue
+    parseObject()
+    {
+        expect('{');
+        JsonValue obj = JsonValue::object();
+        skipWs();
+        if (peek() == '}') {
+            ++pos_;
+            return obj;
+        }
+        for (;;) {
+            skipWs();
+            std::string key = parseString();
+            skipWs();
+            expect(':');
+            obj.set(key, parseValue());
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return obj;
+        }
+    }
+
+    JsonValue
+    parseArray()
+    {
+        expect('[');
+        JsonValue arr = JsonValue::array();
+        skipWs();
+        if (peek() == ']') {
+            ++pos_;
+            return arr;
+        }
+        for (;;) {
+            arr.push(parseValue());
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return arr;
+        }
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        for (;;) {
+            if (pos_ >= text_.size())
+                fail("unterminated string");
+            char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (pos_ >= text_.size())
+                fail("unterminated escape");
+            const char e = text_[pos_++];
+            switch (e) {
+              case '"':  out.push_back('"'); break;
+              case '\\': out.push_back('\\'); break;
+              case '/':  out.push_back('/'); break;
+              case 'b':  out.push_back('\b'); break;
+              case 'f':  out.push_back('\f'); break;
+              case 'n':  out.push_back('\n'); break;
+              case 'r':  out.push_back('\r'); break;
+              case 't':  out.push_back('\t'); break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        fail("bad hex digit in \\u escape");
+                }
+                // We only emit \u for control bytes; decode the BMP
+                // codepoint as UTF-8 for generality.
+                if (code < 0x80) {
+                    out.push_back(static_cast<char>(code));
+                } else if (code < 0x800) {
+                    out.push_back(
+                        static_cast<char>(0xC0 | (code >> 6)));
+                    out.push_back(
+                        static_cast<char>(0x80 | (code & 0x3F)));
+                } else {
+                    out.push_back(
+                        static_cast<char>(0xE0 | (code >> 12)));
+                    out.push_back(static_cast<char>(
+                        0x80 | ((code >> 6) & 0x3F)));
+                    out.push_back(
+                        static_cast<char>(0x80 | (code & 0x3F)));
+                }
+                break;
+              }
+              default:
+                fail("unknown escape");
+            }
+        }
+    }
+
+    JsonValue
+    parseNumber()
+    {
+        const std::size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        // JSON forbids leading zeros ("01" is two tokens, not eight).
+        if (pos_ + 1 < text_.size() && text_[pos_] == '0' &&
+            text_[pos_ + 1] >= '0' && text_[pos_ + 1] <= '9')
+            fail("leading zero in number");
+        bool isInt = true;
+        bool sawDigit = false;
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c >= '0' && c <= '9') {
+                sawDigit = true;
+                ++pos_;
+            } else if (c == '.' || c == 'e' || c == 'E') {
+                isInt = false;
+                ++pos_;
+            } else if ((c == '+' || c == '-') &&
+                       (text_[pos_ - 1] == 'e' ||
+                        text_[pos_ - 1] == 'E')) {
+                ++pos_;
+            } else {
+                break;
+            }
+        }
+        const std::string token(text_.substr(start, pos_ - start));
+        if (!sawDigit)
+            fail("malformed number");
+        if (isInt) {
+            errno = 0;
+            char *end = nullptr;
+            const long long v = std::strtoll(token.c_str(), &end, 10);
+            if (end && *end == '\0' && errno != ERANGE)
+                return JsonValue(static_cast<std::int64_t>(v));
+            // Fall through to double on int64 overflow.
+        }
+        char *end = nullptr;
+        const double d = std::strtod(token.c_str(), &end);
+        if (!end || *end != '\0')
+            fail("malformed number");
+        return JsonValue(d);
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+    int depth_ = 0;
+};
+
+} // namespace
+
+std::string
+formatExactDouble(double v)
+{
+    if (std::isnan(v))
+        return "NaN";
+    if (std::isinf(v))
+        return v > 0 ? "Infinity" : "-Infinity";
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    std::string s(buf);
+    // Integral-looking output ("5", "-0") would re-parse as an Int and
+    // lose the Double type (and -0.0's sign bit); force a fraction.
+    if (s.find_first_of(".eE") == std::string::npos)
+        s += ".0";
+    return s;
+}
+
+JsonValue::JsonValue(std::uint64_t u)
+    : type_(Type::Int), int_(static_cast<std::int64_t>(u))
+{
+    // Full-range u64 payloads (rng words, hashes) survive exactly as
+    // the same 64 bits; asUint() casts back.
+}
+
+bool
+JsonValue::asBool() const
+{
+    if (type_ != Type::Bool)
+        typeError("bool", type_);
+    return bool_;
+}
+
+std::int64_t
+JsonValue::asInt() const
+{
+    if (type_ != Type::Int)
+        typeError("int", type_);
+    return int_;
+}
+
+std::uint64_t
+JsonValue::asUint() const
+{
+    return static_cast<std::uint64_t>(asInt());
+}
+
+double
+JsonValue::asDouble() const
+{
+    if (type_ == Type::Int)
+        return static_cast<double>(int_);
+    if (type_ != Type::Double)
+        typeError("double", type_);
+    return double_;
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    if (type_ != Type::String)
+        typeError("string", type_);
+    return string_;
+}
+
+const JsonValue::Array &
+JsonValue::asArray() const
+{
+    if (type_ != Type::Array)
+        typeError("array", type_);
+    return array_;
+}
+
+const JsonValue::Object &
+JsonValue::asObject() const
+{
+    if (type_ != Type::Object)
+        typeError("object", type_);
+    return object_;
+}
+
+void
+JsonValue::push(JsonValue v)
+{
+    if (type_ != Type::Array)
+        typeError("array", type_);
+    array_.push_back(std::move(v));
+}
+
+void
+JsonValue::set(const std::string &key, JsonValue v)
+{
+    if (type_ != Type::Object)
+        typeError("object", type_);
+    for (auto &member : object_) {
+        if (member.first == key) {
+            member.second = std::move(v);
+            return;
+        }
+    }
+    object_.emplace_back(key, std::move(v));
+}
+
+const JsonValue &
+JsonValue::at(const std::string &key) const
+{
+    for (const auto &member : asObject())
+        if (member.first == key)
+            return member.second;
+    throw std::runtime_error("JSON object has no member '" + key + "'");
+}
+
+bool
+JsonValue::has(const std::string &key) const
+{
+    if (type_ != Type::Object)
+        return false;
+    for (const auto &member : object_)
+        if (member.first == key)
+            return true;
+    return false;
+}
+
+std::size_t
+JsonValue::size() const
+{
+    if (type_ == Type::Array)
+        return array_.size();
+    if (type_ == Type::Object)
+        return object_.size();
+    typeError("array or object", type_);
+}
+
+std::string
+JsonValue::dump(int indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    if (indent >= 0)
+        out.push_back('\n');
+    return out;
+}
+
+void
+JsonValue::dumpTo(std::string &out, int indent, int depth) const
+{
+    const bool pretty = indent >= 0;
+    const std::string pad =
+        pretty ? std::string(static_cast<std::size_t>(indent) *
+                                 (static_cast<std::size_t>(depth) + 1),
+                             ' ')
+               : std::string();
+    const std::string closePad =
+        pretty ? std::string(static_cast<std::size_t>(indent) *
+                                 static_cast<std::size_t>(depth),
+                             ' ')
+               : std::string();
+    switch (type_) {
+      case Type::Null:
+        out += "null";
+        break;
+      case Type::Bool:
+        out += bool_ ? "true" : "false";
+        break;
+      case Type::Int:
+        out += std::to_string(int_);
+        break;
+      case Type::Double:
+        out += formatExactDouble(double_);
+        break;
+      case Type::String:
+        appendEscaped(out, string_);
+        break;
+      case Type::Array:
+        if (array_.empty()) {
+            out += "[]";
+            break;
+        }
+        out.push_back('[');
+        for (std::size_t i = 0; i < array_.size(); ++i) {
+            if (i)
+                out.push_back(',');
+            if (pretty) {
+                out.push_back('\n');
+                out += pad;
+            } else if (i) {
+                out.push_back(' ');
+            }
+            array_[i].dumpTo(out, indent, depth + 1);
+        }
+        if (pretty) {
+            out.push_back('\n');
+            out += closePad;
+        }
+        out.push_back(']');
+        break;
+      case Type::Object:
+        if (object_.empty()) {
+            out += "{}";
+            break;
+        }
+        out.push_back('{');
+        for (std::size_t i = 0; i < object_.size(); ++i) {
+            if (i)
+                out.push_back(',');
+            if (pretty) {
+                out.push_back('\n');
+                out += pad;
+            } else if (i) {
+                out.push_back(' ');
+            }
+            appendEscaped(out, object_[i].first);
+            out += ": ";
+            object_[i].second.dumpTo(out, indent, depth + 1);
+        }
+        if (pretty) {
+            out.push_back('\n');
+            out += closePad;
+        }
+        out.push_back('}');
+        break;
+    }
+}
+
+JsonValue
+JsonValue::parse(std::string_view text)
+{
+    return Parser(text).parseDocument();
+}
+
+bool
+JsonValue::operator==(const JsonValue &other) const
+{
+    if (type_ != other.type_)
+        return false;
+    switch (type_) {
+      case Type::Null:
+        return true;
+      case Type::Bool:
+        return bool_ == other.bool_;
+      case Type::Int:
+        return int_ == other.int_;
+      case Type::Double:
+        // Bit-pattern equality: NaN == NaN, and +0/-0 differ, which is
+        // what snapshot round-trip fidelity means.
+        return formatExactDouble(double_) ==
+               formatExactDouble(other.double_);
+      case Type::String:
+        return string_ == other.string_;
+      case Type::Array:
+        return array_ == other.array_;
+      case Type::Object:
+        return object_ == other.object_;
+    }
+    return false;
+}
+
+} // namespace eval

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Minimal JSON document model for the validation subsystem: a value
+ * tree with a deterministic, round-trip-exact writer and a strict
+ * parser.
+ *
+ * Design points that matter for golden/snapshot use:
+ *  - Doubles print as %.17g, which strtod round-trips bit-exactly for
+ *    every finite IEEE-754 double; non-finite values use the bare
+ *    tokens NaN / Infinity / -Infinity (accepted back by the parser),
+ *    so no value is unrepresentable.
+ *  - Integers are kept as int64 (not coerced to double) so ids and
+ *    counters survive exactly.
+ *  - Object members preserve insertion order, making dump() output a
+ *    deterministic function of construction order — a requirement for
+ *    byte-identical golden regeneration.
+ *  - parse() throws JsonParseError (never aborts), so malformed input
+ *    is a recoverable, fuzz-testable condition.
+ */
+
+#ifndef EVAL_VALID_JSON_VALUE_HH
+#define EVAL_VALID_JSON_VALUE_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace eval {
+
+/** Malformed JSON text; carries the byte offset of the error. */
+class JsonParseError : public std::runtime_error
+{
+  public:
+    JsonParseError(const std::string &what, std::size_t offset)
+        : std::runtime_error(what + " at offset " +
+                             std::to_string(offset)),
+          offset_(offset)
+    {
+    }
+
+    std::size_t offset() const { return offset_; }
+
+  private:
+    std::size_t offset_;
+};
+
+/** One JSON value (null / bool / int64 / double / string / array /
+ *  object with ordered members). */
+class JsonValue
+{
+  public:
+    enum class Type { Null, Bool, Int, Double, String, Array, Object };
+
+    using Array = std::vector<JsonValue>;
+    using Member = std::pair<std::string, JsonValue>;
+    using Object = std::vector<Member>;
+
+    JsonValue() : type_(Type::Null) {}
+    JsonValue(bool b) : type_(Type::Bool), bool_(b) {}
+    JsonValue(std::int64_t i) : type_(Type::Int), int_(i) {}
+    JsonValue(int i) : type_(Type::Int), int_(i) {}
+    JsonValue(std::uint64_t u);
+    JsonValue(double d) : type_(Type::Double), double_(d) {}
+    JsonValue(std::string s) : type_(Type::String), string_(std::move(s))
+    {
+    }
+    JsonValue(const char *s) : type_(Type::String), string_(s) {}
+
+    static JsonValue array() { return JsonValue(Type::Array); }
+    static JsonValue object() { return JsonValue(Type::Object); }
+
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::Null; }
+    bool isNumber() const
+    {
+        return type_ == Type::Int || type_ == Type::Double;
+    }
+
+    /** Typed accessors; throw std::runtime_error on a type mismatch. */
+    bool asBool() const;
+    std::int64_t asInt() const;
+    std::uint64_t asUint() const;
+    double asDouble() const;   ///< accepts Int and Double
+    const std::string &asString() const;
+    const Array &asArray() const;
+    const Object &asObject() const;
+
+    /** Append to an array value. */
+    void push(JsonValue v);
+
+    /** Set (or overwrite) an object member, preserving order. */
+    void set(const std::string &key, JsonValue v);
+
+    /** Object member lookup; throws on missing key / non-object. */
+    const JsonValue &at(const std::string &key) const;
+
+    /** Whether an object value has the member. */
+    bool has(const std::string &key) const;
+
+    std::size_t size() const;
+
+    /**
+     * Serialize.  @p indent < 0 gives the compact single-line form;
+     * >= 0 pretty-prints with that many spaces per level.  Output is a
+     * deterministic function of the value tree.
+     */
+    std::string dump(int indent = -1) const;
+
+    /** Strict parse of a complete JSON document (throws
+     *  JsonParseError; trailing garbage is an error). */
+    static JsonValue parse(std::string_view text);
+
+    bool operator==(const JsonValue &other) const;
+    bool operator!=(const JsonValue &other) const
+    {
+        return !(*this == other);
+    }
+
+  private:
+    explicit JsonValue(Type t) : type_(t) {}
+
+    void dumpTo(std::string &out, int indent, int depth) const;
+
+    Type type_;
+    bool bool_ = false;
+    std::int64_t int_ = 0;
+    double double_ = 0.0;
+    std::string string_;
+    Array array_;
+    Object object_;
+};
+
+/** Format a double as the shortest exact round-trip literal (%.17g). */
+std::string formatExactDouble(double v);
+
+} // namespace eval
+
+#endif // EVAL_VALID_JSON_VALUE_HH

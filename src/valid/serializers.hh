@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Snapshot serializers for the simulator's core state: variation maps,
+ * manufactured chips, workload characterizations, and optimizer
+ * decisions.  Every toSnapshot/fromSnapshot pair guarantees bit-exact
+ * round trips through both the JSON text and the compact binary
+ * encodings (tests/golden/snapshot_roundtrip_test.cpp holds the
+ * contract); fromSnapshot throws SnapshotError on version or shape
+ * mismatches.
+ *
+ * Kind versions bump whenever a payload's meaning changes so stale
+ * snapshots fail loudly instead of deserializing garbage.
+ */
+
+#ifndef EVAL_VALID_SERIALIZERS_HH
+#define EVAL_VALID_SERIALIZERS_HH
+
+#include "core/environment.hh"
+#include "core/optimizer.hh"
+#include "util/random.hh"
+#include "valid/snapshot.hh"
+#include "variation/chip.hh"
+#include "variation/variation_map.hh"
+
+namespace eval {
+
+// -- Rng state ----------------------------------------------------------
+JsonValue toJson(const Rng::State &state);
+Rng::State rngStateFromJson(const JsonValue &v);
+
+// -- ProcessParams ------------------------------------------------------
+JsonValue toJson(const ProcessParams &p);
+ProcessParams processParamsFromJson(const JsonValue &v);
+
+// -- VariationMap (kind "variation_map") --------------------------------
+JsonValue toSnapshot(const VariationMap &map);
+VariationMap variationMapFromSnapshot(const JsonValue &snapshot);
+
+// -- Chip (kind "chip") -------------------------------------------------
+JsonValue toSnapshot(const Chip &chip);
+Chip chipFromSnapshot(const JsonValue &snapshot);
+
+// -- Characterization (kind "characterization") -------------------------
+JsonValue toSnapshot(const AppCharacterization &chr);
+AppCharacterization characterizationFromSnapshot(const JsonValue &snapshot);
+
+// -- Optimizer decision (kind "adaptation_result") ----------------------
+JsonValue toJson(const OperatingPoint &op);
+OperatingPoint operatingPointFromJson(const JsonValue &v);
+
+JsonValue toSnapshot(const AdaptationResult &result);
+AdaptationResult adaptationResultFromSnapshot(const JsonValue &snapshot);
+
+} // namespace eval
+
+#endif // EVAL_VALID_SERIALIZERS_HH

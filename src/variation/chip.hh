@@ -34,6 +34,10 @@ class Chip
     /** Chip-local random stream (path populations etc.). */
     Rng forkRng(std::uint64_t label) const { return rng_.fork(label); }
 
+    /** Current chip-local generator (snapshot serialization; fork is
+     *  const, so the state only changes when the chip is rebuilt). */
+    const Rng &rng() const { return rng_; }
+
     /** Mean systematic Vt of a subsystem (volts at reference temp). */
     double subsystemVtSys(std::size_t core, SubsystemId id) const;
 

@@ -77,8 +77,9 @@ TEST_P(Eq5Sweep, RecoveriesDegradeNotDestroy)
     const Measurement m = measure(app, rate, 14);
     EXPECT_LE(m.faulty.ipc(), m.clean.ipc() * 1.001);
     // At PE <= 1e-2 the slowdown stays bounded (Sec 4.1's argument).
-    if (rate <= 1e-2)
+    if (rate <= 1e-2) {
         EXPECT_GT(m.faulty.ipc(), 0.6 * m.clean.ipc());
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -1,0 +1,73 @@
+/**
+ * The golden-compare suite: run each validation experiment and check
+ * it against the committed golden file (or rewrite the golden in
+ * record mode — see scripts/regen_goldens.sh).  Includes the negative
+ * control: a deliberate 1% error-model perturbation MUST break the
+ * optimizer-decision golden, proving the suite has teeth.
+ */
+
+#include <gtest/gtest.h>
+
+#include "valid/experiments.hh"
+
+using namespace eval;
+
+namespace {
+
+void
+runAndCheck(const std::string &name)
+{
+    const GoldenCheckResult result =
+        checkGolden(runValidationExperiment(name));
+    if (result.recorded) {
+        GTEST_SKIP() << "recorded " << result.goldenPath;
+    }
+    EXPECT_TRUE(result.ok) << result.message;
+}
+
+} // namespace
+
+TEST(GoldenCompare, ChipPopulation) { runAndCheck("chip_population"); }
+
+TEST(GoldenCompare, OptimizerDecisions)
+{
+    runAndCheck("optimizer_decisions");
+}
+
+TEST(GoldenCompare, SweepMicro) { runAndCheck("sweep_micro"); }
+
+TEST(GoldenCompare, Fig13Micro) { runAndCheck("fig13_micro"); }
+
+/**
+ * Negative control: scale the error-model gain by 1% and the
+ * optimizer-decision golden must FAIL.  If this test ever sees a
+ * clean compare, the golden metrics have lost their sensitivity to
+ * the error model and the whole suite is decorative.
+ */
+TEST(GoldenCompare, DetectsErrorModelPerturbation)
+{
+    if (goldenRecordMode())
+        GTEST_SKIP() << "record mode: goldens are being rewritten";
+
+    ExperimentTweaks tweaks;
+    tweaks.delayVariationGainScale = 1.01;
+    const GoldenCheckResult result = checkGolden(
+        runValidationExperiment("optimizer_decisions", tweaks));
+    EXPECT_FALSE(result.ok)
+        << "a 1% error-model perturbation went undetected";
+    EXPECT_FALSE(result.diffs.empty());
+}
+
+/** Same sensitivity check for the end-to-end sweep path. */
+TEST(GoldenCompare, SweepDetectsErrorModelPerturbation)
+{
+    if (goldenRecordMode())
+        GTEST_SKIP() << "record mode: goldens are being rewritten";
+
+    ExperimentTweaks tweaks;
+    tweaks.delayVariationGainScale = 1.01;
+    const GoldenCheckResult result =
+        checkGolden(runValidationExperiment("sweep_micro", tweaks));
+    EXPECT_FALSE(result.ok)
+        << "a 1% error-model perturbation went undetected";
+}

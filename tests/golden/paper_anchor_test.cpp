@@ -1,0 +1,107 @@
+/**
+ * Paper-anchor goldens: beyond bit-stability, the headline numbers
+ * must stay inside the bands the EVAL paper (and EXPERIMENTS.md)
+ * establish.  Two layers:
+ *  - checkGolden() pins the exact values with a relative tolerance
+ *    (1e-9) so silent drift is caught;
+ *  - hard assertions pin the physical bands, so even a deliberate
+ *    golden regeneration cannot land outside the paper's story.
+ *
+ * Bands (documented in TESTING.md):
+ *  - Baseline mean relative frequency ~78% of nominal (Fig 10):
+ *    accept [0.70, 0.85] on the micro config.
+ *  - The preferred scheme (TS+ASV+Queue+FU, fuzzy) recovers a large
+ *    fraction of the loss: gain over Baseline >= 0.10.
+ *  - Power stays under the 30W PMAX constraint.
+ *  - Fig 13 shape: under the conservative voltage environments (A: TS
+ *    only, B: TS+ABB) every adaptation lands in NoChange/LowFreq —
+ *    nothing to overclock, so nothing can trip the error budget.  The
+ *    ASV environments (C, D) overclock aggressively and the micro
+ *    config (60k insts, 3 chips) pushes many invocations into the
+ *    Error outcome — more than the paper's full-scale Fig 13, which
+ *    keeps NoChange+LowFreq above ~50%; that is the documented
+ *    divergence, so C/D get looser floors (>= 0.30 / >= 0.20).
+ *    Thermal violations are rare everywhere (<= 5%).
+ */
+
+#include <gtest/gtest.h>
+
+#include "valid/experiments.hh"
+
+using namespace eval;
+
+namespace {
+
+double
+metric(const GoldenFile &run, const std::string &name)
+{
+    const GoldenMetric *m = run.find(name);
+    EXPECT_NE(m, nullptr) << "missing metric " << name;
+    return m != nullptr ? m->value : 0.0;
+}
+
+} // namespace
+
+TEST(PaperAnchor, HeadlineNumbers)
+{
+    const GoldenFile run = runValidationExperiment("paper_headline");
+
+    const GoldenCheckResult result = checkGolden(run);
+    if (!result.recorded) {
+        EXPECT_TRUE(result.ok) << result.message;
+    }
+
+    const double baseline = metric(run, "baseline_freq_rel");
+    const double preferred = metric(run, "preferred_freq_rel");
+    const double gain = metric(run, "freq_gain");
+
+    EXPECT_GE(baseline, 0.70) << "baseline frequency too low vs Fig 10";
+    EXPECT_LE(baseline, 0.85) << "baseline frequency too high vs Fig 10";
+    EXPECT_GE(gain, 0.10)
+        << "preferred scheme no longer recovers the variation loss";
+    EXPECT_EQ(gain, preferred - baseline);
+
+    EXPECT_LE(metric(run, "preferred_power_w"), 30.0)
+        << "preferred scheme exceeds the PMAX constraint";
+    EXPECT_LE(metric(run, "novar_power_w"), 30.0);
+
+    // NoVar is the perfRel reference: its own relative performance is
+    // 1 by construction, and the variation-afflicted runs cannot beat
+    // a sane bound around it.
+    EXPECT_NEAR(metric(run, "novar_perf_rel"), 1.0, 1e-9);
+    EXPECT_GT(metric(run, "preferred_perf_rel"), 0.5);
+}
+
+TEST(PaperAnchor, Fig13OutcomeDistribution)
+{
+    const GoldenFile run = runValidationExperiment("fig13_micro");
+
+    const GoldenCheckResult result = checkGolden(run);
+    if (!result.recorded) {
+        EXPECT_TRUE(result.ok) << result.message;
+    }
+
+    const struct {
+        const char *tag;
+        double minGoodShare; ///< NoChange+LowFreq floor
+    } envs[] = {
+        {"a_ts", 0.90},
+        {"b_ts_abb", 0.90},
+        // ASV overclocking trades LowFreq for Error outcomes on the
+        // micro config — the documented divergence from the paper's
+        // >= 50% line (see the header comment and TESTING.md).
+        {"c_ts_asv", 0.30},
+        {"d_ts_abb_asv", 0.20},
+    };
+    for (const auto &env : envs) {
+        const std::string tag(env.tag);
+        const double total = metric(run, tag + "_invocations");
+        ASSERT_GT(total, 0.0) << tag;
+        const double good = metric(run, tag + "_out_no_change") +
+                            metric(run, tag + "_out_low_freq");
+        EXPECT_GE(good / total, env.minGoodShare)
+            << tag << ": NoChange+LowFreq no longer dominate";
+        EXPECT_LE(metric(run, tag + "_out_temp") / total, 0.05)
+            << tag << ": thermal violations should be rare";
+    }
+}

@@ -1,0 +1,165 @@
+/**
+ * Round-trip fidelity contract for the domain serializers: every
+ * toSnapshot/fromSnapshot pair must reproduce the object exactly —
+ * through the JSON text encoding AND the compact binary encoding —
+ * and re-serialization must be byte-identical (the property the
+ * golden digests rely on).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/environment.hh"
+#include "util/random.hh"
+#include "valid/serializers.hh"
+#include "variation/chip.hh"
+
+using namespace eval;
+
+namespace {
+
+/** Serialize -> text -> parse -> serialize must be byte-identical;
+ *  same through the binary codec. */
+void
+expectStableEncodings(const JsonValue &snap)
+{
+    const JsonValue fromText = JsonValue::parse(snap.dump(2));
+    EXPECT_EQ(fromText, snap);
+    EXPECT_EQ(fromText.dump(2), snap.dump(2));
+    const JsonValue fromBinary = decodeBinary(encodeBinary(snap));
+    EXPECT_EQ(fromBinary, snap);
+    EXPECT_EQ(encodeBinary(fromBinary), encodeBinary(snap));
+}
+
+Chip
+makeChip(std::uint64_t seed)
+{
+    ChipFactory factory(ProcessParams{}, seed);
+    return factory.manufacture();
+}
+
+} // namespace
+
+TEST(SnapshotRoundTrip, RngState)
+{
+    Rng rng(123);
+    rng.gaussian();          // populate the Box-Muller cache
+    (void)rng.uniform();
+    const Rng::State state = rng.state();
+    const Rng::State back = rngStateFromJson(toJson(state));
+    EXPECT_EQ(back.words, state.words);
+    EXPECT_EQ(back.hasCachedGaussian, state.hasCachedGaussian);
+    EXPECT_EQ(back.cachedGaussian, state.cachedGaussian);
+
+    // The restored generator continues the exact stream.
+    Rng restored = Rng::fromState(back);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(restored.next(), rng.next());
+}
+
+TEST(SnapshotRoundTrip, VariationMap)
+{
+    const Chip chip = makeChip(99);
+    const VariationMap &map = chip.map();
+    const JsonValue snap = toSnapshot(map);
+    expectStableEncodings(snap);
+
+    const VariationMap back = variationMapFromSnapshot(
+        decodeBinary(encodeBinary(JsonValue::parse(snap.dump()))));
+    EXPECT_EQ(back.gridSize(), map.gridSize());
+    EXPECT_EQ(back.vtSystematicField(), map.vtSystematicField());
+    EXPECT_EQ(back.leffSystematicField(), map.leffSystematicField());
+    // Restored map serializes to the same bytes.
+    EXPECT_EQ(encodeBinary(toSnapshot(back)), encodeBinary(snap));
+}
+
+TEST(SnapshotRoundTrip, Chip)
+{
+    const Chip chip = makeChip(7);
+    const JsonValue snap = toSnapshot(chip);
+    expectStableEncodings(snap);
+
+    const Chip back = chipFromSnapshot(snap);
+    EXPECT_EQ(back.id(), chip.id());
+    EXPECT_EQ(back.floorplan().numCores(), chip.floorplan().numCores());
+    for (std::size_t i = 0; i < kNumSubsystems; ++i) {
+        const auto id = static_cast<SubsystemId>(i);
+        EXPECT_EQ(back.subsystemVtSys(0, id), chip.subsystemVtSys(0, id));
+        EXPECT_EQ(back.subsystemLeffSys(0, id),
+                  chip.subsystemLeffSys(0, id));
+    }
+    // The chip-local rng stream is preserved exactly.
+    Rng a = chip.forkRng(5), b = back.forkRng(5);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(a.next(), b.next());
+    EXPECT_EQ(encodeBinary(toSnapshot(back)), encodeBinary(snap));
+}
+
+TEST(SnapshotRoundTrip, Characterization)
+{
+    ExperimentConfig cfg;
+    cfg.seed = 3;
+    cfg.chips = 1;
+    cfg.simInsts = 40000;
+    cfg.apps = {"gzip"};
+    ExperimentContext ctx(cfg);
+    const AppCharacterization &chr =
+        ctx.characterizations().get(*ctx.selectedApps()[0]);
+
+    const JsonValue snap = toSnapshot(chr);
+    expectStableEncodings(snap);
+
+    const AppCharacterization back = characterizationFromSnapshot(snap);
+    EXPECT_EQ(back.name, chr.name);
+    EXPECT_EQ(back.isFp, chr.isFp);
+    ASSERT_EQ(back.phases.size(), chr.phases.size());
+    for (std::size_t p = 0; p < chr.phases.size(); ++p) {
+        EXPECT_EQ(back.phases[p].weight, chr.phases[p].weight);
+        EXPECT_EQ(back.phases[p].chr.act.alpha,
+                  chr.phases[p].chr.act.alpha);
+        EXPECT_EQ(back.phases[p].chr.perfFull.cpiComp,
+                  chr.phases[p].chr.perfFull.cpiComp);
+    }
+    EXPECT_EQ(encodeBinary(toSnapshot(back)), encodeBinary(snap));
+}
+
+TEST(SnapshotRoundTrip, AdaptationResult)
+{
+    AdaptationResult result;
+    result.op.freq = 3.8125e9;
+    for (std::size_t i = 0; i < kNumSubsystems; ++i) {
+        result.op.knobs[i].vdd = 0.9 + 0.01 * static_cast<double>(i);
+        result.op.knobs[i].vbb = -0.05;
+        result.fmax[i] = 4.0e9 - 1e7 * static_cast<double>(i);
+    }
+    result.op.lowSlopeFu = true;
+    result.op.smallQueue = false;
+    result.feasible = true;
+    result.predictedPerf = 2.34e9;
+    result.predictedPe = 1.0 / 3.0e6;
+
+    const JsonValue snap = toSnapshot(result);
+    expectStableEncodings(snap);
+
+    const AdaptationResult back = adaptationResultFromSnapshot(snap);
+    EXPECT_EQ(back.op.freq, result.op.freq);
+    EXPECT_EQ(back.op.lowSlopeFu, result.op.lowSlopeFu);
+    EXPECT_EQ(back.op.smallQueue, result.op.smallQueue);
+    EXPECT_EQ(back.feasible, result.feasible);
+    EXPECT_EQ(back.predictedPerf, result.predictedPerf);
+    EXPECT_EQ(back.predictedPe, result.predictedPe);
+    EXPECT_EQ(back.fmax, result.fmax);
+    for (std::size_t i = 0; i < kNumSubsystems; ++i) {
+        EXPECT_EQ(back.op.knobs[i].vdd, result.op.knobs[i].vdd);
+        EXPECT_EQ(back.op.knobs[i].vbb, result.op.knobs[i].vbb);
+    }
+}
+
+TEST(SnapshotRoundTrip, StaleKindVersionFailsLoudly)
+{
+    JsonValue snap = toSnapshot(makeChip(1));
+    snap.set("kind_version", 9999);
+    EXPECT_THROW(chipFromSnapshot(snap), SnapshotError);
+    snap.set("kind_version", 1);
+    snap.set("kind", "variation_map");
+    EXPECT_THROW(chipFromSnapshot(snap), SnapshotError);
+}

@@ -111,6 +111,87 @@ TEST(Rng, ForkLabelsIndependent)
     EXPECT_LT(same, 2);
 }
 
+TEST(RngSplit, SplitDoesNotAdvanceParent)
+{
+    Rng parent(31), clone(31);
+    // Splitting (any number of times, any label) is const: the parent
+    // stream continues exactly as if no split had happened.
+    (void)parent.split(0);
+    (void)parent.split(1);
+    (void)parent.split(0xFFFFFFFFFFFFFFFFULL);
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(parent.next(), clone.next());
+}
+
+TEST(RngSplit, SplitIsAPureFunctionOfStateAndId)
+{
+    const Rng parent(37);
+    Rng a = parent.split(12);
+    Rng b = parent.split(12);
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngSplit, DistinctIdsGiveIndependentStreams)
+{
+    const Rng parent(41);
+    Rng a = parent.split(1);
+    Rng b = parent.split(2);
+    Rng c = parent.split(1 + (1ULL << 32)); // far-apart labels too
+    int sameAb = 0, sameAc = 0;
+    for (int i = 0; i < 64; ++i) {
+        const std::uint64_t va = a.next();
+        sameAb += (va == b.next());
+        sameAc += (va == c.next());
+    }
+    EXPECT_LT(sameAb, 2);
+    EXPECT_LT(sameAc, 2);
+}
+
+TEST(RngSplit, ChildDiffersFromParentStream)
+{
+    Rng parent(43);
+    Rng child = parent.split(0);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (parent.next() == child.next());
+    EXPECT_LT(same, 2);
+}
+
+TEST(RngSplit, ForkIsSplit)
+{
+    Rng parent(47), other(47);
+    Rng f = parent.fork(9);
+    Rng s = other.split(9);
+    for (int i = 0; i < 32; ++i)
+        EXPECT_EQ(f.next(), s.next());
+}
+
+/**
+ * Golden seed constants: these exact outputs are what every committed
+ * golden file and chip population is built on.  If this test fails,
+ * the PRNG algorithm changed and ALL goldens must be regenerated
+ * (scripts/regen_goldens.sh) — do not update these literals casually.
+ */
+TEST(RngSplit, GoldenSeedConstantsLocked)
+{
+    Rng r1(1);
+    EXPECT_EQ(r1.next(), 0xcfc5d07f6f03c29bULL);
+    EXPECT_EQ(r1.next(), 0xbf424132963fe08dULL);
+    EXPECT_EQ(r1.next(), 0x19a37d5757aaf520ULL);
+    EXPECT_EQ(r1.next(), 0xbf08119f05cd56d6ULL);
+
+    Rng child = Rng(42).split(7);
+    EXPECT_EQ(child.next(), 0x937a3c3bac6c1b20ULL);
+    EXPECT_EQ(child.next(), 0x3b263716b81996c0ULL);
+    EXPECT_EQ(child.next(), 0x6d0e3ce80f23650bULL);
+    EXPECT_EQ(child.next(), 0x21d77cea26682bbbULL);
+
+    // The chip-population experiment seed.
+    Rng pop(20080642);
+    EXPECT_EQ(pop.next(), 0xf440675a4257ad09ULL);
+}
+
 /** Property sweep: uniformInt stays unbiased across bounds. */
 class UniformIntSweep : public ::testing::TestWithParam<std::uint64_t>
 {

@@ -1,0 +1,188 @@
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "valid/golden.hh"
+
+using namespace eval;
+
+namespace {
+
+/** Scoped env var (restores the previous value on destruction). */
+class ScopedEnv
+{
+  public:
+    ScopedEnv(const char *name, const std::string &value) : name_(name)
+    {
+        const char *old = std::getenv(name);
+        if (old != nullptr) {
+            hadOld_ = true;
+            old_ = old;
+        }
+        ::setenv(name, value.c_str(), 1);
+    }
+
+    ~ScopedEnv()
+    {
+        if (hadOld_)
+            ::setenv(name_, old_.c_str(), 1);
+        else
+            ::unsetenv(name_);
+    }
+
+  private:
+    const char *name_;
+    bool hadOld_ = false;
+    std::string old_;
+};
+
+GoldenFile
+sampleGolden()
+{
+    GoldenFile g("sample_exp");
+    g.addExact("count", 12.0);
+    g.addExact("digest", 4503599627370495.0);
+    g.addRelative("freq_rel", 1e-9, 0.77923456789012345);
+    g.add("power_w", MetricKind::Absolute, 0.05, 27.71);
+    return g;
+}
+
+} // namespace
+
+TEST(GoldenFile, SerializeParseRoundTrip)
+{
+    const GoldenFile g = sampleGolden();
+    const GoldenFile back = GoldenFile::parse(g.serialize());
+    EXPECT_EQ(back.name(), "sample_exp");
+    EXPECT_TRUE(compareBitIdentical(g, back));
+    EXPECT_TRUE(compareGolden(g, back).empty());
+}
+
+TEST(GoldenFile, ParseRejectsMalformedInput)
+{
+    EXPECT_THROW(GoldenFile::parse(""), std::runtime_error);
+    EXPECT_THROW(GoldenFile::parse("not a golden\n"),
+                 std::runtime_error);
+    EXPECT_THROW(
+        GoldenFile::parse("# eval golden file v1\nmetric x bad 0 1\n"),
+        std::runtime_error);
+    EXPECT_THROW(
+        GoldenFile::parse("# eval golden file v1\nmetric x exact 0\n"),
+        std::runtime_error);
+    EXPECT_THROW(GoldenFile::parse(
+                     "# eval golden file v1\nmetric x exact 0 1 extra\n"),
+                 std::runtime_error);
+}
+
+TEST(GoldenFile, ExactMetricsPinBits)
+{
+    GoldenFile expected("t"), actual("t");
+    expected.addExact("m", 1.0);
+    actual.addExact("m", std::nextafter(1.0, 2.0)); // one ulp off fails
+    EXPECT_EQ(compareGolden(expected, actual).size(), 1u);
+    actual = GoldenFile("t");
+    actual.addExact("m", 1.0);
+    EXPECT_TRUE(compareGolden(expected, actual).empty());
+}
+
+TEST(GoldenFile, RelativeToleranceIsRelative)
+{
+    GoldenFile expected("t");
+    expected.addRelative("m", 1e-6, 1000.0);
+    GoldenFile within("t"), outside("t");
+    within.addRelative("m", 1e-6, 1000.0005);
+    outside.addRelative("m", 1e-6, 1000.01);
+    EXPECT_TRUE(compareGolden(expected, within).empty());
+    EXPECT_EQ(compareGolden(expected, outside).size(), 1u);
+}
+
+TEST(GoldenFile, AbsoluteTolerance)
+{
+    GoldenFile expected("t");
+    expected.add("m", MetricKind::Absolute, 0.1, 5.0);
+    GoldenFile within("t"), outside("t");
+    within.add("m", MetricKind::Absolute, 0.1, 5.09);
+    outside.add("m", MetricKind::Absolute, 0.1, 5.2);
+    EXPECT_TRUE(compareGolden(expected, within).empty());
+    EXPECT_EQ(compareGolden(expected, outside).size(), 1u);
+}
+
+TEST(GoldenFile, MissingAndUnexpectedMetricsAreDiffs)
+{
+    GoldenFile expected("t"), actual("t");
+    expected.addExact("only_expected", 1.0);
+    actual.addExact("only_actual", 2.0);
+    const auto diffs = compareGolden(expected, actual);
+    ASSERT_EQ(diffs.size(), 2u);
+    EXPECT_EQ(diffs[0].metric, "only_expected");
+    EXPECT_EQ(diffs[1].metric, "only_actual");
+}
+
+TEST(GoldenCheck, RecordThenCompare)
+{
+    const std::string dir = testing::TempDir() + "golden_harness_rt";
+    ScopedEnv dirEnv("EVAL_GOLDEN_DIR", dir);
+
+    {
+        ScopedEnv modeEnv("EVAL_GOLDEN_MODE", "record");
+        const GoldenCheckResult rec = checkGolden(sampleGolden());
+        EXPECT_TRUE(rec.ok);
+        EXPECT_TRUE(rec.recorded);
+    }
+    {
+        ScopedEnv modeEnv("EVAL_GOLDEN_MODE", "compare");
+        const GoldenCheckResult cmp = checkGolden(sampleGolden());
+        EXPECT_TRUE(cmp.ok) << cmp.message;
+        EXPECT_FALSE(cmp.recorded);
+    }
+}
+
+TEST(GoldenCheck, MismatchWritesDiffArtifact)
+{
+    const std::string dir = testing::TempDir() + "golden_harness_diff";
+    const std::string diffDir = dir + "/artifacts";
+    ScopedEnv dirEnv("EVAL_GOLDEN_DIR", dir);
+    ScopedEnv diffEnv("EVAL_GOLDEN_DIFF_DIR", diffDir);
+
+    {
+        ScopedEnv modeEnv("EVAL_GOLDEN_MODE", "record");
+        ASSERT_TRUE(checkGolden(sampleGolden()).ok);
+    }
+    GoldenFile drifted = sampleGolden();
+    GoldenFile changed("sample_exp");
+    for (const GoldenMetric &m : drifted.metrics()) {
+        changed.add(m.name, m.kind, m.eps,
+                    m.name == "count" ? m.value + 1.0 : m.value);
+    }
+    ScopedEnv modeEnv("EVAL_GOLDEN_MODE", "compare");
+    const GoldenCheckResult cmp = checkGolden(changed);
+    EXPECT_FALSE(cmp.ok);
+    ASSERT_EQ(cmp.diffs.size(), 1u);
+    EXPECT_EQ(cmp.diffs[0].metric, "count");
+    ASSERT_FALSE(cmp.diffPath.empty());
+    std::ifstream report(cmp.diffPath);
+    ASSERT_TRUE(report.good());
+    std::ostringstream buf;
+    buf << report.rdbuf();
+    EXPECT_NE(buf.str().find("count"), std::string::npos);
+}
+
+TEST(GoldenCheck, MissingGoldenFailsWithHint)
+{
+    ScopedEnv dirEnv("EVAL_GOLDEN_DIR",
+                     testing::TempDir() + "golden_harness_missing");
+    ScopedEnv modeEnv("EVAL_GOLDEN_MODE", "compare");
+    const GoldenCheckResult cmp = checkGolden(sampleGolden());
+    EXPECT_FALSE(cmp.ok);
+    EXPECT_NE(cmp.message.find("record"), std::string::npos);
+}
+
+TEST(GoldenFile, DuplicateMetricNameAborts)
+{
+    GoldenFile g("t");
+    g.addExact("m", 1.0);
+    EXPECT_DEATH(g.addExact("m", 2.0), "duplicate");
+}

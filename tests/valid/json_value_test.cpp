@@ -1,0 +1,126 @@
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "valid/json_value.hh"
+
+using namespace eval;
+
+TEST(JsonValue, ScalarRoundTrip)
+{
+    EXPECT_EQ(JsonValue::parse("null").type(), JsonValue::Type::Null);
+    EXPECT_TRUE(JsonValue::parse("true").asBool());
+    EXPECT_FALSE(JsonValue::parse("false").asBool());
+    EXPECT_EQ(JsonValue::parse("42").asInt(), 42);
+    EXPECT_EQ(JsonValue::parse("-7").asInt(), -7);
+    EXPECT_DOUBLE_EQ(JsonValue::parse("2.5").asDouble(), 2.5);
+    EXPECT_EQ(JsonValue::parse("\"hi\"").asString(), "hi");
+}
+
+TEST(JsonValue, ExactDoubleRoundTrip)
+{
+    const double values[] = {0.0,
+                             -0.0,
+                             1.0 / 3.0,
+                             6.62607015e-34,
+                             1e308,
+                             5e-324,
+                             std::numeric_limits<double>::max(),
+                             std::numeric_limits<double>::epsilon(),
+                             -123456.789012345678};
+    for (double v : values) {
+        const JsonValue round =
+            JsonValue::parse(JsonValue(v).dump());
+        std::uint64_t a, b;
+        const double r = round.asDouble();
+        std::memcpy(&a, &v, sizeof(a));
+        std::memcpy(&b, &r, sizeof(b));
+        EXPECT_EQ(a, b) << "value " << formatExactDouble(v);
+    }
+}
+
+TEST(JsonValue, NonFiniteTokens)
+{
+    EXPECT_TRUE(std::isnan(JsonValue::parse("NaN").asDouble()));
+    EXPECT_EQ(JsonValue::parse("Infinity").asDouble(),
+              std::numeric_limits<double>::infinity());
+    EXPECT_EQ(JsonValue::parse("-Infinity").asDouble(),
+              -std::numeric_limits<double>::infinity());
+    EXPECT_EQ(JsonValue(std::nan("")).dump(), "NaN");
+}
+
+TEST(JsonValue, Int64Exactness)
+{
+    const std::int64_t big = 9007199254740993; // 2^53 + 1
+    EXPECT_EQ(JsonValue::parse(JsonValue(big).dump()).asInt(), big);
+    const std::uint64_t umax = 0xFFFFFFFFFFFFFFFFULL;
+    EXPECT_EQ(JsonValue(umax).asUint(), umax);
+}
+
+TEST(JsonValue, ObjectOrderPreserved)
+{
+    JsonValue o = JsonValue::object();
+    o.set("zebra", 1);
+    o.set("alpha", 2);
+    o.set("mid", 3);
+    EXPECT_EQ(o.dump(), "{\"zebra\": 1, \"alpha\": 2, \"mid\": 3}");
+    // Overwrite keeps the original position.
+    o.set("zebra", 9);
+    EXPECT_EQ(o.dump(), "{\"zebra\": 9, \"alpha\": 2, \"mid\": 3}");
+}
+
+TEST(JsonValue, NestedDumpParseDump)
+{
+    JsonValue o = JsonValue::object();
+    JsonValue arr = JsonValue::array();
+    arr.push(1);
+    arr.push(0.5);
+    arr.push("s");
+    arr.push(JsonValue());
+    o.set("list", arr);
+    JsonValue inner = JsonValue::object();
+    inner.set("flag", true);
+    o.set("inner", inner);
+
+    const std::string once = o.dump(2);
+    const std::string twice = JsonValue::parse(once).dump(2);
+    EXPECT_EQ(once, twice);
+    EXPECT_EQ(JsonValue::parse(once), o);
+}
+
+TEST(JsonValue, StringEscapes)
+{
+    const JsonValue v("line\n\ttab \"quote\" back\\slash");
+    EXPECT_EQ(JsonValue::parse(v.dump()).asString(), v.asString());
+    EXPECT_EQ(JsonValue::parse("\"\\u0041\\u00e9\"").asString(),
+              "A\xc3\xa9");
+}
+
+TEST(JsonValue, ParseErrors)
+{
+    const char *bad[] = {"",       "{",      "[1,",  "tru",
+                         "\"abc",  "01",     "1.2.3", "{\"a\" 1}",
+                         "[1] []", "{\"a\":}"};
+    for (const char *text : bad)
+        EXPECT_THROW(JsonValue::parse(text), JsonParseError) << text;
+}
+
+TEST(JsonValue, TypeMismatchThrows)
+{
+    const JsonValue i(3);
+    EXPECT_THROW(i.asString(), std::runtime_error);
+    EXPECT_THROW(i.asArray(), std::runtime_error);
+    EXPECT_NO_THROW(i.asDouble()); // Int promotes to double
+    const JsonValue d(3.5);
+    EXPECT_THROW(d.asInt(), std::runtime_error);
+}
+
+TEST(JsonValue, EqualityBitExactOnDoubles)
+{
+    EXPECT_EQ(JsonValue(std::nan("")), JsonValue(std::nan("")));
+    EXPECT_NE(JsonValue(0.0), JsonValue(-0.0));
+    EXPECT_NE(JsonValue(1), JsonValue(1.0)); // Int vs Double differ
+}
