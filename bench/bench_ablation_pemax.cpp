@@ -61,6 +61,9 @@ main()
                    formatDouble(res.op.freq / cfg.process.freqNominal, 3),
                    trueBuf, formatDouble(perf, 3),
                    formatPercent(recShare, 2)});
+        // eval-lint: allow(num-float-eq) selects the PE=1e-4 row of the
+        // sweep; peMax iterates the literal list above, so the compare
+        // is exact by construction.
         if (peMax == 1e-4) {
             frAtPaperTarget = res.op.freq / cfg.process.freqNominal;
             perfAtPaperTarget = perf;

@@ -22,8 +22,7 @@
  *   EVAL_PROFILE=1         enable ScopedTimers, print the self-profile
  */
 
-#ifndef EVAL_BENCH_BENCH_COMMON_HH
-#define EVAL_BENCH_BENCH_COMMON_HH
+#pragma once
 
 #include <chrono>
 #include <cstdio>
@@ -328,4 +327,3 @@ printEnvironmentFigure(const SweepResult &sweep, const std::string &title,
 
 } // namespace eval
 
-#endif // EVAL_BENCH_BENCH_COMMON_HH

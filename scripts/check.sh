@@ -5,11 +5,30 @@
 #
 # Usage: scripts/check.sh [build-dir]     (default: build-check)
 #        scripts/check.sh --tsan [build-dir]
+#        scripts/check.sh --asan [build-dir]
+#        scripts/check.sh --ubsan [build-dir]
+#        scripts/check.sh --lint [build-dir]
+#        scripts/check.sh --tidy [build-dir]
 #        scripts/check.sh --coverage [build-dir]
 #
 # --tsan (or CHECK_TSAN=1) configures with -DEVAL_TSAN=ON and runs the
 # concurrency-sensitive test subset (exec, stats, core, cmp) under
 # ThreadSanitizer instead of the full Werror build.
+#
+# --asan / --ubsan (or CHECK_ASAN=1 / CHECK_UBSAN=1) configure with
+# -DEVAL_ASAN=ON / -DEVAL_UBSAN=ON and run the tier-1 suite under
+# AddressSanitizer(+Leak) / UndefinedBehaviorSanitizer.  Together with
+# --tsan these form the sanitizer matrix (TESTING.md "Static analysis
+# and sanitizers").
+#
+# --lint (or CHECK_LINT=1) builds the eval-lint analyzer (tools/lint),
+# self-tests it against the fixture corpus (the violating tree MUST
+# fail, the clean tree MUST pass), then lints the real tree.  Writes
+# lint-report.json into the build dir for the CI artifact.
+#
+# --tidy (or CHECK_TIDY=1) runs clang-tidy over src/ with the curated
+# .clang-tidy config, using the build dir's compile_commands.json.
+# Degrades to a warning if clang-tidy is not installed.
 #
 # --coverage (or CHECK_COVERAGE=1) configures with -DEVAL_COVERAGE=ON,
 # runs the tier1+fuzz tests, and reports line coverage over src/ with
@@ -26,9 +45,17 @@ coverage_floor=70
 mode="build"
 case "${1:-}" in
   --tsan)     mode="tsan";     shift ;;
+  --asan)     mode="asan";     shift ;;
+  --ubsan)    mode="ubsan";    shift ;;
+  --lint)     mode="lint";     shift ;;
+  --tidy)     mode="tidy";     shift ;;
   --coverage) mode="coverage"; shift ;;
 esac
 [[ "${CHECK_TSAN:-0}" == "1" ]] && mode="tsan"
+[[ "${CHECK_ASAN:-0}" == "1" ]] && mode="asan"
+[[ "${CHECK_UBSAN:-0}" == "1" ]] && mode="ubsan"
+[[ "${CHECK_LINT:-0}" == "1" ]] && mode="lint"
+[[ "${CHECK_TIDY:-0}" == "1" ]] && mode="tidy"
 [[ "${CHECK_COVERAGE:-0}" == "1" ]] && mode="coverage"
 
 if [[ "$mode" == "tsan" ]]; then
@@ -40,6 +67,60 @@ if [[ "$mode" == "tsan" ]]; then
     EVAL_THREADS=4 ctest --test-dir "$build_dir" --output-on-failure \
         -R 'exec_|stats_|core_|cmp_'
     echo "check.sh: TSan tests passed"
+    exit 0
+fi
+
+if [[ "$mode" == "asan" || "$mode" == "ubsan" ]]; then
+    build_dir="${1:-$repo_root/build-$mode}"
+    flag="EVAL_ASAN"
+    [[ "$mode" == "ubsan" ]] && flag="EVAL_UBSAN"
+    cmake -B "$build_dir" -S "$repo_root" -D${flag}=ON
+    cmake --build "$build_dir" -j"$(nproc)"
+    # halt_on_error so a leak/UB finding fails the run, not just logs.
+    ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
+    UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+        ctest --test-dir "$build_dir" --output-on-failure -j"$(nproc)" \
+            -L tier1
+    echo "check.sh: tier-1 tests passed under ${mode}"
+    exit 0
+fi
+
+if [[ "$mode" == "lint" ]]; then
+    build_dir="${1:-$repo_root/build-check}"
+    cmake -B "$build_dir" -S "$repo_root"
+    cmake --build "$build_dir" -j"$(nproc)" --target eval_lint
+    lint_bin="$build_dir/tools/lint/eval_lint"
+
+    # Self-test the gate before trusting it: the violating fixture
+    # corpus must fail (exit 1), the clean corpus must pass (exit 0).
+    if "$lint_bin" --root "$repo_root/tests/lint/fixtures/violating" \
+        > /dev/null; then
+        echo "check.sh: ERROR eval-lint passed the violating fixture corpus"
+        exit 1
+    fi
+    "$lint_bin" --root "$repo_root/tests/lint/fixtures/clean" > /dev/null
+
+    # The real tree (fixtures excluded: they are violating on purpose).
+    "$lint_bin" --root "$repo_root" \
+        --exclude tests/lint/fixtures \
+        --json "$build_dir/lint-report.json" \
+        src bench tests examples tools
+    echo "check.sh: eval-lint clean (report: $build_dir/lint-report.json)"
+    exit 0
+fi
+
+if [[ "$mode" == "tidy" ]]; then
+    build_dir="${1:-$repo_root/build-check}"
+    if ! command -v clang-tidy >/dev/null 2>&1; then
+        echo "check.sh: WARNING clang-tidy not found, skipping tidy pass"
+        exit 0
+    fi
+    cmake -B "$build_dir" -S "$repo_root" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+    # Headers are covered through the .cc files that include them
+    # (HeaderFilterRegex in .clang-tidy).
+    mapfile -t tidy_sources < <(find "$repo_root/src" -name '*.cc' | sort)
+    clang-tidy -p "$build_dir" --quiet "${tidy_sources[@]}"
+    echo "check.sh: clang-tidy clean"
     exit 0
 fi
 

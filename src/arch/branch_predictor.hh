@@ -3,8 +3,7 @@
  * Gshare branch predictor with 2-bit saturating counters.
  */
 
-#ifndef EVAL_ARCH_BRANCH_PREDICTOR_HH
-#define EVAL_ARCH_BRANCH_PREDICTOR_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -46,4 +45,3 @@ class GsharePredictor
 
 } // namespace eval
 
-#endif // EVAL_ARCH_BRANCH_PREDICTOR_HH

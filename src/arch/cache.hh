@@ -5,8 +5,7 @@
  * memory: 208 cycles round trip, Figure 7(a)).
  */
 
-#ifndef EVAL_ARCH_CACHE_HH
-#define EVAL_ARCH_CACHE_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -105,4 +104,3 @@ class CacheHierarchy
 
 } // namespace eval
 
-#endif // EVAL_ARCH_CACHE_HH

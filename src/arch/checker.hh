@@ -7,8 +7,7 @@
  * EVAL works with any of them, which is part of the framework's claim.
  */
 
-#ifndef EVAL_ARCH_CHECKER_HH
-#define EVAL_ARCH_CHECKER_HH
+#pragma once
 
 #include <string>
 #include <vector>
@@ -51,4 +50,3 @@ struct CheckerModel
 
 } // namespace eval
 
-#endif // EVAL_ARCH_CHECKER_HH

@@ -16,8 +16,7 @@
  * model's rho_i weights.
  */
 
-#ifndef EVAL_ARCH_CORE_HH
-#define EVAL_ARCH_CORE_HH
+#pragma once
 
 #include <array>
 #include <cstdint>
@@ -175,4 +174,3 @@ class Core
 
 } // namespace eval
 
-#endif // EVAL_ARCH_CORE_HH

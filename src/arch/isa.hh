@@ -6,8 +6,7 @@
  * (a standard trace-driven simplification).
  */
 
-#ifndef EVAL_ARCH_ISA_HH
-#define EVAL_ARCH_ISA_HH
+#pragma once
 
 #include <array>
 #include <cstdint>
@@ -66,4 +65,3 @@ class TraceSource
 
 } // namespace eval
 
-#endif // EVAL_ARCH_ISA_HH

@@ -12,8 +12,7 @@
  * coupling is purely thermal/power (as in the paper's setup).
  */
 
-#ifndef EVAL_CMP_CMP_SYSTEM_HH
-#define EVAL_CMP_CMP_SYSTEM_HH
+#pragma once
 
 #include <array>
 #include <memory>
@@ -83,4 +82,3 @@ class CmpSystem
 
 } // namespace eval
 
-#endif // EVAL_CMP_CMP_SYSTEM_HH

@@ -5,8 +5,7 @@
  * processor area.
  */
 
-#ifndef EVAL_CORE_AREA_MODEL_HH
-#define EVAL_CORE_AREA_MODEL_HH
+#pragma once
 
 #include <string>
 #include <vector>
@@ -43,4 +42,3 @@ double totalAreaOverheadPercent(const AreaModelConfig &cfg);
 
 } // namespace eval
 
-#endif // EVAL_CORE_AREA_MODEL_HH

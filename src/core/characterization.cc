@@ -63,9 +63,11 @@ CharacterizationCache::characterize(const AppProfile &profile)
         data.chr.isFp = profile.isFp;
 
         CoreStats fullStats;
-        for (const double frac : {1.0, 0.75}) {
+        static constexpr double kQueueFracs[] = {1.0, 0.75};
+        for (std::size_t qi = 0; qi < 2; ++qi) {
+            const bool fullQueues = qi == 0;
             CoreConfig cfg;
-            cfg.queueCapacityFraction = frac;
+            cfg.queueCapacityFraction = kQueueFracs[qi];
 
             SyntheticTrace trace(profile, seed_ ^ (p * 7919));
             trace.pinPhase(p);
@@ -76,7 +78,7 @@ CharacterizationCache::characterize(const AppProfile &profile)
 
             const PerfInputs in = PerfInputs::fromStats(
                 stats, refFreqHz_, recovery_.penaltyCycles);
-            if (frac == 1.0) {
+            if (fullQueues) {
                 data.chr.perfFull = in;
                 fullStats = stats;
             } else {

@@ -8,13 +8,12 @@
  * chip's variation).
  */
 
-#ifndef EVAL_CORE_CHARACTERIZATION_HH
-#define EVAL_CORE_CHARACTERIZATION_HH
+#pragma once
 
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "core/eval_params.hh"
@@ -78,9 +77,11 @@ class CharacterizationCache
     std::uint64_t seed_;
     std::uint64_t simInsts_;
     std::mutex mutex_;   ///< guards the map shape (not the entries)
-    std::unordered_map<std::string, std::unique_ptr<Entry>> cache_;
+    /// std::map, not unordered: the handful of apps makes lookup cost
+    /// irrelevant, and any future iteration (e.g. dumping every
+    /// characterization) must be name-ordered (det-unordered).
+    std::map<std::string, std::unique_ptr<Entry>> cache_;
 };
 
 } // namespace eval
 
-#endif // EVAL_CORE_CHARACTERIZATION_HH

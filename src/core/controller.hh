@@ -13,8 +13,7 @@
  *    configuration chosen at qualification time with stress activity.
  */
 
-#ifndef EVAL_CORE_CONTROLLER_HH
-#define EVAL_CORE_CONTROLLER_HH
+#pragma once
 
 #include <optional>
 
@@ -141,4 +140,3 @@ stressCharacterization(const std::array<SubsystemPowerParams,
 
 } // namespace eval
 
-#endif // EVAL_CORE_CONTROLLER_HH

@@ -6,8 +6,7 @@
  * relative frequency / performance / power metrics of Figures 10-12.
  */
 
-#ifndef EVAL_CORE_ENVIRONMENT_HH
-#define EVAL_CORE_ENVIRONMENT_HH
+#pragma once
 
 #include <map>
 #include <mutex>
@@ -195,4 +194,3 @@ class ExperimentContext
 
 } // namespace eval
 
-#endif // EVAL_CORE_ENVIRONMENT_HH

@@ -5,8 +5,7 @@
  * the core simulator, workloads, and the adaptation framework).
  */
 
-#ifndef EVAL_CORE_EVAL_HH
-#define EVAL_CORE_EVAL_HH
+#pragma once
 
 #include "arch/core.hh"
 #include "cmp/cmp_system.hh"
@@ -40,4 +39,3 @@
 #include "workload/generator.hh"
 #include "workload/profile.hh"
 
-#endif // EVAL_CORE_EVAL_HH

@@ -4,8 +4,7 @@
  * Figure 7(a) and the error-recovery cost model of Sec 3.1.
  */
 
-#ifndef EVAL_CORE_EVAL_PARAMS_HH
-#define EVAL_CORE_EVAL_PARAMS_HH
+#pragma once
 
 namespace eval {
 
@@ -42,4 +41,3 @@ struct TimelineParams
 
 } // namespace eval
 
-#endif // EVAL_CORE_EVAL_PARAMS_HH

@@ -17,8 +17,7 @@
  * fidelity with the paper even though each trained FC sees them fixed.
  */
 
-#ifndef EVAL_CORE_FUZZY_ADAPTATION_HH
-#define EVAL_CORE_FUZZY_ADAPTATION_HH
+#pragma once
 
 #include <array>
 #include <memory>
@@ -108,4 +107,3 @@ class FuzzyOptimizer : public SubsystemOptimizer
 
 } // namespace eval
 
-#endif // EVAL_CORE_FUZZY_ADAPTATION_HH

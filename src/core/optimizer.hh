@@ -10,8 +10,7 @@
  * the same queries from trained fuzzy controllers in microseconds.
  */
 
-#ifndef EVAL_CORE_OPTIMIZER_HH
-#define EVAL_CORE_OPTIMIZER_HH
+#pragma once
 
 #include <array>
 #include <optional>
@@ -150,4 +149,3 @@ class CoreOptimizer
 
 } // namespace eval
 
-#endif // EVAL_CORE_OPTIMIZER_HH

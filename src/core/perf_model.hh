@@ -10,8 +10,7 @@
  * is the Diva recovery penalty.
  */
 
-#ifndef EVAL_CORE_PERF_MODEL_HH
-#define EVAL_CORE_PERF_MODEL_HH
+#pragma once
 
 #include "arch/core.hh"
 
@@ -40,4 +39,3 @@ double performance(double freqHz, double pePerInstruction,
 
 } // namespace eval
 
-#endif // EVAL_CORE_PERF_MODEL_HH

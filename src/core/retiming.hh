@@ -13,8 +13,7 @@
  * (no ASV/ABB), and manages a single global variable.
  */
 
-#ifndef EVAL_CORE_RETIMING_HH
-#define EVAL_CORE_RETIMING_HH
+#pragma once
 
 #include "core/subsystem_model.hh"
 
@@ -41,4 +40,3 @@ double retimedFrequency(const CoreSystemModel &core,
 
 } // namespace eval
 
-#endif // EVAL_CORE_RETIMING_HH

@@ -8,8 +8,7 @@
  * the retuning cycles observe.
  */
 
-#ifndef EVAL_CORE_SUBSYSTEM_MODEL_HH
-#define EVAL_CORE_SUBSYSTEM_MODEL_HH
+#pragma once
 
 #include <array>
 #include <memory>
@@ -209,4 +208,3 @@ OperatingPoint nominalOperatingPoint(const ProcessParams &params);
 
 } // namespace eval
 
-#endif // EVAL_CORE_SUBSYSTEM_MODEL_HH

@@ -28,8 +28,7 @@
  * that unit tests and library consumers stay serial unless they ask.
  */
 
-#ifndef EVAL_EXEC_THREAD_POOL_HH
-#define EVAL_EXEC_THREAD_POOL_HH
+#pragma once
 
 #include <condition_variable>
 #include <cstddef>
@@ -191,4 +190,3 @@ std::size_t defaultThreads();
 
 } // namespace eval
 
-#endif // EVAL_EXEC_THREAD_POOL_HH

@@ -18,8 +18,7 @@
  * maps raw physical inputs/outputs into [0, 1].
  */
 
-#ifndef EVAL_FUZZY_FUZZY_CONTROLLER_HH
-#define EVAL_FUZZY_FUZZY_CONTROLLER_HH
+#pragma once
 
 #include <cstddef>
 #include <iosfwd>
@@ -138,4 +137,3 @@ class TrainedController
 
 } // namespace eval
 
-#endif // EVAL_FUZZY_FUZZY_CONTROLLER_HH

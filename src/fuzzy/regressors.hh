@@ -10,8 +10,7 @@
  * trained online, one example at a time.
  */
 
-#ifndef EVAL_FUZZY_REGRESSORS_HH
-#define EVAL_FUZZY_REGRESSORS_HH
+#pragma once
 
 #include <cstddef>
 #include <cstdint>
@@ -90,4 +89,3 @@ class TableRegressor : public Regressor
 
 } // namespace eval
 
-#endif // EVAL_FUZZY_REGRESSORS_HH

@@ -8,8 +8,7 @@
  * as a new phase.
  */
 
-#ifndef EVAL_PHASE_PHASE_DETECTOR_HH
-#define EVAL_PHASE_PHASE_DETECTOR_HH
+#pragma once
 
 #include <array>
 #include <cstdint>
@@ -76,4 +75,3 @@ class PhaseDetector
 
 } // namespace eval
 
-#endif // EVAL_PHASE_PHASE_DETECTOR_HH

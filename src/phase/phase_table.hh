@@ -5,12 +5,11 @@
  * configuration instead of re-running the controller (Sec 4.3.3).
  */
 
-#ifndef EVAL_PHASE_PHASE_TABLE_HH
-#define EVAL_PHASE_PHASE_TABLE_HH
+#pragma once
 
 #include <cstddef>
+#include <map>
 #include <optional>
-#include <unordered_map>
 
 namespace eval {
 
@@ -42,9 +41,11 @@ class PhaseTable
     std::size_t size() const { return table_.size(); }
 
   private:
-    std::unordered_map<std::size_t, Config> table_;
+    // std::map, not unordered: only point lookups today, but a future
+    // "dump the table" or "iterate saved configs" path must see a
+    // deterministic phase-id order (det-unordered).
+    std::map<std::size_t, Config> table_;
 };
 
 } // namespace eval
 
-#endif // EVAL_PHASE_PHASE_TABLE_HH

@@ -8,8 +8,7 @@
  *   ABB: -500 mV .. +500 mV in 50 mV steps
  */
 
-#ifndef EVAL_POWER_KNOBS_HH
-#define EVAL_POWER_KNOBS_HH
+#pragma once
 
 #include <cstddef>
 #include <vector>
@@ -64,4 +63,3 @@ struct KnobSpace
 
 } // namespace eval
 
-#endif // EVAL_POWER_KNOBS_HH

@@ -11,8 +11,7 @@
  * (~25W core+L1+L2 against a 30W per-core cap).
  */
 
-#ifndef EVAL_POWER_POWER_MODEL_HH
-#define EVAL_POWER_POWER_MODEL_HH
+#pragma once
 
 #include <array>
 #include <cstddef>
@@ -59,4 +58,3 @@ calibratePower(const ProcessParams &params, const PowerCalibration &cal);
 
 } // namespace eval
 
-#endif // EVAL_POWER_POWER_MODEL_HH

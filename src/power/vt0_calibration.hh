@@ -7,8 +7,7 @@
  * the retuning cycles) must absorb.
  */
 
-#ifndef EVAL_POWER_VT0_CALIBRATION_HH
-#define EVAL_POWER_VT0_CALIBRATION_HH
+#pragma once
 
 #include "power/power_model.hh"
 #include "util/random.hh"
@@ -39,4 +38,3 @@ double measureVt0(const ProcessParams &params,
 
 } // namespace eval
 
-#endif // EVAL_POWER_VT0_CALIBRATION_HH

@@ -11,8 +11,7 @@
  * are kept and can be exported as JSONL, one decision per line.
  */
 
-#ifndef EVAL_STATS_DECISION_TRACE_HH
-#define EVAL_STATS_DECISION_TRACE_HH
+#pragma once
 
 #include <atomic>
 #include <cstdint>
@@ -114,4 +113,3 @@ class DecisionTrace
 
 } // namespace eval
 
-#endif // EVAL_STATS_DECISION_TRACE_HH

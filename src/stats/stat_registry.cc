@@ -370,8 +370,8 @@ StatRegistry::printProfile() const
         }
     }
     if (rows.empty()) {
-        std::printf("self-profile: no timer samples "
-                    "(enable with --profile / setProfilingEnabled)\n");
+        inform("self-profile: no timer samples "
+               "(enable with --profile / setProfilingEnabled)");
         return;
     }
     std::sort(rows.begin(), rows.end(),

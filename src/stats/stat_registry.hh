@@ -23,8 +23,7 @@
  *    lock), preserving the disabled-path guarantee under threading.
  */
 
-#ifndef EVAL_STATS_STAT_REGISTRY_HH
-#define EVAL_STATS_STAT_REGISTRY_HH
+#pragma once
 
 #include <atomic>
 #include <chrono>
@@ -325,4 +324,3 @@ class StatRegistry
 
 } // namespace eval
 
-#endif // EVAL_STATS_STAT_REGISTRY_HH

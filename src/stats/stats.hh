@@ -5,10 +5,8 @@
  * profiling) and the adaptation decision trace.
  */
 
-#ifndef EVAL_STATS_STATS_HH
-#define EVAL_STATS_STATS_HH
+#pragma once
 
 #include "stats/decision_trace.hh"
 #include "stats/stat_registry.hh"
 
-#endif // EVAL_STATS_STATS_HH

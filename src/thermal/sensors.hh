@@ -7,8 +7,7 @@
  * state.
  */
 
-#ifndef EVAL_THERMAL_SENSORS_HH
-#define EVAL_THERMAL_SENSORS_HH
+#pragma once
 
 #include "util/random.hh"
 
@@ -50,4 +49,3 @@ struct SensorSuite
 
 } // namespace eval
 
-#endif // EVAL_THERMAL_SENSORS_HH

@@ -12,8 +12,7 @@
  * which also detects thermal runaway.
  */
 
-#ifndef EVAL_THERMAL_THERMAL_MODEL_HH
-#define EVAL_THERMAL_THERMAL_MODEL_HH
+#pragma once
 
 #include <array>
 
@@ -99,4 +98,3 @@ class ThermalModel
 
 } // namespace eval
 
-#endif // EVAL_THERMAL_THERMAL_MODEL_HH

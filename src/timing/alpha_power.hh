@@ -12,8 +12,7 @@
  * slower than a nominal gate at the corner".
  */
 
-#ifndef EVAL_TIMING_ALPHA_POWER_HH
-#define EVAL_TIMING_ALPHA_POWER_HH
+#pragma once
 
 #include "variation/process_params.hh"
 
@@ -62,4 +61,3 @@ constexpr double kNonFunctionalDelayFactor = 1.0e6;
 
 } // namespace eval
 
-#endif // EVAL_TIMING_ALPHA_POWER_HH

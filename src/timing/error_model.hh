@@ -5,8 +5,7 @@
  * composition of Eq 4.
  */
 
-#ifndef EVAL_TIMING_ERROR_MODEL_HH
-#define EVAL_TIMING_ERROR_MODEL_HH
+#pragma once
 
 #include <cstddef>
 #include <cstdint>
@@ -114,4 +113,3 @@ bool peCacheEnabled();
 
 } // namespace eval
 
-#endif // EVAL_TIMING_ERROR_MODEL_HH

@@ -17,8 +17,7 @@
  *  - Mixed subsystems blend the two.
  */
 
-#ifndef EVAL_TIMING_PATH_POPULATION_HH
-#define EVAL_TIMING_PATH_POPULATION_HH
+#pragma once
 
 #include <cstddef>
 #include <vector>
@@ -107,4 +106,3 @@ PathPopulation buildPathPopulation(const Chip &chip, std::size_t core,
 
 } // namespace eval
 
-#endif // EVAL_TIMING_PATH_POPULATION_HH

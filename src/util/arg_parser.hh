@@ -5,8 +5,7 @@
  * positional arguments.
  */
 
-#ifndef EVAL_UTIL_ARG_PARSER_HH
-#define EVAL_UTIL_ARG_PARSER_HH
+#pragma once
 
 #include <cstdint>
 #include <map>
@@ -48,4 +47,3 @@ class ArgParser
 
 } // namespace eval
 
-#endif // EVAL_UTIL_ARG_PARSER_HH

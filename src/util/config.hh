@@ -9,8 +9,7 @@
  *   EVAL_APPS   comma-separated subset of the workload suite
  */
 
-#ifndef EVAL_UTIL_CONFIG_HH
-#define EVAL_UTIL_CONFIG_HH
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -47,4 +46,3 @@ struct RunConfig
 
 } // namespace eval
 
-#endif // EVAL_UTIL_CONFIG_HH

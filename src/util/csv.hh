@@ -4,8 +4,7 @@
  * tables as CSV so bench and stats output can be replotted directly.
  */
 
-#ifndef EVAL_UTIL_CSV_HH
-#define EVAL_UTIL_CSV_HH
+#pragma once
 
 #include <string>
 #include <vector>
@@ -66,4 +65,3 @@ class CsvTable
 
 } // namespace eval
 
-#endif // EVAL_UTIL_CSV_HH

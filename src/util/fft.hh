@@ -7,8 +7,7 @@
  * accordingly.
  */
 
-#ifndef EVAL_UTIL_FFT_HH
-#define EVAL_UTIL_FFT_HH
+#pragma once
 
 #include <complex>
 #include <cstddef>
@@ -39,4 +38,3 @@ void fft2d(std::vector<Complex> &data, std::size_t rows, std::size_t cols,
 
 } // namespace eval
 
-#endif // EVAL_UTIL_FFT_HH

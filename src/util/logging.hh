@@ -16,8 +16,7 @@
  *    HH:MM:SS.mmm.
  */
 
-#ifndef EVAL_UTIL_LOGGING_HH
-#define EVAL_UTIL_LOGGING_HH
+#pragma once
 
 #include <cstdlib>
 #include <sstream>
@@ -109,4 +108,3 @@ bool logTimestamps();
         }                                                                   \
     } while (0)
 
-#endif // EVAL_UTIL_LOGGING_HH

@@ -4,8 +4,7 @@
  * quantile, interpolation, clamping, and robust fixed-point iteration.
  */
 
-#ifndef EVAL_UTIL_MATH_UTILS_HH
-#define EVAL_UTIL_MATH_UTILS_HH
+#pragma once
 
 #include <cstddef>
 #include <functional>
@@ -62,4 +61,3 @@ double goldenSectionMax(const std::function<double(double)> &f,
 
 } // namespace eval
 
-#endif // EVAL_UTIL_MATH_UTILS_HH

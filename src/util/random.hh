@@ -10,8 +10,7 @@
  * random sequences.
  */
 
-#ifndef EVAL_UTIL_RANDOM_HH
-#define EVAL_UTIL_RANDOM_HH
+#pragma once
 
 #include <array>
 #include <cstdint>
@@ -89,4 +88,3 @@ class Rng
 
 } // namespace eval
 
-#endif // EVAL_UTIL_RANDOM_HH

@@ -4,8 +4,7 @@
  * simulator, the benchmark harness, and the tests.
  */
 
-#ifndef EVAL_UTIL_STATISTICS_HH
-#define EVAL_UTIL_STATISTICS_HH
+#pragma once
 
 #include <cstddef>
 #include <string>
@@ -96,4 +95,3 @@ class SampleSet
 
 } // namespace eval
 
-#endif // EVAL_UTIL_STATISTICS_HH

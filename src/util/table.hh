@@ -5,8 +5,7 @@
  * and machine-parseable (a CSV dump is also available).
  */
 
-#ifndef EVAL_UTIL_TABLE_HH
-#define EVAL_UTIL_TABLE_HH
+#pragma once
 
 #include <initializer_list>
 #include <string>
@@ -53,4 +52,3 @@ std::string formatPercent(double fraction, int precision = 1);
 
 } // namespace eval
 
-#endif // EVAL_UTIL_TABLE_HH

@@ -8,8 +8,7 @@
  * pure optimizations.
  */
 
-#ifndef EVAL_VALID_DIFFERENTIAL_HH
-#define EVAL_VALID_DIFFERENTIAL_HH
+#pragma once
 
 #include <cstddef>
 #include <string>
@@ -52,4 +51,3 @@ runDifferential(const std::string &experiment,
 
 } // namespace eval
 
-#endif // EVAL_VALID_DIFFERENTIAL_HH

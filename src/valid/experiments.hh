@@ -19,8 +19,7 @@
  *    with relative tolerance (the paper-anchor golden).
  */
 
-#ifndef EVAL_VALID_EXPERIMENTS_HH
-#define EVAL_VALID_EXPERIMENTS_HH
+#pragma once
 
 #include <string>
 #include <vector>
@@ -55,4 +54,3 @@ GoldenFile runValidationExperiment(const std::string &name,
 
 } // namespace eval
 
-#endif // EVAL_VALID_EXPERIMENTS_HH

@@ -17,8 +17,7 @@
  *    written for CI upload.
  */
 
-#ifndef EVAL_VALID_GOLDEN_HH
-#define EVAL_VALID_GOLDEN_HH
+#pragma once
 
 #include <string>
 #include <vector>
@@ -118,4 +117,3 @@ GoldenCheckResult checkGolden(const GoldenFile &actual);
 
 } // namespace eval
 
-#endif // EVAL_VALID_GOLDEN_HH

@@ -18,8 +18,7 @@
  *    is a recoverable, fuzz-testable condition.
  */
 
-#ifndef EVAL_VALID_JSON_VALUE_HH
-#define EVAL_VALID_JSON_VALUE_HH
+#pragma once
 
 #include <cstdint>
 #include <stdexcept>
@@ -138,4 +137,3 @@ std::string formatExactDouble(double v);
 
 } // namespace eval
 
-#endif // EVAL_VALID_JSON_VALUE_HH

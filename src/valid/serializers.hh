@@ -12,8 +12,7 @@
  * snapshots fail loudly instead of deserializing garbage.
  */
 
-#ifndef EVAL_VALID_SERIALIZERS_HH
-#define EVAL_VALID_SERIALIZERS_HH
+#pragma once
 
 #include "core/environment.hh"
 #include "core/optimizer.hh"
@@ -53,4 +52,3 @@ AdaptationResult adaptationResultFromSnapshot(const JsonValue &snapshot);
 
 } // namespace eval
 
-#endif // EVAL_VALID_SERIALIZERS_HH

@@ -21,8 +21,7 @@
  * or corrupt snapshot is an expected, reportable condition.
  */
 
-#ifndef EVAL_VALID_SNAPSHOT_HH
-#define EVAL_VALID_SNAPSHOT_HH
+#pragma once
 
 #include <cstdint>
 #include <stdexcept>
@@ -81,4 +80,3 @@ double digest53(std::string_view bytes);
 
 } // namespace eval
 
-#endif // EVAL_VALID_SNAPSHOT_HH

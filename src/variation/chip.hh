@@ -5,8 +5,7 @@
  * each experiment over 100 chips with distinct systematic maps).
  */
 
-#ifndef EVAL_VARIATION_CHIP_HH
-#define EVAL_VARIATION_CHIP_HH
+#pragma once
 
 #include <cstdint>
 #include <memory>
@@ -92,4 +91,3 @@ class ChipFactory
 
 } // namespace eval
 
-#endif // EVAL_VARIATION_CHIP_HH

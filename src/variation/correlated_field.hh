@@ -11,8 +11,7 @@
  *   rho(r) = 0                                    for r >  phi
  */
 
-#ifndef EVAL_VARIATION_CORRELATED_FIELD_HH
-#define EVAL_VARIATION_CORRELATED_FIELD_HH
+#pragma once
 
 #include <cstddef>
 #include <vector>
@@ -63,4 +62,3 @@ class CorrelatedFieldGenerator
 
 } // namespace eval
 
-#endif // EVAL_VARIATION_CORRELATED_FIELD_HH

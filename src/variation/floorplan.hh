@@ -8,8 +8,7 @@
  * core's quadrant.  Coordinates are in chip units (0..1).
  */
 
-#ifndef EVAL_VARIATION_FLOORPLAN_HH
-#define EVAL_VARIATION_FLOORPLAN_HH
+#pragma once
 
 #include <cstddef>
 #include <string>
@@ -89,4 +88,3 @@ class Floorplan
 
 } // namespace eval
 
-#endif // EVAL_VARIATION_FLOORPLAN_HH

@@ -8,8 +8,7 @@
  * half of Vt's, spatial-correlation range phi = 0.5 of the chip width.
  */
 
-#ifndef EVAL_VARIATION_PROCESS_PARAMS_HH
-#define EVAL_VARIATION_PROCESS_PARAMS_HH
+#pragma once
 
 #include <cmath>
 #include <cstddef>
@@ -143,4 +142,3 @@ struct ProcessParams
 
 } // namespace eval
 
-#endif // EVAL_VARIATION_PROCESS_PARAMS_HH

@@ -5,8 +5,7 @@
  * the paper).
  */
 
-#ifndef EVAL_VARIATION_VARIATION_MAP_HH
-#define EVAL_VARIATION_VARIATION_MAP_HH
+#pragma once
 
 #include <cstddef>
 #include <vector>
@@ -91,4 +90,3 @@ class VariationMap
 
 } // namespace eval
 
-#endif // EVAL_VARIATION_VARIATION_MAP_HH

@@ -12,8 +12,7 @@
  * — while phase transitions change all of it at once.
  */
 
-#ifndef EVAL_WORKLOAD_GENERATOR_HH
-#define EVAL_WORKLOAD_GENERATOR_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -90,4 +89,3 @@ class SyntheticTrace : public TraceSource
 
 } // namespace eval
 
-#endif // EVAL_WORKLOAD_GENERATOR_HH

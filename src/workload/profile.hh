@@ -12,8 +12,7 @@
  * detector and dynamic adaptation).
  */
 
-#ifndef EVAL_WORKLOAD_PROFILE_HH
-#define EVAL_WORKLOAD_PROFILE_HH
+#pragma once
 
 #include <array>
 #include <cstddef>
@@ -82,4 +81,3 @@ std::vector<std::string> specFpNames();
 
 } // namespace eval
 
-#endif // EVAL_WORKLOAD_PROFILE_HH

@@ -10,8 +10,7 @@
  * followed by fixed-size little-endian MicroOp records.
  */
 
-#ifndef EVAL_WORKLOAD_TRACE_FILE_HH
-#define EVAL_WORKLOAD_TRACE_FILE_HH
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -52,4 +51,3 @@ class FileTrace : public TraceSource
 
 } // namespace eval
 
-#endif // EVAL_WORKLOAD_TRACE_FILE_HH

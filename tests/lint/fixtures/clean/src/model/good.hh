@@ -1,0 +1,11 @@
+// Fixture: a hygienic header — #pragma once, no using-directives, no
+// console I/O, double-throughout.
+#pragma once
+
+#include <cstddef>
+
+namespace fixture {
+
+double blend(double frac, std::size_t n);
+
+} // namespace fixture

@@ -1,0 +1,17 @@
+// Fixture: wall-clock reads are legitimate OUTSIDE src/ — tests and
+// benches measure real time.  det-wallclock must not fire here.
+#include <chrono>
+
+namespace fixture {
+
+long
+elapsedNs()
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto t1 = std::chrono::steady_clock::now();
+    return static_cast<long>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+            .count());
+}
+
+} // namespace fixture

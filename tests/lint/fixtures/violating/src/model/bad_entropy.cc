@@ -1,0 +1,25 @@
+// Fixture: every banned entropy/time source (det-entropy) plus a
+// wall-clock type on a model path (det-wallclock).
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace fixture {
+
+double
+sampleNoise()
+{
+    std::srand(42);                       // det-entropy (srand)
+    std::random_device dev;               // det-entropy (random_device)
+    const double r = std::rand() / 32768.0; // det-entropy (rand)
+    const auto t = std::time(nullptr);    // det-entropy (time)
+    const auto now =
+        std::chrono::steady_clock::now(); // det-wallclock
+    (void)dev;
+    (void)t;
+    (void)now;
+    return r;
+}
+
+} // namespace fixture

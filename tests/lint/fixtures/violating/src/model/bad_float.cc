@@ -1,0 +1,19 @@
+// Fixture: exact float equality (num-float-eq) and float narrowing on
+// a model path (num-float-narrow).
+namespace fixture {
+
+double
+blend(double frac)
+{
+    if (frac == 1.0)        // num-float-eq
+        return 1.0;
+    if (0.5 != frac)        // num-float-eq (literal on the left)
+        return 0.0;
+    if (frac == 1e-4)       // num-float-eq (exponent literal)
+        return 2.0;
+    const float narrowed =  // num-float-narrow
+        static_cast<float>(frac); // num-float-narrow
+    return narrowed;
+}
+
+} // namespace fixture

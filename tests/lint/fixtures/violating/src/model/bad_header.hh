@@ -1,0 +1,20 @@
+// Fixture: header with no #pragma once (hyg-pragma-once) and a
+// header-scope using-directive (hyg-using-namespace).
+#ifndef FIXTURE_BAD_HEADER_HH
+#define FIXTURE_BAD_HEADER_HH
+
+#include <string>
+
+using namespace std; // hyg-using-namespace
+
+namespace fixture {
+
+inline string
+greet()
+{
+    return "hi";
+}
+
+} // namespace fixture
+
+#endif // FIXTURE_BAD_HEADER_HH

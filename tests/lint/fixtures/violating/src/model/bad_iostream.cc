@@ -1,0 +1,15 @@
+// Fixture: direct console I/O in library code (hyg-iostream).
+#include <cstdio>
+#include <iostream>
+
+namespace fixture {
+
+void
+report(double value)
+{
+    std::cout << "value = " << value << '\n'; // hyg-iostream
+    std::cerr << "done\n";                    // hyg-iostream
+    std::printf("%f\n", value);               // hyg-iostream
+}
+
+} // namespace fixture

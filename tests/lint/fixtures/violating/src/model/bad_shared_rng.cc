@@ -1,0 +1,34 @@
+// Fixture: Rng drawn inside a parallel region from a shared stream
+// (det-shared-rng).  No Rng::split in the region, so every draw is a
+// schedule-dependent race on the generator state.
+#include <cstddef>
+#include <vector>
+
+namespace fixture {
+
+struct Rng
+{
+    double uniform() { return 0.5; }
+    double gaussian() { return 0.0; }
+};
+
+template <typename Fn>
+void
+parallelFor(std::size_t first, std::size_t last, std::size_t grain, Fn &&fn)
+{
+    (void)grain;
+    for (std::size_t i = first; i < last; ++i)
+        fn(i);
+}
+
+std::vector<double>
+sampleMany(Rng &rng, std::size_t n)
+{
+    std::vector<double> out(n);
+    parallelFor(0, n, 1, [&](std::size_t i) {
+        out[i] = rng.uniform() + rng.gaussian(); // det-shared-rng x2
+    });
+    return out;
+}
+
+} // namespace fixture

@@ -1,0 +1,23 @@
+// Fixture: suppression misuse.  Each case must surface as
+// lint-bad-suppression, and the finding it tried to hide must
+// still be reported.
+#include <cstdlib>
+
+namespace fixture {
+
+int
+noise()
+{
+    // Case 1: no justification text at all.
+    const int a = std::rand(); // eval-lint: allow(det-entropy)
+
+    // Case 2: unknown rule id.
+    const int b = std::rand(); // eval-lint: allow(not-a-rule) because
+
+    // Case 3: empty rule list.
+    const int c = std::rand(); // eval-lint: allow() shrug
+
+    return a + b + c;
+}
+
+} // namespace fixture

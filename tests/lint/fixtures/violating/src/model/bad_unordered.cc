@@ -1,0 +1,19 @@
+// Fixture: unordered container in model code (det-unordered).  The
+// #include line itself must NOT be flagged; the declaration must.
+#include <string>
+#include <unordered_map>
+
+namespace fixture {
+
+double
+accumulate()
+{
+    std::unordered_map<std::string, double> weights; // det-unordered
+    weights["a"] = 0.5;
+    double sum = 0.0;
+    for (const auto &[k, v] : weights)
+        sum += v;
+    return sum;
+}
+
+} // namespace fixture

@@ -1,0 +1,14 @@
+// Fixture: a well-formed suppression with nothing to suppress must be
+// reported as lint-unused-suppression so stale allowances are audited.
+namespace fixture {
+
+double
+harmless()
+{
+    // eval-lint: allow(det-entropy) there is no entropy call here, so
+    // this allowance is stale and must be flagged.
+    const double x = 0.5;
+    return x;
+}
+
+} // namespace fixture

@@ -1,0 +1,341 @@
+/**
+ * @file
+ * Tests for eval-lint: rule detection on the fixture corpus, inline
+ * suppression handling (including rejection of unjustified or unknown
+ * suppressions), exit codes of both the library and the installed
+ * binary, and the merge gate itself — the real tree must lint clean.
+ *
+ * The fixtures are two miniature repo trees under
+ * tests/lint/fixtures/{violating,clean}; rule path-scoping works on
+ * paths relative to each tree's root, so fixtures exercise src/-only
+ * rules without touching real sources.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "lint.hh"
+
+namespace {
+
+using eval::lint::Diagnostic;
+using eval::lint::lintSource;
+using eval::lint::Options;
+using eval::lint::runLint;
+
+const std::string kFixtures = EVAL_LINT_FIXTURES;
+const std::string kRepoRoot = EVAL_LINT_REPO_ROOT;
+
+int
+countRule(const std::vector<Diagnostic> &diags, const std::string &rule)
+{
+    return static_cast<int>(
+        std::count_if(diags.begin(), diags.end(),
+                      [&](const Diagnostic &d) { return d.rule == rule; }));
+}
+
+bool
+hasFinding(const std::vector<Diagnostic> &diags, const std::string &file,
+           int line, const std::string &rule)
+{
+    return std::any_of(diags.begin(), diags.end(), [&](const Diagnostic &d) {
+        return d.file == file && d.line == line && d.rule == rule;
+    });
+}
+
+std::vector<Diagnostic>
+lintFixtureTree(const std::string &which)
+{
+    Options opts;
+    opts.root = kFixtures + "/" + which;
+    std::string error;
+    auto diags = runLint(opts, &error);
+    EXPECT_EQ(error, "");
+    return diags;
+}
+
+// ---------------------------------------------------------------------------
+// Violating corpus: every rule fires with the right id at the right
+// place, and the finding count is stable.
+// ---------------------------------------------------------------------------
+
+TEST(LintCorpus, ViolatingTreeTripsEveryRule)
+{
+    const auto diags = lintFixtureTree("violating");
+    EXPECT_EQ(eval::lint::exitCodeFor(diags), 1);
+
+    EXPECT_EQ(countRule(diags, "det-entropy"), 7); // 4 + 3 under bad supps
+    EXPECT_EQ(countRule(diags, "det-wallclock"), 1);
+    EXPECT_EQ(countRule(diags, "det-unordered"), 1);
+    EXPECT_EQ(countRule(diags, "det-shared-rng"), 2);
+    EXPECT_EQ(countRule(diags, "num-float-eq"), 3);
+    EXPECT_EQ(countRule(diags, "num-float-narrow"), 2);
+    EXPECT_EQ(countRule(diags, "hyg-pragma-once"), 1);
+    EXPECT_EQ(countRule(diags, "hyg-using-namespace"), 1);
+    EXPECT_EQ(countRule(diags, "hyg-iostream"), 3);
+    EXPECT_EQ(countRule(diags, "lint-bad-suppression"), 3);
+    EXPECT_EQ(countRule(diags, "lint-unused-suppression"), 1);
+
+    EXPECT_TRUE(hasFinding(diags, "src/model/bad_entropy.cc", 15,
+                           "det-entropy"));
+    EXPECT_TRUE(hasFinding(diags, "src/model/bad_header.hh", 1,
+                           "hyg-pragma-once"));
+    EXPECT_TRUE(hasFinding(diags, "src/model/bad_header.hh", 8,
+                           "hyg-using-namespace"));
+    EXPECT_TRUE(hasFinding(diags, "src/model/bad_unordered.cc", 11,
+                           "det-unordered"));
+}
+
+TEST(LintCorpus, CleanTreeIsClean)
+{
+    const auto diags = lintFixtureTree("clean");
+    for (const auto &d : diags)
+        ADD_FAILURE() << eval::lint::formatDiagnostic(d);
+    EXPECT_EQ(eval::lint::exitCodeFor(diags), 0);
+}
+
+TEST(LintCorpus, IncludeLinesAreNotUnorderedFindings)
+{
+    const auto diags = lintFixtureTree("violating");
+    // bad_unordered.cc has #include <unordered_map> on line 4; only
+    // the declaration on line 11 may be reported.
+    EXPECT_FALSE(hasFinding(diags, "src/model/bad_unordered.cc", 4,
+                            "det-unordered"));
+}
+
+// ---------------------------------------------------------------------------
+// Suppression semantics (library-level, on in-memory sources)
+// ---------------------------------------------------------------------------
+
+TEST(LintSuppression, JustifiedSuppressionSilencesAndIsUsed)
+{
+    const auto diags = lintSource(
+        "src/x.cc",
+        "void f() {\n"
+        "    // eval-lint: allow(det-entropy) fixture: justified\n"
+        "    (void)rand();\n"
+        "}\n");
+    EXPECT_TRUE(diags.empty())
+        << (diags.empty() ? ""
+                          : eval::lint::formatDiagnostic(diags.front()));
+}
+
+TEST(LintSuppression, TrailingCommentCoversItsOwnLine)
+{
+    const auto diags = lintSource(
+        "src/x.cc",
+        "void f() {\n"
+        "    (void)rand(); // eval-lint: allow(det-entropy) fixture ok\n"
+        "}\n");
+    EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintSuppression, MultiLineJustificationStillCoversNextCodeLine)
+{
+    const auto diags = lintSource(
+        "src/x.cc",
+        "void f() {\n"
+        "    // eval-lint: allow(det-entropy) a justification that\n"
+        "    // continues on a second comment line before the code\n"
+        "    (void)rand();\n"
+        "}\n");
+    EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintSuppression, MissingJustificationIsRejected)
+{
+    const auto diags = lintSource(
+        "src/x.cc",
+        "void f() {\n"
+        "    (void)rand(); // eval-lint: allow(det-entropy)\n"
+        "}\n");
+    EXPECT_EQ(countRule(diags, "lint-bad-suppression"), 1);
+    // The suppression is void, so the original finding survives too.
+    EXPECT_EQ(countRule(diags, "det-entropy"), 1);
+}
+
+TEST(LintSuppression, UnknownRuleIsRejected)
+{
+    const auto diags = lintSource(
+        "src/x.cc",
+        "// eval-lint: allow(no-such-rule) why not\n"
+        "int x;\n");
+    EXPECT_EQ(countRule(diags, "lint-bad-suppression"), 1);
+}
+
+TEST(LintSuppression, AuditRulesAreNotSuppressible)
+{
+    const auto diags = lintSource(
+        "src/x.cc",
+        "// eval-lint: allow(lint-unused-suppression) nice try\n"
+        "int x;\n");
+    EXPECT_EQ(countRule(diags, "lint-bad-suppression"), 1);
+}
+
+TEST(LintSuppression, UnusedSuppressionIsReported)
+{
+    const auto diags = lintSource(
+        "src/x.cc",
+        "// eval-lint: allow(det-entropy) nothing here draws entropy\n"
+        "int x;\n");
+    EXPECT_EQ(countRule(diags, "lint-unused-suppression"), 1);
+}
+
+TEST(LintSuppression, SuppressionOnlyCoversItsRule)
+{
+    const auto diags = lintSource(
+        "src/x.cc",
+        "void f() {\n"
+        "    // eval-lint: allow(num-float-eq) wrong rule for this line\n"
+        "    (void)rand();\n"
+        "}\n");
+    EXPECT_EQ(countRule(diags, "det-entropy"), 1);
+    EXPECT_EQ(countRule(diags, "lint-unused-suppression"), 1);
+}
+
+TEST(LintSuppression, CommaListCoversMultipleRules)
+{
+    const auto diags = lintSource(
+        "src/x.cc",
+        "void f() {\n"
+        "    // eval-lint: allow(det-entropy, num-float-eq) fixture: both\n"
+        "    if (rand() == 1.0) {}\n"
+        "}\n");
+    EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintSuppression, BlockCommentsAreProseNotSuppressions)
+{
+    // Docs may quote the syntax inside /* */ without activating it —
+    // and without being flagged as malformed.
+    const auto diags = lintSource(
+        "src/x.cc",
+        "/* The syntax is: eval-lint: allow(rule) justification */\n"
+        "int x;\n");
+    EXPECT_TRUE(diags.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Rule edges
+// ---------------------------------------------------------------------------
+
+TEST(LintRules, TokensInsideStringsAndCommentsDoNotFire)
+{
+    const auto diags = lintSource(
+        "src/x.cc",
+        "// rand() in a comment\n"
+        "const char *s = \"rand() in a string\";\n"
+        "/* srand(42) in a block comment */\n");
+    EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintRules, PathScopingExemptsTheSanctionedLayers)
+{
+    EXPECT_TRUE(lintSource("src/util/random.cc", "int x = rand();\n")
+                    .empty());
+    EXPECT_TRUE(lintSource("src/stats/t.cc",
+                           "auto t = steady_clock::now();\n")
+                    .empty());
+    EXPECT_TRUE(lintSource("tests/t.cc",
+                           "auto t = steady_clock::now();\n")
+                    .empty());
+    EXPECT_EQ(countRule(lintSource("src/core/t.cc",
+                                   "auto t = steady_clock::now();\n"),
+                        "det-wallclock"),
+              1);
+}
+
+TEST(LintRules, SplitDerivedStreamsPassSharedRng)
+{
+    const auto diags = lintSource(
+        "src/x.cc",
+        "void f() {\n"
+        "    parallelFor(0, n, 1, [&](std::size_t i) {\n"
+        "        auto local = master.split(i);\n"
+        "        out[i] = local.uniform();\n"
+        "    });\n"
+        "}\n");
+    EXPECT_EQ(countRule(diags, "det-shared-rng"), 0);
+}
+
+TEST(LintRules, FloatEqCatchesBothSidesAndExponents)
+{
+    const std::string src = "void f(double x) {\n"
+                            "    if (x == 0.5) {}\n"
+                            "    if (1e-6 != x) {}\n"
+                            "    if (x <= 0.5) {}\n" // NOT equality
+                            "    if (x == y) {}\n"   // untyped: not flagged
+                            "}\n";
+    const auto diags = lintSource("src/x.cc", src);
+    EXPECT_EQ(countRule(diags, "num-float-eq"), 2);
+}
+
+TEST(LintRules, HeaderRulesOnlyApplyToHeaders)
+{
+    EXPECT_EQ(countRule(lintSource("src/x.cc", "int x;\n"),
+                        "hyg-pragma-once"),
+              0);
+    EXPECT_EQ(countRule(lintSource("src/x.hh", "int x;\n"),
+                        "hyg-pragma-once"),
+              1);
+    EXPECT_EQ(countRule(lintSource("src/x.hh", "#pragma once\nint x;\n"),
+                        "hyg-pragma-once"),
+              0);
+}
+
+TEST(LintRules, CatalogKnowsEveryReportedRule)
+{
+    for (const char *rule :
+         {"det-entropy", "det-wallclock", "det-unordered", "det-shared-rng",
+          "num-float-eq", "num-float-narrow", "hyg-pragma-once",
+          "hyg-using-namespace", "hyg-iostream", "lint-bad-suppression",
+          "lint-unused-suppression"})
+        EXPECT_TRUE(eval::lint::isKnownRule(rule)) << rule;
+    EXPECT_FALSE(eval::lint::isKnownRule("no-such-rule"));
+}
+
+// ---------------------------------------------------------------------------
+// Binary-level exit codes (the contract scripts/check.sh relies on)
+// ---------------------------------------------------------------------------
+
+int
+runBinary(const std::string &args)
+{
+    const std::string cmd = std::string(EVAL_LINT_BIN) + " " + args +
+                            " > /dev/null 2>&1";
+    const int status = std::system(cmd.c_str());
+    return WEXITSTATUS(status);
+}
+
+TEST(LintBinary, ExitCodes)
+{
+    EXPECT_EQ(runBinary("--root " + kFixtures + "/violating"), 1);
+    EXPECT_EQ(runBinary("--root " + kFixtures + "/clean"), 0);
+    EXPECT_EQ(runBinary("--root " + kFixtures + "/does-not-exist"), 2);
+    EXPECT_EQ(runBinary("--no-such-flag"), 2);
+    EXPECT_EQ(runBinary("--list-rules"), 0);
+}
+
+// ---------------------------------------------------------------------------
+// The merge gate: the real tree lints clean.
+// ---------------------------------------------------------------------------
+
+TEST(LintTree, RealTreeIsClean)
+{
+    Options opts;
+    opts.root = kRepoRoot;
+    opts.excludes = {"tests/lint/fixtures"};
+    std::string error;
+    const auto diags = runLint(opts, &error);
+    EXPECT_EQ(error, "");
+    for (const auto &d : diags)
+        ADD_FAILURE() << eval::lint::formatDiagnostic(d);
+}
+
+} // namespace

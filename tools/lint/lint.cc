@@ -1,0 +1,789 @@
+#include "lint.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+
+namespace eval::lint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Source scanning: blank out comments and string/char literals so token
+// matching never fires inside them, while collecting comment text per
+// line for suppression parsing.  The blanked copy has the same length
+// and the same newlines as the input, so offsets and line numbers map
+// one-to-one.
+// ---------------------------------------------------------------------------
+
+struct Scan
+{
+    std::string code; ///< literals/comments blanked
+    /** line -> `//`-comment text.  Only line comments can carry
+     *  suppressions; block/doxygen comments are prose and may quote
+     *  the suppression syntax without activating it. */
+    std::map<int, std::string> lineComments;
+    std::vector<std::size_t> lineStart; ///< offset of each line's start
+};
+
+Scan
+scanSource(const std::string &in)
+{
+    Scan scan;
+    scan.code.assign(in.size(), ' ');
+    scan.lineStart.push_back(0);
+
+    enum class St { Code, LineComment, BlockComment, Str, Chr, RawStr };
+    St st = St::Code;
+    int line = 1;
+    std::string rawDelim; // for raw strings: ")delim\""
+
+    auto comment = [&](char c) { scan.lineComments[line].push_back(c); };
+
+    for (std::size_t i = 0; i < in.size(); ++i) {
+        const char c = in[i];
+        const char n = i + 1 < in.size() ? in[i + 1] : '\0';
+        if (c == '\n') {
+            scan.code[i] = '\n';
+            ++line;
+            scan.lineStart.push_back(i + 1);
+            if (st == St::LineComment)
+                st = St::Code;
+            continue;
+        }
+        switch (st) {
+        case St::Code:
+            if (c == '/' && n == '/') {
+                st = St::LineComment;
+                comment(c);
+            } else if (c == '/' && n == '*') {
+                st = St::BlockComment;
+            } else if (c == '"') {
+                // Raw string?  Look back for an R prefix (R, uR, u8R,
+                // UR, LR) that is not part of a longer identifier.
+                bool raw = false;
+                if (i > 0 && in[i - 1] == 'R') {
+                    std::size_t p = i - 1;
+                    while (p > 0 && std::isalnum(
+                                        static_cast<unsigned char>(in[p - 1])))
+                        --p;
+                    const std::string prefix = in.substr(p, i - p);
+                    raw = prefix == "R" || prefix == "uR" || prefix == "u8R" ||
+                          prefix == "UR" || prefix == "LR";
+                }
+                if (raw) {
+                    rawDelim = ")";
+                    for (std::size_t j = i + 1;
+                         j < in.size() && in[j] != '('; ++j)
+                        rawDelim.push_back(in[j]);
+                    rawDelim.push_back('"');
+                    st = St::RawStr;
+                } else {
+                    st = St::Str;
+                }
+                scan.code[i] = '"';
+            } else if (c == '\'') {
+                st = St::Chr;
+                scan.code[i] = '\'';
+            } else {
+                scan.code[i] = c;
+            }
+            break;
+        case St::LineComment:
+            comment(c);
+            break;
+        case St::BlockComment:
+            if (c == '*' && n == '/') {
+                ++i;
+                st = St::Code;
+            }
+            break;
+        case St::Str:
+            if (c == '\\')
+                ++i; // skip escaped char (stays blanked)
+            else if (c == '"') {
+                scan.code[i] = '"';
+                st = St::Code;
+            }
+            break;
+        case St::Chr:
+            if (c == '\\')
+                ++i;
+            else if (c == '\'') {
+                scan.code[i] = '\'';
+                st = St::Code;
+            }
+            break;
+        case St::RawStr:
+            if (c == rawDelim[0] &&
+                in.compare(i, rawDelim.size(), rawDelim) == 0) {
+                i += rawDelim.size() - 1;
+                scan.code[i] = '"';
+                st = St::Code;
+            }
+            break;
+        }
+    }
+    return scan;
+}
+
+int
+lineOf(const Scan &scan, std::size_t offset)
+{
+    auto it = std::upper_bound(scan.lineStart.begin(), scan.lineStart.end(),
+                               offset);
+    return static_cast<int>(it - scan.lineStart.begin());
+}
+
+bool
+identChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/** Find boundary-checked occurrences of @p name in blanked code.  With
+ *  @p callParen the next non-space char must be '(' (a call site). */
+std::vector<std::size_t>
+findTokens(const std::string &code, const std::string &name, bool callParen)
+{
+    std::vector<std::size_t> hits;
+    for (std::size_t pos = code.find(name); pos != std::string::npos;
+         pos = code.find(name, pos + 1)) {
+        if (pos > 0 && identChar(code[pos - 1]))
+            continue;
+        std::size_t end = pos + name.size();
+        if (end < code.size() && identChar(code[end]))
+            continue;
+        if (callParen) {
+            while (end < code.size() &&
+                   (code[end] == ' ' || code[end] == '\t'))
+                ++end;
+            if (end >= code.size() || code[end] != '(')
+                continue;
+        }
+        hits.push_back(pos);
+    }
+    return hits;
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions (see lint.hh for the syntax; line comments only)
+// ---------------------------------------------------------------------------
+
+struct Suppression
+{
+    int line = 0;          ///< line the allow() comment sits on
+    int coveredLine = 0;   ///< line whose findings it suppresses
+    std::vector<std::string> rules;
+    bool used = false;
+};
+
+std::string
+trimmed(std::string s)
+{
+    const auto notSpace = [](unsigned char c) { return !std::isspace(c); };
+    s.erase(s.begin(), std::find_if(s.begin(), s.end(), notSpace));
+    s.erase(std::find_if(s.rbegin(), s.rend(), notSpace).base(), s.end());
+    return s;
+}
+
+bool
+lineIsBlankCode(const Scan &scan, int line)
+{
+    if (line < 1 || line > static_cast<int>(scan.lineStart.size()))
+        return true;
+    std::size_t begin = scan.lineStart[line - 1];
+    std::size_t end = line < static_cast<int>(scan.lineStart.size())
+                          ? scan.lineStart[line]
+                          : scan.code.size();
+    for (std::size_t i = begin; i < end; ++i) {
+        const char c = scan.code[i];
+        if (!std::isspace(static_cast<unsigned char>(c)) && c != '"' &&
+            c != '\'')
+            return false;
+    }
+    return true;
+}
+
+/** Parse suppressions out of the collected comments.  Malformed ones
+ *  (no rule list, unknown rule, missing justification) become
+ *  lint-bad-suppression findings immediately. */
+std::vector<Suppression>
+parseSuppressions(const Scan &scan, const std::string &relPath,
+                  std::vector<Diagnostic> &diags)
+{
+    static const std::regex allowRe(
+        R"(eval-lint:\s*allow\(([^)]*)\)(.*))");
+    std::vector<Suppression> supps;
+    for (const auto &[line, text] : scan.lineComments) {
+        if (text.find("eval-lint") == std::string::npos)
+            continue;
+        std::smatch m;
+        if (!std::regex_search(text, m, allowRe)) {
+            diags.push_back({relPath, line, "lint-bad-suppression",
+                             "malformed eval-lint comment; expected "
+                             "'eval-lint: allow(<rule>) <justification>'"});
+            continue;
+        }
+        Suppression s;
+        s.line = line;
+        // A trailing comment covers its own line; a comment-only line
+        // covers the next code line, skipping the rest of a multi-line
+        // justification (bounded so a suppression cannot drift far
+        // from its target).
+        s.coveredLine = line;
+        if (lineIsBlankCode(scan, line)) {
+            const int limit =
+                std::min(line + 10, static_cast<int>(scan.lineStart.size()));
+            for (int l = line + 1; l <= limit; ++l) {
+                if (!lineIsBlankCode(scan, l)) {
+                    s.coveredLine = l;
+                    break;
+                }
+            }
+        }
+        std::stringstream ruleList(m[1].str());
+        std::string rule;
+        bool ok = true;
+        while (std::getline(ruleList, rule, ',')) {
+            rule = trimmed(rule);
+            if (rule.empty())
+                continue;
+            if (!isKnownRule(rule) || rule.rfind("lint-", 0) == 0) {
+                diags.push_back({relPath, line, "lint-bad-suppression",
+                                 "suppression names unknown or "
+                                 "non-suppressible rule '" + rule + "'"});
+                ok = false;
+                continue;
+            }
+            s.rules.push_back(rule);
+        }
+        if (s.rules.empty() && ok) {
+            diags.push_back({relPath, line, "lint-bad-suppression",
+                             "suppression lists no rules"});
+            ok = false;
+        }
+        std::string just = trimmed(m[2].str());
+        if (just.size() >= 2 && just.compare(just.size() - 2, 2, "*/") == 0)
+            just = trimmed(just.substr(0, just.size() - 2));
+        if (just.empty()) {
+            diags.push_back({relPath, line, "lint-bad-suppression",
+                             "suppression has no justification text; "
+                             "every allowance must say why it is safe"});
+            ok = false;
+        }
+        if (ok)
+            supps.push_back(std::move(s));
+    }
+    return supps;
+}
+
+// ---------------------------------------------------------------------------
+// Path scoping
+// ---------------------------------------------------------------------------
+
+struct PathScope
+{
+    bool header = false;      ///< .hh/.h/.hpp
+    bool inSrc = false;       ///< under src/
+    bool timingExempt = false;  ///< entropy abstraction, stats, logging
+    bool iostreamExempt = false; ///< the logging sink itself
+};
+
+bool
+startsWith(const std::string &s, const char *prefix)
+{
+    return s.rfind(prefix, 0) == 0;
+}
+
+PathScope
+classify(const std::string &relPath)
+{
+    PathScope ps;
+    const auto dot = relPath.find_last_of('.');
+    const std::string ext =
+        dot == std::string::npos ? "" : relPath.substr(dot);
+    ps.header = ext == ".hh" || ext == ".h" || ext == ".hpp";
+    ps.inSrc = startsWith(relPath, "src/");
+    ps.timingExempt = startsWith(relPath, "src/util/random") ||
+                      startsWith(relPath, "src/util/logging") ||
+                      startsWith(relPath, "src/stats/");
+    ps.iostreamExempt = startsWith(relPath, "src/util/logging");
+    return ps;
+}
+
+// ---------------------------------------------------------------------------
+// Rules
+// ---------------------------------------------------------------------------
+
+struct Ctx
+{
+    const std::string &relPath;
+    const PathScope &scope;
+    const Scan &scan;
+    std::vector<Diagnostic> &diags;
+
+    void
+    emit(std::size_t offset, const char *rule, std::string message) const
+    {
+        diags.push_back({relPath, lineOf(scan, offset), rule,
+                         std::move(message)});
+    }
+};
+
+void
+ruleDetEntropy(const Ctx &ctx)
+{
+    if (ctx.scope.timingExempt)
+        return;
+    struct Tok { const char *name; bool call; };
+    static const Tok toks[] = {
+        {"rand", true},          {"srand", true},
+        {"random_device", false}, {"time", true},
+        {"clock", true},         {"gettimeofday", true},
+        {"clock_gettime", true}, {"timespec_get", true},
+    };
+    for (const auto &t : toks)
+        for (std::size_t pos : findTokens(ctx.scan.code, t.name, t.call))
+            ctx.emit(pos, "det-entropy",
+                     std::string("nondeterministic entropy/time source '") +
+                         t.name + "'; draw from eval::Rng (src/util/random) "
+                         "so every run reproduces from its seed");
+}
+
+void
+ruleDetWallclock(const Ctx &ctx)
+{
+    if (!ctx.scope.inSrc || ctx.scope.timingExempt)
+        return;
+    static const char *toks[] = {
+        "system_clock", "steady_clock", "high_resolution_clock",
+        "utc_clock", "file_clock",
+    };
+    for (const char *t : toks)
+        for (std::size_t pos : findTokens(ctx.scan.code, t, false))
+            ctx.emit(pos, "det-wallclock",
+                     std::string("wall-clock type '") + t +
+                         "' on a model path; timing belongs to the "
+                         "stats/profiling layer (src/stats) or logging "
+                         "timestamps");
+}
+
+void
+ruleDetUnordered(const Ctx &ctx)
+{
+    if (!ctx.scope.inSrc)
+        return;
+    static const char *toks[] = {
+        "unordered_map", "unordered_set",
+        "unordered_multimap", "unordered_multiset",
+    };
+    for (const char *t : toks) {
+        for (std::size_t pos : findTokens(ctx.scan.code, t, false)) {
+            // Skip the #include line; the declaration is the
+            // actionable site and one finding per site is enough.
+            std::size_t ls = ctx.scan.lineStart[lineOf(ctx.scan, pos) - 1];
+            while (ls < pos && std::isspace(
+                                   static_cast<unsigned char>(
+                                       ctx.scan.code[ls])))
+                ++ls;
+            if (ctx.scan.code[ls] == '#')
+                continue;
+            ctx.emit(pos, "det-unordered",
+                     std::string("'std::") + t + "' in model code: "
+                         "iteration order is unspecified and can leak "
+                         "into float accumulation or output ordering; "
+                         "use an ordered container or suppress with a "
+                         "justification");
+        }
+    }
+}
+
+void
+ruleDetSharedRng(const Ctx &ctx)
+{
+    const std::string &code = ctx.scan.code;
+    static const char *entries[] = {"parallelFor", "parallelMap"};
+    static const char *draws[] = {"uniform",   "uniformInt", "gaussian",
+                                  "bernoulli", "fork",       "next"};
+    for (const char *entry : entries) {
+        for (std::size_t pos : findTokens(code, entry, true)) {
+            std::size_t open = code.find('(', pos);
+            int depth = 0;
+            std::size_t close = open;
+            for (std::size_t i = open; i < code.size(); ++i) {
+                if (code[i] == '(')
+                    ++depth;
+                else if (code[i] == ')' && --depth == 0) {
+                    close = i;
+                    break;
+                }
+            }
+            if (close == open)
+                continue; // unbalanced (partial file); nothing to scan
+            const std::string body = code.substr(open, close - open);
+            if (!findTokens(body, "split", false).empty())
+                continue; // split-derived streams inside the region
+            for (const char *d : draws) {
+                for (std::size_t rel : findTokens(body, d, true)) {
+                    // Only member calls: `.draw(` or `->draw(`.
+                    const std::size_t abs = open + rel;
+                    const char prev = abs > 0 ? code[abs - 1] : '\0';
+                    const bool member =
+                        prev == '.' ||
+                        (prev == '>' && abs > 1 && code[abs - 2] == '-');
+                    if (!member)
+                        continue;
+                    ctx.emit(abs, "det-shared-rng",
+                             std::string("Rng::") + d + " drawn inside a " +
+                                 entry + " body with no Rng::split in the "
+                                 "region; derive a per-task stream with "
+                                 "split(index) so results are independent "
+                                 "of the schedule");
+                }
+            }
+        }
+    }
+}
+
+void
+ruleNumFloatEq(const Ctx &ctx)
+{
+    // A floating literal (1.0, .5, 2e-3, 1.5e8f) adjacent to == or !=.
+    static const std::regex re(
+        R"((==|!=)\s*[+-]?((\d+\.\d*|\.\d+)([eE][+-]?\d+)?|\d+[eE][+-]?\d+)[fFlL]?)"
+        R"(|((\d+\.\d*|\.\d+)([eE][+-]?\d+)?|\d+[eE][+-]?\d+)[fFlL]?\s*(==|!=))");
+    const std::string &code = ctx.scan.code;
+    std::set<int> seen;
+    for (auto it = std::sregex_iterator(code.begin(), code.end(), re);
+         it != std::sregex_iterator(); ++it) {
+        const int line = lineOf(ctx.scan, it->position());
+        if (!seen.insert(line).second)
+            continue;
+        ctx.emit(it->position(), "num-float-eq",
+                 "exact floating-point equality comparison; compare "
+                 "against a tolerance or restructure to integer state");
+    }
+}
+
+void
+ruleNumFloatNarrow(const Ctx &ctx)
+{
+    if (!ctx.scope.inSrc)
+        return;
+    for (std::size_t pos : findTokens(ctx.scan.code, "float", false))
+        ctx.emit(pos, "num-float-narrow",
+                 "'float' on a model path narrows double precision; "
+                 "the model is double-throughout");
+}
+
+void
+ruleHygPragmaOnce(const Ctx &ctx)
+{
+    if (!ctx.scope.header)
+        return;
+    static const std::regex re(R"(^[ \t]*#[ \t]*pragma[ \t]+once\b)");
+    std::istringstream lines(ctx.scan.code);
+    std::string line;
+    while (std::getline(lines, line))
+        if (std::regex_search(line, re))
+            return;
+    ctx.diags.push_back({ctx.relPath, 1, "hyg-pragma-once",
+                         "header is missing '#pragma once'"});
+}
+
+void
+ruleHygUsingNamespace(const Ctx &ctx)
+{
+    if (!ctx.scope.header)
+        return;
+    for (std::size_t pos : findTokens(ctx.scan.code, "using", false)) {
+        std::size_t p = pos + 5;
+        while (p < ctx.scan.code.size() &&
+               std::isspace(static_cast<unsigned char>(ctx.scan.code[p])))
+            ++p;
+        if (ctx.scan.code.compare(p, 9, "namespace") == 0 &&
+            (p + 9 >= ctx.scan.code.size() ||
+             !identChar(ctx.scan.code[p + 9])))
+            ctx.emit(pos, "hyg-using-namespace",
+                     "'using namespace' at header scope pollutes every "
+                     "includer");
+    }
+}
+
+void
+ruleHygIostream(const Ctx &ctx)
+{
+    if (!ctx.scope.inSrc || ctx.scope.iostreamExempt)
+        return;
+    static const char *qualified[] = {"cout", "cerr", "clog"};
+    for (const char *t : qualified) {
+        for (std::size_t pos : findTokens(ctx.scan.code, t, false)) {
+            // Require std:: (or ::) qualification so local identifiers
+            // named e.g. `cout` in unrelated code don't trip it.
+            if (pos < 2 || ctx.scan.code.compare(pos - 2, 2, "::") != 0)
+                continue;
+            ctx.emit(pos, "hyg-iostream",
+                     std::string("'std::") + t + "' in library code; "
+                         "use the logging layer (util/logging.hh) or "
+                         "take an std::ostream&");
+        }
+    }
+    static const char *printers[] = {"printf", "fprintf", "puts", "fputs"};
+    for (const char *t : printers)
+        for (std::size_t pos : findTokens(ctx.scan.code, t, true))
+            ctx.emit(pos, "hyg-iostream",
+                     std::string("'") + t + "' in library code; use the "
+                         "logging layer (util/logging.hh)");
+}
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+/** Rules whose finding is anchored to line 1 but describes the whole
+ *  file; a suppression anywhere in the file covers them. */
+bool
+fileScoped(const std::string &rule)
+{
+    return rule == "hyg-pragma-once";
+}
+
+void
+applySuppressions(std::vector<Diagnostic> &diags,
+                  std::vector<Suppression> &supps,
+                  const std::string &relPath)
+{
+    std::vector<Diagnostic> kept;
+    for (auto &d : diags) {
+        if (startsWith(d.rule, "lint-")) {
+            kept.push_back(std::move(d));
+            continue;
+        }
+        bool suppressed = false;
+        for (auto &s : supps) {
+            const bool ruleMatch =
+                std::find(s.rules.begin(), s.rules.end(), d.rule) !=
+                s.rules.end();
+            if (!ruleMatch)
+                continue;
+            const bool covers = fileScoped(d.rule) || s.coveredLine == d.line;
+            if (covers) {
+                s.used = true;
+                suppressed = true;
+                break;
+            }
+        }
+        if (!suppressed)
+            kept.push_back(std::move(d));
+    }
+    for (const auto &s : supps)
+        if (!s.used)
+            kept.push_back({relPath, s.line, "lint-unused-suppression",
+                            "suppression matched no finding; remove it "
+                            "so stale allowances cannot accumulate"});
+    diags = std::move(kept);
+}
+
+} // namespace
+
+const std::vector<RuleInfo> &
+ruleCatalog()
+{
+    static const std::vector<RuleInfo> catalog = {
+        {"det-entropy",
+         "no rand()/srand()/std::random_device/time()/gettimeofday "
+         "outside src/util/random, src/stats, src/util/logging"},
+        {"det-wallclock",
+         "no std::chrono clock reads on src/ model paths (stats and "
+         "logging own timing)"},
+        {"det-unordered",
+         "no std::unordered_{map,set} in src/ without an audited "
+         "justification (iteration order is unspecified)"},
+        {"det-shared-rng",
+         "parallelFor/parallelMap bodies must derive Rng streams via "
+         "Rng::split, never draw from a shared stream"},
+        {"num-float-eq",
+         "no ==/!= against floating-point literals"},
+        {"num-float-narrow",
+         "no 'float' in src/ (the model is double-throughout)"},
+        {"hyg-pragma-once", "every header starts with #pragma once"},
+        {"hyg-using-namespace", "no 'using namespace' at header scope"},
+        {"hyg-iostream",
+         "no std::cout/std::cerr/printf in src/ (use util/logging)"},
+        {"lint-bad-suppression",
+         "suppressions must name known rules and carry a justification "
+         "(reported, never suppressible)"},
+        {"lint-unused-suppression",
+         "suppressions that match no finding are findings themselves "
+         "(reported, never suppressible)"},
+    };
+    return catalog;
+}
+
+bool
+isKnownRule(const std::string &id)
+{
+    const auto &cat = ruleCatalog();
+    return std::any_of(cat.begin(), cat.end(),
+                       [&](const RuleInfo &r) { return r.id == id; });
+}
+
+std::vector<Diagnostic>
+lintSource(const std::string &relPath, const std::string &content)
+{
+    const Scan scan = scanSource(content);
+    const PathScope scope = classify(relPath);
+    std::vector<Diagnostic> diags;
+    Ctx ctx{relPath, scope, scan, diags};
+
+    ruleDetEntropy(ctx);
+    ruleDetWallclock(ctx);
+    ruleDetUnordered(ctx);
+    ruleDetSharedRng(ctx);
+    ruleNumFloatEq(ctx);
+    ruleNumFloatNarrow(ctx);
+    ruleHygPragmaOnce(ctx);
+    ruleHygUsingNamespace(ctx);
+    ruleHygIostream(ctx);
+
+    std::vector<Suppression> supps = parseSuppressions(scan, relPath, diags);
+    applySuppressions(diags, supps, relPath);
+
+    std::sort(diags.begin(), diags.end(),
+              [](const Diagnostic &a, const Diagnostic &b) {
+                  return std::tie(a.file, a.line, a.rule) <
+                         std::tie(b.file, b.line, b.rule);
+              });
+    diags.erase(std::unique(diags.begin(), diags.end()), diags.end());
+    return diags;
+}
+
+std::vector<Diagnostic>
+runLint(const Options &opts, std::string *error)
+{
+    namespace fs = std::filesystem;
+    const auto fail = [&](const std::string &msg) {
+        if (error)
+            *error = msg;
+        return std::vector<Diagnostic>{};
+    };
+    std::error_code ec;
+    const fs::path root = fs::weakly_canonical(opts.root, ec);
+    if (ec || !fs::is_directory(root))
+        return fail("lint root is not a directory: " + opts.root.string());
+
+    std::vector<std::string> paths = opts.paths;
+    if (paths.empty())
+        paths = {"src", "bench", "tests", "examples", "tools"};
+
+    static const std::set<std::string> exts = {".cc", ".cpp", ".cxx",
+                                               ".hh", ".h",   ".hpp"};
+    std::vector<fs::path> files;
+    for (const auto &p : paths) {
+        const fs::path full = root / p;
+        if (fs::is_regular_file(full)) {
+            files.push_back(full);
+            continue;
+        }
+        if (!fs::is_directory(full)) {
+            // Default paths are best-effort (a tree need not have
+            // every one); explicitly requested paths must exist.
+            if (!opts.paths.empty())
+                return fail("no such file or directory: " + full.string());
+            continue;
+        }
+        for (auto it = fs::recursive_directory_iterator(full, ec);
+             !ec && it != fs::recursive_directory_iterator(); ++it)
+            if (it->is_regular_file() &&
+                exts.count(it->path().extension().string()))
+                files.push_back(it->path());
+    }
+    std::sort(files.begin(), files.end());
+    files.erase(std::unique(files.begin(), files.end()), files.end());
+
+    std::vector<Diagnostic> diags;
+    for (const auto &file : files) {
+        const std::string rel =
+            fs::weakly_canonical(file, ec).lexically_relative(root)
+                .generic_string();
+        const bool excluded = std::any_of(
+            opts.excludes.begin(), opts.excludes.end(),
+            [&](const std::string &x) {
+                return rel.find(x) != std::string::npos;
+            });
+        if (excluded)
+            continue;
+        std::ifstream in(file, std::ios::binary);
+        if (!in)
+            return fail("cannot read " + file.string());
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        auto fileDiags = lintSource(rel, buf.str());
+        diags.insert(diags.end(),
+                     std::make_move_iterator(fileDiags.begin()),
+                     std::make_move_iterator(fileDiags.end()));
+    }
+    std::sort(diags.begin(), diags.end(),
+              [](const Diagnostic &a, const Diagnostic &b) {
+                  return std::tie(a.file, a.line, a.rule) <
+                         std::tie(b.file, b.line, b.rule);
+              });
+    return diags;
+}
+
+int
+exitCodeFor(const std::vector<Diagnostic> &diags)
+{
+    return diags.empty() ? 0 : 1;
+}
+
+std::string
+formatDiagnostic(const Diagnostic &d)
+{
+    std::ostringstream out;
+    out << d.file << ':' << d.line << ": [" << d.rule << "] " << d.message;
+    return out.str();
+}
+
+std::string
+toJson(const std::vector<Diagnostic> &diags)
+{
+    const auto escape = [](const std::string &s) {
+        std::string out;
+        for (char c : s) {
+            switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char hex[8];
+                    std::snprintf(hex, sizeof hex, "\\u%04x", c);
+                    out += hex;
+                } else {
+                    out += c;
+                }
+            }
+        }
+        return out;
+    };
+    std::ostringstream out;
+    out << "[\n";
+    for (std::size_t i = 0; i < diags.size(); ++i) {
+        const auto &d = diags[i];
+        out << "  {\"file\": \"" << escape(d.file) << "\", \"line\": "
+            << d.line << ", \"rule\": \"" << escape(d.rule)
+            << "\", \"message\": \"" << escape(d.message) << "\"}"
+            << (i + 1 < diags.size() ? "," : "") << '\n';
+    }
+    out << "]\n";
+    return out.str();
+}
+
+} // namespace eval::lint

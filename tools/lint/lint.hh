@@ -1,0 +1,102 @@
+/**
+ * @file
+ * eval-lint: repo-specific static analysis for determinism, numerics,
+ * and hygiene invariants.
+ *
+ * The simulator promises bit-identical Monte Carlo results at any
+ * thread count, exact-bit PE cache hits, and goldens pinned to the
+ * paper's numbers.  Those invariants are easy to break silently: one
+ * stray rand() call, one iteration over an unordered container feeding
+ * a float accumulator, one shared Rng drawn from inside a parallelFor.
+ * The golden tier catches such breaks end-to-end; this pass catches
+ * them at the line that introduces them.
+ *
+ * The analyzer is token-based (comments and string literals are
+ * stripped before matching), walks a tree rooted at Options::root, and
+ * scopes each rule by the file's path relative to that root — e.g.
+ * hyg-iostream only applies under src/, and det-entropy exempts
+ * src/util/random (the entropy abstraction itself).  Findings can be
+ * suppressed inline with an audited comment:
+ *
+ *     // eval-lint: allow(<rule>[,<rule>...]) <justification>
+ *
+ * A suppression with no justification text, or naming an unknown
+ * rule, is itself a finding (lint-bad-suppression); a suppression
+ * that matches no finding is also a finding (lint-unused-suppression)
+ * so stale allowances cannot accumulate.
+ */
+
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace eval::lint {
+
+/** One finding, anchored to a file:line. */
+struct Diagnostic
+{
+    std::string file;    ///< path relative to Options::root
+    int line = 1;        ///< 1-based
+    std::string rule;    ///< rule id, e.g. "det-entropy"
+    std::string message;
+
+    bool operator==(const Diagnostic &) const = default;
+};
+
+/** Catalog entry: rule id plus a one-line summary (--list-rules). */
+struct RuleInfo
+{
+    std::string id;
+    std::string summary;
+};
+
+/** All enforceable rules, in stable display order. */
+const std::vector<RuleInfo> &ruleCatalog();
+
+/** True iff @p id names a rule in the catalog (including the two
+ *  lint-* audit rules, which are reported but never suppressible). */
+bool isKnownRule(const std::string &id);
+
+struct Options
+{
+    /** Tree root; rule path-scoping is computed relative to this. */
+    std::filesystem::path root;
+
+    /** Subtrees or files (relative to root) to scan.  Empty means the
+     *  default set: src, bench, tests, examples, tools. */
+    std::vector<std::string> paths;
+
+    /** Relative paths containing any of these substrings are skipped
+     *  (e.g. "tests/lint/fixtures" when linting the real tree). */
+    std::vector<std::string> excludes;
+};
+
+/**
+ * Lint every .cc/.cpp/.hh/.h file under the requested paths.  Returns
+ * findings sorted by (file, line, rule) so output is independent of
+ * directory-iteration order.  On I/O failure (unreadable root or
+ * path), returns empty and sets *error if non-null.
+ */
+std::vector<Diagnostic> runLint(const Options &opts,
+                                std::string *error = nullptr);
+
+/**
+ * Lint a single in-memory source.  @p relPath is the path the file
+ * would have relative to the tree root; it drives rule scoping.
+ * Exposed so tests can exercise rules without touching the disk.
+ */
+std::vector<Diagnostic> lintSource(const std::string &relPath,
+                                   const std::string &content);
+
+/** Process exit code for a finding set: 0 clean, 1 findings. */
+int exitCodeFor(const std::vector<Diagnostic> &diags);
+
+/** "file:line: [rule] message" */
+std::string formatDiagnostic(const Diagnostic &d);
+
+/** JSON array of findings (for the CI report artifact). */
+std::string toJson(const std::vector<Diagnostic> &diags);
+
+} // namespace eval::lint
