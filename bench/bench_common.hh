@@ -13,13 +13,20 @@
  *
  * Observability (DESIGN.md "Observability"): every bench constructs a
  * BenchReporter, which prints one machine-readable JSON footer line
- * ("BENCH_JSON {...}") with the bench name, wall-clock seconds, and
- * its key metrics.  The reporter also honours:
+ * ("BENCH_JSON {...}") with the bench name, wall-clock seconds, peak
+ * RSS, and its key metrics.  The reporter also honours:
  *   EVAL_BENCH_JSON=path   append the footer line to a file
  *   EVAL_STATS_OUT=path    dump the stat registry (JSON, or CSV when
  *                          the path ends in .csv) on exit
  *   EVAL_TRACE_OUT=path    record and export the decision trace
+ *   EVAL_TRACE_SPANS=path  record a span timeline, export
+ *                          Chrome/Perfetto trace_event JSON
+ *   EVAL_MANIFEST=path     write the run-provenance manifest
+ *                          (default <bench>.manifest.json; set empty
+ *                          to disable)
  *   EVAL_PROFILE=1         enable ScopedTimers, print the self-profile
+ * The telemetry dump is registered with ExitFlush at construction, so
+ * files survive fatal()/uncaught-exception exits mid-bench.
  */
 
 #pragma once
@@ -34,6 +41,9 @@
 #include "core/eval.hh"
 #include "exec/thread_pool.hh"
 #include "stats/stats.hh"
+#include "trace/exit_flush.hh"
+#include "trace/manifest.hh"
+#include "trace/span_tracer.hh"
 #include "util/logging.hh"
 
 namespace eval {
@@ -60,8 +70,49 @@ class BenchReporter
         setGlobalThreads(0);
         if (!envString("EVAL_TRACE_OUT", "").empty())
             DecisionTrace::global().setEnabled(true);
+        spansPath_ = envString("EVAL_TRACE_SPANS", "");
+        if (!spansPath_.empty())
+            SpanTracer::global().setEnabled(true);
+        manifestPath_ =
+            envString("EVAL_MANIFEST", name_ + ".manifest.json");
         if (envBool("EVAL_PROFILE", false))
             setProfilingEnabled(true);
+
+        RunManifest::global().setTool(name_);
+        RunManifest::global().setThreads(globalThreads());
+        if (!spansPath_.empty())
+            RunManifest::global().setOutput("trace_spans", spansPath_);
+
+        // Registered up front so a bench that dies mid-run (fatal(),
+        // uncaught exception) still flushes its telemetry files; the
+        // destructor triggers the same closure on the normal path.
+        flushId_ = ExitFlush::global().add(
+            "bench." + name_ + ".telemetry",
+            [spans = spansPath_, manifest = manifestPath_] {
+                const std::string statsPath =
+                    envString("EVAL_STATS_OUT", "");
+                if (!statsPath.empty()) {
+                    if (statsPath.size() > 4 &&
+                        statsPath.compare(statsPath.size() - 4, 4,
+                                          ".csv") == 0) {
+                        StatRegistry::global().writeCsv(statsPath);
+                    } else {
+                        StatRegistry::global().writeJson(statsPath);
+                    }
+                }
+                const std::string tracePath =
+                    envString("EVAL_TRACE_OUT", "");
+                if (!tracePath.empty())
+                    DecisionTrace::global().writeJsonl(tracePath);
+                if (!spans.empty() &&
+                    !SpanTracer::global().writeJson(spans))
+                    warn("failed to write span trace to ", spans);
+                if (!manifest.empty() &&
+                    !RunManifest::global().write(manifest))
+                    warn("failed to write manifest to ", manifest);
+                if (envBool("EVAL_PROFILE", false))
+                    StatRegistry::global().printProfile();
+            });
     }
 
     BenchReporter(const BenchReporter &) = delete;
@@ -93,6 +144,9 @@ class BenchReporter
         std::snprintf(buf, sizeof(buf), "%.3f", wallS);
         json += buf;
         json += ", \"threads\": " + std::to_string(globalThreads());
+        json += ", \"peak_rss_kb\": " + std::to_string(peakRssKb());
+        if (!spansPath_.empty())
+            json += ", \"trace_spans\": \"" + spansPath_ + "\"";
         json += ", \"metrics\": {";
         for (std::size_t i = 0; i < metrics_.size(); ++i) {
             json += (i ? ", \"" : "\"") + metrics_[i].first +
@@ -110,27 +164,21 @@ class BenchReporter
             } else {
                 warn("cannot append bench footer to '", jsonPath, "'");
             }
+            RunManifest::global().setOutput("bench_json", jsonPath);
         }
 
-        const std::string statsPath = envString("EVAL_STATS_OUT", "");
-        if (!statsPath.empty()) {
-            if (statsPath.size() > 4 &&
-                statsPath.compare(statsPath.size() - 4, 4, ".csv") == 0) {
-                StatRegistry::global().writeCsv(statsPath);
-            } else {
-                StatRegistry::global().writeJson(statsPath);
-            }
-        }
-        const std::string tracePath = envString("EVAL_TRACE_OUT", "");
-        if (!tracePath.empty())
-            DecisionTrace::global().writeJsonl(tracePath);
-        if (envBool("EVAL_PROFILE", false))
-            StatRegistry::global().printProfile();
+        RunManifest::global().addStage(name_, wallS);
+        // Normal exit: flush every registered closure (ours included)
+        // now, exactly once; the atexit hook then finds nothing left.
+        ExitFlush::global().runNow();
     }
 
   private:
     std::string name_;
     std::chrono::steady_clock::time_point start_;
+    std::string spansPath_;
+    std::string manifestPath_;
+    int flushId_ = 0;
     std::vector<std::pair<std::string, std::string>> metrics_;
 };
 
@@ -144,12 +192,15 @@ benchChips(int dflt)
     return std::max(chips, 1);
 }
 
-/** Build the experiment configuration for a bench. */
+/** Build the experiment configuration for a bench (and stamp its
+ *  seed + fingerprint into the run manifest). */
 inline ExperimentConfig
 benchConfig(int defaultChips)
 {
     ExperimentConfig cfg = ExperimentConfig::fromEnv();
     cfg.chips = benchChips(defaultChips);
+    RunManifest::global().setSeed(cfg.seed);
+    RunManifest::global().setConfig(cfg.fingerprint());
     return cfg;
 }
 

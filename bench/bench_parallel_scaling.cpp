@@ -14,6 +14,7 @@
  * EVAL_CHIPS resizes the population (default 32).
  */
 
+#include <algorithm>
 #include <cstring>
 
 #include "bench_common.hh"
@@ -119,5 +120,54 @@ main()
     reporter.metric("speedup_8t", base / results.back().wallS);
     reporter.metric("bit_identical", identical ? 1.0 : 0.0);
     reporter.metric("chips", cfg.chips);
+
+    // Span-tracer overhead: the same single-thread pipeline with the
+    // tracer off and on.  Off must record nothing at all (the
+    // disabled path is one relaxed atomic load); on must record the
+    // full timeline, and the wall-clock delta is the overhead the
+    // ≤3% budget in DESIGN.md Sec 5e refers to.
+    SpanTracer &tracer = SpanTracer::global();
+    const bool wasTracing = tracer.enabled();
+    constexpr int kOverheadReps = 3; // min-of-N tames scheduler noise
+    constexpr double kOverheadBudgetPct = 3.0; // DESIGN.md Sec 5e
+
+    tracer.setEnabled(false);
+    const std::size_t eventsBefore = tracer.eventCount();
+    double offWallS = runAtThreads(cfg, 1).wallS;
+    double offMaxS = offWallS;
+    for (int i = 1; i < kOverheadReps; ++i) {
+        const double w = runAtThreads(cfg, 1).wallS;
+        offWallS = std::min(offWallS, w);
+        offMaxS = std::max(offMaxS, w);
+    }
+    EVAL_ASSERT(tracer.eventCount() == eventsBefore,
+                "disabled tracer recorded span events");
+
+    tracer.setEnabled(true);
+    double onWallS = runAtThreads(cfg, 1).wallS;
+    for (int i = 1; i < kOverheadReps; ++i)
+        onWallS = std::min(onWallS, runAtThreads(cfg, 1).wallS);
+    EVAL_ASSERT(tracer.eventCount() > eventsBefore,
+                "enabled tracer recorded no span events");
+    tracer.setEnabled(wasTracing);
+
+    // The assertion tolerates the run-to-run spread of the tracer-off
+    // samples on top of the budget: short EVAL_FAST windows jitter by
+    // several percent under scheduler noise, and the budget polices
+    // the tracer, not the machine.
+    const double overheadPct =
+        offWallS > 0.0 ? (onWallS / offWallS - 1.0) * 100.0 : 0.0;
+    const double noisePct =
+        offWallS > 0.0 ? (offMaxS / offWallS - 1.0) * 100.0 : 0.0;
+    std::printf("span tracer overhead: %.2f%% (%zu events, budget "
+                "%.0f%% + %.2f%% measured noise)\n",
+                overheadPct, tracer.eventCount() - eventsBefore,
+                kOverheadBudgetPct, noisePct);
+    EVAL_ASSERT(overheadPct <= kOverheadBudgetPct + noisePct,
+                "span tracer overhead exceeds the enabled budget");
+    reporter.metric("span_overhead_pct", overheadPct);
+    reporter.metric(
+        "span_events",
+        static_cast<double>(tracer.eventCount() - eventsBefore));
     return identical ? 0 : 1;
 }

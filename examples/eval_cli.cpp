@@ -16,8 +16,16 @@
  *   --stats-out=FILE   dump the stat registry on exit (JSON, or CSV
  *                      when FILE ends in .csv)
  *   --trace-out=FILE   record every adaptation decision, export JSONL
+ *   --trace-spans=FILE record a span timeline, export Chrome/Perfetto
+ *                      trace_event JSON (open in ui.perfetto.dev);
+ *                      default from EVAL_TRACE_SPANS
+ *   --manifest=FILE    write a run-provenance manifest (git SHA, build
+ *                      flags, seed, stage wall times, peak RSS);
+ *                      default from EVAL_MANIFEST, "" disables
  *   --profile          enable ScopedTimers and print the self-profile
  * With any of these flags present the command defaults to `run`.
+ * All telemetry files are registered with ExitFlush, so they are
+ * written even when the run dies via fatal()/uncaught exception.
  *
  * Execution:
  *   --threads=N        size of the worker pool for the parallel loops
@@ -26,12 +34,16 @@
  */
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "core/eval.hh"
 #include "exec/thread_pool.hh"
 #include "util/logging.hh"
 #include "core/retiming.hh"
 #include "stats/stats.hh"
+#include "trace/exit_flush.hh"
+#include "trace/manifest.hh"
+#include "trace/span_tracer.hh"
 #include "util/arg_parser.hh"
 #include "workload/trace_file.hh"
 
@@ -72,6 +84,8 @@ configFrom(const ArgParser &args, int defaultChips)
     ExperimentConfig cfg = ExperimentConfig::fromEnv();
     cfg.chips = static_cast<int>(args.getInt("chips", defaultChips));
     cfg.seed = static_cast<std::uint64_t>(args.getInt("seed", 1));
+    RunManifest::global().setSeed(cfg.seed);
+    RunManifest::global().setConfig(cfg.fingerprint());
     return cfg;
 }
 
@@ -248,6 +262,12 @@ main(int argc, char **argv)
 
     const std::string statsOut = args.getString("stats-out", "");
     const std::string traceOut = args.getString("trace-out", "");
+    const char *spansEnv = std::getenv("EVAL_TRACE_SPANS");
+    const std::string spansOut =
+        args.getString("trace-spans", spansEnv ? spansEnv : "");
+    const char *manifestEnv = std::getenv("EVAL_MANIFEST");
+    const std::string manifestOut = args.getString(
+        "manifest", manifestEnv ? manifestEnv : "manifest.json");
     const bool profile = args.getBool("profile", false);
     // --threads=N overrides EVAL_THREADS / hardware concurrency (0 =
     // auto); results do not depend on the thread count.
@@ -256,32 +276,67 @@ main(int argc, char **argv)
         threadsArg > 0 ? static_cast<std::size_t>(threadsArg) : 0);
     if (!traceOut.empty())
         DecisionTrace::global().setEnabled(true);
+    if (!spansOut.empty())
+        SpanTracer::global().setEnabled(true);
     if (profile)
         setProfilingEnabled(true);
 
+    RunManifest::global().setTool("eval_cli");
+    RunManifest::global().setThreads(globalThreads());
+    if (!statsOut.empty())
+        RunManifest::global().setOutput("stats", statsOut);
+    if (!traceOut.empty())
+        RunManifest::global().setOutput("decision_trace", traceOut);
+    if (!spansOut.empty())
+        RunManifest::global().setOutput("trace_spans", spansOut);
+
+    // Telemetry survives fatal()/uncaught exceptions: the flush runs
+    // from the atexit/terminate hooks, and runNow() below makes the
+    // normal path identical (closures run exactly once).
+    ExitFlush::global().add(
+        "eval_cli.telemetry",
+        [statsOut, traceOut, profile, spansOut, manifestOut] {
+            dumpObservability(statsOut, traceOut, profile);
+            if (!spansOut.empty() &&
+                !SpanTracer::global().writeJson(spansOut)) {
+                warn("failed to write span trace to ", spansOut);
+            }
+            if (!manifestOut.empty() &&
+                !RunManifest::global().write(manifestOut)) {
+                warn("failed to write manifest to ", manifestOut);
+            }
+        });
+
     // With observability flags but no command, default to `run`.
-    const bool observing =
-        !statsOut.empty() || !traceOut.empty() || profile;
+    const bool observing = !statsOut.empty() || !traceOut.empty() ||
+                           !spansOut.empty() || profile;
     if (args.positional().empty() && !observing)
         return usage();
     const std::string cmd =
         args.positional().empty() ? "run" : args.positional().front();
 
     int rc;
-    if (cmd == "chips")
-        rc = cmdChips(args);
-    else if (cmd == "run")
-        rc = cmdRun(args);
-    else if (cmd == "sweep")
-        rc = cmdSweep(args);
-    else if (cmd == "record")
-        rc = cmdRecord(args);
-    else if (cmd == "replay")
-        rc = cmdReplay(args);
-    else
-        return usage();
+    const std::string spanName = "cli." + cmd;
+    const std::uint64_t cmdStart = traceNowNs();
+    {
+        ScopedSpan span(spanName.c_str());
+        if (cmd == "chips")
+            rc = cmdChips(args);
+        else if (cmd == "run")
+            rc = cmdRun(args);
+        else if (cmd == "sweep")
+            rc = cmdSweep(args);
+        else if (cmd == "record")
+            rc = cmdRecord(args);
+        else if (cmd == "replay")
+            rc = cmdReplay(args);
+        else
+            return usage();
+    }
+    RunManifest::global().addStage(
+        cmd, static_cast<double>(traceNowNs() - cmdStart) / 1e9);
 
-    dumpObservability(statsOut, traceOut, profile);
+    ExitFlush::global().runNow();
 
     for (const std::string &key : args.unusedKeys())
         warn("unused option --", key);

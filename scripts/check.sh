@@ -10,6 +10,7 @@
 #        scripts/check.sh --lint [build-dir]
 #        scripts/check.sh --tidy [build-dir]
 #        scripts/check.sh --coverage [build-dir]
+#        scripts/check.sh --bench-track [build-dir]
 #
 # --tsan (or CHECK_TSAN=1) configures with -DEVAL_TSAN=ON and runs the
 # concurrency-sensitive test subset (exec, stats, core, cmp) under
@@ -34,6 +35,14 @@
 # runs the tier1+fuzz tests, and reports line coverage over src/ with
 # gcovr, enforcing the ratchet threshold below.  Degrades to a warning
 # if gcovr is not installed.
+#
+# --bench-track (or CHECK_BENCH_TRACK=1) builds the benches and the
+# benchtrack CLI, runs a fast bench set (EVAL_FAST=1) capturing their
+# BENCH_JSON footers, ingests them into bench/history/, and emits a
+# regression report (bench-report.md / bench-report.json in the build
+# dir).  Fails when a gated metric (wall_clock_s) regresses more than
+# the noise threshold vs the recent history window.  See TESTING.md
+# "Tracking bench regressions".
 
 set -euo pipefail
 
@@ -50,6 +59,7 @@ case "${1:-}" in
   --lint)     mode="lint";     shift ;;
   --tidy)     mode="tidy";     shift ;;
   --coverage) mode="coverage"; shift ;;
+  --bench-track) mode="bench-track"; shift ;;
 esac
 [[ "${CHECK_TSAN:-0}" == "1" ]] && mode="tsan"
 [[ "${CHECK_ASAN:-0}" == "1" ]] && mode="asan"
@@ -57,6 +67,7 @@ esac
 [[ "${CHECK_LINT:-0}" == "1" ]] && mode="lint"
 [[ "${CHECK_TIDY:-0}" == "1" ]] && mode="tidy"
 [[ "${CHECK_COVERAGE:-0}" == "1" ]] && mode="coverage"
+[[ "${CHECK_BENCH_TRACK:-0}" == "1" ]] && mode="bench-track"
 
 if [[ "$mode" == "tsan" ]]; then
     build_dir="${1:-$repo_root/build-tsan}"
@@ -139,6 +150,43 @@ if [[ "$mode" == "coverage" ]]; then
     else
         echo "check.sh: WARNING gcovr not found, skipping coverage report"
     fi
+    exit 0
+fi
+
+if [[ "$mode" == "bench-track" ]]; then
+    build_dir="${1:-$repo_root/build-check}"
+    # Fast, representative bench set; override with BENCH_TRACK_SET.
+    bench_set=(${BENCH_TRACK_SET:-bench_fig01_vats bench_fig10_frequency \
+               bench_area_overhead bench_parallel_scaling})
+    history_dir="${BENCH_TRACK_HISTORY:-$repo_root/bench/history}"
+
+    cmake -B "$build_dir" -S "$repo_root"
+    build_dir="$(cd "$build_dir" && pwd)" # benches run from a scratch cwd
+    cmake --build "$build_dir" -j"$(nproc)" --target benchtrack \
+        "${bench_set[@]}"
+
+    # Run each bench in a scratch dir (benches drop manifest.json and
+    # telemetry beside themselves) and keep the raw stdout: benchtrack
+    # parses the BENCH_JSON footer straight out of it.
+    run_dir="$build_dir/bench-track"
+    rm -rf "$run_dir" && mkdir -p "$run_dir"
+    for bench in "${bench_set[@]}"; do
+        echo "check.sh: running $bench"
+        (cd "$run_dir" && EVAL_FAST=1 "$build_dir/bench/$bench" \
+            > "$bench.stdout")
+    done
+
+    "$build_dir/tools/benchtrack/benchtrack" ingest \
+        --history "$history_dir" "$run_dir"/*.stdout
+    "$build_dir/tools/benchtrack/benchtrack" report \
+        --history "$history_dir" \
+        --window "${BENCH_TRACK_WINDOW:-5}" \
+        --threshold "${BENCH_TRACK_THRESHOLD:-10}" \
+        --markdown "$build_dir/bench-report.md" \
+        --json "$build_dir/bench-report.json" \
+        --gate
+    echo "check.sh: bench tracking passed" \
+         "(report: $build_dir/bench-report.md)"
     exit 0
 fi
 

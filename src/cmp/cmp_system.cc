@@ -4,6 +4,7 @@
 
 #include "core/perf_model.hh"
 #include "stats/stat_registry.hh"
+#include "trace/span_tracer.hh"
 #include "util/logging.hh"
 #include "util/math_utils.hh"
 
@@ -141,6 +142,9 @@ CmpSystem::runMix(const WorkloadMix &mix, EnvironmentKind env,
     static Gauge &heatsink =
         StatRegistry::global().gauge("chip.thermal.heatsink_c");
     ScopedTimer scope(timer);
+    ScopedSpan span("cmp.run_mix");
+    span.arg("apps", mix.size());
+    span.arg("env", environmentName(env));
     StatRegistry::global().counter("chip.mix_runs").inc();
 
     const ExperimentConfig &cfg = ctx_.config();

@@ -4,6 +4,7 @@
 
 #include "stats/decision_trace.hh"
 #include "stats/stat_registry.hh"
+#include "trace/span_tracer.hh"
 #include "util/logging.hh"
 
 namespace eval {
@@ -191,6 +192,9 @@ DynamicController::adaptPhase(const CoreSystemModel &core,
     static TimerStat &timer =
         StatRegistry::global().timer("profile.controller.adapt_phase");
     ScopedTimer scope(timer);
+    ScopedSpan span("controller.adapt_phase");
+    span.arg("phase", phaseId);
+    span.arg("reused", saved_.lookup(phaseId).has_value());
 
     PhaseAdaptation out;
 

@@ -1,10 +1,12 @@
 #include "core/environment.hh"
 
 #include <algorithm>
+#include <sstream>
 
 #include "core/perf_model.hh"
 #include "stats/decision_trace.hh"
 #include "stats/stat_registry.hh"
+#include "trace/span_tracer.hh"
 #include "util/logging.hh"
 #include "util/math_utils.hh"
 
@@ -84,6 +86,23 @@ ExperimentConfig::fromEnv()
         cfg.simInsts = std::min<std::uint64_t>(cfg.simInsts, 60000);
     }
     return cfg;
+}
+
+std::string
+ExperimentConfig::fingerprint() const
+{
+    std::ostringstream os;
+    os << "seed=" << seed << ";chips=" << chips
+       << ";insts=" << simInsts << ";apps=";
+    for (std::size_t i = 0; i < apps.size(); ++i)
+        os << (i ? "," : "") << apps[i];
+    os << ";fnom=" << process.freqNominal
+       << ";vdd=" << process.vddNominal
+       << ";vt_sigma=" << process.vtSigmaOverMu
+       << ";tmax=" << constraints.tMaxC
+       << ";pe_budget=" << constraints.peMax
+       << ";recovery=" << recovery.penaltyCycles;
+    return os.str();
 }
 
 ExperimentContext::ExperimentContext(const ExperimentConfig &cfg)
@@ -450,6 +469,11 @@ ExperimentContext::runApp(std::size_t chipIndex, std::size_t core,
     static TimerStat &timer =
         StatRegistry::global().timer("profile.experiment.run_app");
     ScopedTimer scope(timer);
+    ScopedSpan span("experiment.run_app");
+    span.arg("app", app.name);
+    span.arg("chip", chipIndex);
+    span.arg("core", core);
+    span.arg("env", environmentName(env));
     StatRegistry::global().counter("experiment.app_runs").inc();
 
     if (env == EnvironmentKind::NoVar) {

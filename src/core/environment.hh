@@ -72,6 +72,12 @@ struct ExperimentConfig
     TimelineParams timeline;
 
     static ExperimentConfig fromEnv();
+
+    /** Human-readable one-line fingerprint of every knob that changes
+     *  results (seed, population, workload, process, constraints).
+     *  Hash it (fnv1a) for the manifest's config_hash; two runs with
+     *  equal fingerprints are replays of the same experiment. */
+    std::string fingerprint() const;
 };
 
 /**

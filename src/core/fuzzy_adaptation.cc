@@ -1,6 +1,7 @@
 #include "core/fuzzy_adaptation.hh"
 
 #include "stats/stat_registry.hh"
+#include "trace/span_tracer.hh"
 #include "util/config.hh"
 #include "util/logging.hh"
 #include "util/math_utils.hh"
@@ -35,6 +36,7 @@ CoreFuzzySystem::train()
     static TimerStat &timer =
         StatRegistry::global().timer("profile.fuzzy.train");
     ScopedTimer scope(timer);
+    ScopedSpan span("fuzzy.train");
     StatRegistry::global().counter("fuzzy.trainings").inc();
 
     ExhaustiveOptimizer exhaustive(caps_, constraints_);
@@ -118,6 +120,7 @@ CoreFuzzySystem::predictFmax(SubsystemId id, double thC, double alphaF,
     static Counter &inferences =
         StatRegistry::global().counter("fuzzy.inferences");
     ScopedTimer scope(timer);
+    ScopedSpan span("fuzzy.predict_fmax");
     inferences.inc();
     return fmaxFc_[static_cast<std::size_t>(id)]->predict(
         freqInput(id, thC, alphaF, altConfig));
@@ -133,6 +136,7 @@ CoreFuzzySystem::predictKnobs(SubsystemId id, double thC, double alphaF,
     static Counter &inferences =
         StatRegistry::global().counter("fuzzy.inferences");
     ScopedTimer scope(timer);
+    ScopedSpan span("fuzzy.predict_knobs");
     inferences.inc();
     SubsystemKnobs k{core_.params().vddNominal, 0.0};
     auto in = freqInput(id, thC, alphaF, altConfig);

@@ -5,6 +5,7 @@
 
 #include "exec/thread_pool.hh"
 #include "stats/stat_registry.hh"
+#include "trace/span_tracer.hh"
 #include "util/logging.hh"
 #include "util/math_utils.hh"
 
@@ -89,6 +90,9 @@ ExhaustiveOptimizer::maxFrequency(const CoreSystemModel &core,
     static Counter &queries =
         StatRegistry::global().counter("optimizer.freq_queries");
     ScopedTimer scope(timer);
+    ScopedSpan span("optimizer.max_frequency");
+    span.arg("subsystem", static_cast<std::size_t>(id));
+    span.arg("alt", useAlternate);
     queries.inc();
 
     const double vddNom = core.params().vddNominal;
@@ -130,6 +134,8 @@ ExhaustiveOptimizer::minimizePower(const CoreSystemModel &core,
     static Counter &queries =
         StatRegistry::global().counter("optimizer.power_queries");
     ScopedTimer scope(timer);
+    ScopedSpan span("optimizer.minimize_power");
+    span.arg("subsystem", static_cast<std::size_t>(id));
     queries.inc();
 
     const double budget = perAccessErrorBudget(constraints_, alphaF);
@@ -237,6 +243,7 @@ CoreOptimizer::choose(const CoreSystemModel &core,
     static Counter &calls =
         StatRegistry::global().counter("optimizer.choose_calls");
     ScopedTimer scope(timer);
+    ScopedSpan span("optimizer.choose");
     calls.inc();
 
     AdaptationResult result;

@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <memory>
 
+#include "trace/span_tracer.hh"
+
 namespace eval {
 
 namespace {
@@ -102,6 +104,12 @@ ThreadPool::participate(Region &region, std::size_t self)
                 break;
         }
         try {
+            // Task provenance on the timeline: which context ran
+            // which index chunk (and whether it was stolen work).
+            ScopedSpan span("pool.chunk");
+            span.arg("context", self);
+            span.arg("first", b);
+            span.arg("last", e);
             (*region.body)(b, e);
         } catch (...) {
             std::lock_guard<std::mutex> lock(region.exceptionMutex);
@@ -122,6 +130,11 @@ ThreadPool::runRegion(std::size_t first, std::size_t last,
 {
     // One region at a time; a second top-level submitter waits here.
     std::lock_guard<std::mutex> submitLock(submitMutex_);
+
+    ScopedSpan span("pool.region");
+    span.arg("items", last - first);
+    span.arg("grain", grain);
+    span.arg("contexts", threads_);
 
     Region region;
     region.body = &body;

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "stats/stat_registry.hh"
+#include "trace/span_tracer.hh"
 #include "util/logging.hh"
 #include "util/math_utils.hh"
 
@@ -41,6 +42,10 @@ ThermalModel::solveSubsystem(const SubsystemPowerParams &power,
     static TimerStat &timer =
         StatRegistry::global().timer("profile.thermal.solve_subsystem");
     ScopedTimer scope(timer);
+    // Sampled 1-in-64: called per subsystem per candidate operating
+    // point, far too hot for an every-call span (DESIGN.md Sec 5e).
+    static thread_local std::uint64_t spanTick = 0;
+    ScopedSpan span("thermal.solve", (spanTick++ & 63) == 0);
     solves.inc();
 
     const double r = rth(id);
@@ -73,6 +78,8 @@ ThermalModel::solveSubsystem(const SubsystemPowerParams &power,
     st.vtEff = effectiveVt(params_, vt0, op);
     st.psta = staticPower(power.ksta, vdd, tSolved, st.vtEff);
     st.runaway = !converged || tSolved >= 399.0;
+    span.arg("temp_c", st.tempC);
+    span.arg("runaway", st.runaway);
     if (st.runaway)
         StatRegistry::global().counter("thermal.runaways").inc();
     return st;

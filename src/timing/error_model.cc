@@ -6,6 +6,7 @@
 #include <cstring>
 
 #include "stats/stat_registry.hh"
+#include "trace/span_tracer.hh"
 #include "util/config.hh"
 #include "util/logging.hh"
 #include "util/math_utils.hh"
@@ -154,6 +155,17 @@ StageErrorModel::computeErrorRatePerAccess(
     static TimerStat &timer =
         StatRegistry::global().timer("profile.timing.error_eval");
     ScopedTimer scope(timer);
+    // Sampled 1-in-64: a full PE evaluation is only a binary search,
+    // so an every-call span would dominate its own measurement (the
+    // ≤3% overhead budget, DESIGN.md Sec 5e).
+    static thread_local std::uint64_t spanTick = 0;
+    ScopedSpan span("pe.eval", (spanTick++ & 63) == 0);
+    static Counter &spanEvals =
+        StatRegistry::global().counter("timing.error_evals");
+    static Counter &spanHits =
+        StatRegistry::global().counter("timing.error_cache_hits");
+    span.arg("cache_evals", spanEvals.value());
+    span.arg("cache_hits", spanHits.value());
     const double scale = delayScale(op);
     if (scale >= kNonFunctionalDelayFactor)
         return 1.0;

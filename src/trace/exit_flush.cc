@@ -1,0 +1,125 @@
+#include "trace/exit_flush.hh"
+
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace eval {
+
+namespace {
+
+struct Entry
+{
+    int id = 0;
+    std::string label;
+    std::function<void()> fn;
+};
+
+struct FlushState
+{
+    std::mutex m;
+    std::vector<Entry> entries;
+    int nextId = 1;
+    bool hooksInstalled = false;
+    std::terminate_handler previousTerminate = nullptr;
+};
+
+FlushState &
+state()
+{
+    // Leaked so the atexit/terminate hooks can run during teardown
+    // regardless of static destruction order.
+    static FlushState *s = new FlushState;
+    return *s;
+}
+
+void
+flushAllFromHook()
+{
+    ExitFlush::global().runNow();
+}
+
+[[noreturn]] void
+terminateWithFlush()
+{
+    ExitFlush::global().runNow();
+    std::terminate_handler prev;
+    {
+        std::lock_guard<std::mutex> lock(state().m);
+        prev = state().previousTerminate;
+    }
+    if (prev && prev != terminateWithFlush)
+        prev();
+    std::abort();
+}
+
+} // namespace
+
+ExitFlush &
+ExitFlush::global()
+{
+    static ExitFlush flush;
+    return flush;
+}
+
+int
+ExitFlush::add(const std::string &label, std::function<void()> fn)
+{
+    FlushState &s = state();
+    std::lock_guard<std::mutex> lock(s.m);
+    if (!s.hooksInstalled) {
+        s.hooksInstalled = true;
+        std::atexit(flushAllFromHook);
+        s.previousTerminate = std::set_terminate(terminateWithFlush);
+    }
+    const int id = s.nextId++;
+    s.entries.push_back({id, label, std::move(fn)});
+    return id;
+}
+
+void
+ExitFlush::remove(int id)
+{
+    FlushState &s = state();
+    std::lock_guard<std::mutex> lock(s.m);
+    for (auto it = s.entries.begin(); it != s.entries.end(); ++it) {
+        if (it->id == id) {
+            s.entries.erase(it);
+            return;
+        }
+    }
+}
+
+void
+ExitFlush::runNow()
+{
+    // Swap the registry out under the lock, run outside it: a closure
+    // that itself touches ExitFlush (or crashes into terminate again)
+    // must not deadlock, and each closure runs at most once.
+    std::vector<Entry> pendingEntries;
+    {
+        FlushState &s = state();
+        std::lock_guard<std::mutex> lock(s.m);
+        pendingEntries.swap(s.entries);
+    }
+    for (Entry &e : pendingEntries) {
+        try {
+            if (e.fn)
+                e.fn();
+        } catch (...) {
+            // Flushing is best-effort during teardown.
+        }
+    }
+}
+
+std::size_t
+ExitFlush::pending() const
+{
+    FlushState &s = state();
+    std::lock_guard<std::mutex> lock(s.m);
+    return s.entries.size();
+}
+
+} // namespace eval

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Low-overhead span tracer with Chrome/Perfetto trace_event export.
+ *
+ * Where the stats layer (src/stats) answers "how much time went into
+ * region X in total", spans answer "where did the wall-clock of THIS
+ * run go, on which thread, nested under what": every instrumented
+ * region records one complete event (begin timestamp + duration +
+ * thread id + optional key/value args), and the whole run exports as
+ * a single JSON file that https://ui.perfetto.dev (or Chrome's
+ * about:tracing) renders as a multi-thread timeline.
+ *
+ * Design (mirrors the ScopedTimer conventions in src/stats):
+ *  - Disabled is the hot case: a ScopedSpan on a disabled tracer
+ *    costs one relaxed atomic load and records nothing — no clock
+ *    read, no allocation, no lock.  Benches assert this stays true
+ *    (bench_parallel_scaling footer).
+ *  - Enabled recording is contention-free: every thread appends to
+ *    its own fixed-capacity ring buffer.  The only lock an append
+ *    takes is the buffer's own uncontended mutex (needed so a
+ *    concurrent export cannot read half-written events); threads
+ *    never contend with each other on the hot path.  When a ring
+ *    fills, the oldest events are evicted (and counted), so tracing
+ *    an arbitrarily long run is bounded-memory and the export keeps
+ *    the most recent window.
+ *  - Spans nest: each thread keeps a stack of open spans, and the
+ *    exporter emits Chrome "X" (complete) events whose time
+ *    containment reproduces the nesting in the UI.  The innermost
+ *    open span name is queryable (currentSpanName) so the logging
+ *    layer can stamp lines with their span context.
+ *  - This file is the sanctioned home of wall-clock reads for
+ *    tracing, alongside src/stats for profiling (see the
+ *    det-wallclock lint rule): model code must not read clocks, but
+ *    may open spans freely.
+ *
+ * Escape hatch discipline: ScopedSpan is the ONLY way model code may
+ * create spans.  The raw beginSpan/endSpan handle API exists for the
+ * tracer's own internals and is lint-banned elsewhere
+ * (obs-span-leak), because a span handle that escapes its scope
+ * produces overlapping, un-nestable events.
+ */
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace eval {
+
+/** Monotonic nanoseconds since process start (the sanctioned trace
+ *  clock: logging timestamps and span events share this epoch). */
+std::uint64_t traceNowNs();
+
+/** Stable, small, process-unique id of the calling thread (assigned
+ *  on first use; the first thread to ask gets 0). */
+int traceThreadId();
+
+/** One recorded span, as stored in the ring and exported to JSON.
+ *  Args are pre-rendered JSON tokens (numbers raw, strings quoted)
+ *  so export is a pure serialization pass. */
+struct SpanEvent
+{
+    std::string name;
+    std::uint64_t startNs = 0; ///< traceNowNs() at open
+    std::uint64_t durNs = 0;
+    int tid = 0;
+    int depth = 0;             ///< nesting depth at open (0 = top)
+    std::vector<std::pair<std::string, std::string>> args;
+};
+
+/**
+ * The process-wide span sink.  Use SpanTracer::global(); private
+ * instances exist only inside tests.
+ */
+class SpanTracer
+{
+  public:
+    static constexpr std::size_t kDefaultRingCapacity = 1 << 16;
+
+    static SpanTracer &global();
+
+    void setEnabled(bool enabled);
+    bool enabled() const;
+
+    /** Per-thread ring capacity (events).  Applies to rings created
+     *  after the call; existing rings are trimmed on their next
+     *  append.  Minimum 16. */
+    void setRingCapacity(std::size_t events);
+    std::size_t ringCapacity() const;
+
+    /** Buffered events across all thread rings. */
+    std::size_t eventCount() const;
+
+    /** Events evicted from full rings since the last clear(). */
+    std::uint64_t droppedCount() const;
+
+    /** Drop every buffered event (keeps thread registrations). */
+    void clear();
+
+    /** Copy of every buffered event, sorted by start time.  The
+     *  tracer should be quiescent (no spans concurrently closing) for
+     *  a complete snapshot; a racing append is safe but may or may
+     *  not be included. */
+    std::vector<SpanEvent> snapshotEvents() const;
+
+    /**
+     * Chrome trace_event JSON ("trace viewer" / Perfetto format):
+     * {"traceEvents": [...], "displayTimeUnit": "ms"} with one
+     * ph:"X" complete event per span (ts/dur in microseconds) plus
+     * ph:"M" thread_name metadata per thread.
+     */
+    std::string traceEventJson() const;
+
+    /** Write traceEventJson() to @p path; false on I/O failure. */
+    bool writeJson(const std::string &path) const;
+
+    /** Innermost open span name on the calling thread ("" if none). */
+    static const char *currentSpanName();
+};
+
+namespace trace_detail {
+
+/** Tracer-internal span open/close (the raw handle API wrapped by
+ *  ScopedSpan).  Outside src/trace the obs-span-leak lint rule bans
+ *  these: use ScopedSpan. */
+std::uint64_t beginSpanImpl(const char *name);
+void endSpanImpl(const char *name, std::uint64_t startNs,
+                 std::vector<std::pair<std::string, std::string>> &&args);
+bool tracingEnabled();
+void pushOpenSpan(const char *name);
+void popOpenSpan();
+
+} // namespace trace_detail
+
+/**
+ * RAII span: records one complete event from construction to
+ * destruction when tracing is enabled, and is a single relaxed
+ * atomic load when disabled.  Deliberately immovable and
+ * uncopyable — a span IS its scope (see obs-span-leak).
+ *
+ *     ScopedSpan span("optimizer.choose");
+ *     span.arg("subsystems", n);
+ */
+class ScopedSpan
+{
+  public:
+    explicit ScopedSpan(const char *name)
+        : name_(trace_detail::tracingEnabled() ? name : nullptr)
+    {
+        if (name_) {
+            start_ = trace_detail::beginSpanImpl(name_);
+            trace_detail::pushOpenSpan(name_);
+        }
+    }
+
+    /** Sampled span for hot paths: records only when @p sample is
+     *  true (callers typically pass a 1-in-N tick so per-access
+     *  regions stay within the overhead budget — DESIGN.md Sec 5e).
+     *  When false this is exactly the disabled-tracer path. */
+    ScopedSpan(const char *name, bool sample)
+        : name_(sample && trace_detail::tracingEnabled() ? name
+                                                         : nullptr)
+    {
+        if (name_) {
+            start_ = trace_detail::beginSpanImpl(name_);
+            trace_detail::pushOpenSpan(name_);
+        }
+    }
+
+    ScopedSpan(const ScopedSpan &) = delete;
+    ScopedSpan &operator=(const ScopedSpan &) = delete;
+    ScopedSpan(ScopedSpan &&) = delete;
+    ScopedSpan &operator=(ScopedSpan &&) = delete;
+
+    ~ScopedSpan()
+    {
+        if (name_) {
+            trace_detail::popOpenSpan();
+            trace_detail::endSpanImpl(name_, start_, std::move(args_));
+        }
+    }
+
+    /** Attach a key/value arg (no-op when the tracer was disabled at
+     *  construction).  Numbers render raw, strings render quoted. */
+    void arg(const char *key, double value);
+    void arg(const char *key, bool value);
+    void arg(const char *key, const std::string &value);
+    void arg(const char *key, const char *value);
+    /** Any integer type (int, std::size_t, std::uint64_t, ...);
+     *  a template so platform-dependent typedef aliasing cannot
+     *  create duplicate overloads. */
+    template <typename T,
+              std::enable_if_t<std::is_integral_v<T> &&
+                                   !std::is_same_v<T, bool>,
+                               int> = 0>
+    void arg(const char *key, T value)
+    {
+        if constexpr (std::is_signed_v<T>)
+            argSigned(key, static_cast<long long>(value));
+        else
+            argUnsigned(key,
+                        static_cast<unsigned long long>(value));
+    }
+
+  private:
+    void argSigned(const char *key, long long value);
+    void argUnsigned(const char *key, unsigned long long value);
+
+    const char *name_;        ///< nullptr = tracing was disabled
+    std::uint64_t start_ = 0;
+    std::vector<std::pair<std::string, std::string>> args_;
+};
+
+} // namespace eval

@@ -3,20 +3,24 @@
 #include <atomic>
 #include <cstdio>
 #include <cstring>
-#include <ctime>
 
-#include <sys/time.h>
+#include "trace/span_tracer.hh"
 
 namespace eval {
 
 namespace {
 
-std::atomic<bool> quietFlag{false};
-std::atomic<bool> timestampsFlag{[] {
-    const char *v = std::getenv("EVAL_LOG_TIMESTAMPS");
+bool
+envTruthy(const char *name)
+{
+    const char *v = std::getenv(name);
     return v && (std::strcmp(v, "1") == 0 || std::strcmp(v, "true") == 0 ||
                  std::strcmp(v, "yes") == 0);
-}()};
+}
+
+std::atomic<bool> quietFlag{false};
+std::atomic<bool> timestampsFlag{envTruthy("EVAL_LOG_TIMESTAMPS")};
+std::atomic<bool> threadsFlag{envTruthy("EVAL_LOG_THREADS")};
 
 LogLevel
 levelFromEnv()
@@ -80,6 +84,18 @@ logTimestamps()
     return timestampsFlag.load(std::memory_order_relaxed);
 }
 
+void
+setLogThreads(bool enabled)
+{
+    threadsFlag.store(enabled, std::memory_order_relaxed);
+}
+
+bool
+logThreads()
+{
+    return threadsFlag.load(std::memory_order_relaxed);
+}
+
 namespace detail {
 
 namespace {
@@ -96,21 +112,37 @@ levelTag(LogLevel level)
     return "?";
 }
 
-/** "HH:MM:SS.mmm " prefix, or an empty string when disabled. */
+/** "+S.mmms " prefix on the monotonic trace clock, or an empty
+ *  string when disabled.  Monotonic (not wall-clock) so prefixes
+ *  match span-trace timestamps and survive clock adjustments. */
 std::string
 timestampPrefix()
 {
     if (!logTimestamps())
         return "";
-    struct timeval tv;
-    gettimeofday(&tv, nullptr);
-    struct tm tmBuf;
-    localtime_r(&tv.tv_sec, &tmBuf);
-    char buf[24];
-    std::snprintf(buf, sizeof(buf), "%02d:%02d:%02d.%03d ", tmBuf.tm_hour,
-                  tmBuf.tm_min, tmBuf.tm_sec,
-                  static_cast<int>(tv.tv_usec / 1000));
+    const std::uint64_t ns = traceNowNs();
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "+%llu.%03llus ",
+                  static_cast<unsigned long long>(ns / 1000000000ULL),
+                  static_cast<unsigned long long>(ns / 1000000ULL %
+                                                  1000ULL));
     return buf;
+}
+
+/** "[tN span.name] " prefix, or an empty string when disabled. */
+std::string
+threadPrefix()
+{
+    if (!logThreads())
+        return "";
+    std::string out = "[t" + std::to_string(traceThreadId());
+    const char *span = SpanTracer::currentSpanName();
+    if (span && span[0] != '\0') {
+        out += ' ';
+        out += span;
+    }
+    out += "] ";
+    return out;
 }
 
 bool
@@ -131,17 +163,17 @@ printMessage(LogLevel level, const std::string &msg)
 {
     if (suppressed(level))
         return;
-    std::fprintf(stderr, "%s[%s] %s\n", timestampPrefix().c_str(),
-                 levelTag(level), msg.c_str());
+    std::fprintf(stderr, "%s%s[%s] %s\n", timestampPrefix().c_str(),
+                 threadPrefix().c_str(), levelTag(level), msg.c_str());
 }
 
 void
 terminateWithMessage(LogLevel level, const std::string &msg,
                      const char *file, int line)
 {
-    std::fprintf(stderr, "%s[%s] %s (%s:%d)\n",
-                 timestampPrefix().c_str(), levelTag(level), msg.c_str(),
-                 file, line);
+    std::fprintf(stderr, "%s%s[%s] %s (%s:%d)\n",
+                 timestampPrefix().c_str(), threadPrefix().c_str(),
+                 levelTag(level), msg.c_str(), file, line);
     if (level == LogLevel::Panic)
         std::abort();
     std::exit(1);

@@ -12,8 +12,14 @@
  *  - EVAL_LOG_LEVEL=info|warn|fatal|quiet sets the minimum severity
  *    printed ("quiet" silences everything below fatal, like
  *    setQuiet(true)); setMinLogLevel() overrides it programmatically.
- *  - EVAL_LOG_TIMESTAMPS=1 prefixes each line with wall-clock
- *    HH:MM:SS.mmm.
+ *  - EVAL_LOG_TIMESTAMPS=1 prefixes each line with "+S.mmms": seconds
+ *    on the monotonic trace clock since process start (traceNowNs()),
+ *    so log lines line up with span-trace timestamps and never jump
+ *    on wall-clock adjustments.
+ *  - EVAL_LOG_THREADS=1 prefixes each line with "[tN span.name]": the
+ *    stable trace thread id plus the innermost open span on the
+ *    calling thread, tying interleaved parallel log output back to
+ *    the timeline.
  */
 
 #pragma once
@@ -90,9 +96,14 @@ bool isQuiet();
 void setMinLogLevel(LogLevel level);
 LogLevel minLogLevel();
 
-/** Prefix log lines with wall-clock timestamps (EVAL_LOG_TIMESTAMPS). */
+/** Prefix log lines with monotonic run timestamps
+ *  (EVAL_LOG_TIMESTAMPS). */
 void setLogTimestamps(bool enabled);
 bool logTimestamps();
+
+/** Prefix log lines with thread id + span context (EVAL_LOG_THREADS). */
+void setLogThreads(bool enabled);
+bool logThreads();
 
 } // namespace eval
 

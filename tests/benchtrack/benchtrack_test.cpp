@@ -1,0 +1,198 @@
+/** Tests for benchtrack: BENCH_JSON footer parsing, history ingest,
+ *  and the regression/noise/improvement verdicts. */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "benchtrack.hh"
+
+namespace eval {
+namespace benchtrack {
+namespace {
+
+namespace fs = std::filesystem;
+
+/** Fresh history directory per test, removed afterwards. */
+class BenchtrackTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        dir_ = (fs::path(::testing::TempDir()) /
+                ("benchtrack_test_" +
+                 std::string(::testing::UnitTest::GetInstance()
+                                 ->current_test_info()
+                                 ->name())))
+                   .string();
+        fs::remove_all(dir_);
+    }
+
+    void TearDown() override { fs::remove_all(dir_); }
+
+    /** Append @p n runs of @p bench with wall clock @p wallS each. */
+    void
+    seedHistory(const std::string &bench, int n, double wallS,
+                double metric = 2.0)
+    {
+        std::vector<Entry> entries;
+        for (int i = 0; i < n; ++i) {
+            Entry e;
+            e.bench = bench;
+            e.wallClockS = wallS;
+            e.threads = 1;
+            e.peakRssKb = 1000;
+            e.metrics["fmax_ghz"] = metric;
+            entries.push_back(e);
+        }
+        ASSERT_EQ(ingest(entries, dir_), static_cast<std::size_t>(n));
+    }
+
+    const MetricReport *
+    row(const Report &rep, const std::string &metric) const
+    {
+        for (const MetricReport &r : rep.rows) {
+            if (r.metric == metric)
+                return &r;
+        }
+        return nullptr;
+    }
+
+    std::string dir_;
+};
+
+TEST_F(BenchtrackTest, ParsesFooterAndBareJsonlButNotProse)
+{
+    Entry e;
+    ASSERT_TRUE(parseEntry(
+        "BENCH_JSON {\"bench\": \"b\", \"wall_clock_s\": 1.5, "
+        "\"threads\": 4, \"peak_rss_kb\": 2048, "
+        "\"metrics\": {\"fmax_ghz\": 3.9, \"note\": \"text\"}}",
+        e));
+    EXPECT_EQ(e.bench, "b");
+    EXPECT_DOUBLE_EQ(e.wallClockS, 1.5);
+    EXPECT_EQ(e.threads, 4);
+    EXPECT_EQ(e.peakRssKb, 2048);
+    ASSERT_EQ(e.metrics.size(), 1u); // string metric dropped
+    EXPECT_DOUBLE_EQ(e.metrics.at("fmax_ghz"), 3.9);
+
+    // Bench stdout prefixes the footer with progress text.
+    ASSERT_TRUE(parseEntry(
+        "done. BENCH_JSON {\"bench\": \"c\", \"wall_clock_s\": 2}",
+        e));
+    EXPECT_EQ(e.bench, "c");
+
+    // Bare JSONL (a history file line) parses too.
+    ASSERT_TRUE(parseEntry(
+        "{\"bench\": \"d\", \"wall_clock_s\": 3}", e));
+    EXPECT_EQ(e.bench, "d");
+
+    // Prose mentioning a brace is not an entry, nor is a footer
+    // missing required keys.
+    EXPECT_FALSE(parseEntry("running sweep {3 chips}...", e));
+    EXPECT_FALSE(parseEntry("BENCH_JSON {\"bench\": \"x\"}", e));
+    EXPECT_FALSE(parseEntry("BENCH_JSON {not json", e));
+}
+
+TEST_F(BenchtrackTest, IngestAppendsPerBenchJsonl)
+{
+    seedHistory("bench_a", 2, 1.0);
+    seedHistory("bench_a", 1, 1.1);
+    const std::vector<Entry> history =
+        loadHistory((fs::path(dir_) / "bench_a.jsonl").string());
+    ASSERT_EQ(history.size(), 3u);
+    EXPECT_DOUBLE_EQ(history.back().wallClockS, 1.1);
+    EXPECT_DOUBLE_EQ(history.front().metrics.at("fmax_ghz"), 2.0);
+}
+
+TEST_F(BenchtrackTest, TwentyPercentSlowdownIsAGatedRegression)
+{
+    seedHistory("bench_a", 4, 10.0);
+    seedHistory("bench_a", 1, 12.0); // +20% wall clock
+
+    const Report rep = report(dir_, 5, 10.0);
+    const MetricReport *wall = row(rep, "wall_clock_s");
+    ASSERT_NE(wall, nullptr);
+    EXPECT_EQ(wall->verdict, Delta::Regression);
+    EXPECT_TRUE(wall->gated);
+    EXPECT_NEAR(wall->deltaPct, 20.0, 1e-9);
+    EXPECT_EQ(wall->window, 4u);
+    EXPECT_EQ(rep.regressions, 1u);
+
+    const std::string md = rep.toMarkdown(10.0);
+    EXPECT_NE(md.find("regression"), std::string::npos);
+    EXPECT_NE(md.find("wall_clock_s"), std::string::npos);
+}
+
+TEST_F(BenchtrackTest, SmallJitterIsNoise)
+{
+    seedHistory("bench_a", 4, 10.0);
+    seedHistory("bench_a", 1, 10.4); // +4%, under the 10% threshold
+
+    const Report rep = report(dir_, 5, 10.0);
+    for (const MetricReport &r : rep.rows)
+        EXPECT_EQ(r.verdict, Delta::Noise) << r.metric;
+    EXPECT_EQ(rep.regressions, 0u);
+}
+
+TEST_F(BenchtrackTest, SpeedupIsAnImprovementNotARegression)
+{
+    seedHistory("bench_a", 4, 10.0);
+    seedHistory("bench_a", 1, 7.0); // -30% wall clock
+
+    const Report rep = report(dir_, 5, 10.0);
+    const MetricReport *wall = row(rep, "wall_clock_s");
+    ASSERT_NE(wall, nullptr);
+    EXPECT_EQ(wall->verdict, Delta::Improvement);
+    EXPECT_EQ(rep.regressions, 0u);
+}
+
+TEST_F(BenchtrackTest, FirstEntryOfABenchIsNew)
+{
+    seedHistory("bench_fresh", 1, 5.0);
+    const Report rep = report(dir_, 5, 10.0);
+    ASSERT_FALSE(rep.rows.empty());
+    for (const MetricReport &r : rep.rows)
+        EXPECT_EQ(r.verdict, Delta::New) << r.metric;
+    EXPECT_EQ(rep.regressions, 0u);
+}
+
+TEST_F(BenchtrackTest, DomainMetricChangesNeverGate)
+{
+    // fmax_ghz collapses by 50% — informational only.
+    seedHistory("bench_a", 4, 10.0, 2.0);
+    seedHistory("bench_a", 1, 10.0, 1.0);
+
+    const Report rep = report(dir_, 5, 10.0);
+    const MetricReport *fmax = row(rep, "fmax_ghz");
+    ASSERT_NE(fmax, nullptr);
+    EXPECT_FALSE(fmax->gated);
+    EXPECT_NE(fmax->verdict, Delta::Noise);
+    EXPECT_EQ(rep.regressions, 0u);
+}
+
+TEST_F(BenchtrackTest, CliGateExitCodeReflectsRegressions)
+{
+    seedHistory("bench_a", 4, 10.0);
+    seedHistory("bench_a", 1, 12.5);
+
+    const std::string md = (fs::path(dir_) / "report.md").string();
+    const std::string js = (fs::path(dir_) / "report.json").string();
+    EXPECT_EQ(runBenchtrack({"report", "--history", dir_, "--markdown",
+                             md, "--json", js}),
+              0); // no --gate: report only
+    EXPECT_EQ(runBenchtrack({"report", "--history", dir_, "--markdown",
+                             md, "--gate"}),
+              1);
+    std::ifstream in(md);
+    ASSERT_TRUE(in.good());
+
+    EXPECT_EQ(runBenchtrack({}), 2);
+    EXPECT_EQ(runBenchtrack({"report"}), 2);
+}
+
+} // namespace
+} // namespace benchtrack
+} // namespace eval

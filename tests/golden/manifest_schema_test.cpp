@@ -1,0 +1,94 @@
+/** Golden pin of the run-manifest schema (manifest.hh).
+ *
+ *  Manifest *values* vary per machine (git SHA, compiler, flags,
+ *  RSS), so this golden pins the schema SHAPE instead: every key
+ *  path and its JSON type, values elided.  Renaming, removing, or
+ *  re-typing a field trips the compare; additions require re-record
+ *  plus a schema_version bump (reviewed via the golden diff).
+ *
+ *  Re-record after an intentional change:
+ *      EVAL_GOLDEN_MODE=record ctest -R golden_manifest_schema_test
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "trace/manifest.hh"
+#include "valid/golden.hh"
+#include "valid/json_value.hh"
+
+namespace eval {
+namespace {
+
+const char *
+typeName(JsonValue::Type t)
+{
+    switch (t) {
+      case JsonValue::Type::Null:   return "null";
+      case JsonValue::Type::Bool:   return "bool";
+      case JsonValue::Type::Int:    return "int";
+      case JsonValue::Type::Double: return "double";
+      case JsonValue::Type::String: return "string";
+      case JsonValue::Type::Array:  return "array";
+      case JsonValue::Type::Object: return "object";
+    }
+    return "?";
+}
+
+/** One "path: type" line per node, keys in document order; array
+ *  element shape is taken from the first element. */
+void
+describeShape(const JsonValue &v, const std::string &path,
+              std::string &out)
+{
+    out += path + ": " + typeName(v.type()) + "\n";
+    if (v.type() == JsonValue::Type::Object) {
+        for (const auto &[key, child] : v.asObject())
+            describeShape(child, path + "." + key, out);
+    } else if (v.type() == JsonValue::Type::Array && v.size() > 0) {
+        describeShape(v.asArray()[0], path + "[]", out);
+    }
+}
+
+TEST(ManifestSchemaGolden, ShapeMatchesRecordedSchema)
+{
+    // A representative manifest: every optional section populated so
+    // the element shapes of stages/outputs are part of the pin.
+    RunManifest &m = RunManifest::global();
+    m.reset();
+    m.setTool("manifest_schema_test");
+    m.setSeed(1);
+    m.setThreads(2);
+    m.setConfig("seed=1;chips=1");
+    m.addStage("run", 0.125);
+    m.setOutput("stats", "stats.json");
+
+    std::string shape;
+    describeShape(JsonValue::parse(m.json()), "manifest", shape);
+    m.reset();
+
+    const std::string goldenPath =
+        goldenDataDir() + "/manifest_schema.golden";
+    if (goldenRecordMode()) {
+        std::ofstream out(goldenPath, std::ios::binary);
+        ASSERT_TRUE(out.good()) << "cannot write " << goldenPath;
+        out << shape;
+        ASSERT_TRUE(out.good());
+        GTEST_SKIP() << "recorded " << goldenPath;
+    }
+
+    std::ifstream in(goldenPath, std::ios::binary);
+    ASSERT_TRUE(in.good())
+        << "missing " << goldenPath
+        << " — record with EVAL_GOLDEN_MODE=record";
+    std::ostringstream os;
+    os << in.rdbuf();
+    EXPECT_EQ(shape, os.str())
+        << "manifest schema drifted; if intentional, bump "
+           "schema_version and re-record (EVAL_GOLDEN_MODE=record)";
+}
+
+} // namespace
+} // namespace eval

@@ -1,0 +1,31 @@
+// Fixture: span handles escaping their scope (obs-span-leak).
+// Deliberately not compilable — the lint corpus is text-only.
+
+namespace fixture {
+
+class ScopedSpan
+{
+  public:
+    explicit ScopedSpan(const char *) {}
+};
+
+ScopedSpan *
+leakySpan()
+{
+    return new ScopedSpan("model.step"); // obs-span-leak (heap)
+}
+
+void
+holdSpan(ScopedSpan &span)               // obs-span-leak (reference)
+{
+    (void)span;
+}
+
+void
+rawHandles()
+{
+    const auto h = beginSpanImpl("model.raw"); // obs-span-leak
+    endSpanImpl("model.raw", h);               // obs-span-leak
+}
+
+} // namespace fixture

@@ -79,6 +79,7 @@ TEST(LintCorpus, ViolatingTreeTripsEveryRule)
     EXPECT_EQ(countRule(diags, "hyg-pragma-once"), 1);
     EXPECT_EQ(countRule(diags, "hyg-using-namespace"), 1);
     EXPECT_EQ(countRule(diags, "hyg-iostream"), 3);
+    EXPECT_EQ(countRule(diags, "obs-span-leak"), 5);
     EXPECT_EQ(countRule(diags, "lint-bad-suppression"), 3);
     EXPECT_EQ(countRule(diags, "lint-unused-suppression"), 1);
 
@@ -90,6 +91,8 @@ TEST(LintCorpus, ViolatingTreeTripsEveryRule)
                            "hyg-using-namespace"));
     EXPECT_TRUE(hasFinding(diags, "src/model/bad_unordered.cc", 11,
                            "det-unordered"));
+    EXPECT_TRUE(hasFinding(diags, "src/model/bad_span_leak.cc", 15,
+                           "obs-span-leak"));
 }
 
 TEST(LintCorpus, CleanTreeIsClean)
@@ -264,6 +267,34 @@ TEST(LintRules, SplitDerivedStreamsPassSharedRng)
     EXPECT_EQ(countRule(diags, "det-shared-rng"), 0);
 }
 
+TEST(LintRules, SpanLeakFlagsEscapesButNotStackSpans)
+{
+    // Stack RAII spans are the sanctioned pattern.
+    EXPECT_TRUE(lintSource("src/core/t.cc",
+                           "void f() {\n"
+                           "    ScopedSpan span(\"core.f\");\n"
+                           "    span.arg(\"n\", 1);\n"
+                           "}\n")
+                    .empty());
+    // Heap spans, span references, and the raw handle API leak.
+    EXPECT_EQ(countRule(lintSource("src/core/t.cc",
+                                   "auto *s = new ScopedSpan(\"x\");\n"),
+                        "obs-span-leak"),
+              1);
+    EXPECT_EQ(countRule(lintSource("src/core/t.cc",
+                                   "void g(ScopedSpan &span);\n"),
+                        "obs-span-leak"),
+              1);
+    EXPECT_EQ(countRule(lintSource("bench/b.cpp",
+                                   "auto h = beginSpanImpl(\"x\");\n"),
+                        "obs-span-leak"),
+              1);
+    // The tracer's own implementation owns the raw API.
+    EXPECT_TRUE(lintSource("src/trace/span_tracer.cc",
+                           "auto h = beginSpanImpl(\"x\");\n")
+                    .empty());
+}
+
 TEST(LintRules, FloatEqCatchesBothSidesAndExponents)
 {
     const std::string src = "void f(double x) {\n"
@@ -294,8 +325,8 @@ TEST(LintRules, CatalogKnowsEveryReportedRule)
     for (const char *rule :
          {"det-entropy", "det-wallclock", "det-unordered", "det-shared-rng",
           "num-float-eq", "num-float-narrow", "hyg-pragma-once",
-          "hyg-using-namespace", "hyg-iostream", "lint-bad-suppression",
-          "lint-unused-suppression"})
+          "hyg-using-namespace", "hyg-iostream", "obs-span-leak",
+          "lint-bad-suppression", "lint-unused-suppression"})
         EXPECT_TRUE(eval::lint::isKnownRule(rule)) << rule;
     EXPECT_FALSE(eval::lint::isKnownRule("no-such-rule"));
 }

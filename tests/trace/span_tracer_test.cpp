@@ -1,0 +1,277 @@
+/** Tests for the span tracer: disabled-path inertness, nesting and
+ *  arg round-trip through the Perfetto trace_event JSON writer,
+ *  multi-thread interleaving, and ring eviction. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <thread>
+
+#include "cmp/cmp_system.hh"
+#include "core/eval.hh"
+#include "trace/span_tracer.hh"
+#include "valid/json_value.hh"
+
+namespace eval {
+namespace {
+
+/** Reset the global tracer around every test. */
+class SpanTracerTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        SpanTracer &tracer = SpanTracer::global();
+        tracer.setEnabled(false);
+        tracer.clear();
+        tracer.setRingCapacity(SpanTracer::kDefaultRingCapacity);
+    }
+
+    void
+    TearDown() override
+    {
+        SetUp();
+    }
+};
+
+/** Find the first "X" event with @p name; nullptr when absent. */
+const JsonValue *
+findEvent(const JsonValue &doc, const std::string &name)
+{
+    for (const JsonValue &ev : doc.at("traceEvents").asArray()) {
+        if (ev.at("ph").asString() == "X" &&
+            ev.at("name").asString() == name) {
+            return &ev;
+        }
+    }
+    return nullptr;
+}
+
+TEST_F(SpanTracerTest, DisabledTracerRecordsNothing)
+{
+    SpanTracer &tracer = SpanTracer::global();
+    ASSERT_FALSE(tracer.enabled());
+    {
+        ScopedSpan span("test.disabled");
+        span.arg("ignored", 42);
+        EXPECT_STREQ(SpanTracer::currentSpanName(), "");
+    }
+    EXPECT_EQ(tracer.eventCount(), 0u);
+    EXPECT_EQ(tracer.droppedCount(), 0u);
+}
+
+TEST_F(SpanTracerTest, CurrentSpanNameTracksTheOpenStack)
+{
+    SpanTracer &tracer = SpanTracer::global();
+    tracer.setEnabled(true);
+    EXPECT_STREQ(SpanTracer::currentSpanName(), "");
+    {
+        ScopedSpan outer("test.outer");
+        EXPECT_STREQ(SpanTracer::currentSpanName(), "test.outer");
+        {
+            ScopedSpan inner("test.inner");
+            EXPECT_STREQ(SpanTracer::currentSpanName(), "test.inner");
+        }
+        EXPECT_STREQ(SpanTracer::currentSpanName(), "test.outer");
+    }
+    EXPECT_STREQ(SpanTracer::currentSpanName(), "");
+}
+
+TEST_F(SpanTracerTest, NestedSpansAndArgsRoundTripThroughJson)
+{
+    SpanTracer &tracer = SpanTracer::global();
+    tracer.setEnabled(true);
+    {
+        ScopedSpan outer("test.outer");
+        outer.arg("count", std::size_t{7});
+        outer.arg("signed", -3);
+        outer.arg("ratio", 0.25);
+        outer.arg("flag", true);
+        outer.arg("label", std::string("phase-a"));
+        {
+            ScopedSpan inner("test.inner");
+            inner.arg("note", "nested");
+        }
+    }
+    tracer.setEnabled(false);
+    ASSERT_EQ(tracer.eventCount(), 2u);
+
+    // Stored events: inner closes first, nests one level deep, and is
+    // time-contained by the outer span.
+    const std::vector<SpanEvent> events = tracer.snapshotEvents();
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[0].name, "test.outer");
+    EXPECT_EQ(events[0].depth, 0);
+    EXPECT_EQ(events[1].name, "test.inner");
+    EXPECT_EQ(events[1].depth, 1);
+    EXPECT_LE(events[0].startNs, events[1].startNs);
+    EXPECT_LE(events[1].startNs + events[1].durNs,
+              events[0].startNs + events[0].durNs);
+
+    // Exported JSON: well-formed trace_event document whose args
+    // survive with their types.
+    const JsonValue doc = JsonValue::parse(tracer.traceEventJson());
+    EXPECT_EQ(doc.at("displayTimeUnit").asString(), "ms");
+    const JsonValue *outer = findEvent(doc, "test.outer");
+    ASSERT_NE(outer, nullptr);
+    EXPECT_EQ(outer->at("args").at("count").asInt(), 7);
+    EXPECT_EQ(outer->at("args").at("signed").asInt(), -3);
+    EXPECT_DOUBLE_EQ(outer->at("args").at("ratio").asDouble(), 0.25);
+    EXPECT_TRUE(outer->at("args").at("flag").asBool());
+    EXPECT_EQ(outer->at("args").at("label").asString(), "phase-a");
+    const JsonValue *inner = findEvent(doc, "test.inner");
+    ASSERT_NE(inner, nullptr);
+    EXPECT_EQ(inner->at("args").at("note").asString(), "nested");
+    EXPECT_GE(inner->at("ts").asDouble(), outer->at("ts").asDouble());
+}
+
+TEST_F(SpanTracerTest, ThreadsGetDistinctTidsAndMetadata)
+{
+    SpanTracer &tracer = SpanTracer::global();
+    tracer.setEnabled(true);
+
+    // Two explicit worker threads (the host may be single-core, so
+    // never rely on hardware_concurrency for the multi-thread case).
+    std::atomic<int> started{0};
+    auto work = [&started](const char *name) {
+        started.fetch_add(1);
+        while (started.load() < 2) {
+        }
+        for (int i = 0; i < 4; ++i) {
+            ScopedSpan span(name);
+            span.arg("iter", i);
+        }
+    };
+    std::thread a(work, "test.worker_a");
+    std::thread b(work, "test.worker_b");
+    a.join();
+    b.join();
+    tracer.setEnabled(false);
+
+    std::set<int> tids;
+    for (const SpanEvent &ev : tracer.snapshotEvents())
+        tids.insert(ev.tid);
+    EXPECT_GE(tids.size(), 2u);
+
+    // The export carries per-thread metadata and X events on at least
+    // two distinct tids.
+    const JsonValue doc = JsonValue::parse(tracer.traceEventJson());
+    std::set<int> jsonTids;
+    std::set<int> namedTids;
+    for (const JsonValue &ev : doc.at("traceEvents").asArray()) {
+        if (ev.at("ph").asString() == "X")
+            jsonTids.insert(static_cast<int>(ev.at("tid").asInt()));
+        if (ev.at("ph").asString() == "M" &&
+            ev.at("name").asString() == "thread_name") {
+            namedTids.insert(static_cast<int>(ev.at("tid").asInt()));
+        }
+    }
+    EXPECT_GE(jsonTids.size(), 2u);
+    for (int tid : jsonTids)
+        EXPECT_TRUE(namedTids.count(tid)) << "no thread_name for tid "
+                                          << tid;
+}
+
+TEST_F(SpanTracerTest, FullRingEvictsOldestAndCountsDrops)
+{
+    SpanTracer &tracer = SpanTracer::global();
+    tracer.setRingCapacity(16);
+    tracer.setEnabled(true);
+    for (int i = 0; i < 100; ++i) {
+        ScopedSpan span("test.evict");
+        span.arg("i", i);
+    }
+    tracer.setEnabled(false);
+
+    EXPECT_EQ(tracer.eventCount(), 16u);
+    EXPECT_EQ(tracer.droppedCount(), 84u);
+
+    // The survivors are the most recent window.
+    const std::vector<SpanEvent> events = tracer.snapshotEvents();
+    ASSERT_EQ(events.size(), 16u);
+    EXPECT_EQ(events.front().args.at(0).second, "84");
+    EXPECT_EQ(events.back().args.at(0).second, "99");
+
+    tracer.clear();
+    EXPECT_EQ(tracer.eventCount(), 0u);
+    EXPECT_EQ(tracer.droppedCount(), 0u);
+}
+
+TEST_F(SpanTracerTest, RealPipelineSpansCoverSubsystemsAcrossThreads)
+{
+    SpanTracer &tracer = SpanTracer::global();
+    tracer.setEnabled(true);
+
+    // A tiny but real experiment: two chips' CMP mixes, one per
+    // explicit thread (the host may be single-core, so the pool's
+    // own workers cannot be relied on to take work).  This is the
+    // pipeline `eval_cli run --trace-spans` traces.
+    ExperimentConfig cfg;
+    cfg.seed = 42;
+    cfg.chips = 2;
+    cfg.simInsts = 10000;
+    ExperimentContext ctx(cfg);
+    const WorkloadMix mix = mixedMix();
+    auto runChip = [&ctx, &mix](std::size_t chip) {
+        CmpSystem cmp(ctx, chip);
+        cmp.runMix(mix, EnvironmentKind::TS_ASV, AdaptScheme::ExhDyn);
+    };
+    std::thread a(runChip, 0);
+    std::thread b(runChip, 1);
+    a.join();
+    b.join();
+    tracer.setEnabled(false);
+
+    std::set<std::string> subsystems;
+    std::set<int> tids;
+    for (const SpanEvent &ev : tracer.snapshotEvents()) {
+        subsystems.insert(ev.name.substr(0, ev.name.find('.')));
+        tids.insert(ev.tid);
+    }
+    // cmp, controller, optimizer, fuzzy, thermal, pe at minimum.
+    EXPECT_GE(subsystems.size(), 5u)
+        << ::testing::PrintToString(subsystems);
+    EXPECT_GE(tids.size(), 2u);
+
+    // And the export is loadable trace_event JSON carrying the same.
+    const JsonValue doc = JsonValue::parse(tracer.traceEventJson());
+    std::set<std::string> jsonSubsystems;
+    for (const JsonValue &ev : doc.at("traceEvents").asArray()) {
+        if (ev.at("ph").asString() == "X") {
+            const std::string &name = ev.at("name").asString();
+            jsonSubsystems.insert(name.substr(0, name.find('.')));
+        }
+    }
+    EXPECT_GE(jsonSubsystems.size(), 5u);
+}
+
+TEST_F(SpanTracerTest, WriteJsonProducesALoadableFile)
+{
+    SpanTracer &tracer = SpanTracer::global();
+    tracer.setEnabled(true);
+    {
+        ScopedSpan span("test.write");
+    }
+    tracer.setEnabled(false);
+
+    const std::string path =
+        ::testing::TempDir() + "span_tracer_test.json";
+    ASSERT_TRUE(tracer.writeJson(path));
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::ostringstream os;
+    os << in.rdbuf();
+    const JsonValue doc = JsonValue::parse(os.str());
+    EXPECT_NE(findEvent(doc, "test.write"), nullptr);
+    std::remove(path.c_str());
+
+    EXPECT_FALSE(tracer.writeJson("/nonexistent-dir/spans.json"));
+}
+
+} // namespace
+} // namespace eval

@@ -1,7 +1,9 @@
-/** Tests for log filtering: levels, quiet mode, timestamps. */
+/** Tests for log filtering: levels, quiet mode, timestamps, and
+ *  thread/span context prefixes. */
 
 #include <gtest/gtest.h>
 
+#include "trace/span_tracer.hh"
 #include "util/logging.hh"
 
 namespace eval {
@@ -17,6 +19,7 @@ class LoggingTest : public ::testing::Test
         setQuiet(false);
         setMinLogLevel(LogLevel::Inform);
         setLogTimestamps(false);
+        setLogThreads(false);
     }
 
     void
@@ -25,6 +28,9 @@ class LoggingTest : public ::testing::Test
         setQuiet(false);
         setMinLogLevel(LogLevel::Inform);
         setLogTimestamps(false);
+        setLogThreads(false);
+        SpanTracer::global().setEnabled(false);
+        SpanTracer::global().clear();
     }
 
     std::string
@@ -67,13 +73,52 @@ TEST_F(LoggingTest, TimestampPrefixShape)
     setLogTimestamps(true);
     EXPECT_TRUE(logTimestamps());
     const std::string out = captured([] { warn("stamped"); });
-    // "HH:MM:SS.mmm [warn] stamped\n"
-    ASSERT_GE(out.size(), 13u);
-    EXPECT_EQ(out[2], ':');
-    EXPECT_EQ(out[5], ':');
-    EXPECT_EQ(out[8], '.');
-    EXPECT_EQ(out[12], ' ');
-    EXPECT_NE(out.find("[warn] stamped\n"), std::string::npos);
+    // "+S.mmms [warn] stamped\n" — monotonic seconds since process
+    // start (the span-trace clock), not wall-clock time of day.
+    ASSERT_GE(out.size(), 8u);
+    EXPECT_EQ(out[0], '+');
+    const std::size_t dot = out.find('.');
+    ASSERT_NE(dot, std::string::npos);
+    EXPECT_EQ(out.substr(dot + 4, 2), "s ");
+    EXPECT_NE(out.find("s [warn] stamped\n"), std::string::npos);
+}
+
+TEST_F(LoggingTest, ThreadPrefixCarriesTidAndOpenSpan)
+{
+    setLogThreads(true);
+    EXPECT_TRUE(logThreads());
+
+    // No span open: "[tN] " only.
+    std::string out = captured([] { warn("plain"); });
+    ASSERT_EQ(out.rfind("[t", 0), 0u) << out;
+    EXPECT_NE(out.find("] [warn] plain\n"), std::string::npos) << out;
+    EXPECT_EQ(out.find(' '), out.find("] ") + 1) << out;
+
+    // With an open span, the innermost span name rides along.
+    SpanTracer::global().setEnabled(true);
+    {
+        ScopedSpan span("test.logging");
+        out = captured([] { warn("spanned"); });
+    }
+    SpanTracer::global().setEnabled(false);
+    ASSERT_EQ(out.rfind("[t", 0), 0u) << out;
+    EXPECT_NE(out.find(" test.logging] [warn] spanned\n"),
+              std::string::npos)
+        << out;
+}
+
+TEST_F(LoggingTest, ThreadPrefixComposesWithTimestamp)
+{
+    setLogThreads(true);
+    setLogTimestamps(true);
+    const std::string out = captured([] { warn("both"); });
+    // Timestamp first, then thread context, then the level tag.
+    EXPECT_EQ(out[0], '+') << out;
+    const std::size_t tpos = out.find("[t");
+    const std::size_t lpos = out.find("[warn]");
+    ASSERT_NE(tpos, std::string::npos) << out;
+    ASSERT_NE(lpos, std::string::npos) << out;
+    EXPECT_LT(tpos, lpos) << out;
 }
 
 TEST_F(LoggingTest, FatalStillTerminatesWhenQuiet)

@@ -311,7 +311,8 @@ classify(const std::string &relPath)
     ps.inSrc = startsWith(relPath, "src/");
     ps.timingExempt = startsWith(relPath, "src/util/random") ||
                       startsWith(relPath, "src/util/logging") ||
-                      startsWith(relPath, "src/stats/");
+                      startsWith(relPath, "src/stats/") ||
+                      startsWith(relPath, "src/trace/");
     ps.iostreamExempt = startsWith(relPath, "src/util/logging");
     return ps;
 }
@@ -541,6 +542,53 @@ ruleHygIostream(const Ctx &ctx)
                          "logging layer (util/logging.hh)");
 }
 
+void
+ruleObsSpanLeak(const Ctx &ctx)
+{
+    // ScopedSpan IS its scope: a heap span, a span pointer/reference,
+    // or a raw begin/end handle call produces overlapping events the
+    // Perfetto exporter cannot nest.  src/trace owns the raw API.
+    if (startsWith(ctx.relPath, "src/trace/"))
+        return;
+    const std::string &code = ctx.scan.code;
+    for (std::size_t pos : findTokens(code, "ScopedSpan", false)) {
+        std::size_t before = pos;
+        while (before > 0 &&
+               std::isspace(static_cast<unsigned char>(code[before - 1])))
+            --before;
+        const bool heap =
+            before >= 3 && code.compare(before - 3, 3, "new") == 0 &&
+            (before == 3 || !identChar(code[before - 4]));
+        if (heap) {
+            ctx.emit(pos, "obs-span-leak",
+                     "heap-allocated ScopedSpan outlives its lexical "
+                     "scope; declare it as a stack local so the span "
+                     "closes where it opened");
+            continue;
+        }
+        std::size_t after = pos + 10; // past "ScopedSpan"
+        while (after < code.size() &&
+               std::isspace(static_cast<unsigned char>(code[after])))
+            ++after;
+        if (after < code.size() &&
+            (code[after] == '*' || code[after] == '&')) {
+            ctx.emit(pos, "obs-span-leak",
+                     "ScopedSpan pointer/reference lets a span handle "
+                     "escape its scope; pass data, not spans, and open "
+                     "a new span in the callee");
+        }
+    }
+    static const char *rawApi[] = {"beginSpanImpl", "endSpanImpl",
+                                   "pushOpenSpan", "popOpenSpan"};
+    for (const char *t : rawApi)
+        for (std::size_t pos : findTokens(code, t, true))
+            ctx.emit(pos, "obs-span-leak",
+                     std::string("raw span handle API '") + t +
+                         "' outside src/trace; use the RAII ScopedSpan "
+                         "so every span closes in the scope that "
+                         "opened it");
+}
+
 // ---------------------------------------------------------------------------
 // Engine
 // ---------------------------------------------------------------------------
@@ -615,6 +663,9 @@ ruleCatalog()
         {"hyg-using-namespace", "no 'using namespace' at header scope"},
         {"hyg-iostream",
          "no std::cout/std::cerr/printf in src/ (use util/logging)"},
+        {"obs-span-leak",
+         "spans are RAII-only: no heap/pointer/reference ScopedSpan "
+         "and no raw begin/end span calls outside src/trace"},
         {"lint-bad-suppression",
          "suppressions must name known rules and carry a justification "
          "(reported, never suppressible)"},
@@ -650,6 +701,7 @@ lintSource(const std::string &relPath, const std::string &content)
     ruleHygPragmaOnce(ctx);
     ruleHygUsingNamespace(ctx);
     ruleHygIostream(ctx);
+    ruleObsSpanLeak(ctx);
 
     std::vector<Suppression> supps = parseSuppressions(scan, relPath, diags);
     applySuppressions(diags, supps, relPath);
