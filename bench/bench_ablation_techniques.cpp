@@ -55,6 +55,11 @@ main()
     std::map<std::string, double> fr;
     const auto apps = ctx.selectedApps();
 
+    ProgressTracker &chipProgress =
+        ProgressRegistry::global().tracker("chips");
+    chipProgress.addTotal(combos.size() *
+                          static_cast<std::uint64_t>(cfg.chips));
+
     for (const Combo &combo : combos) {
         EnvCapabilities caps;
         caps.timingSpec = true;
@@ -69,7 +74,7 @@ main()
         // bit-identical to a serial run.
         const auto perChip = globalPool().parallelMap(
             static_cast<std::size_t>(cfg.chips),
-            [&ctx, &apps, &opt, &cfg](std::size_t chip) {
+            [&ctx, &apps, &opt, &cfg, &chipProgress](std::size_t chip) {
                 std::vector<double> freqs;
                 for (std::size_t a = 0; a < apps.size(); a += 3) {
                     const AppProfile &app = *apps[a];
@@ -83,6 +88,7 @@ main()
                     freqs.push_back(res.op.freq /
                                     cfg.process.freqNominal);
                 }
+                chipProgress.tick();
                 return freqs;
             });
         RunningStats freq;

@@ -34,6 +34,14 @@ main()
     table.header({"mix", "environment", "throughputRel", "chip W",
                   "TH (C)", "throttle steps"});
 
+    // The campaign is mixes x setups x chips chip-runs; declare it
+    // all so the live status fraction is meaningful from the start.
+    ProgressTracker &chipProgress =
+        ProgressRegistry::global().tracker("chips");
+    chipProgress.addTotal(mixes.size() * setups.size() *
+                          static_cast<std::uint64_t>(
+                              ctx.config().chips));
+
     double totalThrottleSteps = 0.0;
     for (const auto &[mixName, mix] : mixes) {
         for (const auto &[env, scheme] : setups) {
@@ -42,10 +50,12 @@ main()
             // so the stats match a serial run bit for bit.
             const auto perChip = globalPool().parallelMap(
                 static_cast<std::size_t>(ctx.config().chips),
-                [&ctx, &mix, env = env, scheme = scheme]
+                [&ctx, &mix, &chipProgress, env = env, scheme = scheme]
                 (std::size_t chip) {
                     CmpSystem cmp(ctx, chip);
-                    return cmp.runMix(mix, env, scheme);
+                    CmpRunResult res = cmp.runMix(mix, env, scheme);
+                    chipProgress.tick();
+                    return res;
                 });
             RunningStats tput, power, th, throttle;
             for (const CmpRunResult &res : perChip) {

@@ -66,6 +66,25 @@ main()
     // is the shape the golden paper-anchor test pins.
     std::map<std::string, Cell> perEnv;
 
+    // Warm the per-app characterization cache before the chip fan-out
+    // starts: the first cell's chips would otherwise all serialize on
+    // the cache's call_once and the chips tracker would sit at zero
+    // for most of the run.  Distinct apps characterize in parallel.
+    // eval-lint: allow(obs-progress-units) warm-up is reported by the
+    // characterize.phases tracker inside CharacterizationCache
+    globalPool().parallelFor(std::size_t{0}, apps.size(), 1,
+                             [&ctx, &apps](std::size_t a) {
+                                 ctx.characterizations().get(*apps[a]);
+                             });
+
+    // Declare the whole campaign up front (4x4 cells x chips) so the
+    // status file shows a true completion fraction from snapshot one.
+    ProgressTracker &chipProgress =
+        ProgressRegistry::global().tracker("chips");
+    chipProgress.addTotal(techniques.size() * voltages.size() *
+                          static_cast<std::uint64_t>(
+                              ctx.config().chips));
+
     for (const auto &[techName, tech] : techniques) {
         for (const auto &[envName, volt] : voltages) {
             const EnvCapabilities caps = makeCaps(
@@ -75,7 +94,7 @@ main()
             // per-chip tallies merge serially in chip order.
             const auto perChip = globalPool().parallelMap(
                 static_cast<std::size_t>(ctx.config().chips),
-                [&ctx, &apps, &caps](std::size_t chip) {
+                [&ctx, &apps, &caps, &chipProgress](std::size_t chip) {
                     Cell local;
                     for (std::size_t a = 0; a < apps.size(); ++a) {
                         const AppProfile &app = *apps[a];
@@ -100,6 +119,7 @@ main()
                             }
                         }
                     }
+                    chipProgress.tick();
                     return local;
                 });
             Cell cell;

@@ -23,6 +23,13 @@
  *                      flags, seed, stage wall times, peak RSS);
  *                      default from EVAL_MANIFEST, "" disables
  *   --profile          enable ScopedTimers and print the self-profile
+ *   --status-out=FILE  publish live status snapshots (progress,
+ *                      chips/sec, ETA, RSS, stats) to FILE every
+ *                      --status-interval-ms (default 500) via
+ *                      rename-into-place; watch with eval_top.
+ *                      --status-prom=FILE adds Prometheus text
+ *                      exposition.  Defaults from EVAL_STATUS_OUT /
+ *                      EVAL_STATUS_PROM / EVAL_STATUS_INTERVAL_MS.
  * With any of these flags present the command defaults to `run`.
  * All telemetry files are registered with ExitFlush, so they are
  * written even when the run dies via fatal()/uncaught exception.
@@ -38,6 +45,7 @@
 
 #include "core/eval.hh"
 #include "exec/thread_pool.hh"
+#include "obs/metrics_sampler.hh"
 #include "util/logging.hh"
 #include "core/retiming.hh"
 #include "stats/stats.hh"
@@ -269,6 +277,14 @@ main(int argc, char **argv)
     const std::string manifestOut = args.getString(
         "manifest", manifestEnv ? manifestEnv : "manifest.json");
     const bool profile = args.getBool("profile", false);
+    const char *statusEnv = std::getenv("EVAL_STATUS_OUT");
+    const std::string statusOut =
+        args.getString("status-out", statusEnv ? statusEnv : "");
+    const char *promEnv = std::getenv("EVAL_STATUS_PROM");
+    const std::string statusProm =
+        args.getString("status-prom", promEnv ? promEnv : "");
+    const std::int64_t statusIntervalMs = args.getInt(
+        "status-interval-ms", envInt("EVAL_STATUS_INTERVAL_MS", 500));
     // --threads=N overrides EVAL_THREADS / hardware concurrency (0 =
     // auto); results do not depend on the thread count.
     const std::int64_t threadsArg = args.getInt("threads", 0);
@@ -290,6 +306,23 @@ main(int argc, char **argv)
     if (!spansOut.empty())
         RunManifest::global().setOutput("trace_spans", spansOut);
 
+    // Live telemetry: start the sampler before the command runs so
+    // eval_top can watch the whole campaign (DESIGN.md Sec 5f).
+    if (!statusOut.empty() || !statusProm.empty()) {
+        SamplerConfig sampler;
+        sampler.tool = "eval_cli";
+        sampler.statusPath = statusOut;
+        sampler.promPath = statusProm;
+        sampler.intervalMs = statusIntervalMs > 0
+                                 ? static_cast<std::uint64_t>(
+                                       statusIntervalMs)
+                                 : 500;
+        MetricsSampler::global().configure(sampler);
+        MetricsSampler::global().start();
+        if (!statusOut.empty())
+            RunManifest::global().setOutput("status", statusOut);
+    }
+
     // Telemetry survives fatal()/uncaught exceptions: the flush runs
     // from the atexit/terminate hooks, and runNow() below makes the
     // normal path identical (closures run exactly once).
@@ -309,7 +342,8 @@ main(int argc, char **argv)
 
     // With observability flags but no command, default to `run`.
     const bool observing = !statsOut.empty() || !traceOut.empty() ||
-                           !spansOut.empty() || profile;
+                           !spansOut.empty() || !statusOut.empty() ||
+                           profile;
     if (args.positional().empty() && !observing)
         return usage();
     const std::string cmd =
@@ -336,6 +370,10 @@ main(int argc, char **argv)
     RunManifest::global().addStage(
         cmd, static_cast<double>(traceNowNs() - cmdStart) / 1e9);
 
+    // Stop the sampler (joins the thread, publishes the final
+    // snapshot, removes its ExitFlush closure) before the blanket
+    // flush.
+    MetricsSampler::global().stop();
     ExitFlush::global().runNow();
 
     for (const std::string &key : args.unusedKeys())

@@ -11,10 +11,11 @@
 #        scripts/check.sh --tidy [build-dir]
 #        scripts/check.sh --coverage [build-dir]
 #        scripts/check.sh --bench-track [build-dir]
+#        scripts/check.sh --obs-smoke [build-dir]
 #
 # --tsan (or CHECK_TSAN=1) configures with -DEVAL_TSAN=ON and runs the
-# concurrency-sensitive test subset (exec, stats, core, cmp) under
-# ThreadSanitizer instead of the full Werror build.
+# concurrency-sensitive test subset (exec, stats, core, cmp, obs)
+# under ThreadSanitizer instead of the full Werror build.
 #
 # --asan / --ubsan (or CHECK_ASAN=1 / CHECK_UBSAN=1) configure with
 # -DEVAL_ASAN=ON / -DEVAL_UBSAN=ON and run the tier-1 suite under
@@ -43,6 +44,14 @@
 # dir).  Fails when a gated metric (wall_clock_s) regresses more than
 # the noise threshold vs the recent history window.  See TESTING.md
 # "Tracking bench regressions".
+#
+# --obs-smoke (or CHECK_OBS_SMOKE=1) is the live-telemetry end-to-end
+# check: it runs a fast bench with EVAL_STATUS_OUT set, polls the
+# status file through `eval_top --once --json` while the bench runs
+# (every readable frame must parse and carry a monotone seq — the
+# rename-into-place contract), then asserts the final snapshot is
+# marked final with every tracker at 100% and that at least two
+# snapshots were published over the run.
 
 set -euo pipefail
 
@@ -60,6 +69,7 @@ case "${1:-}" in
   --tidy)     mode="tidy";     shift ;;
   --coverage) mode="coverage"; shift ;;
   --bench-track) mode="bench-track"; shift ;;
+  --obs-smoke) mode="obs-smoke"; shift ;;
 esac
 [[ "${CHECK_TSAN:-0}" == "1" ]] && mode="tsan"
 [[ "${CHECK_ASAN:-0}" == "1" ]] && mode="asan"
@@ -68,6 +78,7 @@ esac
 [[ "${CHECK_TIDY:-0}" == "1" ]] && mode="tidy"
 [[ "${CHECK_COVERAGE:-0}" == "1" ]] && mode="coverage"
 [[ "${CHECK_BENCH_TRACK:-0}" == "1" ]] && mode="bench-track"
+[[ "${CHECK_OBS_SMOKE:-0}" == "1" ]] && mode="obs-smoke"
 
 if [[ "$mode" == "tsan" ]]; then
     build_dir="${1:-$repo_root/build-tsan}"
@@ -76,7 +87,7 @@ if [[ "$mode" == "tsan" ]]; then
     # Exercise the parallel layer for real: the determinism test and the
     # stats test both fan out on multi-thread pools.
     EVAL_THREADS=4 ctest --test-dir "$build_dir" --output-on-failure \
-        -R 'exec_|stats_|core_|cmp_'
+        -R 'exec_|stats_|core_|cmp_|obs_'
     echo "check.sh: TSan tests passed"
     exit 0
 fi
@@ -187,6 +198,82 @@ if [[ "$mode" == "bench-track" ]]; then
         --gate
     echo "check.sh: bench tracking passed" \
          "(report: $build_dir/bench-report.md)"
+    exit 0
+fi
+
+if [[ "$mode" == "obs-smoke" ]]; then
+    build_dir="${1:-$repo_root/build-check}"
+    bench="${OBS_SMOKE_BENCH:-bench_cmp_mixes}"
+
+    cmake -B "$build_dir" -S "$repo_root"
+    build_dir="$(cd "$build_dir" && pwd)" # bench runs from a scratch cwd
+    cmake --build "$build_dir" -j"$(nproc)" --target "$bench" eval_top
+
+    top_bin="$build_dir/tools/eval_top/eval_top"
+    run_dir="$build_dir/obs-smoke"
+    rm -rf "$run_dir" && mkdir -p "$run_dir"
+    status="$run_dir/status.json"
+
+    (cd "$run_dir" && EVAL_FAST=1 EVAL_MANIFEST= \
+        EVAL_STATUS_OUT="$status" EVAL_STATUS_INTERVAL_MS=50 \
+        "$build_dir/bench/$bench" > bench.stdout 2>&1) &
+    bench_pid=$!
+
+    # Tail the status file through the dashboard while the bench runs.
+    # Every readable frame must parse (eval_top exits 0) and carry a
+    # seq no lower than the previous one: rename-into-place means a
+    # reader never sees a torn or stale-after-fresh document.
+    last_seq=0
+    observed=0
+    while kill -0 "$bench_pid" 2>/dev/null; do
+        if [[ -f "$status" ]]; then
+            if ! frame="$("$top_bin" --once --json "$status")"; then
+                echo "check.sh: ERROR eval_top could not read $status"
+                kill "$bench_pid" 2>/dev/null || true
+                exit 1
+            fi
+            seq_now="$(sed -n 's/^ *"seq": \([0-9][0-9]*\),*$/\1/p' \
+                       <<< "$frame" | head -n1)"
+            if [[ -n "$seq_now" ]]; then
+                if (( seq_now < last_seq )); then
+                    echo "check.sh: ERROR status seq went backwards" \
+                         "($last_seq -> $seq_now)"
+                    kill "$bench_pid" 2>/dev/null || true
+                    exit 1
+                fi
+                if (( seq_now > last_seq )); then
+                    observed=$((observed + 1))
+                fi
+                last_seq="$seq_now"
+            fi
+        fi
+        sleep 0.05
+    done
+    wait "$bench_pid"
+
+    # The exit path publishes one last snapshot: final=true, every
+    # tracker complete.  seq counts every published sample, so the
+    # ">= 2 snapshots" gate reads it straight off the final frame.
+    final_frame="$("$top_bin" --once --json "$status")"
+    final_seq="$(sed -n 's/^ *"seq": \([0-9][0-9]*\),*$/\1/p' \
+                 <<< "$final_frame" | head -n1)"
+    if ! grep -q '"final": true' <<< "$final_frame"; then
+        echo "check.sh: ERROR final status snapshot not marked final"
+        exit 1
+    fi
+    if grep '"fraction":' <<< "$final_frame" \
+            | grep -qv '"fraction": 1\.0'; then
+        echo "check.sh: ERROR a tracker finished below 100%:"
+        grep -B3 '"fraction":' <<< "$final_frame"
+        exit 1
+    fi
+    if [[ -z "$final_seq" ]] || (( final_seq < 2 )); then
+        echo "check.sh: ERROR only ${final_seq:-0} snapshots published" \
+             "(want >= 2: periodic samples plus the final flush)"
+        exit 1
+    fi
+    echo "check.sh: obs smoke passed ($final_seq snapshots published," \
+         "$observed distinct frames observed live, status: $status)"
     exit 0
 fi
 

@@ -1,0 +1,117 @@
+#include "obs/progress.hh"
+
+#include <algorithm>
+#include <chrono>
+
+namespace eval {
+
+namespace {
+
+std::uint64_t
+monotonicNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace
+
+double
+ProgressTracker::fraction() const
+{
+    const std::uint64_t t = total();
+    if (t == 0)
+        return 0.0;
+    const std::uint64_t d = std::min(done(), t);
+    return static_cast<double>(d) / static_cast<double>(t);
+}
+
+double
+ProgressTracker::elapsedS() const
+{
+    const std::uint64_t start = startNs();
+    if (start == 0)
+        return 0.0;
+    const std::uint64_t now = monotonicNs();
+    return now > start ? static_cast<double>(now - start) / 1e9 : 0.0;
+}
+
+void
+ProgressTracker::reset()
+{
+    total_.store(0, std::memory_order_relaxed);
+    done_.store(0, std::memory_order_relaxed);
+    startNs_.store(0, std::memory_order_relaxed);
+}
+
+void
+ProgressTracker::stampStart()
+{
+    if (startNs_.load(std::memory_order_relaxed) != 0)
+        return;
+    std::uint64_t expected = 0;
+    startNs_.compare_exchange_strong(expected, monotonicNs(),
+                                     std::memory_order_relaxed);
+}
+
+ProgressRegistry &
+ProgressRegistry::global()
+{
+    // Leaked: the sampler's exit-flush hook samples trackers during
+    // process teardown, after function-local statics are destroyed.
+    static ProgressRegistry *registry = new ProgressRegistry;
+    return *registry;
+}
+
+ProgressTracker &
+ProgressRegistry::tracker(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = trackers_.find(name);
+    if (it == trackers_.end()) {
+        it = trackers_
+                 .emplace(name, std::make_unique<ProgressTracker>())
+                 .first;
+    }
+    return *it->second;
+}
+
+const ProgressTracker *
+ProgressRegistry::find(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = trackers_.find(name);
+    return it == trackers_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::pair<std::string, const ProgressTracker *>>
+ProgressRegistry::all() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::pair<std::string, const ProgressTracker *>> out;
+    out.reserve(trackers_.size());
+    for (const auto &[name, tracker] : trackers_)
+        out.emplace_back(name, tracker.get());
+    return out;
+}
+
+std::size_t
+ProgressRegistry::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return trackers_.size();
+}
+
+void
+ProgressRegistry::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &[name, tracker] : trackers_) {
+        (void)name;
+        tracker->reset();
+    }
+}
+
+} // namespace eval

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Lock-free progress accounting for long-running fan-outs.
+ *
+ * Every per-chip Monte Carlo fan-out (bench sweep drivers,
+ * ChipFactory::manufacture, the optimizer's per-subsystem scans)
+ * advertises its planned work with addTotal() and ticks one unit per
+ * completed task.  The MetricsSampler (metrics_sampler.hh) reads the
+ * counters at its sampling interval and derives completion fraction,
+ * chips/sec throughput, and an EWMA-based ETA for the status file
+ * that `eval_top` tails.
+ *
+ * Contract with the determinism layer (DESIGN.md Sec 5c): trackers
+ * are observational only.  tick() is one relaxed atomic RMW on a
+ * counter that no model code ever reads back, so progress accounting
+ * can never leak into the bit-identical accumulation path — results
+ * are byte-for-byte the same with tracking compiled in, sampled, or
+ * ignored.  The eval-lint rule obs-progress-units holds bench/
+ * parallel loops to this wiring.
+ */
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace eval {
+
+/**
+ * Counters for one named unit of work ("chips", "manufacture", ...).
+ * All methods are safe from any thread; tick() and addTotal() are
+ * single relaxed atomic RMWs so hot loop bodies can call them
+ * unconditionally.
+ */
+class ProgressTracker
+{
+  public:
+    /** Declare @p n more planned units (cumulative across phases: a
+     *  bench that sweeps four cells of 40 chips declares 160). */
+    void
+    addTotal(std::uint64_t n)
+    {
+        stampStart();
+        total_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    /** Record @p n completed units. */
+    void
+    tick(std::uint64_t n = 1)
+    {
+        stampStart();
+        done_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    total() const
+    {
+        return total_.load(std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    done() const
+    {
+        return done_.load(std::memory_order_relaxed);
+    }
+
+    /** done/total clamped to [0, 1]; 0 while no total is declared
+     *  (indeterminate work still counts units and rates). */
+    double fraction() const;
+
+    /** Monotonic nanosecond stamp of the first addTotal()/tick(); 0
+     *  until the tracker sees any activity. */
+    std::uint64_t
+    startNs() const
+    {
+        return startNs_.load(std::memory_order_relaxed);
+    }
+
+    /** Seconds since the first activity (0 while idle). */
+    double elapsedS() const;
+
+    void reset();
+
+  private:
+    /** First-activity stamp: one relaxed load on the hot path; the
+     *  CAS runs once per tracker lifetime. */
+    void stampStart();
+
+    std::atomic<std::uint64_t> total_{0};
+    std::atomic<std::uint64_t> done_{0};
+    std::atomic<std::uint64_t> startNs_{0};
+};
+
+/**
+ * Process-wide name -> tracker table.  Registration is find-or-create
+ * and idempotent; trackers are never deallocated while the registry
+ * lives, so fan-out code caches references (typically function-local
+ * statics), mirroring the StatRegistry convention.
+ */
+class ProgressRegistry
+{
+  public:
+    ProgressRegistry() = default;
+    ProgressRegistry(const ProgressRegistry &) = delete;
+    ProgressRegistry &operator=(const ProgressRegistry &) = delete;
+
+    static ProgressRegistry &global();
+
+    /** Find-or-create the tracker named @p name. */
+    ProgressTracker &tracker(const std::string &name);
+
+    /** Lookup without creating; nullptr when absent. */
+    const ProgressTracker *find(const std::string &name) const;
+
+    /** Name/tracker views in name order (samplers, dashboards). */
+    std::vector<std::pair<std::string, const ProgressTracker *>>
+    all() const;
+
+    std::size_t size() const;
+
+    /** Zero every tracker, keeping registrations (and cached
+     *  references) valid. */
+    void reset();
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::string, std::unique_ptr<ProgressTracker>> trackers_;
+};
+
+} // namespace eval

@@ -77,8 +77,11 @@ profilingEnabled()
 StatRegistry &
 StatRegistry::global()
 {
-    static StatRegistry registry;
-    return registry;
+    // Leaked: exit-flush hooks (stats dump, status snapshot) read the
+    // registry during process teardown, after function-local statics
+    // are destroyed.
+    static StatRegistry *registry = new StatRegistry;
+    return *registry;
 }
 
 StatRegistry::Slot &
@@ -241,6 +244,7 @@ StatRegistry::json() const
                        << ", \"max\": " << jsonNumber(stat.max())
                        << ", \"p50\": " << jsonNumber(stat.quantile(0.5))
                        << ", \"p90\": " << jsonNumber(stat.quantile(0.9))
+                       << ", \"p95\": " << jsonNumber(stat.quantile(0.95))
                        << ", \"p99\": " << jsonNumber(stat.quantile(0.99))
                        << "}";
                 } else {
@@ -276,7 +280,7 @@ StatRegistry::csv() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     CsvTable table({"name", "type", "count", "value", "mean", "min",
-                    "max", "p50", "p90", "p99"});
+                    "max", "p50", "p90", "p95", "p99"});
     for (const auto &[name, s] : stats_) {
         std::visit(
             [&table, &name = name](const auto &stat) {
@@ -284,11 +288,11 @@ StatRegistry::csv() const
                 if constexpr (std::is_same_v<T, Counter>) {
                     table.row({name, "counter", "",
                                std::to_string(stat.value()), "", "", "",
-                               "", "", ""});
+                               "", "", "", ""});
                 } else if constexpr (std::is_same_v<T, Gauge>) {
                     table.row({name, "gauge", "",
                                formatDouble(stat.value(), 6), "", "",
-                               "", "", "", ""});
+                               "", "", "", "", ""});
                 } else if constexpr (std::is_same_v<T, HistogramStat>) {
                     table.row({name, "histogram",
                                std::to_string(stat.count()), "",
@@ -297,6 +301,7 @@ StatRegistry::csv() const
                                formatDouble(stat.max(), 6),
                                formatDouble(stat.quantile(0.5), 6),
                                formatDouble(stat.quantile(0.9), 6),
+                               formatDouble(stat.quantile(0.95), 6),
                                formatDouble(stat.quantile(0.99), 6)});
                 } else {
                     table.row({name, "timer",
@@ -311,12 +316,49 @@ StatRegistry::csv() const
                                formatDouble(static_cast<double>(
                                                 stat.maxNs()) / 1e3,
                                             3),
-                               "", "", ""});
+                               "", "", "", ""});
                 }
             },
             *s);
     }
     return table.str();
+}
+
+std::vector<std::pair<std::string, double>>
+StatRegistry::flat() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::pair<std::string, double>> out;
+    out.reserve(stats_.size());
+    const auto push = [&out](const std::string &key, double v) {
+        if (std::isfinite(v))
+            out.emplace_back(key, v);
+    };
+    for (const auto &[name, s] : stats_) {
+        std::visit(
+            [&push, &name = name](const auto &stat) {
+                using T = std::decay_t<decltype(stat)>;
+                if constexpr (std::is_same_v<T, Counter>) {
+                    push(name, static_cast<double>(stat.value()));
+                } else if constexpr (std::is_same_v<T, Gauge>) {
+                    push(name, stat.value());
+                } else if constexpr (std::is_same_v<T, HistogramStat>) {
+                    push(name + ".count",
+                         static_cast<double>(stat.count()));
+                    push(name + ".mean", stat.mean());
+                    push(name + ".p50", stat.quantile(0.5));
+                    push(name + ".p95", stat.quantile(0.95));
+                    push(name + ".p99", stat.quantile(0.99));
+                } else {
+                    push(name + ".calls",
+                         static_cast<double>(stat.calls()));
+                    push(name + ".total_ms",
+                         static_cast<double>(stat.totalNs()) / 1e6);
+                }
+            },
+            *s);
+    }
+    return out;
 }
 
 namespace {

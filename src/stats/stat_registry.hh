@@ -299,8 +299,16 @@ class StatRegistry
      *  dotted-name hierarchy. */
     std::string json() const;
 
-    /** Flat CSV snapshot: name,type,count,value,mean,min,max,p50,p90,p99. */
+    /** Flat CSV snapshot:
+     *  name,type,count,value,mean,min,max,p50,p90,p95,p99. */
     std::string csv() const;
+
+    /** Flat numeric view for live-telemetry snapshots: one
+     *  (dotted-name, value) pair per scalar, in name order.  Counters
+     *  and gauges emit their value; histograms emit
+     *  name.count/.mean/.p50/.p95/.p99; timers emit
+     *  name.calls/.total_ms.  Non-finite values are skipped. */
+    std::vector<std::pair<std::string, double>> flat() const;
 
     bool writeJson(const std::string &path) const;
     bool writeCsv(const std::string &path) const;

@@ -7,6 +7,7 @@
 #include "core/environment.hh"
 #include "core/fuzzy_adaptation.hh"
 #include "exec/thread_pool.hh"
+#include "obs/progress.hh"
 #include "util/logging.hh"
 #include "valid/serializers.hh"
 #include "variation/chip.hh"
@@ -161,9 +162,14 @@ runSweepCell(ExperimentContext &ctx,
              EnvironmentKind env, AdaptScheme scheme)
 {
     const auto chips = static_cast<std::size_t>(ctx.config().chips);
+    static ProgressTracker &chipProgress =
+        ProgressRegistry::global().tracker("chips");
+    chipProgress.addTotal(chips);
     const auto perChip = globalPool().parallelMap(
         chips, [&](std::size_t chip) {
-            return runChipCell(ctx, apps, chip, env, scheme);
+            SweepCell cell = runChipCell(ctx, apps, chip, env, scheme);
+            chipProgress.tick();
+            return cell;
         });
     SweepCell total;
     for (const SweepCell &c : perChip) {
@@ -314,6 +320,11 @@ runFig13Micro(const ExperimentTweaks &tweaks)
         {"d_ts_abb_asv", true, true},
     };
 
+    static ProgressTracker &chipProgress =
+        ProgressRegistry::global().tracker("chips");
+    chipProgress.addTotal(
+        std::size(voltages) *
+        static_cast<std::uint64_t>(ctx.config().chips));
     for (const auto &[tag, abb, asv] : voltages) {
         const EnvCapabilities caps = makeCaps(abb, asv);
         const auto perChip = globalPool().parallelMap(
@@ -342,6 +353,7 @@ runFig13Micro(const ExperimentTweaks &tweaks)
                         }
                     }
                 }
+                chipProgress.tick();
                 return local;
             });
         SweepCell cell;

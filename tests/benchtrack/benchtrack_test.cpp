@@ -35,7 +35,7 @@ class BenchtrackTest : public ::testing::Test
     /** Append @p n runs of @p bench with wall clock @p wallS each. */
     void
     seedHistory(const std::string &bench, int n, double wallS,
-                double metric = 2.0)
+                double metric = 2.0, double chipsPerS = 0.0)
     {
         std::vector<Entry> entries;
         for (int i = 0; i < n; ++i) {
@@ -45,6 +45,8 @@ class BenchtrackTest : public ::testing::Test
             e.threads = 1;
             e.peakRssKb = 1000;
             e.metrics["fmax_ghz"] = metric;
+            if (chipsPerS > 0.0)
+                e.metrics["throughput_chips_per_s"] = chipsPerS;
             entries.push_back(e);
         }
         ASSERT_EQ(ingest(entries, dir_), static_cast<std::size_t>(n));
@@ -170,6 +172,47 @@ TEST_F(BenchtrackTest, DomainMetricChangesNeverGate)
     ASSERT_NE(fmax, nullptr);
     EXPECT_FALSE(fmax->gated);
     EXPECT_NE(fmax->verdict, Delta::Noise);
+    EXPECT_EQ(rep.regressions, 0u);
+}
+
+TEST(BenchtrackGateDir, PolicyKnowsBothGatedMetrics)
+{
+    EXPECT_EQ(gateDir("wall_clock_s"), GateDir::LowerBetter);
+    EXPECT_EQ(gateDir("throughput_chips_per_s"), GateDir::HigherBetter);
+    EXPECT_EQ(gateDir("fmax_ghz"), GateDir::None);
+    EXPECT_EQ(gateDir("peak_rss_kb"), GateDir::None);
+}
+
+TEST_F(BenchtrackTest, ThroughputCollapseIsAGatedRegression)
+{
+    // Wall clock steady, chips/sec down 30%: higher-is-better gating
+    // must flag it even though no lower-is-better metric moved.
+    seedHistory("bench_a", 4, 10.0, 2.0, 100.0);
+    seedHistory("bench_a", 1, 10.0, 2.0, 70.0);
+
+    const Report rep = report(dir_, 5, 10.0);
+    const MetricReport *thr = row(rep, "throughput_chips_per_s");
+    ASSERT_NE(thr, nullptr);
+    EXPECT_EQ(thr->verdict, Delta::Regression);
+    EXPECT_TRUE(thr->gated);
+    EXPECT_EQ(thr->dir, GateDir::HigherBetter);
+    EXPECT_NEAR(thr->deltaPct, -30.0, 1e-9);
+    EXPECT_EQ(rep.regressions, 1u);
+
+    const std::string js = rep.toJson(10.0);
+    EXPECT_NE(js.find("\"direction\": \"higher_better\""),
+              std::string::npos);
+}
+
+TEST_F(BenchtrackTest, ThroughputGainIsAnImprovement)
+{
+    seedHistory("bench_a", 4, 10.0, 2.0, 100.0);
+    seedHistory("bench_a", 1, 10.0, 2.0, 130.0);
+
+    const Report rep = report(dir_, 5, 10.0);
+    const MetricReport *thr = row(rep, "throughput_chips_per_s");
+    ASSERT_NE(thr, nullptr);
+    EXPECT_EQ(thr->verdict, Delta::Improvement);
     EXPECT_EQ(rep.regressions, 0u);
 }
 

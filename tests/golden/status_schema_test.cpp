@@ -1,0 +1,126 @@
+/** Golden pin of the live-status schema (metrics_sampler.hh).
+ *
+ *  Status *values* vary per run (pid, RSS, rates), so this golden
+ *  pins the schema SHAPE: every key path and its JSON type, values
+ *  elided.  The snapshot is built by hand — not via sampleNow() — so
+ *  the shape is a pure function of statusJson() and records every
+ *  section populated (progress rows, stats entries).  Renaming,
+ *  removing, or re-typing a field trips the compare; additions
+ *  require re-record plus a schema_version bump.
+ *
+ *  Re-record after an intentional change:
+ *      EVAL_GOLDEN_MODE=record ctest -R golden_status_schema_test
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "obs/metrics_sampler.hh"
+#include "valid/golden.hh"
+#include "valid/json_value.hh"
+
+namespace eval {
+namespace {
+
+const char *
+typeName(JsonValue::Type t)
+{
+    switch (t) {
+      case JsonValue::Type::Null:   return "null";
+      case JsonValue::Type::Bool:   return "bool";
+      case JsonValue::Type::Int:    return "int";
+      case JsonValue::Type::Double: return "double";
+      case JsonValue::Type::String: return "string";
+      case JsonValue::Type::Array:  return "array";
+      case JsonValue::Type::Object: return "object";
+    }
+    return "?";
+}
+
+/** One "path: type" line per node, keys in document order; array
+ *  element shape is taken from the first element. */
+void
+describeShape(const JsonValue &v, const std::string &path,
+              std::string &out)
+{
+    out += path + ": " + typeName(v.type()) + "\n";
+    if (v.type() == JsonValue::Type::Object) {
+        for (const auto &[key, child] : v.asObject())
+            describeShape(child, path + "." + key, out);
+    } else if (v.type() == JsonValue::Type::Array && v.size() > 0) {
+        describeShape(v.asArray()[0], path + "[]", out);
+    }
+}
+
+TEST(StatusSchemaGolden, ShapeMatchesRecordedSchema)
+{
+    // A representative snapshot with every section populated,
+    // including the awkward numeric cases: an unknown ETA (-1), a
+    // zero rate, and a complete fraction — all of which must still
+    // serialize as JSON doubles for shape stability.
+    StatusSnapshot snap;
+    snap.seq = 3;
+    snap.final = false;
+    snap.tool = "status_schema_test";
+    snap.pid = 12345;
+    snap.uptimeS = 1.5;
+    snap.intervalMs = 500;
+    snap.resources.rssKb = 4096;
+    snap.resources.peakRssKb = 8192;
+    snap.resources.cpuUserS = 0.25;
+    snap.resources.cpuSysS = 0.0;
+    snap.resources.threads = 4;
+
+    ProgressSample running;
+    running.name = "chips";
+    running.total = 100;
+    running.done = 40;
+    running.fraction = 0.4;
+    running.ratePerS = 12.5;
+    running.etaS = 4.8;
+    running.elapsedS = 3.2;
+    snap.progress.push_back(running);
+
+    ProgressSample fresh;
+    fresh.name = "manufacture";
+    fresh.total = 10;
+    fresh.done = 0;
+    fresh.fraction = 0.0;
+    fresh.ratePerS = 0.0;
+    fresh.etaS = -1.0; // unknown: still a double in the document
+    fresh.elapsedS = 0.0;
+    snap.progress.push_back(fresh);
+
+    snap.stats.emplace_back("chip.count", 40.0);
+    snap.stats.emplace_back("perf.cpi.mean", 1.25);
+
+    std::string shape;
+    describeShape(
+        JsonValue::parse(MetricsSampler::statusJson(snap)), "status",
+        shape);
+
+    const std::string goldenPath =
+        goldenDataDir() + "/status_schema.golden";
+    if (goldenRecordMode()) {
+        std::ofstream out(goldenPath, std::ios::binary);
+        ASSERT_TRUE(out.good()) << "cannot write " << goldenPath;
+        out << shape;
+        ASSERT_TRUE(out.good());
+        GTEST_SKIP() << "recorded " << goldenPath;
+    }
+
+    std::ifstream in(goldenPath, std::ios::binary);
+    ASSERT_TRUE(in.good())
+        << "missing " << goldenPath
+        << " — record with EVAL_GOLDEN_MODE=record";
+    std::ostringstream os;
+    os << in.rdbuf();
+    EXPECT_EQ(shape, os.str())
+        << "status schema drifted; if intentional, bump "
+           "schema_version and re-record (EVAL_GOLDEN_MODE=record)";
+}
+
+} // namespace
+} // namespace eval

@@ -1,0 +1,53 @@
+// Fixture: bench fan-outs that satisfy obs-progress-units — one by
+// ticking a ProgressTracker inside the region, one via the audited
+// suppression form for work whose progress is reported elsewhere.
+#include <cstddef>
+#include <vector>
+
+namespace fixture {
+
+struct ProgressTracker
+{
+    void addTotal(std::size_t) {}
+    void tick() {}
+};
+
+template <typename Fn>
+std::vector<double>
+parallelMap(std::size_t n, Fn &&fn)
+{
+    std::vector<double> out(n);
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = fn(i);
+    return out;
+}
+
+double
+reportedSweep(std::size_t chips)
+{
+    ProgressTracker progress;
+    progress.addTotal(chips);
+    const auto perChip = parallelMap(chips, [&](std::size_t chip) {
+        progress.tick();
+        return static_cast<double>(chip);
+    });
+    double sum = 0.0;
+    for (double v : perChip)
+        sum += v;
+    return sum;
+}
+
+double
+warmup(std::size_t apps)
+{
+    // eval-lint: allow(obs-progress-units) cache warm-up; the callee
+    // reports phase-level progress through its own tracker
+    const auto warmed = parallelMap(
+        apps, [](std::size_t a) { return static_cast<double>(a); });
+    double sum = 0.0;
+    for (double v : warmed)
+        sum += v;
+    return sum;
+}
+
+} // namespace fixture

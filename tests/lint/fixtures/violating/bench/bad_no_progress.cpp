@@ -1,0 +1,44 @@
+// Fixture: a bench fan-out that never reports progress
+// (obs-progress-units).  Without a ProgressTracker::tick in the
+// region the status file shows nothing moving for the whole run.
+#include <cstddef>
+#include <vector>
+
+namespace fixture {
+
+template <typename Fn>
+void
+parallelFor(std::size_t first, std::size_t last, std::size_t grain, Fn &&fn)
+{
+    (void)grain;
+    for (std::size_t i = first; i < last; ++i)
+        fn(i);
+}
+
+template <typename Fn>
+std::vector<double>
+parallelMap(std::size_t n, Fn &&fn)
+{
+    std::vector<double> out(n);
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = fn(i);
+    return out;
+}
+
+double
+silentSweep(std::size_t chips)
+{
+    double sum = 0.0;
+    parallelFor(0, chips, 1, [&](std::size_t i) { // obs-progress-units
+        sum += static_cast<double>(i);
+    });
+    const auto perChip =
+        parallelMap(chips, [](std::size_t chip) { // obs-progress-units
+            return static_cast<double>(chip) * 2.0;
+        });
+    for (double v : perChip)
+        sum += v;
+    return sum;
+}
+
+} // namespace fixture

@@ -80,6 +80,7 @@ TEST(LintCorpus, ViolatingTreeTripsEveryRule)
     EXPECT_EQ(countRule(diags, "hyg-using-namespace"), 1);
     EXPECT_EQ(countRule(diags, "hyg-iostream"), 3);
     EXPECT_EQ(countRule(diags, "obs-span-leak"), 5);
+    EXPECT_EQ(countRule(diags, "obs-progress-units"), 2);
     EXPECT_EQ(countRule(diags, "lint-bad-suppression"), 3);
     EXPECT_EQ(countRule(diags, "lint-unused-suppression"), 1);
 
@@ -93,6 +94,10 @@ TEST(LintCorpus, ViolatingTreeTripsEveryRule)
                            "det-unordered"));
     EXPECT_TRUE(hasFinding(diags, "src/model/bad_span_leak.cc", 15,
                            "obs-span-leak"));
+    EXPECT_TRUE(hasFinding(diags, "bench/bad_no_progress.cpp", 32,
+                           "obs-progress-units"));
+    EXPECT_TRUE(hasFinding(diags, "bench/bad_no_progress.cpp", 36,
+                           "obs-progress-units"));
 }
 
 TEST(LintCorpus, CleanTreeIsClean)
@@ -326,7 +331,8 @@ TEST(LintRules, CatalogKnowsEveryReportedRule)
          {"det-entropy", "det-wallclock", "det-unordered", "det-shared-rng",
           "num-float-eq", "num-float-narrow", "hyg-pragma-once",
           "hyg-using-namespace", "hyg-iostream", "obs-span-leak",
-          "lint-bad-suppression", "lint-unused-suppression"})
+          "obs-progress-units", "lint-bad-suppression",
+          "lint-unused-suppression"})
         EXPECT_TRUE(eval::lint::isKnownRule(rule)) << rule;
     EXPECT_FALSE(eval::lint::isKnownRule("no-such-rule"));
 }

@@ -1,0 +1,143 @@
+/** Tests for ProgressTracker/ProgressRegistry (src/obs/progress.hh):
+ *  counting correctness, fraction clamping, the first-activity stamp,
+ *  registry find-or-create idempotence, and — under --tsan — the
+ *  concurrency of many ticking threads against a sampling reader. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "obs/progress.hh"
+
+namespace eval {
+namespace {
+
+class ProgressTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { ProgressRegistry::global().reset(); }
+};
+
+TEST_F(ProgressTest, CountsTotalsAndTicks)
+{
+    ProgressTracker t;
+    EXPECT_EQ(t.total(), 0u);
+    EXPECT_EQ(t.done(), 0u);
+    EXPECT_DOUBLE_EQ(t.fraction(), 0.0);
+    EXPECT_EQ(t.startNs(), 0u);
+    EXPECT_DOUBLE_EQ(t.elapsedS(), 0.0);
+
+    t.addTotal(40);
+    t.addTotal(40); // cumulative across phases
+    EXPECT_EQ(t.total(), 80u);
+    t.tick();
+    t.tick(19);
+    EXPECT_EQ(t.done(), 20u);
+    EXPECT_DOUBLE_EQ(t.fraction(), 0.25);
+    EXPECT_GT(t.startNs(), 0u);
+    EXPECT_GE(t.elapsedS(), 0.0);
+}
+
+TEST_F(ProgressTest, FractionClampsAndHandlesZeroTotal)
+{
+    ProgressTracker t;
+    t.tick(5); // indeterminate: units counted, no total declared
+    EXPECT_EQ(t.done(), 5u);
+    EXPECT_DOUBLE_EQ(t.fraction(), 0.0);
+
+    t.addTotal(4); // done already exceeds the declared total
+    EXPECT_DOUBLE_EQ(t.fraction(), 1.0);
+}
+
+TEST_F(ProgressTest, ResetZeroesButKeepsIdentity)
+{
+    ProgressTracker &t = ProgressRegistry::global().tracker("r");
+    t.addTotal(10);
+    t.tick(3);
+    t.reset();
+    EXPECT_EQ(t.total(), 0u);
+    EXPECT_EQ(t.done(), 0u);
+    EXPECT_EQ(t.startNs(), 0u);
+    EXPECT_EQ(&ProgressRegistry::global().tracker("r"), &t);
+}
+
+TEST_F(ProgressTest, RegistryFindOrCreateIsIdempotent)
+{
+    ProgressRegistry &reg = ProgressRegistry::global();
+    ProgressTracker &a = reg.tracker("chips");
+    ProgressTracker &b = reg.tracker("chips");
+    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(reg.find("chips"), &a);
+    EXPECT_EQ(reg.find("no-such"), nullptr);
+
+    reg.tracker("alpha");
+    const auto all = reg.all();
+    ASSERT_GE(all.size(), 2u);
+    for (std::size_t i = 1; i < all.size(); ++i)
+        EXPECT_LT(all[i - 1].first, all[i].first); // name order
+}
+
+TEST_F(ProgressTest, ConcurrentTicksAreExact)
+{
+    // The TSan tier runs this binary (obs_ prefix): writers ticking
+    // while readers poll fraction()/done() must be race-free, and no
+    // tick may be lost.
+    constexpr int kThreads = 8;
+    constexpr int kTicks = 20000;
+    ProgressTracker &t = ProgressRegistry::global().tracker("conc");
+    t.addTotal(kThreads * kTicks);
+
+    std::atomic<bool> stopReader{false};
+    std::thread reader([&] {
+        std::uint64_t lastDone = 0;
+        while (!stopReader.load(std::memory_order_relaxed)) {
+            const std::uint64_t d = t.done();
+            EXPECT_GE(d, lastDone); // monotone under concurrency
+            lastDone = d;
+            (void)t.fraction();
+            (void)t.elapsedS();
+            (void)ProgressRegistry::global().all();
+        }
+    });
+
+    std::vector<std::thread> writers;
+    for (int w = 0; w < kThreads; ++w) {
+        writers.emplace_back([&t] {
+            for (int i = 0; i < kTicks; ++i)
+                t.tick();
+        });
+    }
+    for (auto &th : writers)
+        th.join();
+    stopReader.store(true, std::memory_order_relaxed);
+    reader.join();
+
+    EXPECT_EQ(t.done(), static_cast<std::uint64_t>(kThreads) * kTicks);
+    EXPECT_DOUBLE_EQ(t.fraction(), 1.0);
+}
+
+TEST_F(ProgressTest, ConcurrentRegistryLookupsShareOneTracker)
+{
+    constexpr int kThreads = 8;
+    std::vector<std::thread> threads;
+    std::vector<ProgressTracker *> seen(kThreads, nullptr);
+    for (int i = 0; i < kThreads; ++i) {
+        threads.emplace_back([i, &seen] {
+            ProgressTracker &t =
+                ProgressRegistry::global().tracker("race");
+            t.tick();
+            seen[static_cast<std::size_t>(i)] = &t;
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    for (int i = 1; i < kThreads; ++i)
+        EXPECT_EQ(seen[0], seen[static_cast<std::size_t>(i)]);
+    EXPECT_EQ(ProgressRegistry::global().tracker("race").done(),
+              static_cast<std::uint64_t>(kThreads));
+}
+
+} // namespace
+} // namespace eval

@@ -292,6 +292,7 @@ TEST(StatRegistryTest, JsonRoundTrip)
     EXPECT_EQ(json.scalar("chip.thermal.heatsink_c.value"), "58.25");
     EXPECT_EQ(json.scalar("perf.cpi.count"), "1");
     EXPECT_TRUE(json.hasScalar("perf.cpi.p50"));
+    EXPECT_TRUE(json.hasScalar("perf.cpi.p95"));
     EXPECT_EQ(json.scalar("profile.opt.calls"), "1");
     EXPECT_TRUE(json.hasScalar("profile.opt.mean_us"));
 }
@@ -306,12 +307,12 @@ TEST(StatRegistryTest, CsvShape)
     const auto lines = splitLines(reg.csv());
     ASSERT_EQ(lines.size(), 4u);   // header + 3 instruments
     EXPECT_EQ(lines[0],
-              "name,type,count,value,mean,min,max,p50,p90,p99");
+              "name,type,count,value,mean,min,max,p50,p90,p95,p99");
     for (std::size_t i = 1; i < lines.size(); ++i) {
         std::size_t commas = 0;
         for (char c : lines[i])
             commas += (c == ',');
-        EXPECT_EQ(commas, 9u) << lines[i];
+        EXPECT_EQ(commas, 10u) << lines[i];
     }
     EXPECT_EQ(lines[1].rfind("x.count,counter,,3", 0), 0u);
 }

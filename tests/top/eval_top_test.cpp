@@ -1,0 +1,147 @@
+/** Tests for the eval_top core (tools/eval_top): status parsing,
+ *  discovery of shard directories, rendering, and the --once --json
+ *  machine output round-trip. */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "eval_top.hh"
+#include "valid/json_value.hh"
+
+namespace eval::top {
+namespace {
+
+namespace fs = std::filesystem;
+
+const char *kStatusDoc = R"({
+  "schema_version": 1,
+  "tool": "fig13_outcomes",
+  "pid": 4242,
+  "seq": 7,
+  "final": false,
+  "uptime_s": 2.5,
+  "interval_ms": 500,
+  "resources": {"rss_kb": 10240, "peak_rss_kb": 20480,
+                "cpu_user_s": 2.0, "cpu_sys_s": 0.1, "threads": 9},
+  "progress": [{"name": "chips", "total": 96, "done": 48,
+                "fraction": 0.5, "rate_per_s": 19.2, "eta_s": 2.5,
+                "elapsed_s": 2.5}],
+  "stats": {"chip.count": 48.0, "perf.cpi.mean": 1.25}
+})";
+
+TEST(EvalTopParse, ReadsEveryField)
+{
+    const RunStatus rs = parseStatus(kStatusDoc, "a.json");
+    ASSERT_TRUE(rs.valid) << rs.error;
+    EXPECT_EQ(rs.tool, "fig13_outcomes");
+    EXPECT_EQ(rs.pid, 4242);
+    EXPECT_EQ(rs.seq, 7u);
+    EXPECT_FALSE(rs.final);
+    EXPECT_DOUBLE_EQ(rs.uptimeS, 2.5);
+    EXPECT_EQ(rs.intervalMs, 500u);
+    EXPECT_EQ(rs.rssKb, 10240);
+    EXPECT_EQ(rs.peakRssKb, 20480);
+    EXPECT_EQ(rs.threads, 9);
+    ASSERT_EQ(rs.progress.size(), 1u);
+    EXPECT_EQ(rs.progress[0].name, "chips");
+    EXPECT_EQ(rs.progress[0].done, 48u);
+    EXPECT_DOUBLE_EQ(rs.progress[0].ratePerS, 19.2);
+    ASSERT_EQ(rs.stats.size(), 2u);
+}
+
+TEST(EvalTopParse, MalformedInputIsInvalidNotFatal)
+{
+    EXPECT_FALSE(parseStatus("{torn", "x.json").valid);
+    EXPECT_FALSE(parseStatus("[1,2]", "x.json").valid);
+    EXPECT_FALSE(parseStatus("", "x.json").valid);
+    const RunStatus rs = parseStatus("{torn", "x.json");
+    EXPECT_EQ(rs.path, "x.json");
+    EXPECT_FALSE(rs.error.empty());
+}
+
+TEST(EvalTopParse, MissingSectionsDefaultSafely)
+{
+    const RunStatus rs =
+        parseStatus(R"({"tool": "t", "seq": 1})", "m.json");
+    ASSERT_TRUE(rs.valid);
+    EXPECT_TRUE(rs.progress.empty());
+    EXPECT_TRUE(rs.stats.empty());
+    EXPECT_EQ(rs.rssKb, 0);
+}
+
+TEST(EvalTopDiscover, FileAndDirectoryModes)
+{
+    const fs::path dir =
+        fs::path(::testing::TempDir()) / "eval_top_discover";
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    for (const char *name : {"b.json", "a.json", "c.txt", "d.json.tmp"})
+        std::ofstream(dir / name) << kStatusDoc;
+
+    const auto files = discoverStatusFiles(dir.string());
+    ASSERT_EQ(files.size(), 2u); // *.json only, .tmp/.txt skipped
+    EXPECT_NE(files[0].find("a.json"), std::string::npos);
+    EXPECT_NE(files[1].find("b.json"), std::string::npos);
+
+    const auto single =
+        discoverStatusFiles((dir / "a.json").string());
+    ASSERT_EQ(single.size(), 1u);
+
+    EXPECT_TRUE(
+        discoverStatusFiles((dir / "nope.json").string()).empty());
+    fs::remove_all(dir);
+}
+
+TEST(EvalTopRender, BarsDurationsAndHottestStats)
+{
+    EXPECT_EQ(progressBar(0.0, 4), "[----]");
+    EXPECT_EQ(progressBar(0.5, 4), "[##--]");
+    EXPECT_EQ(progressBar(1.0, 4), "[####]");
+    EXPECT_EQ(progressBar(7.5, 4), "[####]"); // clamped
+
+    EXPECT_EQ(formatDuration(-1.0), "--");
+    EXPECT_EQ(formatDuration(5.25), "5.2s");
+    EXPECT_EQ(formatDuration(185.0), "3m05s");
+    EXPECT_EQ(formatDuration(7620.0), "2h07m");
+
+    RunStatus cur = parseStatus(kStatusDoc, "a.json");
+    RunStatus prev = cur;
+    prev.uptimeS = 1.5;
+    prev.stats[0].second = 28.0; // chip.count: +20 over 1s
+    std::map<std::string, RunStatus> previous{{"a.json", prev}};
+
+    const std::string frame = render({cur}, previous, 5);
+    EXPECT_NE(frame.find("fig13_outcomes"), std::string::npos);
+    EXPECT_NE(frame.find("chips"), std::string::npos);
+    EXPECT_NE(frame.find("50.0%"), std::string::npos);
+    EXPECT_NE(frame.find("hottest stats"), std::string::npos);
+    EXPECT_NE(frame.find("chip.count"), std::string::npos);
+
+    // No baseline: the frame renders without the hottest section.
+    const std::string first = render({cur}, {}, 5);
+    EXPECT_EQ(first.find("hottest stats"), std::string::npos);
+}
+
+TEST(EvalTopRender, JsonModeRoundTrips)
+{
+    const RunStatus rs = parseStatus(kStatusDoc, "a.json");
+    const JsonValue doc = JsonValue::parse(renderJson({rs}));
+    const JsonValue &run = doc.at("runs").asArray().at(0);
+    EXPECT_TRUE(run.at("valid").asBool());
+    EXPECT_EQ(run.at("tool").asString(), "fig13_outcomes");
+    EXPECT_DOUBLE_EQ(
+        run.at("progress").asArray().at(0).at("fraction").asDouble(),
+        0.5);
+    EXPECT_DOUBLE_EQ(run.at("stats").at("chip.count").asDouble(), 48.0);
+
+    RunStatus bad;
+    bad.path = "broken.json";
+    bad.error = "cannot open file";
+    const JsonValue doc2 = JsonValue::parse(renderJson({bad}));
+    EXPECT_FALSE(doc2.at("runs").asArray().at(0).at("valid").asBool());
+}
+
+} // namespace
+} // namespace eval::top

@@ -19,13 +19,6 @@ namespace fs = std::filesystem;
 
 constexpr const char *kFooterTag = "BENCH_JSON ";
 
-/** Metrics gated on the lower-is-better rule. */
-bool
-isGatedMetric(const std::string &name)
-{
-    return name == "wall_clock_s";
-}
-
 std::string
 readFile(const std::string &path)
 {
@@ -73,6 +66,27 @@ formatValue(double v)
 }
 
 } // namespace
+
+GateDir
+gateDir(const std::string &metric)
+{
+    if (metric == "wall_clock_s")
+        return GateDir::LowerBetter;
+    if (metric == "throughput_chips_per_s")
+        return GateDir::HigherBetter;
+    return GateDir::None;
+}
+
+const char *
+gateDirName(GateDir d)
+{
+    switch (d) {
+      case GateDir::None:         return "none";
+      case GateDir::LowerBetter:  return "lower_better";
+      case GateDir::HigherBetter: return "higher_better";
+    }
+    return "?";
+}
 
 const char *
 deltaName(Delta d)
@@ -198,7 +212,8 @@ report(const std::string &historyDir, std::size_t window,
             row.bench = cur.bench;
             row.metric = metric;
             row.current = value;
-            row.gated = isGatedMetric(metric);
+            row.dir = gateDir(metric);
+            row.gated = row.dir != GateDir::None;
 
             // Baseline: mean over the last `window` prior entries
             // that have this metric at all.
@@ -230,10 +245,14 @@ report(const std::string &historyDir, std::size_t window,
                     if (std::abs(row.deltaPct) < thresholdPct) {
                         row.verdict = Delta::Noise;
                     } else if (row.gated) {
-                        // Lower is better for gated metrics.
-                        row.verdict = row.deltaPct > 0.0
-                                          ? Delta::Regression
-                                          : Delta::Improvement;
+                        // A move against the metric's direction is
+                        // the regression.
+                        const bool worse =
+                            row.dir == GateDir::LowerBetter
+                                ? row.deltaPct > 0.0
+                                : row.deltaPct < 0.0;
+                        row.verdict = worse ? Delta::Regression
+                                            : Delta::Improvement;
                     } else {
                         // Informational: direction label only, never
                         // fails the gate (higher-is-better framing).
@@ -256,7 +275,8 @@ Report::toMarkdown(double thresholdPct) const
 {
     std::string out = "# Bench regression report\n\n";
     out += "Noise threshold: " + formatValue(thresholdPct) +
-           "% — gated metric: `wall_clock_s` (lower is better). "
+           "% — gated metrics: `wall_clock_s` (lower is better), "
+           "`throughput_chips_per_s` (higher is better). "
            "Gated regressions: " + std::to_string(regressions) + ".\n\n";
     out += "| bench | metric | current | baseline | delta | window | "
            "verdict |\n";
@@ -296,6 +316,7 @@ Report::toJson(double thresholdPct) const
         row.set("window", static_cast<std::int64_t>(r.window));
         row.set("verdict", deltaName(r.verdict));
         row.set("gated", r.gated);
+        row.set("direction", gateDirName(r.dir));
         arr.push(std::move(row));
     }
     doc.set("rows", std::move(arr));

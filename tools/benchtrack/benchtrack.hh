@@ -15,10 +15,12 @@
  *       previous N entries; classify every numeric metric as
  *       new / noise / improvement / regression and render a report.
  *
- * Only `wall_clock_s` is treated as lower-is-better and gated; the
- * domain metrics (frequencies, speedups, ...) are informational:
- * whether "bigger" is better depends on the metric, and correctness
- * of those values is the golden tests' job, not benchtrack's.
+ * Two metrics carry a gating direction: `wall_clock_s` is
+ * lower-is-better, `throughput_chips_per_s` (the live-telemetry
+ * chips/sec figure, see src/obs/) is higher-is-better.  The domain
+ * metrics (frequencies, speedups, ...) are informational: whether
+ * "bigger" is better depends on the metric, and correctness of those
+ * values is the golden tests' job, not benchtrack's.
  *
  * Exit codes (report): 0 ok, 1 gated regression found (with --gate),
  * 2 usage/IO error.
@@ -66,6 +68,16 @@ enum class Delta { New, Noise, Improvement, Regression };
 
 const char *deltaName(Delta d);
 
+/** Gating direction of a metric: which way a beyond-threshold move
+ *  counts as a regression.  None = informational only. */
+enum class GateDir { None, LowerBetter, HigherBetter };
+
+/** The built-in gating policy (wall_clock_s lower-is-better,
+ *  throughput_chips_per_s higher-is-better, everything else None). */
+GateDir gateDir(const std::string &metric);
+
+const char *gateDirName(GateDir d);
+
 struct MetricReport
 {
     std::string bench;
@@ -75,6 +87,7 @@ struct MetricReport
     double deltaPct = 0.0;       ///< (current - baseline) / |baseline|
     std::size_t window = 0;      ///< prior entries actually compared
     Delta verdict = Delta::New;
+    GateDir dir = GateDir::None; ///< gating direction of this metric
     bool gated = false;          ///< counts toward the failure verdict
 };
 
@@ -90,10 +103,11 @@ struct Report
 /**
  * Compare the newest entry of every bench under @p historyDir with
  * the mean of up to @p window prior entries.  A |delta| below
- * @p thresholdPct is Noise.  Gated metrics (wall_clock_s) count
- * regressions; for other metrics the verdict is informational and a
- * change beyond the threshold reports as Improvement/Regression by
- * sign only.
+ * @p thresholdPct is Noise.  Gated metrics (wall_clock_s lower is
+ * better, throughput_chips_per_s higher is better) count regressions
+ * against their direction; for other metrics the verdict is
+ * informational and a change beyond the threshold reports as
+ * Improvement/Regression by sign only.
  */
 Report report(const std::string &historyDir, std::size_t window,
               double thresholdPct);

@@ -1,0 +1,470 @@
+#include "eval_top.hh"
+
+#include "valid/json_value.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <thread>
+
+namespace eval::top {
+namespace {
+
+constexpr int kDefaultIntervalMs = 500;
+constexpr int kDefaultTopN = 5;
+constexpr std::size_t kBarWidth = 24;
+
+/** Longest tracker-name column we will pad to (keeps one absurdly
+ *  long name from blowing out the whole table). */
+constexpr std::size_t kNameColCap = 28;
+
+std::string
+slurp(const std::string &path, bool &ok)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f) {
+        ok = false;
+        return {};
+    }
+    std::string text;
+    char buf[4096];
+    std::size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+        text.append(buf, n);
+    std::fclose(f);
+    ok = true;
+    return text;
+}
+
+double
+numberOr(const JsonValue &obj, const std::string &key, double fallback)
+{
+    if (!obj.has(key))
+        return fallback;
+    const JsonValue &v = obj.at(key);
+    return v.isNumber() ? v.asDouble() : fallback;
+}
+
+std::int64_t
+intOr(const JsonValue &obj, const std::string &key, std::int64_t fallback)
+{
+    if (!obj.has(key))
+        return fallback;
+    const JsonValue &v = obj.at(key);
+    return v.isNumber() ? v.asInt() : fallback;
+}
+
+std::string
+formatRate(double perS)
+{
+    char buf[64];
+    if (perS >= 1000.0)
+        std::snprintf(buf, sizeof buf, "%.3g/s", perS);
+    else if (perS >= 1.0)
+        std::snprintf(buf, sizeof buf, "%.1f/s", perS);
+    else
+        std::snprintf(buf, sizeof buf, "%.3f/s", perS);
+    return buf;
+}
+
+std::string
+formatMib(long kb)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.1f MiB", static_cast<double>(kb) / 1024.0);
+    return buf;
+}
+
+void
+renderRun(std::string &out, const RunStatus &run,
+          const std::map<std::string, RunStatus> &previous, int topN)
+{
+    char line[512];
+    if (!run.valid) {
+        std::snprintf(line, sizeof line, "[%s] UNREADABLE: %s\n",
+                      run.path.c_str(), run.error.c_str());
+        out += line;
+        return;
+    }
+
+    const char *state = run.final ? "FINISHED" : "RUNNING";
+    std::snprintf(line, sizeof line,
+                  "[%s] pid %ld  seq %llu  %s  up %s\n", run.tool.c_str(),
+                  run.pid, static_cast<unsigned long long>(run.seq), state,
+                  formatDuration(run.uptimeS).c_str());
+    out += line;
+    std::snprintf(line, sizeof line,
+                  "  rss %s (peak %s)  cpu %.1fu+%.1fs  threads %ld  (%s)\n",
+                  formatMib(run.rssKb).c_str(),
+                  formatMib(run.peakRssKb).c_str(), run.cpuUserS, run.cpuSysS,
+                  run.threads, run.path.c_str());
+    out += line;
+
+    std::size_t nameCol = 0;
+    for (const ProgressRow &p : run.progress)
+        nameCol = std::max(nameCol, p.name.size());
+    nameCol = std::min(nameCol, kNameColCap);
+
+    for (const ProgressRow &p : run.progress) {
+        std::string name = p.name;
+        if (name.size() > kNameColCap)
+            name = name.substr(0, kNameColCap - 1) + "~";
+        std::snprintf(
+            line, sizeof line,
+            "  %-*s %s %5.1f%%  %llu/%llu  %s  eta %s\n",
+            static_cast<int>(nameCol), name.c_str(),
+            progressBar(p.fraction, kBarWidth).c_str(), p.fraction * 100.0,
+            static_cast<unsigned long long>(p.done),
+            static_cast<unsigned long long>(p.total),
+            formatRate(p.ratePerS).c_str(), formatDuration(p.etaS).c_str());
+        out += line;
+    }
+
+    // Hottest stats: ranked by |delta per second| against the previous
+    // poll of the same file.  First frame has no baseline, so the
+    // section simply does not appear until the second poll.
+    auto prevIt = previous.find(run.path);
+    if (topN <= 0 || prevIt == previous.end() || !prevIt->second.valid)
+        return;
+    const RunStatus &prev = prevIt->second;
+    double dt = run.uptimeS - prev.uptimeS;
+    if (dt <= 0.0)
+        return;
+    std::map<std::string, double> before;
+    for (const auto &[name, value] : prev.stats)
+        before[name] = value;
+    std::vector<std::pair<std::string, double>> hottest;
+    for (const auto &[name, value] : run.stats) {
+        auto it = before.find(name);
+        if (it == before.end())
+            continue;
+        double rate = (value - it->second) / dt;
+        if (std::fabs(rate) > 0.0)
+            hottest.emplace_back(name, rate);
+    }
+    std::sort(hottest.begin(), hottest.end(),
+              [](const auto &a, const auto &b) {
+                  if (std::fabs(a.second) != std::fabs(b.second))
+                      return std::fabs(a.second) > std::fabs(b.second);
+                  return a.first < b.first;
+              });
+    if (hottest.size() > static_cast<std::size_t>(topN))
+        hottest.resize(static_cast<std::size_t>(topN));
+    if (hottest.empty())
+        return;
+    out += "  hottest stats (delta/s since last poll):\n";
+    for (const auto &[name, rate] : hottest) {
+        std::snprintf(line, sizeof line, "    %-40s %+.4g/s\n", name.c_str(),
+                      rate);
+        out += line;
+    }
+}
+
+void
+usage(std::FILE *to)
+{
+    std::fputs(
+        "usage: eval_top [options] <status.json | directory>\n"
+        "\n"
+        "Live dashboard over MetricsSampler status files (see\n"
+        "--status-out / EVAL_STATUS_OUT on the bench drivers).\n"
+        "\n"
+        "options:\n"
+        "  --once             render a single frame and exit\n"
+        "  --json             machine-readable output (implies --once)\n"
+        "  --interval-ms=N    poll period in ms (default 500)\n"
+        "  --top=N            hottest-stat rows per run (default 5)\n"
+        "  --help             this text\n",
+        to);
+}
+
+} // namespace
+
+RunStatus
+parseStatus(const std::string &text, const std::string &path)
+{
+    RunStatus rs;
+    rs.path = path;
+    try {
+        JsonValue doc = JsonValue::parse(text);
+        if (doc.type() != JsonValue::Type::Object)
+            throw std::runtime_error("status document is not an object");
+        if (doc.has("tool"))
+            rs.tool = doc.at("tool").asString();
+        rs.pid = static_cast<long>(intOr(doc, "pid", 0));
+        rs.seq = static_cast<std::uint64_t>(intOr(doc, "seq", 0));
+        if (doc.has("final"))
+            rs.final = doc.at("final").asBool();
+        rs.uptimeS = numberOr(doc, "uptime_s", 0.0);
+        rs.intervalMs = static_cast<std::uint64_t>(intOr(doc, "interval_ms", 0));
+        if (doc.has("resources")) {
+            const JsonValue &res = doc.at("resources");
+            rs.rssKb = static_cast<long>(intOr(res, "rss_kb", 0));
+            rs.peakRssKb = static_cast<long>(intOr(res, "peak_rss_kb", 0));
+            rs.threads = static_cast<long>(intOr(res, "threads", 0));
+            rs.cpuUserS = numberOr(res, "cpu_user_s", 0.0);
+            rs.cpuSysS = numberOr(res, "cpu_sys_s", 0.0);
+        }
+        if (doc.has("progress")) {
+            for (const JsonValue &item : doc.at("progress").asArray()) {
+                ProgressRow row;
+                if (item.has("name"))
+                    row.name = item.at("name").asString();
+                row.total = static_cast<std::uint64_t>(intOr(item, "total", 0));
+                row.done = static_cast<std::uint64_t>(intOr(item, "done", 0));
+                row.fraction = numberOr(item, "fraction", 0.0);
+                row.ratePerS = numberOr(item, "rate_per_s", 0.0);
+                row.etaS = numberOr(item, "eta_s", -1.0);
+                row.elapsedS = numberOr(item, "elapsed_s", 0.0);
+                rs.progress.push_back(std::move(row));
+            }
+        }
+        if (doc.has("stats")) {
+            for (const auto &[name, value] : doc.at("stats").asObject()) {
+                if (value.isNumber())
+                    rs.stats.emplace_back(name, value.asDouble());
+            }
+        }
+        rs.valid = true;
+    } catch (const std::exception &e) {
+        rs.valid = false;
+        rs.error = e.what();
+        rs.progress.clear();
+        rs.stats.clear();
+    }
+    return rs;
+}
+
+RunStatus
+readStatusFile(const std::string &path)
+{
+    bool ok = false;
+    std::string text = slurp(path, ok);
+    if (!ok) {
+        RunStatus rs;
+        rs.path = path;
+        rs.error = "cannot open file";
+        return rs;
+    }
+    return parseStatus(text, path);
+}
+
+std::vector<std::string>
+discoverStatusFiles(const std::string &path)
+{
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    if (fs::is_directory(path, ec)) {
+        std::vector<std::string> files;
+        for (const auto &entry : fs::directory_iterator(path, ec)) {
+            if (!entry.is_regular_file(ec))
+                continue;
+            if (entry.path().extension() == ".json")
+                files.push_back(entry.path().string());
+        }
+        std::sort(files.begin(), files.end());
+        return files;
+    }
+    if (fs::is_regular_file(path, ec))
+        return {path};
+    return {};
+}
+
+std::string
+progressBar(double fraction, std::size_t width)
+{
+    fraction = std::clamp(fraction, 0.0, 1.0);
+    std::size_t filled =
+        static_cast<std::size_t>(std::lround(fraction * static_cast<double>(width)));
+    std::string bar = "[";
+    bar.append(filled, '#');
+    bar.append(width - filled, '-');
+    bar += "]";
+    return bar;
+}
+
+std::string
+formatDuration(double seconds)
+{
+    if (seconds < 0.0 || !std::isfinite(seconds))
+        return "--";
+    char buf[64];
+    if (seconds < 60.0) {
+        std::snprintf(buf, sizeof buf, "%.1fs", seconds);
+    } else if (seconds < 3600.0) {
+        long m = static_cast<long>(seconds) / 60;
+        long s = static_cast<long>(seconds) % 60;
+        std::snprintf(buf, sizeof buf, "%ldm%02lds", m, s);
+    } else {
+        long h = static_cast<long>(seconds) / 3600;
+        long m = (static_cast<long>(seconds) % 3600) / 60;
+        std::snprintf(buf, sizeof buf, "%ldh%02ldm", h, m);
+    }
+    return buf;
+}
+
+std::string
+render(const std::vector<RunStatus> &runs,
+       const std::map<std::string, RunStatus> &previous, int topN)
+{
+    std::size_t finished = 0;
+    for (const RunStatus &run : runs)
+        if (run.valid && run.final)
+            ++finished;
+    char header[128];
+    std::snprintf(header, sizeof header,
+                  "eval_top — %zu run(s), %zu finished\n\n", runs.size(),
+                  finished);
+    std::string out = header;
+    for (const RunStatus &run : runs) {
+        renderRun(out, run, previous, topN);
+        out += "\n";
+    }
+    return out;
+}
+
+std::string
+renderJson(const std::vector<RunStatus> &runs)
+{
+    JsonValue root = JsonValue::object();
+    JsonValue arr = JsonValue::array();
+    for (const RunStatus &run : runs) {
+        JsonValue r = JsonValue::object();
+        r.set("path", run.path);
+        r.set("valid", run.valid);
+        if (!run.valid) {
+            r.set("error", run.error);
+            arr.push(std::move(r));
+            continue;
+        }
+        r.set("tool", run.tool);
+        r.set("pid", static_cast<std::int64_t>(run.pid));
+        r.set("seq", run.seq);
+        r.set("final", run.final);
+        r.set("uptime_s", run.uptimeS);
+        r.set("interval_ms", run.intervalMs);
+        JsonValue res = JsonValue::object();
+        res.set("rss_kb", static_cast<std::int64_t>(run.rssKb));
+        res.set("peak_rss_kb", static_cast<std::int64_t>(run.peakRssKb));
+        res.set("cpu_user_s", run.cpuUserS);
+        res.set("cpu_sys_s", run.cpuSysS);
+        res.set("threads", static_cast<std::int64_t>(run.threads));
+        r.set("resources", std::move(res));
+        JsonValue progress = JsonValue::array();
+        for (const ProgressRow &p : run.progress) {
+            JsonValue row = JsonValue::object();
+            row.set("name", p.name);
+            row.set("total", p.total);
+            row.set("done", p.done);
+            row.set("fraction", p.fraction);
+            row.set("rate_per_s", p.ratePerS);
+            row.set("eta_s", p.etaS);
+            row.set("elapsed_s", p.elapsedS);
+            progress.push(std::move(row));
+        }
+        r.set("progress", std::move(progress));
+        JsonValue stats = JsonValue::object();
+        for (const auto &[name, value] : run.stats)
+            stats.set(name, value);
+        r.set("stats", std::move(stats));
+        arr.push(std::move(r));
+    }
+    root.set("runs", std::move(arr));
+    return root.dump(2) + "\n";
+}
+
+int
+runEvalTop(const std::vector<std::string> &args)
+{
+    bool once = false;
+    bool json = false;
+    int intervalMs = kDefaultIntervalMs;
+    int topN = kDefaultTopN;
+    std::string target;
+
+    auto intFlag = [](const std::string &arg, const char *prefix,
+                      int &out) {
+        std::size_t len = std::strlen(prefix);
+        if (arg.compare(0, len, prefix) != 0)
+            return false;
+        out = std::atoi(arg.c_str() + len);
+        return true;
+    };
+
+    for (const std::string &arg : args) {
+        if (arg == "--once") {
+            once = true;
+        } else if (arg == "--json") {
+            json = true;
+            once = true;
+        } else if (intFlag(arg, "--interval-ms=", intervalMs) ||
+                   intFlag(arg, "--top=", topN)) {
+            // handled by intFlag
+        } else if (arg == "--help" || arg == "-h") {
+            usage(stdout);
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "eval_top: unknown option '%s'\n",
+                         arg.c_str());
+            usage(stderr);
+            return 2;
+        } else if (target.empty()) {
+            target = arg;
+        } else {
+            std::fprintf(stderr, "eval_top: more than one path given\n");
+            usage(stderr);
+            return 2;
+        }
+    }
+    if (target.empty()) {
+        usage(stderr);
+        return 2;
+    }
+    if (intervalMs < 50)
+        intervalMs = 50;
+
+    std::map<std::string, RunStatus> previous;
+    for (;;) {
+        std::vector<std::string> files = discoverStatusFiles(target);
+        if (files.empty()) {
+            std::fprintf(stderr, "eval_top: no status files at '%s'\n",
+                         target.c_str());
+            return 1;
+        }
+        std::vector<RunStatus> runs;
+        runs.reserve(files.size());
+        for (const std::string &file : files)
+            runs.push_back(readStatusFile(file));
+
+        bool anyValid = false;
+        bool allFinal = true;
+        for (const RunStatus &run : runs) {
+            anyValid = anyValid || run.valid;
+            allFinal = allFinal && run.valid && run.final;
+        }
+
+        if (json) {
+            std::fputs(renderJson(runs).c_str(), stdout);
+        } else {
+            if (!once)
+                std::fputs("\x1b[2J\x1b[H", stdout); // clear + home
+            std::fputs(render(runs, previous, topN).c_str(), stdout);
+        }
+        std::fflush(stdout);
+
+        if (once)
+            return anyValid ? 0 : 1;
+        if (allFinal)
+            return 0;
+
+        previous.clear();
+        for (RunStatus &run : runs)
+            previous.emplace(run.path, std::move(run));
+        std::this_thread::sleep_for(std::chrono::milliseconds(intervalMs));
+    }
+}
+
+} // namespace eval::top

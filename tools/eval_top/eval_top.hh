@@ -1,0 +1,104 @@
+/**
+ * @file
+ * eval_top: a terminal dashboard over the live status files the
+ * MetricsSampler publishes (src/obs/metrics_sampler.hh).
+ *
+ *   eval_top RUN.status.json              refreshing dashboard
+ *   eval_top DIR                          every *.json status file in
+ *                                         DIR (multi-process shard
+ *                                         campaigns: one file per run)
+ *   eval_top --once RUN.status.json       render one frame and exit
+ *   eval_top --once --json RUN.status.json machine-readable summary
+ *                                         (CI smoke, scripting)
+ *   --interval-ms=N   poll period (default 500)
+ *   --top=N           hottest-stats rows per run (default 5)
+ *
+ * The dashboard shows, per run: a progress bar per tracker with
+ * done/total, completion %, units/sec, and ETA; RSS (current/peak),
+ * CPU time, and thread count; and the top-N hottest stats by
+ * delta-per-second between polls.  Reading is safe while the sampler
+ * rewrites the file because publication is rename-into-place — a
+ * reader sees the old or the new snapshot, never a torn write.
+ *
+ * The core is a library so tests can drive parse/render in-process.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace eval::top {
+
+/** One tracker's progress as read from a status file. */
+struct ProgressRow
+{
+    std::string name;
+    std::uint64_t total = 0;
+    std::uint64_t done = 0;
+    double fraction = 0.0;
+    double ratePerS = 0.0;
+    double etaS = -1.0;
+    double elapsedS = 0.0;
+};
+
+/** One parsed status snapshot (or a parse failure). */
+struct RunStatus
+{
+    std::string path;
+    bool valid = false;
+    std::string error;      ///< set when !valid
+
+    std::string tool;
+    long pid = 0;
+    std::uint64_t seq = 0;
+    bool final = false;
+    double uptimeS = 0.0;
+    std::uint64_t intervalMs = 0;
+    long rssKb = 0;
+    long peakRssKb = 0;
+    long threads = 0;
+    double cpuUserS = 0.0;
+    double cpuSysS = 0.0;
+    std::vector<ProgressRow> progress;
+    std::vector<std::pair<std::string, double>> stats;
+};
+
+/** Parse one status document.  Never throws: malformed input yields
+ *  valid == false with the parse error recorded. */
+RunStatus parseStatus(const std::string &text, const std::string &path);
+
+/** Read + parse @p path (valid == false with error on I/O failure). */
+RunStatus readStatusFile(const std::string &path);
+
+/** Status files under @p path: the file itself, or every regular
+ *  *.json file directly inside the directory (skipping the sampler's
+ *  transient *.tmp), sorted by name. */
+std::vector<std::string> discoverStatusFiles(const std::string &path);
+
+/** "[#####---------]" bar for a [0,1] fraction. */
+std::string progressBar(double fraction, std::size_t width);
+
+/** "1.2s" / "3m04s" / "2h07m"; "--" for negative (unknown). */
+std::string formatDuration(double seconds);
+
+/**
+ * Render the dashboard frame for @p runs.  @p previous holds the
+ * prior poll keyed by path and drives the hottest-stats
+ * delta-per-second ranking (empty map: section omitted).
+ */
+std::string render(const std::vector<RunStatus> &runs,
+                   const std::map<std::string, RunStatus> &previous,
+                   int topN);
+
+/** Machine-readable frame: {"runs": [...]} via the strict JSON
+ *  writer (scripting / CI mode). */
+std::string renderJson(const std::vector<RunStatus> &runs);
+
+/** CLI entry point; returns the process exit code (0 ok, 1 no status
+ *  file found / all invalid, 2 usage). */
+int runEvalTop(const std::vector<std::string> &args);
+
+} // namespace eval::top

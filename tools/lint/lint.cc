@@ -312,7 +312,8 @@ classify(const std::string &relPath)
     ps.timingExempt = startsWith(relPath, "src/util/random") ||
                       startsWith(relPath, "src/util/logging") ||
                       startsWith(relPath, "src/stats/") ||
-                      startsWith(relPath, "src/trace/");
+                      startsWith(relPath, "src/trace/") ||
+                      startsWith(relPath, "src/obs/");
     ps.iostreamExempt = startsWith(relPath, "src/util/logging");
     return ps;
 }
@@ -589,6 +590,50 @@ ruleObsSpanLeak(const Ctx &ctx)
                          "opened it");
 }
 
+void
+ruleObsProgressUnits(const Ctx &ctx)
+{
+    // Every parallel fan-out in bench/ is user-visible work: it must
+    // tick a ProgressTracker so the status file (and eval_top) can
+    // show completion, throughput, and ETA for the run.  A fan-out
+    // whose progress is reported elsewhere carries an audited
+    // suppression.
+    if (!startsWith(ctx.relPath, "bench/"))
+        return;
+    const std::string &code = ctx.scan.code;
+    static const char *entries[] = {"parallelFor", "parallelMap"};
+    for (const char *entry : entries) {
+        for (std::size_t pos : findTokens(code, entry, true)) {
+            std::size_t open = code.find('(', pos);
+            int depth = 0;
+            std::size_t close = open;
+            for (std::size_t i = open; i < code.size(); ++i) {
+                if (code[i] == '(')
+                    ++depth;
+                else if (code[i] == ')' && --depth == 0) {
+                    close = i;
+                    break;
+                }
+            }
+            if (close == open)
+                continue; // unbalanced (partial file); nothing to scan
+            const std::string body = code.substr(open, close - open);
+            // A fan-out call site passes a lambda; a region without
+            // one is the pool's own declaration/definition.
+            if (body.find('[') == std::string::npos)
+                continue;
+            if (!findTokens(body, "tick", true).empty())
+                continue;
+            ctx.emit(pos, "obs-progress-units",
+                     std::string(entry) +
+                         " body in bench/ never calls "
+                         "ProgressTracker::tick; fan-outs must report "
+                         "progress so status files show completion and "
+                         "throughput (see src/obs/progress.hh)");
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Engine
 // ---------------------------------------------------------------------------
@@ -666,6 +711,9 @@ ruleCatalog()
         {"obs-span-leak",
          "spans are RAII-only: no heap/pointer/reference ScopedSpan "
          "and no raw begin/end span calls outside src/trace"},
+        {"obs-progress-units",
+         "every parallelFor/parallelMap in bench/ must tick a "
+         "ProgressTracker (or carry an audited suppression)"},
         {"lint-bad-suppression",
          "suppressions must name known rules and carry a justification "
          "(reported, never suppressible)"},
@@ -702,6 +750,7 @@ lintSource(const std::string &relPath, const std::string &content)
     ruleHygUsingNamespace(ctx);
     ruleHygIostream(ctx);
     ruleObsSpanLeak(ctx);
+    ruleObsProgressUnits(ctx);
 
     std::vector<Suppression> supps = parseSuppressions(scan, relPath, diags);
     applySuppressions(diags, supps, relPath);
