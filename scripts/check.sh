@@ -11,6 +11,7 @@
 #        scripts/check.sh --tidy [build-dir]
 #        scripts/check.sh --coverage [build-dir]
 #        scripts/check.sh --bench-track [build-dir]
+#        scripts/check.sh --perf-smoke [build-dir]
 #        scripts/check.sh --obs-smoke [build-dir]
 #
 # --tsan (or CHECK_TSAN=1) configures with -DEVAL_TSAN=ON and runs the
@@ -45,6 +46,14 @@
 # the noise threshold vs the recent history window.  See TESTING.md
 # "Tracking bench regressions".
 #
+# --perf-smoke (or CHECK_PERF_SMOKE=1) runs a fast bench set twice --
+# once with EVAL_PE_TABLE=1 (the bench-default fast-scale tables) and
+# once with EVAL_PE_TABLE=0 (exact mode, the golden configuration) --
+# and gates each run with benchtrack against its own history
+# (bench/history for table mode, bench/history-exact for exact mode;
+# the two modes have different cost profiles, so they must never share
+# a regression baseline).  See TESTING.md "Perf smoke".
+#
 # --obs-smoke (or CHECK_OBS_SMOKE=1) is the live-telemetry end-to-end
 # check: it runs a fast bench with EVAL_STATUS_OUT set, polls the
 # status file through `eval_top --once --json` while the bench runs
@@ -69,6 +78,7 @@ case "${1:-}" in
   --tidy)     mode="tidy";     shift ;;
   --coverage) mode="coverage"; shift ;;
   --bench-track) mode="bench-track"; shift ;;
+  --perf-smoke) mode="perf-smoke"; shift ;;
   --obs-smoke) mode="obs-smoke"; shift ;;
 esac
 [[ "${CHECK_TSAN:-0}" == "1" ]] && mode="tsan"
@@ -78,6 +88,7 @@ esac
 [[ "${CHECK_TIDY:-0}" == "1" ]] && mode="tidy"
 [[ "${CHECK_COVERAGE:-0}" == "1" ]] && mode="coverage"
 [[ "${CHECK_BENCH_TRACK:-0}" == "1" ]] && mode="bench-track"
+[[ "${CHECK_PERF_SMOKE:-0}" == "1" ]] && mode="perf-smoke"
 [[ "${CHECK_OBS_SMOKE:-0}" == "1" ]] && mode="obs-smoke"
 
 if [[ "$mode" == "tsan" ]]; then
@@ -198,6 +209,50 @@ if [[ "$mode" == "bench-track" ]]; then
         --gate
     echo "check.sh: bench tracking passed" \
          "(report: $build_dir/bench-report.md)"
+    exit 0
+fi
+
+if [[ "$mode" == "perf-smoke" ]]; then
+    build_dir="${1:-$repo_root/build-check}"
+    # Fast kernel-sensitive set; override with PERF_SMOKE_SET.
+    bench_set=(${PERF_SMOKE_SET:-bench_inner_loop bench_fig01_vats})
+
+    cmake -B "$build_dir" -S "$repo_root"
+    build_dir="$(cd "$build_dir" && pwd)" # benches run from a scratch cwd
+    cmake --build "$build_dir" -j"$(nproc)" --target benchtrack \
+        "${bench_set[@]}"
+
+    # Two passes: table mode (the bench default) and exact mode (the
+    # golden configuration).  Each mode gates against its own history
+    # directory -- the exact path is intentionally slower, so sharing a
+    # baseline would mask regressions in one mode behind the other.
+    for table in 1 0; do
+        if [[ "$table" == "1" ]]; then
+            label="table"
+            history_dir="${BENCH_TRACK_HISTORY:-$repo_root/bench/history}"
+        else
+            label="exact"
+            history_dir="${BENCH_TRACK_HISTORY_EXACT:-$repo_root/bench/history-exact}"
+        fi
+        run_dir="$build_dir/perf-smoke-$label"
+        rm -rf "$run_dir" && mkdir -p "$run_dir"
+        for bench in "${bench_set[@]}"; do
+            echo "check.sh: running $bench (EVAL_PE_TABLE=$table)"
+            (cd "$run_dir" && EVAL_FAST=1 EVAL_PE_TABLE=$table \
+                "$build_dir/bench/$bench" > "$bench.stdout")
+        done
+        "$build_dir/tools/benchtrack/benchtrack" ingest \
+            --history "$history_dir" "$run_dir"/*.stdout
+        "$build_dir/tools/benchtrack/benchtrack" report \
+            --history "$history_dir" \
+            --window "${BENCH_TRACK_WINDOW:-5}" \
+            --threshold "${BENCH_TRACK_THRESHOLD:-10}" \
+            --markdown "$build_dir/perf-report-$label.md" \
+            --json "$build_dir/perf-report-$label.json" \
+            --gate
+        echo "check.sh: perf smoke ($label mode) passed" \
+             "(report: $build_dir/perf-report-$label.md)"
+    done
     exit 0
 fi
 

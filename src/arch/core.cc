@@ -1,7 +1,9 @@
 #include "arch/core.hh"
 
 #include <algorithm>
+#include <cstring>
 
+#include "stats/stat_registry.hh"
 #include "util/logging.hh"
 
 namespace eval {
@@ -214,6 +216,8 @@ Core::dispatch(TraceSource &trace, std::uint64_t now)
         inf.seq = nextSeq_++;
         inf.isFpSide = fpSide;
         rob_.push_back(inf);
+        // Seqs only grow, so appending keeps the candidates sorted.
+        issueCand_.push_back(IssueCand{inf.seq, op.cls});
 
         count(SubsystemId::Decode);
         count(fpSide ? SubsystemId::FPMap : SubsystemId::IntMap);
@@ -242,33 +246,134 @@ Core::dispatch(TraceSource &trace, std::uint64_t now)
     }
 }
 
-unsigned
-Core::outstandingMisses(std::uint64_t now) const
-{
-    unsigned n = 0;
-    for (const auto &inf : rob_) {
-        if (inf.missInFlight && inf.completeCycle > now)
-            ++n;
-    }
-    return n;
-}
-
 void
 Core::issue(std::uint64_t now)
 {
     unsigned issued = 0;
     unsigned aluUsed = 0, mulUsed = 0, faddUsed = 0, fmulUsed = 0;
-    unsigned missesInFlight = outstandingMisses(now);
 
-    for (auto &inf : rob_) {
-        if (issued >= cfg_.issueWidth)
+    // MSHR occupancy: drop completed fills (now is monotone within a
+    // run, so a pruned entry can never count again), count the rest.
+    missComplete_.erase(
+        std::remove_if(missComplete_.begin(), missComplete_.end(),
+                       [now](std::uint64_t c) { return c <= now; }),
+        missComplete_.end());
+    unsigned missesInFlight =
+        static_cast<unsigned>(missComplete_.size());
+
+    // Wake parked entries whose gate has opened: sleepers whose wake
+    // cycle has arrived, and consumers whose producer issued last
+    // cycle.  Merging the wakes back in seq order keeps the candidate
+    // visit order identical to a full ROB scan.
+    const auto byWake = [](const Sleeper &a, const Sleeper &b) {
+        return a.wakeCycle > b.wakeCycle;
+    };
+    wakeScratch_.clear();
+    while (!sleepers_.empty() && sleepers_.front().wakeCycle <= now) {
+        std::pop_heap(sleepers_.begin(), sleepers_.end(), byWake);
+        wakeScratch_.push_back(
+            IssueCand{sleepers_.back().seq, sleepers_.back().cls});
+        sleepers_.pop_back();
+    }
+    if (!pendingWake_.empty()) {
+        wakeScratch_.insert(wakeScratch_.end(), pendingWake_.begin(),
+                            pendingWake_.end());
+        pendingWake_.clear();
+    }
+    if (!wakeScratch_.empty()) {
+        // A cycle wakes a handful of entries at most: insertion sort
+        // beats a general sort at this size, and a backward
+        // two-pointer merge into the widened vector avoids
+        // inplace_merge's temporary buffer.
+        for (std::size_t i = 1; i < wakeScratch_.size(); ++i) {
+            const IssueCand v = wakeScratch_[i];
+            std::size_t j = i;
+            while (j > 0 && wakeScratch_[j - 1].seq > v.seq) {
+                wakeScratch_[j] = wakeScratch_[j - 1];
+                --j;
+            }
+            wakeScratch_[j] = v;
+        }
+        const std::size_t oldN = issueCand_.size();
+        issueCand_.resize(oldN + wakeScratch_.size());
+        std::ptrdiff_t a = static_cast<std::ptrdiff_t>(oldN) - 1;
+        std::ptrdiff_t b =
+            static_cast<std::ptrdiff_t>(wakeScratch_.size()) - 1;
+        std::ptrdiff_t w =
+            static_cast<std::ptrdiff_t>(issueCand_.size()) - 1;
+        while (b >= 0) {
+            if (a >= 0 && issueCand_[a].seq > wakeScratch_[b].seq)
+                issueCand_[w--] = issueCand_[a--];
+            else
+                issueCand_[w--] = wakeScratch_[b--];
+        }
+    }
+
+    // Visit the candidates in seq (= ROB) order, compacting in place:
+    // entries that issue or park drop out, the rest stay for the next
+    // cycle.  A class-level structural gate runs first so an entry
+    // whose functional-unit class is already exhausted this cycle is
+    // kept without touching the ROB or rechecking dependencies — the
+    // full scan would have reached the same `continue` after the dep
+    // check, and the dep check writes nothing, so skipping it is
+    // unobservable.
+    std::size_t keepCand = 0;
+    const std::size_t numCand = issueCand_.size();
+    for (std::size_t r = 0; r < numCand; ++r) {
+        const IssueCand c = issueCand_[r];
+        if (issued >= cfg_.issueWidth) {
+            // Width exhausted: nothing later can issue — bulk-keep
+            // the remaining tail in one move.
+            std::memmove(issueCand_.data() + keepCand,
+                         issueCand_.data() + r,
+                         (numCand - r) * sizeof(IssueCand));
+            keepCand += numCand - r;
             break;
-        if (inf.issued)
+        }
+
+        bool fuBlocked = false;
+        switch (c.cls) {
+          case OpClass::Load:
+            // A load that may miss needs an MSHR; when all are busy
+            // the load waits (memory-level-parallelism limit).
+            fuBlocked = missesInFlight >= cfg_.mshrs ||
+                        aluUsed >= cfg_.intAluCount;
+            break;
+          case OpClass::IntAlu:
+          case OpClass::Branch:
+          case OpClass::Store:
+            fuBlocked = aluUsed >= cfg_.intAluCount;
+            break;
+          case OpClass::IntMul:
+            fuBlocked = mulUsed >= cfg_.intMulCount;
+            break;
+          case OpClass::FpAdd:
+            fuBlocked = faddUsed >= cfg_.fpAddCount;
+            break;
+          case OpClass::FpMul:
+            fuBlocked = fmulUsed >= cfg_.fpMulCount;
+            break;
+          case OpClass::FpDiv:
+            fuBlocked = fmulUsed >= cfg_.fpMulCount ||
+                        fpDivBusyUntil_ > now;
+            break;
+          default:
+            EVAL_PANIC("unknown op class in issue");
+        }
+        if (fuBlocked) {
+            // Structural conflicts carry no wake event — stay a
+            // candidate and retry next cycle.
+            issueCand_[keepCand++] = c;
             continue;
+        }
+
+        InFlight &inf = rob_[c.seq - rob_.front().seq];
 
         // Operand readiness via backward dependency distances.
         bool ready = true;
         std::uint64_t readyCycle = 0;
+        std::uint64_t blockCycle = 0;
+        std::uint64_t blockProdSeq = kNoWaiter;
         auto checkDep = [&](std::uint16_t dist) {
             if (!ready || dist == 0)
                 return;
@@ -279,58 +384,60 @@ Core::issue(std::uint64_t now)
             if (prodSeq < oldestSeq)
                 return;   // producer already retired
             const InFlight &prod = rob_[prodSeq - oldestSeq];
-            if (!prod.issued || prod.completeCycle > now) {
+            if (!prod.issued) {
+                // No time bound exists until the producer issues —
+                // park on that producer's waiter chain.
                 ready = false;
+                blockProdSeq = prodSeq;
+                return;
+            }
+            if (prod.completeCycle > now) {
+                ready = false;
+                blockCycle = prod.completeCycle;
                 return;
             }
             readyCycle = std::max(readyCycle, prod.completeCycle);
         };
         checkDep(inf.op.src1Dist);
         checkDep(inf.op.src2Dist);
-        if (!ready)
+        if (!ready) {
+            // Park until the gate opens; the skipped rechecks could
+            // only have hit this same branch again.
+            if (blockProdSeq != kNoWaiter) {
+                InFlight &prod =
+                    rob_[blockProdSeq - rob_.front().seq];
+                inf.nextWaiter = prod.firstWaiter;
+                prod.firstWaiter = c.seq;
+            } else {
+                sleepers_.push_back(Sleeper{blockCycle, c.seq, c.cls});
+                std::push_heap(sleepers_.begin(), sleepers_.end(), byWake);
+            }
             continue;
+        }
 
-        // Functional-unit availability.
+        // The structural gate above already reserved this entry a
+        // unit; allocate it and issue.
         switch (inf.op.cls) {
           case OpClass::Load:
-            // A load that may miss needs an MSHR; when all are busy
-            // the load waits (memory-level-parallelism limit).
-            if (missesInFlight >= cfg_.mshrs)
-                continue;
-            [[fallthrough]];
           case OpClass::IntAlu:
           case OpClass::Branch:
           case OpClass::Store:
-            if (aluUsed >= cfg_.intAluCount)
-                continue;
             ++aluUsed;
             count(SubsystemId::IntALU);
             count(SubsystemId::IntReg);
             break;
           case OpClass::IntMul:
-            if (mulUsed >= cfg_.intMulCount)
-                continue;
             ++mulUsed;
             count(SubsystemId::IntALU);
             count(SubsystemId::IntReg);
             break;
           case OpClass::FpAdd:
-            if (faddUsed >= cfg_.fpAddCount)
-                continue;
             ++faddUsed;
             count(SubsystemId::FPUnit);
             count(SubsystemId::FPReg);
             break;
           case OpClass::FpMul:
-            if (fmulUsed >= cfg_.fpMulCount)
-                continue;
-            ++fmulUsed;
-            count(SubsystemId::FPUnit);
-            count(SubsystemId::FPReg);
-            break;
           case OpClass::FpDiv:
-            if (fmulUsed >= cfg_.fpMulCount || fpDivBusyUntil_ > now)
-                continue;
             ++fmulUsed;
             count(SubsystemId::FPUnit);
             count(SubsystemId::FPReg);
@@ -340,6 +447,18 @@ Core::issue(std::uint64_t now)
         }
 
         inf.issued = true;
+        // Wake the consumers parked on this entry; they re-enter the
+        // candidate list next cycle, by which point this result is at
+        // least a cycle from completing — exactly when the full scan
+        // would first have seen them unblocked.
+        for (std::uint64_t ws = inf.firstWaiter; ws != kNoWaiter;) {
+            InFlight &waiter = rob_[ws - rob_.front().seq];
+            pendingWake_.push_back(IssueCand{ws, waiter.op.cls});
+            const std::uint64_t nxt = waiter.nextWaiter;
+            waiter.nextWaiter = kNoWaiter;
+            ws = nxt;
+        }
+        inf.firstWaiter = kNoWaiter;
         inf.completeCycle = now + execLatency(inf.op, now);
         if (inf.op.cls == OpClass::FpDiv)
             fpDivBusyUntil_ = inf.completeCycle;
@@ -347,6 +466,7 @@ Core::issue(std::uint64_t now)
             inf.completeCycle - now > cfg_.memLat.l1 + 1) {
             inf.missInFlight = true;
             ++missesInFlight;
+            missComplete_.push_back(inf.completeCycle);
         }
         ++issued;
 
@@ -368,6 +488,7 @@ Core::issue(std::uint64_t now)
             fetchResumeCycle_ = std::max(fetchResumeCycle_, redirect);
         }
     }
+    issueCand_.resize(keepCand);
 }
 
 void
@@ -378,6 +499,10 @@ Core::squashAll(std::uint64_t resumeCycle)
     for (std::size_t i = rob_.size(); i-- > 0;)
         fetchQueue_.push_front(rob_[i].op);
     rob_.clear();
+    missComplete_.clear();
+    issueCand_.clear();
+    sleepers_.clear();
+    pendingWake_.clear();
 
     intQueueOcc_ = fpQueueOcc_ = lsqOcc_ = 0;
     fetchBlockedOnBranch_ = false;
@@ -421,9 +546,21 @@ Core::retire(std::uint64_t now, unsigned maxRetire)
 CoreStats
 Core::run(TraceSource &trace, std::uint64_t numInstructions)
 {
+    static TimerStat &timer =
+        StatRegistry::global().timer("profile.arch.core_run");
+    ScopedTimer scope(timer);
     stats_ = CoreStats{};
     rob_.clear();
     fetchQueue_.clear();
+    missComplete_.clear();
+    missComplete_.reserve(cfg_.mshrs);
+    issueCand_.clear();
+    issueCand_.reserve(cfg_.robSize);
+    sleepers_.clear();
+    sleepers_.reserve(cfg_.robSize);
+    pendingWake_.clear();
+    pendingWake_.reserve(cfg_.robSize);
+    wakeScratch_.reserve(cfg_.robSize);
     nextSeq_ = 0;
     fetchResumeCycle_ = 0;
     fetchBlockedOnBranch_ = false;

@@ -21,6 +21,8 @@
 #include <array>
 #include <cstdint>
 #include <deque>
+#include <utility>
+#include <vector>
 
 #include "arch/branch_predictor.hh"
 #include "arch/cache.hh"
@@ -131,13 +133,17 @@ class Core
         std::uint64_t seq = 0;
         std::uint64_t readyCycle = 0;    ///< operands available
         std::uint64_t completeCycle = 0; ///< result available
+        /** Intrusive wait chain: seqs of unissued consumers parked on
+         *  this entry, woken when it issues (kNoWaiter = none). */
+        std::uint64_t firstWaiter = kNoWaiter;
+        std::uint64_t nextWaiter = kNoWaiter;
         bool issued = false;
         bool isFpSide = false;
         bool missInFlight = false;       ///< occupies an MSHR
     };
 
-    /** Issued loads currently waiting on a miss (MSHR occupancy). */
-    unsigned outstandingMisses(std::uint64_t now) const;
+    /** Sentinel seq for the InFlight waiter chains. */
+    static constexpr std::uint64_t kNoWaiter = ~0ULL;
 
     void dispatch(TraceSource &trace, std::uint64_t now);
     void issue(std::uint64_t now);
@@ -160,6 +166,53 @@ class Core
     // Transient machine state.
     std::deque<MicroOp> fetchQueue_;
     std::deque<InFlight> rob_;
+    /** Completion cycles of issued loads occupying an MSHR.  Replaces
+     *  the per-cycle ROB scan that used to recount them: entries are
+     *  pushed when a missing load issues, lazily pruned once their
+     *  cycle passes (time only moves forward within a run), and
+     *  cleared on a squash — the count matches the old scan exactly.
+     *  Bounded by cfg_.mshrs (the issue stage stops allocating at the
+     *  limit). */
+    std::vector<std::uint64_t> missComplete_;
+    /**
+     * Event-driven issue scheduling.  Instead of scanning the whole
+     * ROB every cycle, issue() only visits `issueCand_`: the seqs
+     * (ascending, i.e. program order) of unissued entries that could
+     * plausibly issue this cycle.  An entry that fails its dependency
+     * check leaves the candidate list and parks on one of two wake
+     * lists:
+     *   - `sleepers_` (a min-heap on wake cycle) when the blocking
+     *     producer had issued — readiness is then purely a matter of
+     *     reaching the producer's completion cycle;
+     *   - the blocking producer's intrusive waiter chain when it had
+     *     not issued — nothing can change for the consumer until that
+     *     specific producer issues, at which point the chain is walked
+     *     into `pendingWake_` for the next cycle's pass.
+     * Woken seqs are merged back in seq order before the pass, so the
+     * entries visited in any cycle are a superset of those that could
+     * issue, in exactly the ROB-scan order: issue order, stats, and
+     * cycle counts are unchanged.  A deferred wake is sound because a
+     * parked entry's recheck would provably have hit `continue`.
+     *
+     * Candidates carry the op class so a structurally blocked entry
+     * (functional unit exhausted, MSHRs full, issue width reached) is
+     * skipped without touching the ROB at all.
+     */
+    struct IssueCand
+    {
+        std::uint64_t seq;
+        OpClass cls;
+    };
+    struct Sleeper
+    {
+        std::uint64_t wakeCycle;
+        std::uint64_t seq;
+        OpClass cls;
+    };
+    std::vector<IssueCand> issueCand_;
+    std::vector<Sleeper> sleepers_;
+    std::vector<IssueCand> pendingWake_;
+    std::vector<IssueCand> wakeScratch_;
     std::uint64_t nextSeq_ = 0;
     std::uint64_t fetchResumeCycle_ = 0;
     std::uint64_t pendingBranchSeq_ = 0;

@@ -2,6 +2,7 @@
 
 #include "arch/core.hh"
 #include "obs/progress.hh"
+#include "stats/stat_registry.hh"
 #include "util/logging.hh"
 
 namespace eval {
@@ -48,6 +49,9 @@ CharacterizationCache::get(const AppProfile &profile)
 AppCharacterization
 CharacterizationCache::characterize(const AppProfile &profile)
 {
+    static TimerStat &timer =
+        StatRegistry::global().timer("profile.characterize.app");
+    ScopedTimer scope(timer);
     AppCharacterization app;
     app.name = profile.name;
     app.isFp = profile.isFp;

@@ -41,44 +41,18 @@ ExhaustiveOptimizer::ExhaustiveOptimizer(const EnvCapabilities &caps,
 {
 }
 
-bool
-ExhaustiveOptimizer::feasibleAt(const CoreSystemModel &core, SubsystemId id,
-                                bool useAlternate, double freq,
-                                double alphaF, double thC,
-                                double vddNominal)
+std::shared_ptr<const ExhaustiveOptimizer::KnobCandidates>
+ExhaustiveOptimizer::candidates(double vddNominal)
 {
-    const double budget = perAccessErrorBudget(constraints_, alphaF);
-    const auto vdds = knobs_.vddCandidates(vddNominal);
-    const auto vbbs = knobs_.vbbCandidates();
-
-    // Optimistic prefilter: even at the fastest setting and at the
-    // coolest possible junction temperature (T >= TH always), does the
-    // error rate fit the budget?  If not, no thermal solve can help —
-    // this skips the full knob scan for clearly infeasible frequencies.
-    {
-        const OperatingConditions fastest{vdds.back(), vbbs.back(), thC};
-        const double peOptimistic =
-            core.subsystem(id).errorModel(useAlternate)
-                .errorRatePerAccess(1.0 / freq, fastest);
-        if (peOptimistic > budget)
-            return false;
+    std::lock_guard<std::mutex> lock(candMutex_);
+    if (!cand_ || cand_->vddNominal != vddNominal) {
+        auto built = std::make_shared<KnobCandidates>();
+        built->vddNominal = vddNominal;
+        built->vdds = knobs_.vddCandidates(vddNominal);
+        built->vbbs = knobs_.vbbCandidates();
+        cand_ = std::move(built);
     }
-
-    // Fast settings first: high Vdd and forward bias minimize PE; if a
-    // setting overheats, the scan continues toward cooler ones.
-    for (auto vddIt = vdds.rbegin(); vddIt != vdds.rend(); ++vddIt) {
-        for (auto vbbIt = vbbs.rbegin(); vbbIt != vbbs.rend(); ++vbbIt) {
-            SubsystemKnobs k{*vddIt, *vbbIt};
-            const auto sol = core.evaluateSubsystem(
-                id, useAlternate, freq, k, alphaF, alphaF, thC);
-            if (sol.functional &&
-                sol.thermal.tempC <= constraints_.tMaxC &&
-                sol.peAccess <= budget) {
-                return true;
-            }
-        }
-    }
-    return false;
+    return cand_;
 }
 
 double
@@ -96,32 +70,127 @@ ExhaustiveOptimizer::maxFrequency(const CoreSystemModel &core,
     span.arg("alt", useAlternate);
     queries.inc();
 
-    const double vddNom = core.params().vddNominal;
+    // The answer is the highest grid frequency at which ANY (Vdd, Vbb)
+    // setting is feasible.  The legacy search binary-searched the
+    // frequency grid with a full knob scan (and a thermal solve per
+    // setting) at every probe; this search flips the nesting: walk the
+    // settings fast-first and let each setting advance a shared
+    // "best feasible index" with its own gallop + binary search.  A
+    // setting only pays thermal solves when it can still beat the
+    // current best, and almost all settings are eliminated by one
+    // memoized PE query at the temperature floor.  Both searches rest
+    // on the same invariant the legacy prefilters used: PE rises with
+    // f and T and falls with Vdd and Vbb (fast settings first), and
+    // the solved junction temperature is at least TH + Rth * Pdyn, so
+    // a setting that misses the budget at the floor can never pass the
+    // post-solve check — the prunes only skip settings that would have
+    // failed, keeping the chosen frequency bit-identical.
+    const double budget = perAccessErrorBudget(constraints_, alphaF);
+    const auto cand = candidates(core.params().vddNominal);
+    const auto &vdds = cand->vdds;
+    const auto &vbbs = cand->vbbs;
     const auto &freqs = knobs_.freq;
+    const std::size_t n = freqs.size();
 
-    if (!feasibleAt(core, id, useAlternate, freqs.lo(), alphaF, thC,
-                    vddNom)) {
-        return 0.0;
-    }
-    if (feasibleAt(core, id, useAlternate, freqs.hi(), alphaF, thC,
-                   vddNom)) {
-        return freqs.hi();
-    }
+    const StageErrorModel &em =
+        core.subsystem(id).errorModel(useAlternate);
+    const double r = core.thermal().rth(id);
+    const double kdyn = core.subsystem(id).power().kdyn;
+    const double tMaxC = constraints_.tMaxC;
+    const bool tempPrunable = tMaxC < 400.0;
 
-    // Feasibility is monotone in f (PE and T both rise), so binary
-    // search over the knob grid.
-    std::size_t lo = 0;                      // known feasible
-    std::size_t hi = freqs.size() - 1;       // known infeasible
-    while (hi - lo > 1) {
-        const std::size_t mid = (lo + hi) / 2;
-        if (feasibleAt(core, id, useAlternate, freqs.value(mid), alphaF,
-                       thC, vddNom)) {
-            lo = mid;
-        } else {
-            hi = mid;
+    // Exact per-setting feasibility at grid index fi, with the two
+    // decision-invariant prechecks (temperature floor, PE at floor)
+    // ahead of the thermal solve.
+    const auto feasible = [&](double vdd, double vbb, std::size_t fi) {
+        const double f = freqs.value(fi);
+        if (tempPrunable &&
+            thC + r * dynamicPower(kdyn, alphaF, vdd, f) > tMaxC)
+            return false;
+        const OperatingConditions cool{vdd, vbb, thC};
+        if (em.errorRatePerAccess(1.0 / f, cool) > budget)
+            return false;
+        const auto sol = core.evaluateSubsystem(
+            id, useAlternate, f, SubsystemKnobs{vdd, vbb}, alphaF,
+            alphaF, thC);
+        return sol.functional && sol.thermal.tempC <= tMaxC &&
+               sol.peAccess <= budget;
+    };
+
+    std::ptrdiff_t best = -1;   // highest grid index known feasible
+    const double vbbFast = vbbs.back();
+    for (auto vddIt = vdds.rbegin(); vddIt != vdds.rend(); ++vddIt) {
+        const double vdd = *vddIt;
+        std::size_t probe = static_cast<std::size_t>(best + 1);
+        if (probe >= n)
+            break;   // best already at the top of the grid
+
+        // Row head: if even the row's fastest Vbb misses the budget at
+        // the floor temperature for the next frequency to beat, every
+        // setting in this row fails there — and PE only grows as Vdd
+        // drops, so every remaining row fails too.  One memoized PE
+        // query retires the rest of the scan.
+        {
+            const OperatingConditions head{vdd, vbbFast, thC};
+            if (em.errorRatePerAccess(1.0 / freqs.value(probe), head) >
+                budget)
+                break;
+        }
+        // Temperature floor is Vbb-free: a row whose floor exceeds
+        // TMAX at the probe frequency cannot beat best at any Vbb
+        // (but cooler, lower-Vdd rows still might — keep scanning).
+        if (tempPrunable &&
+            thC + r * dynamicPower(kdyn, alphaF, vdd,
+                                   freqs.value(probe)) > tMaxC)
+            continue;
+
+        for (auto vbbIt = vbbs.rbegin(); vbbIt != vbbs.rend(); ++vbbIt) {
+            const double vbb = *vbbIt;
+            probe = static_cast<std::size_t>(best + 1);
+            if (probe >= n)
+                break;
+            // Reverse bias only raises PE: once a Vbb misses the
+            // budget at the floor, the rest of the row misses it too.
+            const OperatingConditions cool{vdd, vbb, thC};
+            if (em.errorRatePerAccess(1.0 / freqs.value(probe), cool) >
+                budget)
+                break;
+            if (!feasible(vdd, vbb, probe))
+                continue;
+
+            // This setting beats the best — gallop upward to bracket
+            // its own maximum, then binary-search the bracket.
+            // Per-setting feasibility is monotone in f (PE and T both
+            // rise), the same invariant the legacy frequency binary
+            // search relied on.
+            std::size_t lo = probe;   // known feasible (this setting)
+            std::size_t hi = n;       // first known-infeasible, n=none
+            // Gallop only when the bracket starts above the grid
+            // bottom (best + 1 is usually close to the answer); from
+            // the bottom a plain binary search over the whole grid
+            // needs fewer probes than doubling through it.
+            if (probe > 0) {
+                for (std::size_t step = 1; lo + step < n; step <<= 1) {
+                    const std::size_t t = lo + step;
+                    if (feasible(vdd, vbb, t)) {
+                        lo = t;
+                    } else {
+                        hi = t;
+                        break;
+                    }
+                }
+            }
+            while (hi - lo > 1) {
+                const std::size_t mid = (lo + hi) / 2;
+                if (feasible(vdd, vbb, mid))
+                    lo = mid;
+                else
+                    hi = mid;
+            }
+            best = static_cast<std::ptrdiff_t>(lo);
         }
     }
-    return freqs.value(lo);
+    return best < 0 ? 0.0 : freqs.value(static_cast<std::size_t>(best));
 }
 
 std::optional<SubsystemKnobs>
@@ -140,22 +209,52 @@ ExhaustiveOptimizer::minimizePower(const CoreSystemModel &core,
     queries.inc();
 
     const double budget = perAccessErrorBudget(constraints_, alphaF);
-    const auto vdds = knobs_.vddCandidates(core.params().vddNominal);
-    const auto vbbs = knobs_.vbbCandidates();
+    const auto cand = candidates(core.params().vddNominal);
+    const auto &vdds = cand->vdds;
+    const auto &vbbs = cand->vbbs;
 
-    const StageErrorModel &em =
-        core.subsystem(id).errorModel(useAlternate);
+    const SubsystemModel &sub = core.subsystem(id);
+    const StageErrorModel &em = sub.errorModel(useAlternate);
+    const double r = core.thermal().rth(id);
+    const double kdyn = sub.power().kdyn;
+    const double pf = sub.powerFactor(useAlternate);
+    const bool tempPrunable = constraints_.tMaxC < 400.0;
 
     std::optional<SubsystemKnobs> best;
     double bestPower = 1e30;
     for (double vdd : vdds) {
-        for (double vbb : vbbs) {
+        // Pdyn depends only on Vdd here, giving two Vbb-row prunes:
+        // the temperature floor TH + Rth * Pdyn (leakage only adds
+        // heat) exceeding TMAX means no Vbb can cool the row into
+        // feasibility, and pf * Pdyn alone already beating the best
+        // power means no Vbb can win (Psta > 0).
+        const double pdyn = dynamicPower(kdyn, alphaF, vdd, fcore);
+        if (tempPrunable && thC + r * pdyn > constraints_.tMaxC)
+            continue;
+        if (pf * pdyn >= bestPower)
+            continue;
+        // Optimistic PE prefilter at T = TH: PE only falls as Vbb
+        // swings toward forward bias, so the Vbbs that meet the error
+        // budget at the floor form a suffix of the ascending row —
+        // binary-search its start instead of filtering linearly.  The
+        // skipped queries are exactly the ones the linear filter would
+        // have rejected, so the chosen setting is unchanged.
+        std::size_t firstOk = 0;
+        {
+            std::size_t lo = 0, hi = vbbs.size();
+            while (lo < hi) {
+                const std::size_t mid = (lo + hi) / 2;
+                const OperatingConditions cool{vdd, vbbs[mid], thC};
+                if (em.errorRatePerAccess(1.0 / fcore, cool) <= budget)
+                    hi = mid;
+                else
+                    lo = mid + 1;
+            }
+            firstOk = lo;
+        }
+        for (std::size_t vi = firstOk; vi < vbbs.size(); ++vi) {
+            const double vbb = vbbs[vi];
             SubsystemKnobs k{vdd, vbb};
-            // Optimistic PE prefilter at T = TH skips the thermal
-            // solve for settings that cannot meet the error budget.
-            const OperatingConditions cool{vdd, vbb, thC};
-            if (em.errorRatePerAccess(1.0 / fcore, cool) > budget)
-                continue;
             const auto sol = core.evaluateSubsystem(
                 id, useAlternate, fcore, k, alphaF, alphaF, thC);
             if (!sol.functional ||
@@ -168,6 +267,12 @@ ExhaustiveOptimizer::minimizePower(const CoreSystemModel &core,
                 bestPower = p;
                 best = k;
             }
+            // Pdyn is Vbb-free and Psta only grows with forward bias
+            // (Eq 8: Vbb lowers Vt, raising leakage exponentially, and
+            // the extra heat compounds it), so the first feasible Vbb
+            // in this ascending scan is the row's cheapest — the rest
+            // of the row cannot beat it.
+            break;
         }
     }
     return best;

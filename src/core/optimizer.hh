@@ -13,7 +13,10 @@
 #pragma once
 
 #include <array>
+#include <memory>
+#include <mutex>
 #include <optional>
+#include <vector>
 
 #include "core/eval_params.hh"
 #include "core/perf_model.hh"
@@ -90,12 +93,25 @@ class ExhaustiveOptimizer : public SubsystemOptimizer
     const KnobSpace &knobs() const { return knobs_; }
 
   private:
-    bool feasibleAt(const CoreSystemModel &core, SubsystemId id,
-                    bool useAlternate, double freq, double alphaF,
-                    double thC, double vddNominal);
+    /** The discrete Vdd/Vbb scan lists, hoisted out of the per-query
+     *  loops (vddCandidates/vbbCandidates allocate on every call, and
+     *  feasibleAt runs once per binary-search probe). */
+    struct KnobCandidates
+    {
+        double vddNominal = 0.0;
+        std::vector<double> vdds;
+        std::vector<double> vbbs;
+    };
+
+    /** Lazily built, rebuilt only if @p vddNominal changes (it is a
+     *  process constant, so in practice built once).  Returned shared
+     *  so concurrent per-subsystem queries stay safe. */
+    std::shared_ptr<const KnobCandidates> candidates(double vddNominal);
 
     KnobSpace knobs_;
     Constraints constraints_;
+    std::mutex candMutex_;
+    std::shared_ptr<const KnobCandidates> cand_;
 };
 
 /**

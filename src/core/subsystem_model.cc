@@ -183,13 +183,45 @@ CoreEvaluation
 CoreSystemModel::evaluate(const OperatingPoint &op,
                           const ActivityVector &act, double thC) const
 {
+    // All subsystems share one heat-sink temperature, so their Eq 6-9
+    // fixed points are independent — solve them as one batch (a single
+    // lockstep iteration, one memo pass) instead of 15 scalar calls.
+    // Each lane is bit-identical to the solveSubsystem it replaces.
+    std::array<SubsystemThermalRequest, kNumSubsystems> reqs;
+    std::array<SubsystemThermalState, kNumSubsystems> solved;
+    for (std::size_t i = 0; i < kNumSubsystems; ++i) {
+        const auto id = static_cast<SubsystemId>(i);
+        const SubsystemModel &sub = subsystem(id);
+        const SubsystemKnobs &knobs = op.knobsOf(id);
+        reqs[i].power = sub.power();
+        reqs[i].id = id;
+        reqs[i].vt0 = sub.vt0True();
+        reqs[i].vdd = knobs.vdd;
+        reqs[i].vbb = knobs.vbb;
+        reqs[i].freqHz = op.freq;
+        reqs[i].alphaF = act.alpha[i];
+    }
+    thermal_->solveMany(reqs.data(), solved.data(), kNumSubsystems, thC);
+
     CoreEvaluation ev;
     for (std::size_t i = 0; i < kNumSubsystems; ++i) {
         const auto id = static_cast<SubsystemId>(i);
         const bool alt = usesAlternate(id, op);
-        const SubsystemSolution sol = evaluateSubsystem(
-            id, alt, op.freq, op.knobsOf(id), act.alpha[i], act.rho[i],
-            thC);
+        const SubsystemModel &sub = subsystem(id);
+        const SubsystemKnobs &knobs = op.knobsOf(id);
+
+        SubsystemSolution sol;
+        sol.thermal = solved[i];
+        const double pf = sub.powerFactor(alt);
+        sol.thermal.pdyn *= pf;
+        sol.thermal.psta *= pf;
+        const OperatingConditions cond{knobs.vdd, knobs.vbb,
+                                       sol.thermal.tempC};
+        sol.peAccess = sub.errorModel(alt).errorRatePerAccess(
+            1.0 / op.freq, cond);
+        sol.pePerInstruction = act.rho[i] * sol.peAccess;
+        sol.functional = !sol.thermal.runaway && sol.peAccess < 1.0;
+
         ev.thermal[i] = sol.thermal;
         ev.peAccess[i] = sol.peAccess;
         ev.pePerInstruction += sol.pePerInstruction;

@@ -1,4 +1,4 @@
-#include "timing/alpha_power.hh"
+#include "kernels/alpha_power.hh"
 
 #include <cmath>
 
@@ -13,15 +13,9 @@ effectiveVt(const ProcessParams &p, double vt0, const OperatingConditions &op)
            p.k2 * (op.vdd - p.vddNominal) + p.k3 * op.vbb;
 }
 
-namespace {
-
-/**
- * Raw (unnormalized) alpha-power delay expression.  Mobility falls as
- * T^-1.5, so delay carries a (T/Tc)^{+1.5} term.
- */
 double
-rawDelay(const ProcessParams &p, double vtEff, double leff, double vdd,
-         double tempC)
+rawAlphaPowerDelay(const ProcessParams &p, double vtEff, double leff,
+                   double vdd, double tempC)
 {
     const double overdrive = vdd - vtEff;
     if (overdrive <= 1e-3)
@@ -32,8 +26,6 @@ rawDelay(const ProcessParams &p, double vtEff, double leff, double vdd,
     return vdd * leff / (mobility * std::pow(overdrive, p.alphaPower));
 }
 
-} // namespace
-
 double
 gateDelayFactor(const ProcessParams &p, double vt0, double leff,
                 const OperatingConditions &op)
@@ -41,7 +33,7 @@ gateDelayFactor(const ProcessParams &p, double vt0, double leff,
     const OperatingConditions corner = OperatingConditions::nominal(p);
     const double vtCorner = effectiveVt(p, p.vtMean, corner);
     const double denom =
-        rawDelay(p, vtCorner, p.leffMean, corner.vdd, corner.tempC);
+        rawAlphaPowerDelay(p, vtCorner, p.leffMean, corner.vdd, corner.tempC);
     EVAL_ASSERT(denom > 0.0 && denom < kNonFunctionalDelayFactor,
                 "design corner must be functional");
 
@@ -53,7 +45,7 @@ gateDelayFactor(const ProcessParams &p, double vt0, double leff,
                            p.delayVariationGain * (leff - p.leffMean);
 
     const double vtEff = effectiveVt(p, vt0Amp, op);
-    const double num = rawDelay(p, vtEff, leffAmp, op.vdd, op.tempC);
+    const double num = rawAlphaPowerDelay(p, vtEff, leffAmp, op.vdd, op.tempC);
     if (num >= kNonFunctionalDelayFactor)
         return kNonFunctionalDelayFactor;
     return num / denom;

@@ -1,0 +1,89 @@
+#include "kernels/fast_math.hh"
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <tuple>
+
+#include "util/logging.hh"
+
+namespace eval {
+
+PowTable::PowTable(double exponent, double lo, double hi, std::size_t n)
+    : exponent_(exponent), lo_(lo), hi_(hi)
+{
+    EVAL_ASSERT(n >= 2 && hi > lo && lo > 0.0,
+                "pow table needs a positive range and >= 2 segments");
+    const double step = (hi - lo) / static_cast<double>(n);
+    invStep_ = static_cast<double>(n) / (hi - lo);
+    value_.resize(n + 1);
+    slope_.resize(n);
+    for (std::size_t i = 0; i <= n; ++i)
+        value_[i] = std::pow(lo + step * static_cast<double>(i), exponent);
+    for (std::size_t i = 0; i < n; ++i)
+        slope_[i] = (value_[i + 1] - value_[i]) * invStep_;
+
+    // Measure the worst-case relative error by sampling every segment
+    // densely (the error of a linear interpolant of a convex/concave
+    // function peaks in the segment interior, so 8 probes per segment
+    // bracket it tightly; the recorded bound gets a 2x safety factor).
+    double worst = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        for (int k = 1; k < 8; ++k) {
+            const double x =
+                lo + step * (static_cast<double>(i) +
+                             static_cast<double>(k) / 8.0);
+            const double exact = std::pow(x, exponent);
+            const double approx = (*this)(x);
+            const double rel = std::abs(approx / exact - 1.0);
+            if (rel > worst)
+                worst = rel;
+        }
+    }
+    maxRelError_ = 2.0 * worst;
+}
+
+double
+PowTable::operator()(double x) const
+{
+    if (!(x >= lo_) || x > hi_)
+        return std::pow(x, exponent_);   // exact fallback out of range
+    std::size_t i = static_cast<std::size_t>((x - lo_) * invStep_);
+    if (i >= slope_.size())
+        i = slope_.size() - 1;           // x == hi lands on the last node
+    const double x0 = lo_ + static_cast<double>(i) / invStep_;
+    return value_[i] + slope_[i] * (x - x0);
+}
+
+namespace {
+
+std::uint64_t
+bitsOf(double v)
+{
+    std::uint64_t b;
+    std::memcpy(&b, &v, sizeof(b));
+    return b;
+}
+
+} // namespace
+
+const PowTable &
+powTableFor(double exponent, double lo, double hi, std::size_t n)
+{
+    using Key = std::tuple<std::uint64_t, std::uint64_t, std::uint64_t,
+                           std::size_t>;
+    static std::mutex mutex;
+    static std::map<Key, std::unique_ptr<PowTable>> tables;
+    std::lock_guard<std::mutex> lock(mutex);
+    auto &slot = tables[{bitsOf(exponent), bitsOf(lo), bitsOf(hi), n}];
+    if (!slot)
+        // eval-lint: allow(perf-hot-alloc) once-per-process table
+        // registry; builds at first use, never on the per-op path
+        slot = std::make_unique<PowTable>(exponent, lo, hi, n);
+    return *slot;
+}
+
+} // namespace eval

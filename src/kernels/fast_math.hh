@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Bounded-error fast-math tables for the kernel layer.
+ *
+ * The alpha-power delay expression spends nearly all of its time in
+ * two `std::pow` calls with *fixed* exponents (overdrive^alpha and
+ * the mobility temperature ratio^1.5).  A piecewise-linear table over
+ * the reachable argument range replaces each with a lookup + one
+ * multiply-add, at a relative error that is *measured at build time*
+ * by densely sampling every segment and asserted against the bound
+ * the PE-table mode advertises (see PeSurface::kScaleRelErrorBound).
+ *
+ * Tables are only ever used on the EVAL_PE_TABLE fast path; exact
+ * mode and the golden record never touch them.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace eval {
+
+/**
+ * Piecewise-linear approximation of x^exponent over [lo, hi].
+ *
+ * Arguments outside [lo, hi] fall back to `std::pow` (exact), so the
+ * table is always safe to call; the bound only matters inside the
+ * range.  Construction densely samples every segment and records the
+ * worst relative error actually measured.
+ */
+class PowTable
+{
+  public:
+    PowTable(double exponent, double lo, double hi, std::size_t n);
+
+    double operator()(double x) const;
+
+    double exponent() const { return exponent_; }
+    double lo() const { return lo_; }
+    double hi() const { return hi_; }
+    /** Worst |approx/exact - 1| measured over the range at build. */
+    double maxRelError() const { return maxRelError_; }
+
+  private:
+    double exponent_;
+    double lo_;
+    double hi_;
+    double invStep_;
+    double maxRelError_ = 0.0;
+    /** Per-node value and per-segment slope (n segments, n+1 nodes). */
+    std::vector<double> value_;
+    std::vector<double> slope_;
+};
+
+/**
+ * Process-wide table registry: one shared immutable PowTable per
+ * (exponent, lo, hi, n) quadruple.  Thread-safe; tables are built on
+ * first use and live for the process lifetime (they are tiny).
+ */
+const PowTable &powTableFor(double exponent, double lo, double hi,
+                            std::size_t n);
+
+} // namespace eval

@@ -1,0 +1,59 @@
+#include "kernels/path_soa.hh"
+
+#include <cmath>
+#include <vector>
+
+#include "kernels/alpha_power.hh"
+#include "kernels/simd.hh"
+#include "util/logging.hh"
+
+namespace eval {
+
+void
+cornerPathDelays(const ProcessParams &p, double tNom,
+                 const double *fraction, const double *vt0,
+                 const double *leff, double *delayRef, std::size_t n)
+{
+    const OperatingConditions corner = OperatingConditions::nominal(p);
+    const double vtCorner = effectiveVt(p, p.vtMean, corner);
+    const double denom = rawAlphaPowerDelay(p, vtCorner, p.leffMean,
+                                            corner.vdd, corner.tempC);
+    EVAL_ASSERT(denom > 0.0 && denom < kNonFunctionalDelayFactor,
+                "design corner must be functional");
+
+    // eval-lint: allow(perf-hot-alloc) scratch sized once per call
+    std::vector<double> od(n), leffAmp(n);
+
+    // Pass 1: amplified deviations and overdrive (vectorizable).
+    EVAL_SIMD
+    for (std::size_t i = 0; i < n; ++i) {
+        const double vt0Amp =
+            p.vtMean + p.delayVariationGain * (vt0[i] - p.vtMean);
+        leffAmp[i] =
+            p.leffMean + p.delayVariationGain * (leff[i] - p.leffMean);
+        const double vtEff = vt0Amp + p.k1 * (corner.tempC - p.vtRefTempC) +
+                             p.k2 * (corner.vdd - p.vddNominal) +
+                             p.k3 * corner.vbb;
+        od[i] = corner.vdd - vtEff;
+    }
+
+    // Pass 2: the scalar pow.  At the corner T == Tnom, so the legacy
+    // mobility factor is pow(1.0, e) == 1.0 exactly and drops out.
+    for (std::size_t i = 0; i < n; ++i)
+        od[i] = od[i] > 1e-3 ? std::pow(od[i], p.alphaPower) : -1.0;
+
+    // Pass 3: normalize against the corner and scale into a reference
+    // delay (vectorizable; the non-functional branch is a select).
+    EVAL_SIMD
+    for (std::size_t i = 0; i < n; ++i) {
+        const double num = od[i] > 0.0
+                               ? corner.vdd * leffAmp[i] / od[i]
+                               : kNonFunctionalDelayFactor;
+        const double factor = num >= kNonFunctionalDelayFactor
+                                  ? kNonFunctionalDelayFactor
+                                  : num / denom;
+        delayRef[i] = fraction[i] * tNom * factor;
+    }
+}
+
+} // namespace eval

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Structure-of-arrays kernel for the path-population build.
+ *
+ * Building a path population evaluates the alpha-power corner delay
+ * once per structural path; the legacy loop called the full
+ * `gateDelayFactor` per path, recomputing the design-corner
+ * denominator and a `pow(1.0, x)` mobility term (the corner queries
+ * itself: T == Tnom) every time.  This kernel evaluates the same
+ * expression over SoA buffers in three passes — a vectorizable
+ * effective-Vt/overdrive pass, the scalar `std::pow` pass, and a
+ * vectorizable normalization pass — with the corner constants hoisted.
+ * Since 1.0 * x == x and pow(1.0, e) == 1.0 exactly in IEEE
+ * arithmetic, dropping the corner mobility factor is bit-identical,
+ * and the result matches the legacy per-path loop bit for bit.
+ */
+
+#pragma once
+
+#include <cstddef>
+
+#include "variation/process_params.hh"
+
+namespace eval {
+
+/**
+ * delayRef[i] = fraction[i] * tNom
+ *             * gateDelayFactor(p, vt0[i], leff[i], corner).
+ *
+ * All arrays hold @p n entries; inputs may not alias the output.
+ */
+void cornerPathDelays(const ProcessParams &p, double tNom,
+                      const double *fraction, const double *vt0,
+                      const double *leff, double *delayRef,
+                      std::size_t n);
+
+} // namespace eval

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Precomputed PE(f) surface for one stage error model.
+ *
+ * The VATS error model answers "what fraction of accesses fail at
+ * clock period Tc under conditions (Vdd, Vbb, T)?"  The legacy path
+ * recomputed, on *every* query: the design-corner alpha-power
+ * denominator (a model constant), the corner-normalization factor
+ * (another constant), two `std::pow` calls, a binary search over the
+ * path delays, and an `exp` over the survival log.  This class hoists
+ * every model constant at construction and precomputes:
+ *
+ *  - `levels_[i]`  : the PE value when paths [i, n) fail, i.e.
+ *    `1 - exp(survivalLog[i])`, evaluated once with the legacy
+ *    expression so exact-mode queries return bit-identical doubles;
+ *  - a uniform bucket index over the sorted path delays turning the
+ *    `upper_bound` into an O(1) lookup plus a short scan;
+ *  - the hoisted corner constants (`denomCorner`, `atCorner`,
+ *    amplified Vt0/Leff) of the delay-scale expression.
+ *
+ * Two scale evaluators are exposed:
+ *
+ *  - `scaleExact` replays the legacy `delayScale` expression tree
+ *    with the constants hoisted — bit-identical results (hoisting a
+ *    subexpression that is recomputed from identical inputs cannot
+ *    change its bits; no FMA contraction at baseline -march);
+ *  - `scaleFast` substitutes the two fixed-exponent `std::pow` calls
+ *    with piecewise-linear tables (kernels/fast_math.hh) whose
+ *    measured relative error is asserted against
+ *    `kScaleRelErrorBound` at construction.  Since PE(period) is a
+ *    nonincreasing step function of period/scale, a relative scale
+ *    error of delta is *exactly equivalent* to querying the exact
+ *    surface at a period perturbed by at most delta (backward error):
+ *    PE_exact(p*(1+delta)) <= PE_fast(p) <= PE_exact(p*(1-delta)).
+ *    The golden record and all frequency-rating queries
+ *    (fvar/maxDelay/maxFrequencyForErrorRate) never use this path.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "kernels/alpha_power.hh"
+#include "variation/process_params.hh"
+
+namespace eval {
+
+class PowTable;
+
+class PeSurface
+{
+  public:
+    /** Asserted bound on |scaleFast/scaleExact - 1| (backward period
+     *  perturbation of table-mode PE queries).  Derivation in
+     *  DESIGN.md Sec 5g: two tables with measured relative error
+     *  <= ~2.5e-7 each, plus rounding slack, with >10x margin. */
+    static constexpr double kScaleRelErrorBound = 4.0e-6;
+
+    /**
+     * @param delays      sorted reference path delays (ascending)
+     * @param survivalLog survivalLog[i] = log P(no path in [i,n) fails),
+     *                    size delays.size() + 1, nondecreasing
+     */
+    PeSurface(const ProcessParams &params, double vt0Mean, double leffMean,
+              std::vector<double> delays,
+              const std::vector<double> &survivalLog);
+
+    /** Bit-identical replay of the legacy delayScale expression. */
+    double scaleExact(const OperatingConditions &op) const;
+
+    /** Table-accelerated scale, within kScaleRelErrorBound of exact. */
+    double scaleFast(const OperatingConditions &op) const;
+
+    /** First index with delays[i] > threshold (== std::upper_bound). */
+    std::size_t upperBoundIndex(double threshold) const;
+
+    /** PE when paths [idx, n) fail: 1 - exp(survivalLog[idx]),
+     *  precomputed with the legacy expression. */
+    double level(std::size_t idx) const { return levels_[idx]; }
+
+    /**
+     * The index the legacy slowest-down budget walk produced: the
+     * smallest i such that letting paths [i, n) fail keeps
+     * PE <= peBudget.  O(log n) partition point over `levels_`,
+     * whose monotonicity is verified at construction.
+     */
+    std::size_t firstIndexWithinBudget(double peBudget) const;
+
+    const std::vector<double> &delays() const { return delays_; }
+    std::size_t numPaths() const { return delays_.size(); }
+
+  private:
+    ProcessParams params_;
+    double vt0Amp_;       ///< variation-amplified mean Vt0 (hoisted)
+    double leffAmp_;      ///< variation-amplified mean Leff (hoisted)
+    double denomCorner_;  ///< raw alpha-power delay at the corner
+    double atCorner_;     ///< gateDelayFactor at the corner
+    double tNomK_;        ///< design-corner temperature in kelvin
+    const PowTable *odPow_;   ///< overdrive^alphaPower
+    const PowTable *mobPow_;  ///< (Tnom/T)^mobilityTempExponent
+
+    std::vector<double> delays_;   ///< ascending reference delays
+    std::vector<double> levels_;   ///< PE per first-failing index, n+1
+
+    /** Uniform bucket index over [delays front, back]: bucket b holds
+     *  the first delay index whose bucket is >= b.  Empty when the
+     *  delay range is degenerate (fall back to std::upper_bound). */
+    std::vector<std::uint32_t> bucketStart_;
+    double bucketLo_ = 0.0;
+    double bucketInvWidth_ = 0.0;
+};
+
+} // namespace eval

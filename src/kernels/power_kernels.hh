@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Inline single-source definitions of the Eq 7/8 power expressions.
+ *
+ * The batched thermal kernel (src/kernels/thermal_batch.cc) must
+ * reproduce the per-subsystem solve bit-for-bit, which requires the
+ * *same expression tree* as src/power/power_model.cc — but eval_power
+ * links against eval_thermal's dependents, so the kernel layer cannot
+ * link eval_power without a cycle.  These inline functions are that
+ * single source: power_model.cc delegates to them, and the thermal
+ * batch calls them directly.  Any change here changes both callers
+ * identically, preserving bit-identity by construction.
+ */
+
+#pragma once
+
+#include <cmath>
+
+#include "variation/process_params.hh"
+
+namespace eval {
+
+/** Dynamic power (W): Eq 7, Pdyn = Kdyn * alpha_f * Vdd^2 * f. */
+inline double
+dynamicPowerEq7(double kdyn, double alphaF, double vdd, double freqHz)
+{
+    return kdyn * alphaF * vdd * vdd * freqHz;
+}
+
+/** Static (subthreshold leakage) power (W): Eq 8,
+ *  Psta = Ksta * Vdd * T^2 * exp(-q Vt / k T).  @p tempC junction. */
+inline double
+staticPowerEq8(double ksta, double vdd, double tempC, double vtEff)
+{
+    const double tK = celsiusToKelvin(tempC);
+    return ksta * vdd * tK * tK * std::exp(-kQOverK * vtEff / tK);
+}
+
+} // namespace eval

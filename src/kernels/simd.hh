@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Portable vectorization hint for the kernel layer's inner loops.
+ *
+ * `EVAL_SIMD` expands to `#pragma omp simd` when the build probed
+ * -fopenmp-simd successfully (see src/kernels/CMakeLists.txt) and to
+ * nothing otherwise, so hot loops carry the hint without tripping
+ * -Wunknown-pragmas on compilers that lack it.  The pragma only
+ * vectorizes; it never spawns threads, so determinism is unaffected
+ * as long as the loop body itself is order-independent.
+ */
+
+#pragma once
+
+#if defined(EVAL_OPENMP_SIMD)
+#define EVAL_SIMD _Pragma("omp simd")
+#else
+#define EVAL_SIMD
+#endif

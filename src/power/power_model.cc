@@ -2,21 +2,26 @@
 
 #include <cmath>
 
+#include "kernels/power_kernels.hh"
 #include "util/logging.hh"
 
 namespace eval {
 
+// Eqs 7/8 live in kernels/power_kernels.hh so the batched thermal
+// solver and the scalar path evaluate the same inline expression —
+// bit-identity between them holds by construction, not by parallel
+// maintenance of two copies.
+
 double
 dynamicPower(double kdyn, double alphaF, double vdd, double freqHz)
 {
-    return kdyn * alphaF * vdd * vdd * freqHz;
+    return dynamicPowerEq7(kdyn, alphaF, vdd, freqHz);
 }
 
 double
 staticPower(double ksta, double vdd, double tempC, double vtEff)
 {
-    const double tK = celsiusToKelvin(tempC);
-    return ksta * vdd * tK * tK * std::exp(-kQOverK * vtEff / tK);
+    return staticPowerEq8(ksta, vdd, tempC, vtEff);
 }
 
 namespace {

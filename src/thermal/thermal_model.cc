@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "kernels/thermal_batch.hh"
 #include "stats/stat_registry.hh"
 #include "trace/span_tracer.hh"
 #include "util/logging.hh"
@@ -11,7 +12,7 @@ namespace eval {
 
 ThermalModel::ThermalModel(const ProcessParams &params, double coreAreaMm2,
                            double spreadCoeff, double spreadExponent)
-    : params_(params), coreAreaMm2_(coreAreaMm2)
+    : params_(params), coreAreaMm2_(coreAreaMm2), salt_(nextThermalSalt())
 {
     EVAL_ASSERT(coreAreaMm2 > 0.0 && spreadCoeff > 0.0,
                 "thermal model needs positive area/coefficient");
@@ -31,57 +32,80 @@ ThermalModel::rth(SubsystemId id) const
     return rth_[static_cast<std::size_t>(id)];
 }
 
+void
+ThermalModel::solveMany(const SubsystemThermalRequest *requests,
+                        SubsystemThermalState *out, std::size_t n,
+                        double thC) const
+{
+    static Counter &solves =
+        StatRegistry::global().counter("thermal.solves");
+    static Counter &cacheHits =
+        StatRegistry::global().counter("thermal.cache_hits");
+    static Counter &runaways =
+        StatRegistry::global().counter("thermal.runaways");
+    static TimerStat &timer =
+        StatRegistry::global().timer("profile.thermal.solve_subsystem");
+    ScopedTimer scope(timer);
+    // Sampled 1-in-64: called per candidate operating point, far too
+    // hot for an every-call span (DESIGN.md Sec 5e).
+    static thread_local std::uint64_t spanTick = 0;
+    ScopedSpan span("thermal.solve", (spanTick++ & 63) == 0);
+    span.arg("lanes", static_cast<double>(n));
+
+    // The batch kernel solves at most 64 lanes per call; a core has 15
+    // subsystems, so one chunk covers every current caller.
+    constexpr std::size_t kChunk = 64;
+    ThermalLane lanes[kChunk];
+    for (std::size_t base = 0; base < n; base += kChunk) {
+        const std::size_t m = n - base < kChunk ? n - base : kChunk;
+        for (std::size_t i = 0; i < m; ++i) {
+            const SubsystemThermalRequest &req = requests[base + i];
+            ThermalLane &lane = lanes[i];
+            lane.rth = rth(req.id);
+            lane.pdyn = dynamicPower(req.power.kdyn, req.alphaF, req.vdd,
+                                     req.freqHz);
+            lane.ksta = req.power.ksta;
+            lane.vt0 = req.vt0;
+            lane.vdd = req.vdd;
+            lane.vbb = req.vbb;
+        }
+        solveThermalLanes(params_, salt_, lanes, m, thC);
+        for (std::size_t i = 0; i < m; ++i) {
+            const ThermalLane &lane = lanes[i];
+            SubsystemThermalState &st = out[base + i];
+            st.tempC = lane.tempC;
+            st.pdyn = lane.pdyn;
+            st.psta = lane.psta;
+            st.vtEff = lane.vtEff;
+            st.runaway = lane.runaway;
+            solves.inc();
+            if (lane.cacheHit)
+                cacheHits.inc();
+            // Counted per query (memo hits included): the counter
+            // tracks how often callers probe runaway settings, not how
+            // often the iteration diverges afresh.
+            if (lane.runaway)
+                runaways.inc();
+        }
+    }
+}
+
 SubsystemThermalState
 ThermalModel::solveSubsystem(const SubsystemPowerParams &power,
                              SubsystemId id, double vt0, double vdd,
                              double vbb, double freqHz, double alphaF,
                              double thC) const
 {
-    static Counter &solves =
-        StatRegistry::global().counter("thermal.solves");
-    static TimerStat &timer =
-        StatRegistry::global().timer("profile.thermal.solve_subsystem");
-    ScopedTimer scope(timer);
-    // Sampled 1-in-64: called per subsystem per candidate operating
-    // point, far too hot for an every-call span (DESIGN.md Sec 5e).
-    static thread_local std::uint64_t spanTick = 0;
-    ScopedSpan span("thermal.solve", (spanTick++ & 63) == 0);
-    solves.inc();
-
-    const double r = rth(id);
-    const double pdyn = dynamicPower(power.kdyn, alphaF, vdd, freqHz);
-
-    // T = TH + Rth * (Pdyn + Psta(T)); solve for T.  The update is
-    // clamped so a thermally divergent setting saturates at the upper
-    // bound (reported as runaway) instead of overflowing.
-    auto update = [&](double tC) {
-        const double tSafe = clamp(tC, -50.0, 400.0);
-        const OperatingConditions op{vdd, vbb, tSafe};
-        const double vtEff = effectiveVt(params_, vt0, op);
-        const double psta = staticPower(power.ksta, vdd, tSafe, vtEff);
-        return clamp(thC + r * (pdyn + psta), -50.0, 400.0);
-    };
-
-    // The leakage feedback is a mild contraction (Rth * dPsta/dT well
-    // below 1 at sane settings), so undamped iteration converges in a
-    // handful of steps; divergent (runaway) settings hit the clamp and
-    // the iteration budget.
-    bool converged = false;
-    const double tSolved = clamp(
-        fixedPoint(update, thC + r * pdyn, 1.0, 1e-3, 120, &converged),
-        -50.0, 400.0);
-
+    SubsystemThermalRequest req;
+    req.power = power;
+    req.id = id;
+    req.vt0 = vt0;
+    req.vdd = vdd;
+    req.vbb = vbb;
+    req.freqHz = freqHz;
+    req.alphaF = alphaF;
     SubsystemThermalState st;
-    st.tempC = tSolved;
-    st.pdyn = pdyn;
-    const OperatingConditions op{vdd, vbb, tSolved};
-    st.vtEff = effectiveVt(params_, vt0, op);
-    st.psta = staticPower(power.ksta, vdd, tSolved, st.vtEff);
-    st.runaway = !converged || tSolved >= 399.0;
-    span.arg("temp_c", st.tempC);
-    span.arg("runaway", st.runaway);
-    if (st.runaway)
-        StatRegistry::global().counter("thermal.runaways").inc();
+    solveMany(&req, &st, 1, thC);
     return st;
 }
 

@@ -15,6 +15,8 @@
 #pragma once
 
 #include <array>
+#include <cstddef>
+#include <cstdint>
 
 #include "power/power_model.hh"
 #include "variation/floorplan.hh"
@@ -32,6 +34,18 @@ struct SubsystemThermalState
     bool runaway = false;   ///< fixed point failed to converge
 
     double power() const { return pdyn + psta; }
+};
+
+/** One subsystem's solve inputs for ThermalModel::solveMany. */
+struct SubsystemThermalRequest
+{
+    SubsystemPowerParams power;
+    SubsystemId id = SubsystemId::Dcache;
+    double vt0 = 0.0;       ///< threshold at reference conditions
+    double vdd = 0.0;       ///< supply voltage (ASV setting)
+    double vbb = 0.0;       ///< body bias (ABB setting)
+    double freqHz = 0.0;    ///< clock frequency
+    double alphaF = 0.0;    ///< activity in accesses/cycle
 };
 
 /** Heat-sink model: TH rises with total chip power. */
@@ -87,6 +101,19 @@ class ThermalModel
                    double vt0, double vdd, double vbb, double freqHz,
                    double alphaF, double thC) const;
 
+    /**
+     * Solve @p n subsystems against one heat-sink temperature in a
+     * single lockstep fixed-point iteration (kernels/thermal_batch.hh).
+     * Each lane freezes independently at exactly the step the scalar
+     * solver would have stopped at, so @p out[i] is bit-identical to
+     * the corresponding solveSubsystem call.  Solves are memoized on
+     * the exact input bits (EVAL_THERMAL_CACHE, default on; hits are
+     * exact-bit so the golden record is unaffected).
+     */
+    void solveMany(const SubsystemThermalRequest *requests,
+                   SubsystemThermalState *out, std::size_t n,
+                   double thC) const;
+
     const ProcessParams &params() const { return params_; }
     double coreAreaMm2() const { return coreAreaMm2_; }
 
@@ -94,6 +121,9 @@ class ThermalModel
     ProcessParams params_;
     double coreAreaMm2_;
     std::array<double, kNumSubsystems> rth_;
+    /** Memo salt: models with different process constants must not
+     *  share thermal memo entries. */
+    std::uint64_t salt_;
 };
 
 } // namespace eval

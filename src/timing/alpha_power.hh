@@ -1,63 +1,11 @@
 /**
  * @file
- * Alpha-power-law gate-delay model (Sakurai-Newton) with the Eq 9 Vt
- * modulation used throughout the paper:
- *
- *   Tg  ~  Vdd * Leff / (mu(T) * (Vdd - Vt)^alpha)          (Eq 1)
- *   Vt  =  Vt0 + k1 (T - T0) + k2 (Vdd - Vdd0) + k3 Vbb     (Eq 9)
- *
- * All delays in this library are expressed as *factors* relative to the
- * design corner (nominal Vdd, zero body bias, the design-corner
- * temperature, nominal Vt and Leff), so a factor of 1.10 means "10%
- * slower than a nominal gate at the corner".
+ * Forwarding header: the alpha-power delay model moved into the
+ * kernel layer (src/kernels/) so both the timing and thermal libraries
+ * can share it without a dependency cycle.  Existing includes keep
+ * working through this alias.
  */
 
 #pragma once
 
-#include "variation/process_params.hh"
-
-namespace eval {
-
-/** An electrical operating point for a voltage/bias domain. */
-struct OperatingConditions
-{
-    double vdd;    ///< supply voltage, V
-    double vbb;    ///< body bias, V (positive = forward bias)
-    double tempC;  ///< junction temperature, C
-
-    static OperatingConditions
-    nominal(const ProcessParams &p)
-    {
-        return {p.vddNominal, 0.0, p.tempNominalC};
-    }
-};
-
-/**
- * Effective threshold voltage at the given conditions (Eq 9).
- *
- * @param p   process constants
- * @param vt0 threshold at the Vt reference temperature, nominal Vdd,
- *            zero bias (this is the quantity the tester measures)
- */
-double effectiveVt(const ProcessParams &p, double vt0,
-                   const OperatingConditions &op);
-
-/**
- * Gate-delay factor relative to the design corner.
- *
- * @param p    process constants
- * @param vt0  local threshold voltage (reference conditions)
- * @param leff local normalized channel length
- * @param op   electrical operating point
- * @return delay multiplier; a gate with nominal vt0/leff at the design
- *         corner returns exactly 1.0.  Returns a large saturated value
- *         when Vdd fails to exceed the effective Vt (non-functional).
- */
-double gateDelayFactor(const ProcessParams &p, double vt0, double leff,
-                       const OperatingConditions &op);
-
-/** Delay factor saturation used when Vdd <= Vt (gate cannot switch). */
-constexpr double kNonFunctionalDelayFactor = 1.0e6;
-
-} // namespace eval
-
+#include "kernels/alpha_power.hh"

@@ -57,6 +57,29 @@ doubleBits(double v)
 /** -1 = follow EVAL_PE_CACHE, otherwise the forced 0/1 setting. */
 std::atomic<int> peCacheOverride{-1};
 
+/** -1 = follow EVAL_PE_TABLE, otherwise the forced 0/1 setting. */
+std::atomic<int> peTableOverride{-1};
+
+/**
+ * The eval/hit counters, registered once and shared by the cached
+ * entry point and the uncached compute path (previously both
+ * re-registered the same names with their own static locals).
+ */
+struct PeCounters
+{
+    Counter &evals;
+    Counter &hits;
+
+    static const PeCounters &
+    get()
+    {
+        static const PeCounters counters{
+            StatRegistry::global().counter("timing.error_evals"),
+            StatRegistry::global().counter("timing.error_cache_hits")};
+        return counters;
+    }
+};
+
 } // namespace
 
 void
@@ -75,40 +98,76 @@ peCacheEnabled()
     return enabled;
 }
 
-StageErrorModel::StageErrorModel(const ProcessParams &params,
-                                 PathPopulation pop)
-    : params_(params), type_(pop.type), vt0Mean_(pop.vt0Mean),
-      leffMean_(pop.leffMean), cacheId_(nextCacheId())
+void
+setPeTableEnabled(bool enabled)
+{
+    peTableOverride.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+bool
+peTableEnabled()
+{
+    const int forced = peTableOverride.load(std::memory_order_relaxed);
+    if (forced >= 0)
+        return forced != 0;
+    static const bool enabled = envBool("EVAL_PE_TABLE", false);
+    return enabled;
+}
+
+namespace {
+
+/** Sorted reference delays of a population (surface input). */
+std::vector<double>
+sortedDelays(PathPopulation &pop)
 {
     EVAL_ASSERT(!pop.paths.empty(), "error model needs paths");
-
     std::sort(pop.paths.begin(), pop.paths.end(),
               [](const TimingPath &a, const TimingPath &b) {
                   return a.delayRef < b.delayRef;
               });
+    std::vector<double> delays(pop.paths.size());
+    for (std::size_t i = 0; i < delays.size(); ++i)
+        delays[i] = pop.paths[i].delayRef;
+    return delays;
+}
 
+/** survivalLog[i] = log P(no path in [i, n) fails), size n+1. */
+std::vector<double>
+survivalLogOf(const PathPopulation &pop)
+{
     const std::size_t n = pop.paths.size();
-    delays_.resize(n);
-    survivalLog_.resize(n + 1, 0.0);
-    for (std::size_t i = 0; i < n; ++i)
-        delays_[i] = pop.paths[i].delayRef;
+    std::vector<double> survivalLog(n + 1, 0.0);
     for (std::size_t i = n; i-- > 0;) {
         const double s =
             clamp(pop.paths[i].sensitization, 0.0, 1.0 - 1e-12);
-        survivalLog_[i] = survivalLog_[i + 1] + std::log1p(-s);
+        survivalLog[i] = survivalLog[i + 1] + std::log1p(-s);
     }
+    return survivalLog;
+}
+
+/** Builds the surface from a population (sorts it in place first). */
+PeSurface
+makeSurface(const ProcessParams &params, PathPopulation &pop)
+{
+    std::vector<double> delays = sortedDelays(pop);
+    return PeSurface(params, pop.vt0Mean, pop.leffMean, std::move(delays),
+                     survivalLogOf(pop));
+}
+
+} // namespace
+
+StageErrorModel::StageErrorModel(const ProcessParams &params,
+                                 PathPopulation pop)
+    : params_(params), type_(pop.type), vt0Mean_(pop.vt0Mean),
+      leffMean_(pop.leffMean), cacheId_(nextCacheId()),
+      surface_(makeSurface(params, pop))
+{
 }
 
 double
 StageErrorModel::delayScale(const OperatingConditions &op) const
 {
-    const OperatingConditions corner = OperatingConditions::nominal(params_);
-    const double atOp = gateDelayFactor(params_, vt0Mean_, leffMean_, op);
-    const double atCorner =
-        gateDelayFactor(params_, vt0Mean_, leffMean_, corner);
-    if (atOp >= kNonFunctionalDelayFactor)
-        return kNonFunctionalDelayFactor;
-    return atOp / atCorner;
+    return surface_.scaleExact(op);
 }
 
 double
@@ -116,11 +175,8 @@ StageErrorModel::errorRatePerAccess(double clockPeriod,
                                     const OperatingConditions &op) const
 {
     EVAL_ASSERT(clockPeriod > 0.0, "clock period must be positive");
-    static Counter &evals =
-        StatRegistry::global().counter("timing.error_evals");
-    static Counter &hits =
-        StatRegistry::global().counter("timing.error_cache_hits");
-    evals.inc();
+    const PeCounters &counters = PeCounters::get();
+    counters.evals.inc();
 
     if (!peCacheEnabled())
         return computeErrorRatePerAccess(clockPeriod, op);
@@ -129,18 +185,26 @@ StageErrorModel::errorRatePerAccess(double clockPeriod,
     const std::uint64_t vddBits = doubleBits(op.vdd);
     const std::uint64_t vbbBits = doubleBits(op.vbb);
     const std::uint64_t tempBits = doubleBits(op.tempC);
-    // FNV-1a style mix over the key words.
+    // FNV-1a style mix over the key words, then a murmur-style
+    // avalanche.  The avalanche is essential: without it the slot
+    // index is a function of the key words' low mantissa bits only,
+    // and "round" query values (grid Vdd steps, integral
+    // temperatures) all share zero low bits — knob-grid sweeps used
+    // to collapse onto a few dozen slots and thrash.
     std::uint64_t h = 0xcbf29ce484222325ULL;
     for (std::uint64_t w :
          {cacheId_, periodBits, vddBits, vbbBits, tempBits}) {
         h ^= w;
         h *= 0x100000001b3ULL;
     }
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
     PeCacheEntry &e = peCache[h & (kPeCacheSize - 1)];
     if (e.id == cacheId_ && e.periodBits == periodBits &&
         e.vddBits == vddBits && e.vbbBits == vbbBits &&
         e.tempBits == tempBits) {
-        hits.inc();
+        counters.hits.inc();
         return e.value;
     }
     const double pe = computeErrorRatePerAccess(clockPeriod, op);
@@ -155,33 +219,26 @@ StageErrorModel::computeErrorRatePerAccess(
     static TimerStat &timer =
         StatRegistry::global().timer("profile.timing.error_eval");
     ScopedTimer scope(timer);
-    // Sampled 1-in-64: a full PE evaluation is only a binary search,
+    // Sampled 1-in-64: a full PE evaluation is only an indexed lookup,
     // so an every-call span would dominate its own measurement (the
     // ≤3% overhead budget, DESIGN.md Sec 5e).
     static thread_local std::uint64_t spanTick = 0;
     ScopedSpan span("pe.eval", (spanTick++ & 63) == 0);
-    static Counter &spanEvals =
-        StatRegistry::global().counter("timing.error_evals");
-    static Counter &spanHits =
-        StatRegistry::global().counter("timing.error_cache_hits");
-    span.arg("cache_evals", spanEvals.value());
-    span.arg("cache_hits", spanHits.value());
-    const double scale = delayScale(op);
+    const PeCounters &counters = PeCounters::get();
+    span.arg("cache_evals", counters.evals.value());
+    span.arg("cache_hits", counters.hits.value());
+    const double scale = peTableEnabled() ? surface_.scaleFast(op)
+                                          : surface_.scaleExact(op);
     if (scale >= kNonFunctionalDelayFactor)
         return 1.0;
     const double threshold = clockPeriod / scale;
-
-    // First path index whose reference delay exceeds the threshold.
-    const auto it =
-        std::upper_bound(delays_.begin(), delays_.end(), threshold);
-    const auto idx = static_cast<std::size_t>(it - delays_.begin());
-    return 1.0 - std::exp(survivalLog_[idx]);
+    return surface_.level(surface_.upperBoundIndex(threshold));
 }
 
 double
 StageErrorModel::maxDelay(const OperatingConditions &op) const
 {
-    return delays_.back() * delayScale(op);
+    return surface_.delays().back() * delayScale(op);
 }
 
 double
@@ -200,21 +257,16 @@ StageErrorModel::maxFrequencyForErrorRate(double peBudget,
     if (scale >= kNonFunctionalDelayFactor)
         return 0.0;
 
-    // Walk the sorted delays from the slowest down: allowing paths
-    // [i, n) to fail yields PE = 1 - exp(survivalLog_[i]); find the
-    // smallest allowed period.  The period may sit just above delay
-    // d_{i-1} (exclusive of path i-1 failing).
-    const std::size_t n = delays_.size();
-    std::size_t lowest = n;  // first failing path index
-    while (lowest > 0) {
-        const double pe = 1.0 - std::exp(survivalLog_[lowest - 1]);
-        if (pe > peBudget)
-            break;
-        --lowest;
-    }
-    // Paths [lowest, n) may fail within budget.  The clock period must
-    // still cover path lowest-1 (and all faster ones).
-    const double coveredDelay = lowest == 0 ? 0.0 : delays_[lowest - 1];
+    // First failing path index within budget: paths [lowest, n) may
+    // fail and PE stays <= peBudget.  The legacy code walked the
+    // sorted delays from the slowest down with an exp per step; the
+    // surface's precomputed monotone PE levels turn that into a
+    // partition point (identical result, including the tie rule).
+    const std::size_t lowest = surface_.firstIndexWithinBudget(peBudget);
+    // The clock period must still cover path lowest-1 (and all faster
+    // ones).
+    const std::vector<double> &delays = surface_.delays();
+    const double coveredDelay = lowest == 0 ? 0.0 : delays[lowest - 1];
     if (coveredDelay <= 0.0) {
         // Entire population may fail within budget; frequency is
         // unbounded by this stage. Return a large sentinel.

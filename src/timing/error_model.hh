@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "kernels/pe_surface.hh"
 #include "timing/alpha_power.hh"
 #include "timing/path_population.hh"
 #include "variation/process_params.hh"
@@ -25,7 +26,10 @@ namespace eval {
  * scale evaluated with the subsystem's mean Vt0/Leff (paths within a
  * subsystem are spatially close, so their systematic variation moves
  * together; per-path differences are already baked into the reference
- * delays).  This factorization makes PE queries O(log paths).
+ * delays).  Construction compiles the population into a PeSurface
+ * (kernels/pe_surface.hh): precomputed PE levels, a bucketed delay
+ * index, and hoisted corner constants make PE queries O(1)-ish and
+ * budget queries O(log paths).
  */
 class StageErrorModel
 {
@@ -46,19 +50,28 @@ class StageErrorModel
      * keys hit without perturbing any result (a hit returns the very
      * value a recomputation would).  Set EVAL_PE_CACHE=0 (or call
      * setPeCacheEnabled(false)) to disable.
+     *
+     * In table mode (EVAL_PE_TABLE / setPeTableEnabled) the delay
+     * scale comes from bounded-error pow tables instead of exact
+     * std::pow; the result equals an exact evaluation at a period
+     * perturbed by at most PeSurface::kScaleRelErrorBound (relative).
+     * Exact mode — the default, and the mode all goldens are recorded
+     * in — never touches the tables.
      */
     double errorRatePerAccess(double clockPeriod,
                               const OperatingConditions &op) const;
 
-    /** Slowest path delay in seconds at @p op. */
+    /** Slowest path delay in seconds at @p op.  Always exact. */
     double maxDelay(const OperatingConditions &op) const;
 
-    /** Error-free frequency at @p op (1 / maxDelay). */
+    /** Error-free frequency at @p op (1 / maxDelay).  Always exact. */
     double fvar(const OperatingConditions &op) const;
 
     /**
      * Highest frequency whose per-access error rate does not exceed
      * @p peBudget at @p op (the per-stage step of the Freq algorithm).
+     * Always exact: rated frequencies feed the golden record in both
+     * modes.
      */
     double maxFrequencyForErrorRate(double peBudget,
                                     const OperatingConditions &op) const;
@@ -66,7 +79,11 @@ class StageErrorModel
     StageType type() const { return type_; }
     double vt0Mean() const { return vt0Mean_; }
     double leffMean() const { return leffMean_; }
-    std::size_t numPaths() const { return delays_.size(); }
+    std::size_t numPaths() const { return surface_.numPaths(); }
+
+    /** The compiled PE surface (kernel-layer tests compare against
+     *  legacy expressions through this). */
+    const PeSurface &surface() const { return surface_; }
 
   private:
     /** Uncached evaluation backing errorRatePerAccess. */
@@ -81,14 +98,8 @@ class StageErrorModel
      *  yields identical query results, so sharing is safe).  Memo
      *  cache keys include this id so two chips' models never alias. */
     std::uint64_t cacheId_;
-    /** Reference delays sorted ascending. */
-    std::vector<double> delays_;
-    /**
-     * survivalLog_[i] = sum of log(1 - s_p) over paths with index >= i
-     * in the sorted order; PE when all paths above threshold index i
-     * can fail = 1 - exp(survivalLog_[i]).
-     */
-    std::vector<double> survivalLog_;
+    /** Compiled levels/index/constants (owns the sorted delays). */
+    PeSurface surface_;
 };
 
 /**
@@ -111,5 +122,16 @@ void setPeCacheEnabled(bool enabled);
 /** Whether errorRatePerAccess currently memoizes. */
 bool peCacheEnabled();
 
-} // namespace eval
+/**
+ * Runtime override of PE-table mode (default: EVAL_PE_TABLE env, OFF
+ * when unset — the library and the golden record default to exact).
+ * Benches turn it on unless the environment pins it (bench_common).
+ * Table-mode PE values stay within PeSurface::kScaleRelErrorBound
+ * (as a relative period perturbation) of exact mode.
+ */
+void setPeTableEnabled(bool enabled);
 
+/** Whether errorRatePerAccess currently uses the fast-scale tables. */
+bool peTableEnabled();
+
+} // namespace eval

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "kernels/path_soa.hh"
 #include "timing/alpha_power.hh"
 #include "util/logging.hh"
 #include "util/math_utils.hh"
@@ -210,7 +211,6 @@ buildPathPopulation(const Chip &chip, std::size_t core, SubsystemId id,
     //    rectangle, read the systematic Vt/Leff there, and add the
     //    random component — averaged over the path's gates for logic,
     //    or taken from the importance-sampled cell tail for memory.
-    const OperatingConditions corner = OperatingConditions::nominal(proc);
     const double gateAveraging = 1.0 / std::sqrt(params.gatesPerPath);
     const double tNom = 1.0 / proc.freqNominal;
 
@@ -223,7 +223,13 @@ buildPathPopulation(const Chip &chip, std::size_t core, SubsystemId id,
     pop.vt0Mean = chip.map().vtSystematicMean(info.rect);
     pop.leffMean = chip.map().leffSystematicMean(info.rect);
 
-    for (const auto &sp : structural) {
+    // Draw pass: the RNG stream must consume draws in exactly the
+    // legacy per-path order (x, y, conditional Vt gaussian, Leff
+    // gaussian) — only the delay evaluation moves into the SoA kernel.
+    const std::size_t n = structural.size();
+    std::vector<double> fraction(n), vt0(n), leff(n), delayRef(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const StructuralPath &sp = structural[i];
         const double x = rng.uniform(info.rect.x0, info.rect.x1);
         const double y = rng.uniform(info.rect.y0, info.rect.y1);
         const double vtRandom =
@@ -231,15 +237,22 @@ buildPathPopulation(const Chip &chip, std::size_t core, SubsystemId id,
                 ? sp.tailZ * chip.map().vtSigmaRandom()
                 : rng.gaussian(0.0,
                                chip.map().vtSigmaRandom() * gateAveraging);
-        const double vt0 = chip.map().vtSystematicAt(x, y) + vtRandom;
-        const double leff =
+        fraction[i] = sp.fraction;
+        vt0[i] = chip.map().vtSystematicAt(x, y) + vtRandom;
+        leff[i] =
             chip.map().leffSystematicAt(x, y) +
             rng.gaussian(0.0, chip.map().leffSigmaRandom() * gateAveraging);
+    }
 
+    // Delay pass: SoA corner-delay kernel (bit-identical to the
+    // per-path gateDelayFactor loop; see kernels/path_soa.hh).
+    cornerPathDelays(proc, tNom, fraction.data(), vt0.data(), leff.data(),
+                     delayRef.data(), n);
+
+    for (std::size_t i = 0; i < n; ++i) {
         TimingPath path;
-        path.delayRef =
-            sp.fraction * tNom * gateDelayFactor(proc, vt0, leff, corner);
-        path.sensitization = clamp(sp.sensitization, 0.0, 1.0);
+        path.delayRef = delayRef[i];
+        path.sensitization = clamp(structural[i].sensitization, 0.0, 1.0);
         pop.paths.push_back(path);
     }
     return pop;

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "exec/thread_pool.hh"
+#include "kernels/thermal_batch.hh"
 #include "timing/error_model.hh"
 #include "valid/json_value.hh"
 
@@ -32,12 +33,13 @@ firstDiffs(const GoldenFile &ref, const GoldenFile &run)
     return out.str();
 }
 
-/** Restores pool size and PE-cache setting even on exceptions. */
+/** Restores pool size and kernel-toggle settings even on exceptions. */
 class ConfigGuard
 {
   public:
     ConfigGuard()
-        : threads_(globalThreads()), cache_(peCacheEnabled())
+        : threads_(globalThreads()), cache_(peCacheEnabled()),
+          table_(peTableEnabled()), thermal_(thermalCacheEnabled())
     {
     }
 
@@ -45,11 +47,15 @@ class ConfigGuard
     {
         setGlobalThreads(threads_);
         setPeCacheEnabled(cache_);
+        setPeTableEnabled(table_);
+        setThermalCacheEnabled(thermal_);
     }
 
   private:
     std::size_t threads_;
     bool cache_;
+    bool table_;
+    bool thermal_;
 };
 
 } // namespace
@@ -91,6 +97,8 @@ runDifferential(const std::string &experiment,
 
     setGlobalThreads(1);
     setPeCacheEnabled(true);
+    setPeTableEnabled(false);       // goldens are recorded in exact mode
+    setThermalCacheEnabled(true);
     const GoldenFile reference =
         runValidationExperiment(experiment, tweaks);
 
@@ -112,6 +120,10 @@ runDifferential(const std::string &experiment,
     setGlobalThreads(1);
     setPeCacheEnabled(false);
     check("pe_cache=off");
+
+    setPeCacheEnabled(true);
+    setThermalCacheEnabled(false);
+    check("thermal_cache=off");
 
     return report;
 }

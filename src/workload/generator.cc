@@ -147,6 +147,10 @@ SyntheticTrace::buildPhase(const AppProfile &profile, const PhaseSpec &spec,
 
         op.depMean =
             std::max(1.0, profile.depDistanceMean * spec.ilpScale);
+        {
+            const double d = 1.0 - std::exp(-1.0 / op.depMean);
+            op.logOneMinusD = std::log(1.0 - d);
+        }
         phase.ops.push_back(op);
     }
     phase.dynamicLength = 0;
@@ -193,9 +197,8 @@ SyntheticTrace::next(MicroOp &out)
         const double u = rng_.uniform();
         if (u < 0.15)
             return 0;   // immediate operand / no register source
-        const double d = 1.0 - std::exp(-1.0 / sop.depMean);
         const double g = std::floor(std::log(1.0 - rng_.uniform()) /
-                                    std::log(1.0 - d));
+                                    sop.logOneMinusD);
         return static_cast<std::uint16_t>(clamp(1.0 + g, 1.0, 512.0));
     };
     out.src1Dist = drawDist();

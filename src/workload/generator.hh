@@ -65,6 +65,10 @@ class SyntheticTrace : public TraceSource
         std::uint64_t addrSpan;  ///< bytes addressable by this op
         std::uint32_t stride;
         double depMean;          ///< mean dependency distance
+        /** log(1 - d) of the geometric dependency draw, hoisted from
+         *  the per-op path: it depends only on depMean, and the
+         *  exp/log pair per dynamic op dominated next(). */
+        double logOneMinusD;
     };
 
     struct Phase

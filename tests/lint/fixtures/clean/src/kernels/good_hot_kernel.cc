@@ -1,0 +1,34 @@
+// Fixture: kernel code that honors perf-hot-alloc — fixed-size stack
+// lanes, reserve before push_back, and an audited suppression for the
+// one construction-time allocation.
+#include <cstddef>
+#include <vector>
+
+namespace fixture {
+
+double
+lockstep(const double *in, std::size_t n)
+{
+    constexpr std::size_t kMaxLanes = 64;
+    double lanes[kMaxLanes] = {};
+    std::vector<double> out;
+    out.reserve(n);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; i += kMaxLanes) {
+        const std::size_t m = (n - i < kMaxLanes) ? n - i : kMaxLanes;
+        for (std::size_t j = 0; j < m; ++j)
+            lanes[j] = in[i + j] * 2.0;
+        for (std::size_t j = 0; j < m; ++j) {
+            out.push_back(lanes[j]);
+            sum += lanes[j];
+        }
+    }
+    // eval-lint: allow(perf-hot-alloc) construction-time scratch,
+    // sized once per call rather than grown inside the lane loop
+    std::vector<double> scratch(n);
+    for (std::size_t i = 0; i < n; ++i)
+        scratch[i] = sum;
+    return scratch.empty() ? sum : scratch.back();
+}
+
+} // namespace fixture

@@ -1,0 +1,37 @@
+// Fixture: every allocation shape perf-hot-alloc bans inside the
+// kernel layer — raw new, a C allocator, make_unique with explicit
+// template arguments, std::function, unreserved push_back, and a
+// sized vector local.
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace fixture {
+
+struct Lane
+{
+    double delay = 0.0;
+};
+
+double
+accumulate(std::size_t n)
+{
+    Lane *heap = new Lane[n];                    // perf-hot-alloc (new)
+    void *raw = std::malloc(n);                  // perf-hot-alloc (malloc)
+    auto owned = std::make_unique<Lane>();       // perf-hot-alloc (make_unique)
+    std::function<double(double)> op =           // perf-hot-alloc (function)
+        [](double x) { return x + 1.0; };
+    std::vector<double> scratch(n);              // perf-hot-alloc (sized vector)
+    std::vector<double> grown;
+    for (std::size_t i = 0; i < n; ++i)
+        grown.push_back(scratch[i]);             // perf-hot-alloc (push_back)
+    double sum = op(owned->delay);
+    for (double v : grown)
+        sum += v;
+    delete[] heap;
+    std::free(raw);
+    return sum;
+}
+
+} // namespace fixture

@@ -1,0 +1,14 @@
+// Fixture: a file outside src/kernels/ that opts into the hot-kernel
+// allocation rule with the marker comment, then allocates anyway.
+// eval-lint: hot-path
+#include <cstddef>
+
+namespace fixture {
+
+double *
+makeBuffer(std::size_t n)
+{
+    return new double[n]; // perf-hot-alloc (new, via hot-path marker)
+}
+
+} // namespace fixture

@@ -81,6 +81,7 @@ TEST(LintCorpus, ViolatingTreeTripsEveryRule)
     EXPECT_EQ(countRule(diags, "hyg-iostream"), 3);
     EXPECT_EQ(countRule(diags, "obs-span-leak"), 5);
     EXPECT_EQ(countRule(diags, "obs-progress-units"), 2);
+    EXPECT_EQ(countRule(diags, "perf-hot-alloc"), 7); // 6 kernel + 1 marker
     EXPECT_EQ(countRule(diags, "lint-bad-suppression"), 3);
     EXPECT_EQ(countRule(diags, "lint-unused-suppression"), 1);
 
@@ -98,6 +99,14 @@ TEST(LintCorpus, ViolatingTreeTripsEveryRule)
                            "obs-progress-units"));
     EXPECT_TRUE(hasFinding(diags, "bench/bad_no_progress.cpp", 36,
                            "obs-progress-units"));
+    EXPECT_TRUE(hasFinding(diags, "src/kernels/bad_hot_alloc.cc", 20,
+                           "perf-hot-alloc"));
+    EXPECT_TRUE(hasFinding(diags, "src/kernels/bad_hot_alloc.cc", 23,
+                           "perf-hot-alloc"));
+    EXPECT_TRUE(hasFinding(diags, "src/kernels/bad_hot_alloc.cc", 28,
+                           "perf-hot-alloc"));
+    EXPECT_TRUE(hasFinding(diags, "src/model/bad_hot_marker.cc", 11,
+                           "perf-hot-alloc"));
 }
 
 TEST(LintCorpus, CleanTreeIsClean)

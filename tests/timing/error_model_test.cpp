@@ -189,6 +189,99 @@ TEST(StageErrorModel, BudgetZeroGivesFvar)
                 model.fvar(corner), 1e-3 * model.fvar(corner));
 }
 
+TEST(StageErrorModel, WholePopulationWithinBudgetIsUnbounded)
+{
+    // A budget of 1.0 lets every path fail, so no path constrains the
+    // clock and the stage reports the unbounded-frequency sentinel.
+    Fixture f;
+    StageErrorModel model(f.params, build(f.chip, SubsystemId::IntALU));
+    const OperatingConditions corner =
+        OperatingConditions::nominal(f.params);
+    EXPECT_EQ(model.maxFrequencyForErrorRate(1.0, corner), 1.0e12);
+}
+
+TEST(StageErrorModel, NonFunctionalCornerRatesZeroFrequency)
+{
+    // Vdd below the effective threshold: the stage cannot switch at
+    // any frequency, whatever the budget.
+    Fixture f;
+    StageErrorModel model(f.params, build(f.chip, SubsystemId::Decode));
+    const OperatingConditions dead{0.05, 0.0, f.params.tempNominalC};
+    EXPECT_EQ(model.maxFrequencyForErrorRate(1e-4, dead), 0.0);
+}
+
+TEST(StageErrorModel, BudgetExactlyOnLevelKeepsTheTieInclusive)
+{
+    // The legacy walk treated PE == budget as within budget (it kept
+    // walking down).  Query with budgets equal to precomputed levels
+    // and check the returned frequency still meets the budget, and
+    // that nudging the budget just below the level strictly lowers
+    // (or keeps) the rated frequency.
+    Fixture f;
+    StageErrorModel model(f.params, build(f.chip, SubsystemId::Icache));
+    const OperatingConditions corner =
+        OperatingConditions::nominal(f.params);
+    const PeSurface &s = model.surface();
+    const std::size_t n = s.numPaths();
+    for (std::size_t k = 1; k < n; k += n / 11 + 1) {
+        const double budget = s.level(k);
+        if (budget <= 0.0 || budget >= 1.0)
+            continue;
+        const double atLevel =
+            model.maxFrequencyForErrorRate(budget, corner);
+        const double below = model.maxFrequencyForErrorRate(
+            budget * (1.0 - 1e-9), corner);
+        EXPECT_LE(model.errorRatePerAccess(1.0 / atLevel, corner),
+                  budget * (1.0 + 1e-9));
+        EXPECT_LE(below, atLevel);
+    }
+}
+
+/**
+ * Differential table-vs-exact contract over a dense (period, Vdd, T)
+ * grid.  A relative delay-scale error of delta is exactly a backward
+ * perturbation of the queried period, so table-mode PE must sit
+ * between the exact PE at periods perturbed by +/- delta
+ * (kScaleRelErrorBound).  PE is nonincreasing in period, hence the
+ * bracket orientation.
+ */
+TEST(StageErrorModel, TableModeWithinBackwardErrorBracket)
+{
+    const bool cacheWas = peCacheEnabled();
+    const bool tableWas = peTableEnabled();
+    // The memo key does not include the mode, so keep it off while
+    // toggling table mode back and forth.
+    setPeCacheEnabled(false);
+
+    Fixture f;
+    StageErrorModel model(f.params, build(f.chip, SubsystemId::Dcache));
+    const double delta = PeSurface::kScaleRelErrorBound;
+    const double tNom = 1.0 / f.params.freqNominal;
+    for (double vdd = 0.8; vdd <= 1.2; vdd += 0.1) {
+        for (double t = 45.0; t <= 105.0; t += 20.0) {
+            const OperatingConditions op{vdd, 0.0, t};
+            for (double pr = 0.6; pr <= 1.4; pr += 0.02) {
+                const double period = pr * tNom;
+                setPeTableEnabled(false);
+                const double lo =
+                    model.errorRatePerAccess(period * (1.0 + delta), op);
+                const double hi =
+                    model.errorRatePerAccess(period * (1.0 - delta), op);
+                setPeTableEnabled(true);
+                const double table =
+                    model.errorRatePerAccess(period, op);
+                ASSERT_GE(table, lo) << "vdd=" << vdd << " T=" << t
+                                     << " period=" << period;
+                ASSERT_LE(table, hi) << "vdd=" << vdd << " T=" << t
+                                     << " period=" << period;
+            }
+        }
+    }
+
+    setPeCacheEnabled(cacheWas);
+    setPeTableEnabled(tableWas);
+}
+
 TEST(PipelineModel, Eq4SumsActivityWeightedRates)
 {
     const std::vector<double> pe{1e-4, 2e-4, 0.0};

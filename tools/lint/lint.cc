@@ -222,6 +222,11 @@ parseSuppressions(const Scan &scan, const std::string &relPath,
     for (const auto &[line, text] : scan.lineComments) {
         if (text.find("eval-lint") == std::string::npos)
             continue;
+        // The hot-path marker widens perf-hot-alloc's scope to this
+        // file (see rulePerfHotAlloc); it is not a suppression.
+        static const std::regex hotRe(R"(eval-lint:\s*hot-path\b)");
+        if (std::regex_search(text, hotRe))
+            continue;
         std::smatch m;
         if (!std::regex_search(text, m, allowRe)) {
             diags.push_back({relPath, line, "lint-bad-suppression",
@@ -634,6 +639,102 @@ ruleObsProgressUnits(const Ctx &ctx)
     }
 }
 
+void
+rulePerfHotAlloc(const Ctx &ctx)
+{
+    // Hot-kernel scope: the inner-loop kernel layer (src/kernels/),
+    // plus any file opting in with the hot-path marker comment (see
+    // hotMarker).  These regions run millions of times per experiment;
+    // a heap allocation (or a std::function dispatch, which usually
+    // allocates) on such a path is a per-call cost the kernel layer
+    // exists to eliminate.  Construction-time allocation is fine —
+    // carry an audited suppression saying so.
+    // Built from pieces so this file's own comments cannot contain the
+    // marker and mark the linter hot.
+    static const std::string hotMarker =
+        std::string("eval-lint: ") + "hot-path";
+    bool hot = startsWith(ctx.relPath, "src/kernels/");
+    if (!hot) {
+        for (const auto &[line, text] : ctx.scan.lineComments) {
+            (void)line;
+            if (text.find(hotMarker) != std::string::npos) {
+                hot = true;
+                break;
+            }
+        }
+    }
+    if (!hot)
+        return;
+    const std::string &code = ctx.scan.code;
+
+    for (std::size_t pos : findTokens(code, "new", false))
+        ctx.emit(pos, "perf-hot-alloc",
+                 "'new' in a hot kernel; use stack storage or a "
+                 "caller-provided buffer (construction-time allocation "
+                 "carries an audited suppression)");
+
+    // make_unique/make_shared are matched as bare tokens (not call
+    // sites) so explicit template arguments — `make_unique<T>(...)` —
+    // are still caught.
+    struct Alloc { const char *name; bool call; };
+    static const Alloc allocCalls[] = {{"malloc", true},
+                                       {"calloc", true},
+                                       {"realloc", true},
+                                       {"make_unique", false},
+                                       {"make_shared", false}};
+    for (const auto &[t, call] : allocCalls)
+        for (std::size_t pos : findTokens(code, t, call))
+            ctx.emit(pos, "perf-hot-alloc",
+                     std::string("'") + t + "' allocates in a hot "
+                         "kernel; use stack storage or a caller-provided "
+                         "buffer (construction-time allocation carries "
+                         "an audited suppression)");
+
+    for (std::size_t pos : findTokens(code, "function", false)) {
+        // Only std::function (:: qualified); plain identifiers named
+        // `function` in prose-like code stay quiet.
+        if (pos < 2 || code.compare(pos - 2, 2, "::") != 0)
+            continue;
+        ctx.emit(pos, "perf-hot-alloc",
+                 "'std::function' in a hot kernel type-erases and "
+                 "usually heap-allocates per construction; take a "
+                 "template callable or inline the expression");
+    }
+
+    const std::vector<std::size_t> reserves =
+        findTokens(code, "reserve", true);
+    static const char *growers[] = {"push_back", "emplace_back"};
+    for (const char *t : growers) {
+        for (std::size_t pos : findTokens(code, t, true)) {
+            const bool reservedBefore =
+                std::any_of(reserves.begin(), reserves.end(),
+                            [&](std::size_t r) { return r < pos; });
+            if (reservedBefore)
+                continue;
+            ctx.emit(pos, "perf-hot-alloc",
+                     std::string("'") + t + "' with no preceding "
+                         "reserve() in a hot kernel reallocates as it "
+                         "grows; reserve the final size first");
+        }
+    }
+
+    // A sized local vector (`std::vector<T> name(n)`) allocates per
+    // call.  Declarations without a parenthesized initializer (member
+    // fields, signatures) don't match.
+    if (!ctx.scope.header) {
+        static const std::regex sizedVec(
+            R"(vector\s*<[^;{}()]*>\s+\w+\s*\()");
+        for (auto it = std::sregex_iterator(code.begin(), code.end(),
+                                            sizedVec);
+             it != std::sregex_iterator(); ++it)
+            ctx.emit(static_cast<std::size_t>(it->position()),
+                     "perf-hot-alloc",
+                     "sized std::vector local allocates per call in a "
+                     "hot kernel; use a caller-provided buffer or "
+                     "justify with an audited suppression");
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Engine
 // ---------------------------------------------------------------------------
@@ -714,6 +815,11 @@ ruleCatalog()
         {"obs-progress-units",
          "every parallelFor/parallelMap in bench/ must tick a "
          "ProgressTracker (or carry an audited suppression)"},
+        {"perf-hot-alloc",
+         "no heap allocation (new, malloc, make_unique/shared, "
+         "std::function, unreserved push_back, sized vector locals) in "
+         "hot kernels: src/kernels/ and files marked "
+         "'eval-lint: hot-path'"},
         {"lint-bad-suppression",
          "suppressions must name known rules and carry a justification "
          "(reported, never suppressible)"},
@@ -751,6 +857,7 @@ lintSource(const std::string &relPath, const std::string &content)
     ruleHygIostream(ctx);
     ruleObsSpanLeak(ctx);
     ruleObsProgressUnits(ctx);
+    rulePerfHotAlloc(ctx);
 
     std::vector<Suppression> supps = parseSuppressions(scan, relPath, diags);
     applySuppressions(diags, supps, relPath);
