@@ -11,6 +11,18 @@
  *       a mini Figure 10/11/12 table
  *   eval_cli record --app gcc --ops 100000 --out trace.trc
  *   eval_cli replay --trace trace.trc [--insts 50000]
+ *   eval_cli fig13  [--chips N] [--seed S] [--apps gzip,swim,applu]
+ *                   [--sim-insts K] [--scheme fuzzy|exh] [--out DIR]
+ *                   [--shards N] [--in-process] [--resume]
+ *                   [--checkpoint-every K] [--text-snapshots]
+ *       the sharded Figure 13 population campaign.  With --shards N
+ *       the process becomes a supervisor that re-execs itself once
+ *       per shard (--shard=i/N workers, concurrent, each with its own
+ *       checkpoint in DIR); --resume skips completed shards and
+ *       replays interrupted ones from their checkpoints.  Without
+ *       --shards it runs the monolithic reference path.  Either way
+ *       DIR ends up with byte-identical merged.snap +
+ *       merged.stats.json (tests/shard/shard_differential_test).
  *
  * Observability flags (any command; see DESIGN.md "Observability"):
  *   --stats-out=FILE   dump the stat registry on exit (JSON, or CSV
@@ -42,12 +54,16 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 
 #include "core/eval.hh"
 #include "exec/thread_pool.hh"
+#include "exec/subprocess.hh"
 #include "obs/metrics_sampler.hh"
 #include "util/logging.hh"
 #include "core/retiming.hh"
+#include "shard/supervisor.hh"
+#include "shard/worker.hh"
 #include "stats/stats.hh"
 #include "trace/exit_flush.hh"
 #include "trace/manifest.hh"
@@ -231,11 +247,141 @@ cmdReplay(const ArgParser &args)
     return 0;
 }
 
+/** Campaign knobs shared by the fig13 worker/supervisor/monolithic
+ *  paths.  Apps are pinned explicitly (not via EVAL_APPS) so every
+ *  worker process of a sharded run resolves the same suite. */
+CampaignConfig
+fig13CampaignFrom(const ArgParser &args)
+{
+    CampaignConfig campaign;
+    campaign.experiment = configFrom(args, 8);
+    campaign.experiment.simInsts = static_cast<std::uint64_t>(
+        args.getInt("sim-insts",
+                    static_cast<std::int64_t>(
+                        campaign.experiment.simInsts)));
+    campaign.experiment.apps =
+        splitCsvList(args.getString("apps", "gzip,swim,applu"));
+    campaign.scheme = parseScheme(args.getString("scheme", "fuzzy"));
+    if (campaign.scheme == AdaptScheme::Static)
+        EVAL_FATAL("fig13 is a dynamic-controller campaign "
+                   "(--scheme fuzzy|exh)");
+    return campaign;
+}
+
+int
+cmdFig13(const ArgParser &args)
+{
+    const CampaignConfig campaign = fig13CampaignFrom(args);
+    const std::string outDir = args.getString("out", "fig13-out");
+    const auto checkpointEvery = static_cast<std::uint64_t>(
+        args.getInt("checkpoint-every", 16));
+    const bool resume = args.getBool("resume", false);
+    const bool binary = !args.getBool("text-snapshots", false);
+    const std::string shardArg = args.getString("shard", "");
+
+    if (!shardArg.empty()) {
+        // Worker mode: one shard of a supervised run.
+        ShardWorkerOptions w;
+        if (!parseShardSpec(shardArg, w.spec))
+            EVAL_FATAL("bad --shard '", shardArg, "' (want i/N)");
+        w.campaign = campaign;
+        w.outDir = outDir;
+        w.checkpointEvery = checkpointEvery;
+        w.resume = resume;
+        w.binarySnapshots = binary;
+
+        // Crash-injection hook for check.sh --shard-smoke: SIGKILL
+        // the selected shard after K chips, before its checkpoint.
+        const auto abortAfter = static_cast<std::uint64_t>(
+            envInt("EVAL_SHARD_ABORT_AFTER", 0));
+        const auto abortShard = static_cast<std::uint64_t>(
+            envInt("EVAL_SHARD_ABORT_SHARD", 0));
+        if (abortAfter > 0 && abortShard == w.spec.index)
+            w.killAfterChips = abortAfter;
+
+        // Fleet view: unless the user pointed --status-out somewhere,
+        // publish this worker's live status under DIR/status/ where
+        // `eval_top DIR/status` tails the whole fleet.
+        if (!MetricsSampler::global().running()) {
+            std::error_code ec;
+            std::filesystem::create_directories(shardStatusDir(outDir),
+                                                ec);
+            SamplerConfig sampler;
+            sampler.tool = "eval_cli.fig13";
+            sampler.statusPath = shardStatusPath(outDir, w.spec.index);
+            MetricsSampler::global().configure(sampler);
+            MetricsSampler::global().start();
+        }
+        return runShardWorker(w);
+    }
+
+    const auto shards =
+        static_cast<std::uint32_t>(args.getInt("shards", 0));
+    if (shards > 0) {
+        ShardSupervisorOptions s;
+        s.campaign = campaign;
+        s.shards = shards;
+        s.outDir = outDir;
+        s.checkpointEvery = checkpointEvery;
+        s.resume = resume;
+        s.binarySnapshots = binary;
+        if (!args.getBool("in-process", false)) {
+            // Re-exec this binary once per shard; the supervisor
+            // appends --shard=i/N.  --manifest= keeps workers from
+            // fighting over the default manifest path.
+            s.workerArgv = {Subprocess::selfExePath(),
+                            "fig13",
+                            "--chips=" + std::to_string(
+                                campaign.experiment.chips),
+                            "--seed=" + std::to_string(
+                                campaign.experiment.seed),
+                            "--sim-insts=" + std::to_string(
+                                campaign.experiment.simInsts),
+                            "--apps=" + args.getString(
+                                "apps", "gzip,swim,applu"),
+                            "--scheme=" + args.getString(
+                                "scheme", "fuzzy"),
+                            "--out=" + outDir,
+                            "--checkpoint-every=" + std::to_string(
+                                checkpointEvery),
+                            "--manifest="};
+            if (resume)
+                s.workerArgv.push_back("--resume");
+            if (!binary)
+                s.workerArgv.push_back("--text-snapshots");
+        }
+        const int rc = runShardSupervisor(s);
+        if (rc != 0) {
+            warn("fig13 sharded run failed (exit ", rc,
+                 "); re-run with --resume to continue from the "
+                 "checkpoints");
+            return rc;
+        }
+        std::printf("fig13: %d chips across %u shards -> %s, %s\n",
+                    campaign.experiment.chips, shards,
+                    mergedSnapshotPath(outDir).c_str(),
+                    mergedStatsPath(outDir).c_str());
+        return 0;
+    }
+
+    // Monolithic reference path: same outputs, no sharding machinery.
+    const CampaignAccumulator acc = runMonolithic(campaign);
+    if (!writeMergedOutputs(acc, outDir, binary))
+        return 1;
+    std::printf("fig13: %d chips monolithic -> %s, %s "
+                "(digest %.0f)\n",
+                campaign.experiment.chips,
+                mergedSnapshotPath(outDir).c_str(),
+                mergedStatsPath(outDir).c_str(), acc.digest());
+    return 0;
+}
+
 int
 usage()
 {
     std::fprintf(stderr,
-                 "usage: eval_cli <chips|run|sweep|record|replay> "
+                 "usage: eval_cli <chips|run|sweep|record|replay"
+                 "|fig13> "
                  "[--stats-out=FILE] [--trace-out=FILE] [--profile] "
                  "[--threads=N] [options]\n"
                  "(see the file header for options)\n");
@@ -364,6 +510,8 @@ main(int argc, char **argv)
             rc = cmdRecord(args);
         else if (cmd == "replay")
             rc = cmdReplay(args);
+        else if (cmd == "fig13")
+            rc = cmdFig13(args);
         else
             return usage();
     }

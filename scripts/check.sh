@@ -13,6 +13,7 @@
 #        scripts/check.sh --bench-track [build-dir]
 #        scripts/check.sh --perf-smoke [build-dir]
 #        scripts/check.sh --obs-smoke [build-dir]
+#        scripts/check.sh --shard-smoke [build-dir]
 #
 # --tsan (or CHECK_TSAN=1) configures with -DEVAL_TSAN=ON and runs the
 # concurrency-sensitive test subset (exec, stats, core, cmp, obs)
@@ -61,6 +62,16 @@
 # rename-into-place contract), then asserts the final snapshot is
 # marked final with every tracker at 100% and that at least two
 # snapshots were published over the run.
+#
+# --shard-smoke (or CHECK_SHARD_SMOKE=1) is the sharded-campaign
+# end-to-end drill: it runs a small 2-shard fig13 with a crash
+# injected into shard 0 mid-run (SIGKILL after its first checkpoint,
+# before the next -- the harshest torn state), asserts the supervisor
+# fails, resumes with --resume, and byte-compares the merged outputs
+# against both an uninterrupted 2-shard run and the monolithic
+# reference.  Then it runs bench_shard_scaling (EVAL_FAST=1) and
+# gates its throughput against bench/history via benchtrack.  See
+# TESTING.md "Shard equivalence".
 
 set -euo pipefail
 
@@ -80,6 +91,7 @@ case "${1:-}" in
   --bench-track) mode="bench-track"; shift ;;
   --perf-smoke) mode="perf-smoke"; shift ;;
   --obs-smoke) mode="obs-smoke"; shift ;;
+  --shard-smoke) mode="shard-smoke"; shift ;;
 esac
 [[ "${CHECK_TSAN:-0}" == "1" ]] && mode="tsan"
 [[ "${CHECK_ASAN:-0}" == "1" ]] && mode="asan"
@@ -90,6 +102,7 @@ esac
 [[ "${CHECK_BENCH_TRACK:-0}" == "1" ]] && mode="bench-track"
 [[ "${CHECK_PERF_SMOKE:-0}" == "1" ]] && mode="perf-smoke"
 [[ "${CHECK_OBS_SMOKE:-0}" == "1" ]] && mode="obs-smoke"
+[[ "${CHECK_SHARD_SMOKE:-0}" == "1" ]] && mode="shard-smoke"
 
 if [[ "$mode" == "tsan" ]]; then
     build_dir="${1:-$repo_root/build-tsan}"
@@ -329,6 +342,95 @@ if [[ "$mode" == "obs-smoke" ]]; then
     fi
     echo "check.sh: obs smoke passed ($final_seq snapshots published," \
          "$observed distinct frames observed live, status: $status)"
+    exit 0
+fi
+
+if [[ "$mode" == "shard-smoke" ]]; then
+    build_dir="${1:-$repo_root/build-check}"
+    history_dir="${BENCH_TRACK_HISTORY:-$repo_root/bench/history}"
+
+    cmake -B "$build_dir" -S "$repo_root"
+    build_dir="$(cd "$build_dir" && pwd)" # runs happen in scratch dirs
+    cmake --build "$build_dir" -j"$(nproc)" --target eval_cli \
+        benchtrack bench_shard_scaling
+
+    cli="$build_dir/examples/eval_cli"
+    run_dir="$build_dir/shard-smoke"
+    rm -rf "$run_dir" && mkdir -p "$run_dir"
+    # Small but checkpoint-heavy: 6 chips / 2 shards gives each shard
+    # 3 chips, and --checkpoint-every=1 forces a checkpoint between
+    # every chip so the injected SIGKILL lands on a torn run with a
+    # usable prior checkpoint.  --manifest= silences the default
+    # manifest path (workers would race on it).
+    campaign=(fig13 --chips=6 --seed=7 --sim-insts=20000
+              --apps=gzip,swim --scheme=exh --checkpoint-every=1
+              --manifest=)
+
+    # 1. Crash drill: SIGKILL shard 0 after 2 chips (its second
+    #    checkpoint is never written).  The supervisor must report
+    #    the dead worker and fail.
+    echo "check.sh: shard smoke -- crash drill (SIGKILL shard 0)"
+    if (cd "$run_dir" && EVAL_SHARD_ABORT_AFTER=2 EVAL_SHARD_ABORT_SHARD=0 \
+        "$cli" "${campaign[@]}" --shards=2 --out=sharded \
+        > crash.stdout 2>&1); then
+        echo "check.sh: ERROR supervisor survived a SIGKILLed worker"
+        cat "$run_dir/crash.stdout"
+        exit 1
+    fi
+
+    # 2. Resume: shard 1's completed result is reused, shard 0 picks
+    #    up from its surviving checkpoint and finishes.
+    echo "check.sh: shard smoke -- resume after crash"
+    (cd "$run_dir" && "$cli" "${campaign[@]}" --shards=2 --out=sharded \
+        --resume > resume.stdout 2>&1) || {
+        echo "check.sh: ERROR resume after crash failed"
+        cat "$run_dir/resume.stdout"
+        exit 1
+    }
+
+    # 3. References: an uninterrupted 2-shard run and the monolithic
+    #    path.  All three merged outputs must be byte-identical --
+    #    the same bit-identity contract shard_differential_test
+    #    proves in-process, here across real fork/exec + crash/resume.
+    echo "check.sh: shard smoke -- uninterrupted + monolithic references"
+    (cd "$run_dir" && "$cli" "${campaign[@]}" --shards=2 --out=ref \
+        > ref.stdout 2>&1)
+    (cd "$run_dir" && "$cli" "${campaign[@]}" --out=mono \
+        > mono.stdout 2>&1)
+    for artifact in merged.snap merged.stats.json; do
+        for other in ref mono; do
+            if ! cmp -s "$run_dir/sharded/$artifact" \
+                       "$run_dir/$other/$artifact"; then
+                echo "check.sh: ERROR $artifact differs" \
+                     "(resumed sharded vs $other)"
+                exit 1
+            fi
+        done
+    done
+    echo "check.sh: shard smoke -- merged outputs bit-identical" \
+         "(resumed == uninterrupted == monolithic)"
+
+    # 4. Throughput history: bench_shard_scaling re-proves the
+    #    identity at shards {1,2,4} and reports chips/s; benchtrack
+    #    gates it against the recent history window like the other
+    #    tracked benches.
+    bench_dir="$build_dir/shard-smoke-bench"
+    rm -rf "$bench_dir" && mkdir -p "$bench_dir"
+    echo "check.sh: running bench_shard_scaling"
+    (cd "$bench_dir" && EVAL_FAST=1 EVAL_MANIFEST= \
+        "$build_dir/bench/bench_shard_scaling" \
+        > bench_shard_scaling.stdout)
+    "$build_dir/tools/benchtrack/benchtrack" ingest \
+        --history "$history_dir" "$bench_dir"/*.stdout
+    "$build_dir/tools/benchtrack/benchtrack" report \
+        --history "$history_dir" \
+        --window "${BENCH_TRACK_WINDOW:-5}" \
+        --threshold "${BENCH_TRACK_THRESHOLD:-10}" \
+        --markdown "$build_dir/shard-bench-report.md" \
+        --json "$build_dir/shard-bench-report.json" \
+        --gate
+    echo "check.sh: shard smoke passed" \
+         "(report: $build_dir/shard-bench-report.md)"
     exit 0
 fi
 

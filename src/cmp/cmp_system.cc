@@ -41,7 +41,7 @@ memBoundMix()
 CmpSystem::CmpSystem(ExperimentContext &ctx, std::size_t chipIndex)
     : ctx_(ctx), chipIndex_(chipIndex)
 {
-    EVAL_ASSERT(chipIndex < ctx.chips().size(), "chip index out of range");
+    EVAL_ASSERT(chipIndex < ctx.numChips(), "chip index out of range");
 }
 
 CmpSystem::CoreOutcome

@@ -109,12 +109,73 @@ ExperimentContext::ExperimentContext(const ExperimentConfig &cfg)
     : cfg_(cfg),
       power_(calibratePower(cfg.process, cfg.powerCal)),
       thermal_(std::make_shared<ThermalModel>(cfg.process)),
+      factory_(cfg.process, cfg.seed),
       chars_(cfg.recovery, cfg.process.freqNominal, cfg.seed ^ 0x5EED,
              cfg.simInsts)
 {
-    ChipFactory factory(cfg_.process, cfg_.seed);
-    chips_ = factory.manufacture(static_cast<std::size_t>(cfg_.chips));
-    idealChip_ = std::make_unique<Chip>(factory.manufactureIdeal());
+    // Population chips are manufactured lazily by chip(); only the
+    // ideal (NoVar) reference is built up front.  Its identity is the
+    // id the old eager constructor gave it — the cursor position
+    // after manufacturing the whole population — because the ideal
+    // chip's personality depends on its id and every golden pins it.
+    idealChip_ = std::make_unique<Chip>(factory_.manufactureIdealAt(
+        static_cast<std::uint64_t>(cfg_.chips)));
+}
+
+const Chip &
+ExperimentContext::chip(std::size_t index)
+{
+    EVAL_ASSERT(index < numChips(), "chip index out of range");
+    {
+        std::lock_guard<std::mutex> lock(chipsMutex_);
+        auto it = chipCache_.find(index);
+        if (it != chipCache_.end())
+            return *it->second;
+    }
+    // Manufacture outside the lock (per-chip tasks materialize
+    // distinct chips); emplace keeps the first copy if two tasks
+    // raced, and map nodes are stable so references survive inserts.
+    auto made = std::make_unique<Chip>(
+        factory_.manufactureAt(static_cast<std::uint64_t>(index)));
+    std::lock_guard<std::mutex> lock(chipsMutex_);
+    return *chipCache_.emplace(index, std::move(made)).first->second;
+}
+
+void
+ExperimentContext::evictChip(std::size_t index)
+{
+    // Dependents first (models reference the chip; fuzzy controllers
+    // and static configs were derived from the models), chip last.
+    {
+        std::lock_guard<std::mutex> lock(fuzzyMutex_);
+        for (auto it = fuzzy_.begin(); it != fuzzy_.end();) {
+            if (std::get<0>(it->first) == index)
+                it = fuzzy_.erase(it);
+            else
+                ++it;
+        }
+    }
+    {
+        std::lock_guard<std::mutex> lock(staticMutex_);
+        for (auto it = staticConfigs_.begin();
+             it != staticConfigs_.end();) {
+            if (std::get<0>(it->first) == index)
+                it = staticConfigs_.erase(it);
+            else
+                ++it;
+        }
+    }
+    {
+        std::lock_guard<std::mutex> lock(modelsMutex_);
+        for (auto it = models_.begin(); it != models_.end();) {
+            if (it->first.first == index)
+                it = models_.erase(it);
+            else
+                ++it;
+        }
+    }
+    std::lock_guard<std::mutex> lock(chipsMutex_);
+    chipCache_.erase(index);
 }
 
 std::vector<const AppProfile *>
@@ -137,7 +198,7 @@ ExperimentContext::selectedApps() const
 CoreSystemModel &
 ExperimentContext::coreModel(std::size_t chipIndex, std::size_t core)
 {
-    EVAL_ASSERT(chipIndex < chips_.size(), "chip index out of range");
+    EVAL_ASSERT(chipIndex < numChips(), "chip index out of range");
     const auto key = std::make_pair(chipIndex, core);
     {
         std::lock_guard<std::mutex> lock(modelsMutex_);
@@ -150,7 +211,7 @@ ExperimentContext::coreModel(std::size_t chipIndex, std::size_t core)
     // std::map nodes are stable, so references survive later inserts;
     // emplace keeps the first entry if someone raced us to this key.
     auto model = std::make_unique<CoreSystemModel>(
-        chips_[chipIndex], core, power_, cfg_.powerCal, thermal_);
+        chip(chipIndex), core, power_, cfg_.powerCal, thermal_);
     std::lock_guard<std::mutex> lock(modelsMutex_);
     return *models_.emplace(key, std::move(model)).first->second;
 }

@@ -21,6 +21,7 @@
 #include "core/subsystem_model.hh"
 #include "thermal/thermal_model.hh"
 #include "util/config.hh"
+#include "variation/chip.hh"
 
 namespace eval {
 
@@ -102,7 +103,33 @@ class ExperimentContext
     explicit ExperimentContext(const ExperimentConfig &cfg);
 
     const ExperimentConfig &config() const { return cfg_; }
-    const std::vector<Chip> &chips() const { return chips_; }
+
+    /** Population size (chips are manufactured lazily; this is the
+     *  configured count, not the resident count). */
+    std::size_t
+    numChips() const
+    {
+        return static_cast<std::size_t>(cfg_.chips);
+    }
+
+    /**
+     * Chip @p index, manufactured on first use.  Chip @p i is a pure
+     * function of (seed, i), so lazy manufacture returns exactly the
+     * chip the old eager constructor held — but a shard worker
+     * walking a [begin, end) slice only ever materializes its own
+     * slice, bounding resident VariationMaps to the slice size
+     * (ROADMAP item 2 / DESIGN.md Sec 5h).
+     */
+    const Chip &chip(std::size_t index);
+
+    /**
+     * Drop chip @p index and every per-chip cache entry built from it
+     * (core models, fuzzy controllers, static configs).  The caller
+     * must no longer hold references into those caches for this chip.
+     * Re-requesting the chip later remanufactures it bit-identically;
+     * eviction is purely a memory-bound lever for streaming drivers.
+     */
+    void evictChip(std::size_t index);
     const std::array<SubsystemPowerParams, kNumSubsystems> &
     powerParams() const
     {
@@ -176,7 +203,10 @@ class ExperimentContext
     std::array<SubsystemPowerParams, kNumSubsystems> power_;
     std::shared_ptr<const ThermalModel> thermal_;
     HeatsinkModel heatsink_;
-    std::vector<Chip> chips_;
+    /** Stamps population chips on demand (pure in (seed, id)). */
+    ChipFactory factory_;
+    mutable std::mutex chipsMutex_;  ///< guards chipCache_ map shape
+    std::map<std::size_t, std::unique_ptr<Chip>> chipCache_;
     std::unique_ptr<Chip> idealChip_;
     CharacterizationCache chars_;
     std::mutex modelsMutex_;   ///< guards models_ map shape

@@ -1,0 +1,73 @@
+#include "exec/subprocess.hh"
+
+#include <cerrno>
+#include <cstdlib>
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "util/logging.hh"
+
+namespace eval {
+
+Subprocess
+Subprocess::spawn(const std::vector<std::string> &argv)
+{
+    EVAL_ASSERT(!argv.empty(), "subprocess needs an argv[0]");
+    std::vector<char *> cargv;
+    cargv.reserve(argv.size() + 1);
+    for (const std::string &arg : argv)
+        cargv.push_back(const_cast<char *>(arg.c_str()));
+    cargv.push_back(nullptr);
+
+    const pid_t pid = ::fork();
+    if (pid < 0)
+        EVAL_FATAL("fork failed (errno ", errno, ")");
+    if (pid == 0) {
+        ::execv(cargv[0], cargv.data());
+        // exec only returns on failure; 127 is the shell convention
+        // for "command not runnable".
+        ::_exit(127);
+    }
+    Subprocess child;
+    child.pid_ = static_cast<int>(pid);
+    return child;
+}
+
+std::string
+Subprocess::selfExePath()
+{
+    char buf[4096];
+    const ssize_t n =
+        ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+    if (n <= 0)
+        EVAL_FATAL("cannot resolve /proc/self/exe (errno ", errno, ")");
+    return std::string(buf, static_cast<std::size_t>(n));
+}
+
+SubprocessResult
+Subprocess::wait()
+{
+    if (reaped_)
+        return result_;
+    EVAL_ASSERT(pid_ > 0, "wait() on a subprocess that never spawned");
+    int status = 0;
+    pid_t rc;
+    do {
+        rc = ::waitpid(pid_, &status, 0);
+    } while (rc < 0 && errno == EINTR);
+    if (rc < 0)
+        EVAL_FATAL("waitpid(", pid_, ") failed (errno ", errno, ")");
+    reaped_ = true;
+    if (WIFSIGNALED(status)) {
+        result_.signaled = true;
+        result_.termSignal = WTERMSIG(status);
+    } else {
+        result_.signaled = false;
+        result_.exitCode = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+    }
+    return result_;
+}
+
+} // namespace eval

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Minimal fork/exec subprocess harness — the worker protocol of the
+ * sharded Monte Carlo driver (DESIGN.md Sec 5h).
+ *
+ * The shard supervisor launches one worker process per shard by
+ * re-executing the current binary with a `--shard i/N` argument
+ * vector, then reaps them with wait().  Keeping the wrapper minimal
+ * and POSIX-only is deliberate: a worker is a full process so a
+ * SIGKILL (OOM, preemption, the checkpoint-resume smoke test) can
+ * never corrupt sibling shards, and the exit status carries the
+ * worker verdict (exit code, or the terminating signal).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace eval {
+
+/** How one child process ended. */
+struct SubprocessResult
+{
+    bool signaled = false; ///< killed by a signal (exitCode invalid)
+    int exitCode = -1;     ///< exit status when !signaled
+    int termSignal = 0;    ///< terminating signal when signaled
+
+    bool ok() const { return !signaled && exitCode == 0; }
+};
+
+/** One spawned child process. */
+class Subprocess
+{
+  public:
+    Subprocess() = default;
+
+    /**
+     * fork + execv @p argv (argv[0] is the executable path).  Fatal
+     * when fork fails; exec failure surfaces as exit code 127.
+     */
+    static Subprocess spawn(const std::vector<std::string> &argv);
+
+    /** Absolute path of the running executable (/proc/self/exe), for
+     *  self-re-exec worker protocols. */
+    static std::string selfExePath();
+
+    bool running() const { return pid_ > 0; }
+    int pid() const { return pid_; }
+
+    /** Block until the child exits; idempotent (second call returns
+     *  the cached result). */
+    SubprocessResult wait();
+
+  private:
+    int pid_ = -1;
+    bool reaped_ = false;
+    SubprocessResult result_;
+};
+
+} // namespace eval

@@ -78,6 +78,34 @@ ProgressRegistry::tracker(const std::string &name)
     return *it->second;
 }
 
+ProgressTracker &
+ProgressRegistry::declareTotal(const std::string &name,
+                               const std::string &runId,
+                               std::uint64_t total)
+{
+    std::int64_t delta = 0;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        std::uint64_t &declared =
+            declaredTotals_[std::make_pair(name, runId)];
+        delta = static_cast<std::int64_t>(total) -
+                static_cast<std::int64_t>(declared);
+        declared = total;
+    }
+    ProgressTracker &t = tracker(name);
+    if (delta != 0)
+        t.adjustTotal(delta);
+    return t;
+}
+
+bool
+ProgressRegistry::hasDeclared(const std::string &name,
+                              const std::string &runId) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return declaredTotals_.count(std::make_pair(name, runId)) > 0;
+}
+
 const ProgressTracker *
 ProgressRegistry::find(const std::string &name) const
 {
@@ -112,6 +140,9 @@ ProgressRegistry::reset()
         (void)name;
         tracker->reset();
     }
+    // Zeroed trackers carry no declared work any more; forgetting the
+    // declarations lets the next declareTotal() repopulate from zero.
+    declaredTotals_.clear();
 }
 
 } // namespace eval

@@ -58,6 +58,17 @@ class ProgressTracker
         done_.fetch_add(n, std::memory_order_relaxed);
     }
 
+    /** Signed correction to the planned total (registry-level
+     *  declareTotal() dedupe; two's-complement fetch_add handles the
+     *  negative direction on the unsigned counter). */
+    void
+    adjustTotal(std::int64_t delta)
+    {
+        stampStart();
+        total_.fetch_add(static_cast<std::uint64_t>(delta),
+                         std::memory_order_relaxed);
+    }
+
     std::uint64_t
     total() const
     {
@@ -115,6 +126,29 @@ class ProgressRegistry
     /** Find-or-create the tracker named @p name. */
     ProgressTracker &tracker(const std::string &name);
 
+    /**
+     * Idempotent total declaration, deduped by (tracker name, run
+     * id).  addTotal() is cumulative, which is right for phases of
+     * one run but double-counts when the *same* unit of work is
+     * re-declared — e.g. a shard worker that resumes from a
+     * checkpoint in the same process re-registers its chip range and
+     * the status JSON would report 2x the population.  declareTotal()
+     * remembers the last declaration per (name, runId) and applies
+     * only the signed delta, so re-declaring is a no-op and revising
+     * a declaration adjusts rather than accumulates.  Returns the
+     * tracker for chaining ticks.
+     */
+    ProgressTracker &declareTotal(const std::string &name,
+                                  const std::string &runId,
+                                  std::uint64_t total);
+
+    /** Whether (name, runId) has declared work before.  A resumed
+     *  shard uses this to tell a fresh process (tick the checkpointed
+     *  prefix as done) from an in-process re-run (the prefix was
+     *  already ticked live). */
+    bool hasDeclared(const std::string &name,
+                     const std::string &runId) const;
+
     /** Lookup without creating; nullptr when absent. */
     const ProgressTracker *find(const std::string &name) const;
 
@@ -131,6 +165,9 @@ class ProgressRegistry
   private:
     mutable std::mutex mutex_;
     std::map<std::string, std::unique_ptr<ProgressTracker>> trackers_;
+    /** (tracker name, run id) -> last declared total. */
+    std::map<std::pair<std::string, std::string>, std::uint64_t>
+        declaredTotals_;
 };
 
 } // namespace eval

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * The sharded Fig 13 population campaign: a per-chip unit of work
+ * that is a pure function of (campaign config, chip id), and an
+ * order-preserving mergeable accumulator over per-chip results.
+ *
+ * Equivalence contract (proved by tests/shard/shard_differential_test
+ * and enforced in CI by `check.sh --shard-smoke`): for any shard
+ * count N,
+ *
+ *   merge(shard_0, shard_1, ..., shard_{N-1})  ==  monolithic run
+ *
+ * byte-for-byte, including the stats JSON and the snapshot digests.
+ * The ingredients, each individually exact:
+ *  - chip i is Rng::split-derived from (seed, i), so a fresh
+ *    ExperimentContext inside any shard manufactures the same chip
+ *    the monolithic context would (ChipFactory::manufactureAt);
+ *  - per-chip tallies are u64 Counters (exact, associative);
+ *  - the chip-binning histogram only ever takes weight-1 samples, so
+ *    bin-wise merge equals serial accumulation exactly;
+ *  - the good-share SampleSet merge is an ordered append.
+ */
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "core/controller.hh"
+#include "core/environment.hh"
+#include "stats/stat_registry.hh"
+#include "util/statistics.hh"
+#include "valid/json_value.hh"
+
+namespace eval {
+
+/** Number of RetuneOutcome values (Fig 13 outcome classes). */
+constexpr std::size_t kNumRetuneOutcomes = 5;
+
+/** The Fig 13 FU+Queue technique row sweeps these four voltage
+ *  environments (same construction as bench_fig13_outcomes). */
+struct VoltageEnv
+{
+    const char *tag;
+    bool abb;
+    bool asv;
+};
+
+constexpr std::size_t kNumVoltageEnvs = 4;
+
+const std::array<VoltageEnv, kNumVoltageEnvs> &fig13VoltageEnvs();
+
+/** Capabilities of one Fig 13 voltage environment (TS + FU + Queue
+ *  plus the env's ABB/ASV bits). */
+EnvCapabilities fig13Caps(const VoltageEnv &env);
+
+/** What to run: the experiment population plus the adaptation
+ *  scheme driving the controller. */
+struct CampaignConfig
+{
+    ExperimentConfig experiment;
+    AdaptScheme scheme = AdaptScheme::FuzzyDyn;
+
+    /** Fingerprint of every result-changing knob; shard workers and
+     *  checkpoints refuse to mix fingerprints. */
+    std::string fingerprint() const;
+};
+
+/** Per-chip controller-outcome tallies across the voltage envs. */
+struct ChipCampaignResult
+{
+    /** outcomes[env][RetuneOutcome] — fresh-retune invocations only,
+     *  matching Fig 13 (saved-config reuses are not invocations). */
+    std::array<std::array<std::uint64_t, kNumRetuneOutcomes>,
+               kNumVoltageEnvs>
+        outcomes{};
+
+    std::uint64_t invocations() const;
+    /** Fraction of invocations ending in NoChange (the chip runs at
+     *  its tuned point without cuts); 1.0 when nothing retuned. */
+    double goodShare() const;
+};
+
+/**
+ * Run the campaign unit for one chip.  Pure in (campaign, chip id):
+ * only per-chip caches of @p ctx are touched, so a fresh context
+ * inside a shard worker reproduces the monolithic result exactly.
+ */
+ChipCampaignResult runCampaignChip(ExperimentContext &ctx,
+                                   const CampaignConfig &campaign,
+                                   std::size_t chip);
+
+/**
+ * Order-preserving mergeable accumulator over a contiguous chip-id
+ * range.  addChip() must be fed chip ids in increasing order starting
+ * at firstChip; merge() only accepts the accumulator that starts
+ * exactly where this one ends, so any merge tree that type-checks
+ * reproduces the one serial accumulation order (PR 2's bit-identity
+ * property, lifted across process boundaries).
+ */
+class CampaignAccumulator
+{
+  public:
+    explicit CampaignAccumulator(std::uint64_t firstChip = 0);
+
+    CampaignAccumulator(const CampaignAccumulator &other);
+    CampaignAccumulator &operator=(const CampaignAccumulator &other);
+
+    std::uint64_t firstChip() const { return firstChip_; }
+    /** One past the last accumulated chip id. */
+    std::uint64_t nextChip() const { return nextChip_; }
+    std::uint64_t chipCount() const { return nextChip_ - firstChip_; }
+
+    /** Fold in chip @p chipId's result; must be nextChip(). */
+    void addChip(std::uint64_t chipId, const ChipCampaignResult &r);
+
+    /** Append @p other (which must start at nextChip()). */
+    void merge(const CampaignAccumulator &other);
+
+    std::uint64_t outcomeCount(std::size_t env,
+                               RetuneOutcome outcome) const;
+    std::uint64_t envInvocations(std::size_t env) const;
+    const Histogram &goodShareHistogram() const { return hist_; }
+    const SampleSet &goodShares() const { return shares_; }
+
+    /** Serialize to / rebuild from a JSON payload (checkpoints and
+     *  shard results).  fromPayload throws SnapshotError on shape
+     *  violations. */
+    JsonValue toPayload() const;
+    static CampaignAccumulator fromPayload(const JsonValue &payload);
+
+    /** Wrap the payload in a "shard_result" snapshot envelope. */
+    JsonValue toSnapshot() const;
+    static CampaignAccumulator fromSnapshot(const JsonValue &snapshot);
+
+    /** Canonical human-readable statistics document: per-env outcome
+     *  tallies and shares, good-share percentiles, and the
+     *  chip-binning histogram.  Byte-deterministic. */
+    std::string statsJson() const;
+
+    /** digest53 over the binary-encoded snapshot — the outcome
+     *  digest the differential suite compares. */
+    double digest() const;
+
+  private:
+    void assignFrom(const CampaignAccumulator &other);
+
+    std::uint64_t firstChip_ = 0;
+    std::uint64_t nextChip_ = 0;
+    /** [env][outcome] fresh-retune tallies. */
+    std::array<std::array<Counter, kNumRetuneOutcomes>, kNumVoltageEnvs>
+        outcomes_;
+    /** Chip-binning curve: one weight-1 sample per chip at its
+     *  good-share (integer weights keep bin-wise merge exact). */
+    Histogram hist_;
+    /** Per-chip good shares in chip order (exact tail percentiles). */
+    SampleSet shares_;
+};
+
+} // namespace eval

@@ -1,0 +1,65 @@
+#include "shard/plan.hh"
+
+#include <cstdlib>
+
+#include "util/logging.hh"
+
+namespace eval {
+
+std::vector<ShardRange>
+planShards(std::uint64_t chips, std::uint32_t shards)
+{
+    EVAL_ASSERT(shards > 0, "shard plan needs at least one shard");
+    std::vector<ShardRange> plan;
+    plan.reserve(shards);
+    const std::uint64_t base = chips / shards;
+    const std::uint64_t extra = chips % shards;
+    std::uint64_t begin = 0;
+    for (std::uint32_t i = 0; i < shards; ++i) {
+        const std::uint64_t size = base + (i < extra ? 1 : 0);
+        plan.push_back(ShardRange{begin, begin + size});
+        begin += size;
+    }
+    return plan;
+}
+
+ShardRange
+shardRangeFor(std::uint64_t chips, const ShardSpec &spec)
+{
+    EVAL_ASSERT(spec.index < spec.count, "shard index out of range");
+    return planShards(chips, spec.count)[spec.index];
+}
+
+bool
+parseShardSpec(const std::string &text, ShardSpec &out)
+{
+    const std::size_t slash = text.find('/');
+    if (slash == std::string::npos || slash == 0 ||
+        slash + 1 >= text.size()) {
+        return false;
+    }
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        if (i == slash)
+            continue;
+        if (text[i] < '0' || text[i] > '9')
+            return false;
+    }
+    const unsigned long index =
+        std::strtoul(text.substr(0, slash).c_str(), nullptr, 10);
+    const unsigned long count =
+        std::strtoul(text.substr(slash + 1).c_str(), nullptr, 10);
+    if (count == 0 || index >= count)
+        return false;
+    out.index = static_cast<std::uint32_t>(index);
+    out.count = static_cast<std::uint32_t>(count);
+    return true;
+}
+
+std::string
+formatShardSpec(const ShardSpec &spec)
+{
+    return std::to_string(spec.index) + "/" +
+           std::to_string(spec.count);
+}
+
+} // namespace eval

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Shard planner: deterministic partition of a chip-id range across
+ * workers, and the `--shard i/N` spec the worker protocol speaks.
+ *
+ * The partition is contiguous and balanced (the first `chips % N`
+ * shards get one extra chip), so concatenating shard results in shard
+ * order walks chip ids 0..chips-1 exactly once in increasing order —
+ * the property the order-preserving accumulator merge() needs to
+ * reproduce the monolithic serial fold bit-for-bit.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace eval {
+
+/** Half-open chip-id range [begin, end) owned by one shard. */
+struct ShardRange
+{
+    std::uint64_t begin = 0;
+    std::uint64_t end = 0;
+
+    std::uint64_t count() const { return end - begin; }
+    bool empty() const { return end == begin; }
+};
+
+/** Parsed `--shard i/N` worker coordinate. */
+struct ShardSpec
+{
+    std::uint32_t index = 0;
+    std::uint32_t count = 1;
+};
+
+/**
+ * Partition @p chips ids into @p shards contiguous balanced ranges
+ * (some may be empty when shards > chips).  Pure: the plan depends
+ * only on (chips, shards), so the supervisor and every worker compute
+ * the same ranges independently.
+ */
+std::vector<ShardRange> planShards(std::uint64_t chips,
+                                   std::uint32_t shards);
+
+/** The range shard @p spec owns under planShards(chips, spec.count). */
+ShardRange shardRangeFor(std::uint64_t chips, const ShardSpec &spec);
+
+/** Parse "i/N" with 0 <= i < N; false on malformed input. */
+bool parseShardSpec(const std::string &text, ShardSpec &out);
+
+/** Render @p spec as "i/N". */
+std::string formatShardSpec(const ShardSpec &spec);
+
+} // namespace eval

@@ -64,6 +64,15 @@ class Counter
     }
     void reset() { value_.store(0, std::memory_order_relaxed); }
 
+    /**
+     * Fold @p other into this counter.  u64 addition is exact and
+     * associative, so merging per-shard counters in any grouping
+     * yields the same total as counting every event in one process —
+     * the counter leg of the shard-equivalence guarantee
+     * (DESIGN.md Sec 5h).
+     */
+    void merge(const Counter &other) { inc(other.value()); }
+
   private:
     std::atomic<std::uint64_t> value_{0};
 };

@@ -105,6 +105,17 @@ Histogram::add(double x, double weight)
     total_ += weight;
 }
 
+void
+Histogram::merge(const Histogram &other)
+{
+    EVAL_ASSERT(lo_ == other.lo_ && hi_ == other.hi_ &&
+                    counts_.size() == other.counts_.size(),
+                "histogram merge requires identical bin layout");
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+        counts_[i] += other.counts_[i];
+    total_ += other.total_;
+}
+
 double
 Histogram::binLow(std::size_t i) const
 {

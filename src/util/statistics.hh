@@ -55,7 +55,22 @@ class Histogram
 
     void add(double x, double weight = 1.0);
 
+    /**
+     * Fold another histogram (identical lo/hi/bin layout) into this
+     * one, bin by bin.  Because each bin is a plain sum, merging the
+     * per-shard histograms in shard order reproduces the serial
+     * accumulation exactly whenever the weights are integers below
+     * 2^53 (every integer-weighted sum is exact in a double, so the
+     * grouping cannot change the value).  The shard campaign only
+     * ever adds weight-1 samples, so its merged histograms — and
+     * every quantile() read off them — are bit-identical to the
+     * monolithic run's.  Fatal on a bin-layout mismatch.
+     */
+    void merge(const Histogram &other);
+
     std::size_t bins() const { return counts_.size(); }
+    double lo() const { return lo_; }
+    double hi() const { return hi_; }
     double binLow(std::size_t i) const;
     double binCenter(std::size_t i) const;
     double binWidth() const { return width_; }
@@ -82,6 +97,19 @@ class SampleSet
 {
   public:
     void add(double x) { samples_.push_back(x); }
+
+    /**
+     * Append @p other's samples after this set's, preserving both
+     * insertion orders.  Merging per-shard sets in shard order yields
+     * the exact sample vector of the serial run (percentile() sorts a
+     * copy, so every summary is bit-identical too).
+     */
+    void merge(const SampleSet &other)
+    {
+        samples_.insert(samples_.end(), other.samples_.begin(),
+                        other.samples_.end());
+    }
+
     std::size_t size() const { return samples_.size(); }
     bool empty() const { return samples_.empty(); }
     /** Linear-interpolated percentile; 0.0 on an empty set. */

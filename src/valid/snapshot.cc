@@ -204,32 +204,44 @@ const JsonValue &
 snapshotPayload(const JsonValue &snapshot, const std::string &expectKind,
                 std::uint32_t expectKindVersion)
 {
-    if (snapshot.type() != JsonValue::Type::Object)
-        throw SnapshotError("snapshot is not an object");
-    if (!snapshot.has("magic") ||
-        snapshot.at("magic").asString() != kMagic)
-        throw SnapshotError("snapshot magic mismatch");
-    const auto fmt =
-        static_cast<std::uint32_t>(snapshot.at("format_version").asInt());
-    if (fmt != kSnapshotFormatVersion) {
-        throw SnapshotError(
-            "snapshot format version " + std::to_string(fmt) +
-            " != supported " + std::to_string(kSnapshotFormatVersion));
+    // JsonValue's accessors throw plain runtime_errors on a missing
+    // member or a type mismatch; a corrupted envelope (the checkpoint
+    // fuzzer flips single bytes into exactly these shapes) must still
+    // surface as SnapshotError per this module's contract.
+    try {
+        if (snapshot.type() != JsonValue::Type::Object)
+            throw SnapshotError("snapshot is not an object");
+        if (!snapshot.has("magic") ||
+            snapshot.at("magic").asString() != kMagic)
+            throw SnapshotError("snapshot magic mismatch");
+        const auto fmt = static_cast<std::uint32_t>(
+            snapshot.at("format_version").asInt());
+        if (fmt != kSnapshotFormatVersion) {
+            throw SnapshotError(
+                "snapshot format version " + std::to_string(fmt) +
+                " != supported " +
+                std::to_string(kSnapshotFormatVersion));
+        }
+        const std::string &kind = snapshot.at("kind").asString();
+        if (kind != expectKind) {
+            throw SnapshotError("snapshot kind '" + kind +
+                                "' != expected '" + expectKind + "'");
+        }
+        const auto kv = static_cast<std::uint32_t>(
+            snapshot.at("kind_version").asInt());
+        if (kv != expectKindVersion) {
+            throw SnapshotError(
+                "snapshot kind version " + std::to_string(kv) +
+                " != expected " + std::to_string(expectKindVersion) +
+                " for '" + kind + "'");
+        }
+        return snapshot.at("payload");
+    } catch (const SnapshotError &) {
+        throw;
+    } catch (const std::exception &e) {
+        throw SnapshotError(std::string("snapshot envelope malformed: ") +
+                            e.what());
     }
-    const std::string &kind = snapshot.at("kind").asString();
-    if (kind != expectKind) {
-        throw SnapshotError("snapshot kind '" + kind + "' != expected '" +
-                            expectKind + "'");
-    }
-    const auto kv =
-        static_cast<std::uint32_t>(snapshot.at("kind_version").asInt());
-    if (kv != expectKindVersion) {
-        throw SnapshotError("snapshot kind version " +
-                            std::to_string(kv) + " != expected " +
-                            std::to_string(expectKindVersion) + " for '" +
-                            kind + "'");
-    }
-    return snapshot.at("payload");
 }
 
 std::string

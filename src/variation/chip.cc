@@ -90,8 +90,21 @@ ChipFactory::manufacture(std::size_t count)
 Chip
 ChipFactory::manufactureIdeal()
 {
-    const std::uint64_t id = nextId_++;
-    Rng chipRng = rng_.fork(id + 1);
+    return manufactureIdealAt(nextId_++);
+}
+
+Chip
+ChipFactory::manufactureAt(std::uint64_t id) const
+{
+    return manufactureChip(id);
+}
+
+Chip
+ChipFactory::manufactureIdealAt(std::uint64_t id) const
+{
+    // split(i) == fork(i) and neither advances rng_, so this emits
+    // the exact chip manufactureIdeal() would have at cursor == id.
+    Rng chipRng = rng_.split(id + 1);
     return Chip(id, floorplan_, VariationMap::flat(params_.withoutVariation()),
                 chipRng.fork(0xC41F));
 }

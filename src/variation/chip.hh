@@ -72,6 +72,25 @@ class ChipFactory
     /** An ideal chip with zero variation (NoVar environment). */
     Chip manufactureIdeal();
 
+    /**
+     * Manufacture the chip with identity @p id without advancing the
+     * factory cursor.  Pure in (factory seed, id) — byte-identical to
+     * the chip a fresh factory would emit as its @p id'th
+     * manufacture() call — so shard workers can stamp out any slice
+     * of the population lazily and still match the monolithic run.
+     */
+    Chip manufactureAt(std::uint64_t id) const;
+
+    /**
+     * The ideal chip manufactureIdeal() would emit when the cursor
+     * sits at @p id, without advancing the cursor.  The ideal chip's
+     * personality depends on its id, and the experiment driver always
+     * manufactures it *after* the population, so callers must pass
+     * the population size to reproduce the monolithic reference
+     * (see ExperimentContext).
+     */
+    Chip manufactureIdealAt(std::uint64_t id) const;
+
     const ProcessParams &params() const { return params_; }
     const std::shared_ptr<const Floorplan> &floorplan() const
     {

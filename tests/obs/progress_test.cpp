@@ -79,6 +79,64 @@ TEST_F(ProgressTest, RegistryFindOrCreateIsIdempotent)
         EXPECT_LT(all[i - 1].first, all[i].first); // name order
 }
 
+TEST_F(ProgressTest, DeclareTotalDedupesByNameAndRunId)
+{
+    // Regression: a resumed shard worker re-registering its chip range
+    // used to addTotal() a second time, so the status JSON reported
+    // twice the population and eval_top's ETA went negative.
+    ProgressRegistry &reg = ProgressRegistry::global();
+    ProgressTracker &t = reg.declareTotal("chips", "run-a", 100);
+    EXPECT_EQ(t.total(), 100u);
+
+    // Same (name, runId): a no-op, not an accumulation.
+    EXPECT_EQ(&reg.declareTotal("chips", "run-a", 100), &t);
+    EXPECT_EQ(t.total(), 100u);
+    reg.declareTotal("chips", "run-a", 100);
+    EXPECT_EQ(t.total(), 100u);
+}
+
+TEST_F(ProgressTest, DeclareTotalRevisionAdjustsByDelta)
+{
+    ProgressRegistry &reg = ProgressRegistry::global();
+    ProgressTracker &t = reg.declareTotal("chips", "run-a", 100);
+    // Revising the same run's declaration applies the signed delta.
+    reg.declareTotal("chips", "run-a", 60);
+    EXPECT_EQ(t.total(), 60u);
+    reg.declareTotal("chips", "run-a", 160);
+    EXPECT_EQ(t.total(), 160u);
+}
+
+TEST_F(ProgressTest, DeclareTotalAccumulatesAcrossRunIds)
+{
+    // Distinct runs (e.g. two shards of one campaign feeding the same
+    // "chips" tracker) legitimately add up.
+    ProgressRegistry &reg = ProgressRegistry::global();
+    ProgressTracker &t = reg.declareTotal("chips", "shard=0/2", 50);
+    EXPECT_EQ(&reg.declareTotal("chips", "shard=1/2", 50), &t);
+    EXPECT_EQ(t.total(), 100u);
+    // And re-declaring either shard still cannot double-count.
+    reg.declareTotal("chips", "shard=0/2", 50);
+    EXPECT_EQ(t.total(), 100u);
+}
+
+TEST_F(ProgressTest, HasDeclaredTracksRunIds)
+{
+    ProgressRegistry &reg = ProgressRegistry::global();
+    EXPECT_FALSE(reg.hasDeclared("chips", "run-a"));
+    reg.declareTotal("chips", "run-a", 10);
+    EXPECT_TRUE(reg.hasDeclared("chips", "run-a"));
+    EXPECT_FALSE(reg.hasDeclared("chips", "run-b"));
+    EXPECT_FALSE(reg.hasDeclared("other", "run-a"));
+
+    // reset() forgets declarations along with the counters, so the
+    // next declaration repopulates from zero instead of deltaing
+    // against a zeroed tracker.
+    reg.reset();
+    EXPECT_FALSE(reg.hasDeclared("chips", "run-a"));
+    ProgressTracker &t = reg.declareTotal("chips", "run-a", 10);
+    EXPECT_EQ(t.total(), 10u);
+}
+
 TEST_F(ProgressTest, ConcurrentTicksAreExact)
 {
     // The TSan tier runs this binary (obs_ prefix): writers ticking
