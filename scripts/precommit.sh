@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Changed-files-only lint hook: runs eval-lint over just the C++ files
+# the working tree touches (staged, unstaged, and untracked), so the
+# feedback loop stays sub-second even though the analyzer indexes the
+# whole default tree for cross-TU context (layering, exception
+# contracts).  Findings are only *emitted* for the changed files;
+# manifest-anchored staleness checks (lay-unused-edge) are deferred to
+# the full-tree gate in scripts/check.sh --lint.
+#
+# Usage: scripts/precommit.sh [base-ref]
+#
+# With base-ref (e.g. origin/main), lints files changed since that
+# ref instead of the working-tree delta — useful in CI for PR-scoped
+# runs.  Install as a hook with:
+#
+#     ln -s ../../scripts/precommit.sh .git/hooks/pre-commit
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+base_ref="${1:-}"
+
+# Collect candidate files: staged + unstaged + untracked, or the diff
+# against the base ref when one is given.
+if [[ -n "$base_ref" ]]; then
+    mapfile -t changed < <(git -C "$repo_root" diff --name-only \
+        --diff-filter=d "$base_ref")
+else
+    mapfile -t changed < <({
+        git -C "$repo_root" diff --name-only --diff-filter=d HEAD 2>/dev/null \
+            || git -C "$repo_root" diff --name-only --diff-filter=d --cached
+        git -C "$repo_root" ls-files --others --exclude-standard
+    } | sort -u)
+fi
+
+# Keep only lintable C++ sources inside the default scan set, minus
+# the fixture corpora (violating on purpose).
+lintable=()
+for f in "${changed[@]}"; do
+    case "$f" in
+        tests/lint/fixtures/*) continue ;;
+        src/*|bench/*|tests/*|examples/*|tools/*) ;;
+        *) continue ;;
+    esac
+    case "$f" in
+        *.cc|*.cpp|*.cxx|*.hh|*.h|*.hpp) lintable+=("$f") ;;
+    esac
+done
+
+if [[ ${#lintable[@]} -eq 0 ]]; then
+    echo "precommit.sh: no changed C++ files to lint"
+    exit 0
+fi
+
+# Find (or build) the lint binary: prefer an existing build dir so the
+# hook never triggers a full configure on its own.
+lint_bin=""
+for dir in build-check build; do
+    if [[ -x "$repo_root/$dir/tools/lint/eval_lint" ]]; then
+        lint_bin="$repo_root/$dir/tools/lint/eval_lint"
+        break
+    fi
+done
+if [[ -z "$lint_bin" ]]; then
+    echo "precommit.sh: building eval_lint (first run)"
+    cmake -B "$repo_root/build-check" -S "$repo_root" > /dev/null
+    cmake --build "$repo_root/build-check" -j"$(nproc)" \
+        --target eval_lint > /dev/null
+    lint_bin="$repo_root/build-check/tools/lint/eval_lint"
+fi
+
+echo "precommit.sh: linting ${#lintable[@]} changed file(s)"
+"$lint_bin" --root "$repo_root" --exclude tests/lint/fixtures \
+    "${lintable[@]}"

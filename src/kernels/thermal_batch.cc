@@ -79,12 +79,15 @@ std::atomic<int> thermalCacheOverride{-1};
 void
 setThermalCacheEnabled(bool enabled)
 {
+    // eval-lint: allow(atomics-relaxed) independent on/off override; readers
+    // only ever see 0/1/-1 and no other memory is published with it.
     thermalCacheOverride.store(enabled ? 1 : 0, std::memory_order_relaxed);
 }
 
 bool
 thermalCacheEnabled()
 {
+    // eval-lint: allow(atomics-relaxed) single flag with no associated payload.
     const int forced = thermalCacheOverride.load(std::memory_order_relaxed);
     if (forced >= 0)
         return forced != 0;
@@ -96,6 +99,8 @@ std::uint64_t
 nextThermalSalt()
 {
     static std::atomic<std::uint64_t> counter{1};
+    // eval-lint: allow(atomics-relaxed) monotone id source; callers need
+    // uniqueness, not ordering, and never read another thread's id.
     return counter.fetch_add(1, std::memory_order_relaxed);
 }
 

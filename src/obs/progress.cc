@@ -1,5 +1,8 @@
 #include "obs/progress.hh"
 
+// eval-lint: counters-only progress counters are observational relaxed
+// monotone ticks that no model code reads back (DESIGN.md Sec 5c).
+
 #include <algorithm>
 #include <chrono>
 

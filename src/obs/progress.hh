@@ -21,6 +21,9 @@
 
 #pragma once
 
+// eval-lint: counters-only progress counters are observational relaxed
+// monotone ticks that no model code reads back (DESIGN.md Sec 5c).
+
 #include <atomic>
 #include <cstdint>
 #include <map>

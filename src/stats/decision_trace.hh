@@ -13,6 +13,9 @@
 
 #pragma once
 
+// eval-lint: counters-only the enable flag and drop counter are independent
+// observational atomics; record payloads are guarded by the ring mutex.
+
 #include <atomic>
 #include <cstdint>
 #include <mutex>

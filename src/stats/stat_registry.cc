@@ -1,5 +1,8 @@
 #include "stats/stat_registry.hh"
 
+// eval-lint: counters-only instruments are monotone relaxed counters and
+// gauges read only at snapshot/dump time, off the model path.
+
 #include <algorithm>
 #include <cmath>
 #include <cstdio>

@@ -25,6 +25,9 @@
 
 #pragma once
 
+// eval-lint: counters-only instruments are monotone relaxed counters and
+// gauges read only at snapshot/dump time, off the model path.
+
 #include <atomic>
 #include <chrono>
 #include <cstdint>

@@ -19,6 +19,8 @@ std::uint64_t
 nextCacheId()
 {
     static std::atomic<std::uint64_t> counter{1};
+    // eval-lint: allow(atomics-relaxed) monotone id source; callers need
+    // uniqueness, not ordering, and never read another thread's id.
     return counter.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -85,12 +87,15 @@ struct PeCounters
 void
 setPeCacheEnabled(bool enabled)
 {
+    // eval-lint: allow(atomics-relaxed) independent on/off override; readers
+    // only ever see 0/1/-1 and no other memory is published with it.
     peCacheOverride.store(enabled ? 1 : 0, std::memory_order_relaxed);
 }
 
 bool
 peCacheEnabled()
 {
+    // eval-lint: allow(atomics-relaxed) single flag with no associated payload.
     const int forced = peCacheOverride.load(std::memory_order_relaxed);
     if (forced >= 0)
         return forced != 0;
@@ -101,12 +106,15 @@ peCacheEnabled()
 void
 setPeTableEnabled(bool enabled)
 {
+    // eval-lint: allow(atomics-relaxed) independent on/off override; readers
+    // only ever see 0/1/-1 and no other memory is published with it.
     peTableOverride.store(enabled ? 1 : 0, std::memory_order_relaxed);
 }
 
 bool
 peTableEnabled()
 {
+    // eval-lint: allow(atomics-relaxed) single flag with no associated payload.
     const int forced = peTableOverride.load(std::memory_order_relaxed);
     if (forced >= 0)
         return forced != 0;

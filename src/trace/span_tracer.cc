@@ -1,5 +1,9 @@
 #include "trace/span_tracer.hh"
 
+// eval-lint: counters-only tracing flag, ring-capacity config, and drop/tid
+// counters are independent observational atomics; event payloads are
+// guarded by the per-thread-log mutex.
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>

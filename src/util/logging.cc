@@ -1,5 +1,8 @@
 #include "util/logging.hh"
 
+// eval-lint: counters-only quiet/level/timestamp/thread flags are independent
+// logging config reads with no payload to order against.
+
 #include <atomic>
 #include <cstdio>
 #include <cstring>

@@ -10,6 +10,7 @@
 #include "util/config.hh"
 #include "util/logging.hh"
 #include "valid/json_value.hh"
+#include "valid/snapshot.hh"
 
 namespace eval {
 
@@ -171,7 +172,7 @@ GoldenFile::parse(const std::string &text)
         ++lineNo;
         if (lineNo == 1) {
             if (line != kHeader)
-                throw std::runtime_error(
+                throw SnapshotError(
                     "golden file missing v1 header");
             sawHeader = true;
             continue;
@@ -188,13 +189,13 @@ GoldenFile::parse(const std::string &text)
         std::string tag, name, kindStr, epsStr, valueStr;
         if (!(fields >> tag >> name >> kindStr >> epsStr >> valueStr) ||
             tag != "metric") {
-            throw std::runtime_error("golden file line " +
+            throw SnapshotError("golden file line " +
                                      std::to_string(lineNo) +
                                      " is malformed: " + line);
         }
         std::string trailing;
         if (fields >> trailing) {
-            throw std::runtime_error("golden file line " +
+            throw SnapshotError("golden file line " +
                                      std::to_string(lineNo) +
                                      " has trailing fields");
         }
@@ -206,14 +207,14 @@ GoldenFile::parse(const std::string &text)
         else if (kindStr == "abs")
             kind = MetricKind::Absolute;
         else
-            throw std::runtime_error("golden file line " +
+            throw SnapshotError("golden file line " +
                                      std::to_string(lineNo) +
                                      " has unknown kind: " + kindStr);
         file.add(name, kind, std::strtod(epsStr.c_str(), nullptr),
                  std::strtod(valueStr.c_str(), nullptr));
     }
     if (!sawHeader)
-        throw std::runtime_error("golden file is empty");
+        throw SnapshotError("golden file is empty");
     return file;
 }
 

@@ -15,7 +15,7 @@ typeError(const char *want, JsonValue::Type got)
 {
     static const char *names[] = {"null",   "bool",  "int",   "double",
                                   "string", "array", "object"};
-    throw std::runtime_error(std::string("JSON value is not ") + want +
+    throw JsonTypeError(std::string("JSON value is not ") + want +
                              " (it is " +
                              names[static_cast<int>(got)] + ")");
 }
@@ -419,7 +419,7 @@ JsonValue::at(const std::string &key) const
     for (const auto &member : asObject())
         if (member.first == key)
             return member.second;
-    throw std::runtime_error("JSON object has no member '" + key + "'");
+    throw JsonTypeError("JSON object has no member '" + key + "'");
 }
 
 bool

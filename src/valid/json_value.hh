@@ -46,6 +46,18 @@ class JsonParseError : public std::runtime_error
     std::size_t offset_;
 };
 
+/** A typed accessor was called on a value of another type, or a
+ *  required object member is absent.  Distinct from JsonParseError:
+ *  the text parsed fine, the shape is wrong. */
+class JsonTypeError : public std::runtime_error
+{
+  public:
+    explicit JsonTypeError(const std::string &what)
+        : std::runtime_error(what)
+    {
+    }
+};
+
 /** One JSON value (null / bool / int64 / double / string / array /
  *  object with ordered members). */
 class JsonValue
@@ -78,7 +90,7 @@ class JsonValue
         return type_ == Type::Int || type_ == Type::Double;
     }
 
-    /** Typed accessors; throw std::runtime_error on a type mismatch. */
+    /** Typed accessors; throw JsonTypeError on a type mismatch. */
     bool asBool() const;
     std::int64_t asInt() const;
     std::uint64_t asUint() const;

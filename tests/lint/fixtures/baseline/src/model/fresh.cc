@@ -1,0 +1,13 @@
+// Fixture: a finding NOT in baseline.txt — the one fresh finding that
+// must make the run exit 1.
+#include <chrono>
+
+namespace fixture {
+
+long
+wallNow()
+{
+    return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+} // namespace fixture

@@ -1,0 +1,12 @@
+// Fixture: a historical finding accepted in the tree's baseline file.
+#include <cstdlib>
+
+namespace fixture {
+
+int
+legacyNoise()
+{
+    return rand(); // det-entropy, baselined in baseline.txt
+}
+
+} // namespace fixture

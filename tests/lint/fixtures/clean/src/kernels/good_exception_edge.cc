@@ -1,0 +1,14 @@
+// Fixture: a kernels -> model include with no declared edge, allowed
+// through the per-file [exceptions] entry in the tree's layers.toml.
+// No allocation: src/kernels is hot.
+#include "model/good.hh"
+
+namespace fixture {
+
+double
+kernelPeeksAtModel(double x)
+{
+    return x;
+}
+
+} // namespace fixture

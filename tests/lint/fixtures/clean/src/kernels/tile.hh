@@ -1,0 +1,13 @@
+#pragma once
+// Fixture: a kernels header exercising the clean tree's declared
+// model -> kernels edge.  src/kernels is hot, so no allocation here.
+
+namespace fixture {
+
+inline double
+tileScale()
+{
+    return 1.0;
+}
+
+} // namespace fixture

@@ -1,0 +1,17 @@
+// Fixture: a relaxed atomic with an audited per-site allowance.
+#include <atomic>
+#include <cstdint>
+
+namespace fixture {
+
+std::atomic<std::uint64_t> ticks{0};
+
+void
+tick()
+{
+    // eval-lint: allow(atomics-relaxed) fixture: monotone tick with no
+    // payload to order against; the total is read only after join.
+    ticks.fetch_add(1, std::memory_order_relaxed);
+}
+
+} // namespace fixture

@@ -1,0 +1,25 @@
+#pragma once
+// Fixture: a counters-only file — every relaxed access here is a
+// monotone observational counter off the model path.
+// eval-lint: counters-only fixture: monotone counters nothing on the
+// model path ever reads back.
+
+#include <atomic>
+#include <cstdint>
+
+namespace fixture {
+
+inline std::atomic<std::uint64_t> &
+counter()
+{
+    static std::atomic<std::uint64_t> c{0};
+    return c;
+}
+
+inline void
+bump()
+{
+    counter().fetch_add(1, std::memory_order_relaxed);
+}
+
+} // namespace fixture

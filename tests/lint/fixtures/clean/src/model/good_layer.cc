@@ -1,0 +1,13 @@
+// Fixture: exercises the declared model -> kernels edge, keeping the
+// clean manifest free of lay-unused-edge findings.
+#include "kernels/tile.hh"
+
+namespace fixture {
+
+double
+modelUsesTile()
+{
+    return tileScale();
+}
+
+} // namespace fixture

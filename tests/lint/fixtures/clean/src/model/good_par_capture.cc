@@ -1,0 +1,31 @@
+// Fixture: parallel bodies that stay deterministic — slot-indexed
+// writes into a presized buffer, and mutation of lambda-locals only.
+#include <cstddef>
+#include <vector>
+
+namespace fixture {
+
+template <typename Fn>
+void
+parallelFor(std::size_t first, std::size_t last, std::size_t grain, Fn &&fn)
+{
+    (void)grain;
+    for (std::size_t i = first; i < last; ++i)
+        fn(i);
+}
+
+std::vector<double>
+fill(std::size_t n)
+{
+    std::vector<double> out(n);
+    parallelFor(0, n, 1, [&](std::size_t i) {
+        std::vector<double> scratch;
+        scratch.push_back(static_cast<double>(i)); // local: fine
+        double acc = 0.0;
+        acc += scratch.front(); // local accumulation: fine
+        out[i] = acc;           // slot-indexed write: fine
+    });
+    return out;
+}
+
+} // namespace fixture

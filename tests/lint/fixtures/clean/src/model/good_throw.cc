@@ -1,0 +1,33 @@
+// Fixture: constructed throws name the contract type declared in
+// layers.toml; re-raising a caught object is pass-through and a bare
+// rethrow is always allowed.
+#include <stdexcept>
+#include <string>
+
+namespace fixture {
+
+struct ModelError : std::runtime_error
+{
+    explicit ModelError(const std::string &what) : std::runtime_error(what)
+    {
+    }
+};
+
+void
+check(bool ok)
+{
+    if (!ok)
+        throw ModelError("fixture model failure");
+}
+
+void
+reraise(const ModelError &err)
+{
+    try {
+        throw err; // pass-through of an already-checked object
+    } catch (...) {
+        throw; // bare rethrow: always allowed
+    }
+}
+
+} // namespace fixture

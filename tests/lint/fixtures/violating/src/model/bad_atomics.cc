@@ -1,0 +1,16 @@
+// Fixture: a relaxed atomic access with neither an audited inline
+// allowance nor the counters-only file marker.
+#include <atomic>
+#include <cstdint>
+
+namespace fixture {
+
+std::atomic<std::uint64_t> ticks{0};
+
+void
+tick()
+{
+    ticks.fetch_add(1, std::memory_order_relaxed); // atomics-relaxed
+}
+
+} // namespace fixture

@@ -1,0 +1,13 @@
+// Fixture: a quoted include crossing the module boundary
+// model -> kernels with no declared edge in layers.toml.
+#include "kernels/tile.hh" // lay-edge
+
+namespace fixture {
+
+int
+modelLeansOnKernels()
+{
+    return 1;
+}
+
+} // namespace fixture

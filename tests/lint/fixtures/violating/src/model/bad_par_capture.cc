@@ -1,0 +1,27 @@
+// Fixture: a by-reference capture grown order-dependently inside a
+// parallel region — the result depends on the thread schedule.
+#include <cstddef>
+#include <vector>
+
+namespace fixture {
+
+template <typename Fn>
+void
+parallelFor(std::size_t first, std::size_t last, std::size_t grain, Fn &&fn)
+{
+    (void)grain;
+    for (std::size_t i = first; i < last; ++i)
+        fn(i);
+}
+
+std::vector<double>
+collect(std::size_t n)
+{
+    std::vector<double> out;
+    parallelFor(0, n, 1, [&](std::size_t i) {
+        out.push_back(static_cast<double>(i)); // det-par-capture
+    });
+    return out;
+}
+
+} // namespace fixture

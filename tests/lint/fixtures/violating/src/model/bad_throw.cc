@@ -1,0 +1,14 @@
+// Fixture: module 'model' declares no throws contract in layers.toml,
+// so a constructed throw is an exc-contract finding.
+#include <stdexcept>
+
+namespace fixture {
+
+void
+failModel(bool bad)
+{
+    if (bad)
+        throw std::runtime_error("model failure"); // exc-contract
+}
+
+} // namespace fixture

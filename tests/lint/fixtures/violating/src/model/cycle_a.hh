@@ -1,0 +1,8 @@
+#pragma once
+// Fixture: half of a mutual include pair — the file-level include
+// graph must be acyclic (lay-cycle).
+#include "cycle_b.hh"
+
+namespace fixture {
+inline int cycleA() { return 1; }
+} // namespace fixture

@@ -1,0 +1,8 @@
+#pragma once
+// Fixture: the other half of the mutual include pair (lay-cycle is
+// reported once, on the edge that closes the cycle).
+#include "cycle_a.hh"
+
+namespace fixture {
+inline int cycleB() { return 2; }
+} // namespace fixture

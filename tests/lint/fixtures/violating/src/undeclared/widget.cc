@@ -1,0 +1,12 @@
+// Fixture: a src/ module with no [modules.undeclared] table in the
+// tree's layers.toml (lay-module).  Otherwise clean.
+
+namespace fixture {
+
+int
+widgetId()
+{
+    return 7;
+}
+
+} // namespace fixture

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Determinism of the parallel scan: runLint() findings must be
+ * byte-identical at every --jobs setting (the lint_ test-name prefix
+ * puts this suite in the TSan tier, so the scan's thread-safety is
+ * checked under the race detector too).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "lint.hh"
+
+namespace {
+
+using eval::lint::Diagnostic;
+using eval::lint::Options;
+using eval::lint::runLint;
+
+const std::string kFixtures = EVAL_LINT_FIXTURES;
+
+std::vector<Diagnostic>
+lintWithJobs(unsigned jobs)
+{
+    Options opts;
+    opts.root = kFixtures + "/violating";
+    opts.jobs = jobs;
+    std::string error;
+    auto diags = runLint(opts, &error);
+    EXPECT_EQ(error, "") << "jobs=" << jobs;
+    return diags;
+}
+
+TEST(LintParallel, FindingsAreIdenticalAtEveryJobCount)
+{
+    const auto serial = lintWithJobs(1);
+    ASSERT_FALSE(serial.empty());
+    for (unsigned jobs : {2u, 4u, 8u}) {
+        const auto parallel = lintWithJobs(jobs);
+        EXPECT_EQ(serial, parallel) << "jobs=" << jobs;
+    }
+}
+
+TEST(LintParallel, AutoJobCountMatchesSerial)
+{
+    // jobs = 0 resolves to EVAL_THREADS / hardware concurrency.
+    EXPECT_EQ(lintWithJobs(1), lintWithJobs(0));
+}
+
+TEST(LintParallel, OrderIsSortedByFileLineRule)
+{
+    const auto diags = lintWithJobs(4);
+    for (std::size_t i = 1; i < diags.size(); ++i) {
+        const auto &a = diags[i - 1];
+        const auto &b = diags[i];
+        EXPECT_LE(std::tie(a.file, a.line, a.rule),
+                  std::tie(b.file, b.line, b.rule))
+            << a.file << ":" << a.line << " vs " << b.file << ":"
+            << b.line;
+    }
+}
+
+} // namespace

@@ -17,6 +17,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -74,6 +75,7 @@ TEST(LintCorpus, ViolatingTreeTripsEveryRule)
     EXPECT_EQ(countRule(diags, "det-wallclock"), 1);
     EXPECT_EQ(countRule(diags, "det-unordered"), 1);
     EXPECT_EQ(countRule(diags, "det-shared-rng"), 2);
+    EXPECT_EQ(countRule(diags, "det-par-capture"), 2); // push_back + sum +=
     EXPECT_EQ(countRule(diags, "num-float-eq"), 3);
     EXPECT_EQ(countRule(diags, "num-float-narrow"), 2);
     EXPECT_EQ(countRule(diags, "hyg-pragma-once"), 1);
@@ -82,7 +84,16 @@ TEST(LintCorpus, ViolatingTreeTripsEveryRule)
     EXPECT_EQ(countRule(diags, "obs-span-leak"), 5);
     EXPECT_EQ(countRule(diags, "obs-progress-units"), 2);
     EXPECT_EQ(countRule(diags, "perf-hot-alloc"), 7); // 6 kernel + 1 marker
-    EXPECT_EQ(countRule(diags, "lint-bad-suppression"), 3);
+    EXPECT_EQ(countRule(diags, "lay-edge"), 1);
+    EXPECT_EQ(countRule(diags, "lay-cycle"), 1);
+    EXPECT_EQ(countRule(diags, "lay-module"), 1);
+    // One of each stale flavor: unexercised edge, fileless module,
+    // unmatched exception entry.
+    EXPECT_EQ(countRule(diags, "lay-unused-edge"), 3);
+    EXPECT_EQ(countRule(diags, "exc-contract"), 1);
+    EXPECT_EQ(countRule(diags, "atomics-relaxed"), 1);
+    // 3 bad allow() forms + the bare hot-path marker
+    EXPECT_EQ(countRule(diags, "lint-bad-suppression"), 4);
     EXPECT_EQ(countRule(diags, "lint-unused-suppression"), 1);
 
     EXPECT_TRUE(hasFinding(diags, "src/model/bad_entropy.cc", 15,
@@ -107,6 +118,27 @@ TEST(LintCorpus, ViolatingTreeTripsEveryRule)
                            "perf-hot-alloc"));
     EXPECT_TRUE(hasFinding(diags, "src/model/bad_hot_marker.cc", 11,
                            "perf-hot-alloc"));
+    // The bare hot-path marker still marks the file (so the alloc above
+    // fires) but is itself flagged for its missing justification.
+    EXPECT_TRUE(hasFinding(diags, "src/model/bad_hot_marker.cc", 3,
+                           "lint-bad-suppression"));
+
+    // Project passes: layering, cycles, contracts, atomics, data-flow.
+    EXPECT_TRUE(hasFinding(diags, "src/model/bad_layer.cc", 3, "lay-edge"));
+    EXPECT_TRUE(hasFinding(diags, "src/model/cycle_b.hh", 4, "lay-cycle"));
+    EXPECT_TRUE(hasFinding(diags, "src/undeclared/widget.cc", 1,
+                           "lay-module"));
+    EXPECT_TRUE(hasFinding(diags, "layers.toml", 15, "lay-unused-edge"));
+    EXPECT_TRUE(hasFinding(diags, "layers.toml", 17, "lay-unused-edge"));
+    EXPECT_TRUE(hasFinding(diags, "layers.toml", 21, "lay-unused-edge"));
+    EXPECT_TRUE(hasFinding(diags, "src/model/bad_throw.cc", 11,
+                           "exc-contract"));
+    EXPECT_TRUE(hasFinding(diags, "src/model/bad_atomics.cc", 13,
+                           "atomics-relaxed"));
+    EXPECT_TRUE(hasFinding(diags, "src/model/bad_par_capture.cc", 22,
+                           "det-par-capture"));
+    EXPECT_TRUE(hasFinding(diags, "bench/bad_no_progress.cpp", 33,
+                           "det-par-capture"));
 }
 
 TEST(LintCorpus, CleanTreeIsClean)
@@ -238,6 +270,60 @@ TEST(LintSuppression, BlockCommentsAreProseNotSuppressions)
     EXPECT_TRUE(diags.empty());
 }
 
+TEST(LintSuppression, BlockCommentSuppressionDoesNotSilence)
+{
+    // The allow() form is honored only in line comments; quoting it in
+    // a block comment right above the finding must not suppress it.
+    const auto diags = lintSource(
+        "src/x.cc",
+        "void f() {\n"
+        "    /* eval-lint: allow(det-entropy) quoted, not active */\n"
+        "    (void)rand();\n"
+        "}\n");
+    EXPECT_EQ(countRule(diags, "det-entropy"), 1);
+    EXPECT_EQ(countRule(diags, "lint-bad-suppression"), 0);
+    EXPECT_EQ(countRule(diags, "lint-unused-suppression"), 0);
+}
+
+TEST(LintSuppression, RawStringSuppressionIsInert)
+{
+    // A suppression spelled inside a raw string literal is data, not a
+    // directive: the finding on the next line survives, and the quoted
+    // text is neither "bad" nor "unused".
+    const auto diags = lintSource(
+        "src/x.cc",
+        "const char *doc =\n"
+        "    R\"(// eval-lint: allow(det-entropy) quoted example)\";\n"
+        "int noise() { return rand(); }\n");
+    EXPECT_EQ(countRule(diags, "det-entropy"), 1);
+    EXPECT_EQ(countRule(diags, "lint-bad-suppression"), 0);
+    EXPECT_EQ(countRule(diags, "lint-unused-suppression"), 0);
+}
+
+TEST(LintSuppression, RawStringFileMarkerIsInert)
+{
+    // A counters-only marker inside a raw string must not mark the
+    // file: the relaxed atomic still needs a real allowance.
+    const auto diags = lintSource(
+        "src/x.cc",
+        "#include <atomic>\n"
+        "const char *doc = R\"(eval-lint: counters-only quoted)\";\n"
+        "std::atomic<int> c{0};\n"
+        "void t() { c.fetch_add(1, std::memory_order_relaxed); }\n");
+    EXPECT_EQ(countRule(diags, "atomics-relaxed"), 1);
+}
+
+TEST(LintSuppression, BlockCommentHotPathMarkerIsInert)
+{
+    // hot-path in a block comment must not opt the file into the
+    // hot-kernel allocation rule.
+    const auto diags = lintSource(
+        "src/model/x.cc",
+        "/* eval-lint: hot-path quoted in prose */\n"
+        "double *f(unsigned n) { return new double[n]; }\n");
+    EXPECT_EQ(countRule(diags, "perf-hot-alloc"), 0);
+}
+
 // ---------------------------------------------------------------------------
 // Rule edges
 // ---------------------------------------------------------------------------
@@ -338,10 +424,12 @@ TEST(LintRules, CatalogKnowsEveryReportedRule)
 {
     for (const char *rule :
          {"det-entropy", "det-wallclock", "det-unordered", "det-shared-rng",
-          "num-float-eq", "num-float-narrow", "hyg-pragma-once",
-          "hyg-using-namespace", "hyg-iostream", "obs-span-leak",
-          "obs-progress-units", "lint-bad-suppression",
-          "lint-unused-suppression"})
+          "det-par-capture", "num-float-eq", "num-float-narrow",
+          "hyg-pragma-once", "hyg-using-namespace", "hyg-iostream",
+          "obs-span-leak", "obs-progress-units", "perf-hot-alloc",
+          "lay-edge", "lay-cycle", "lay-module", "lay-unused-edge",
+          "lay-manifest", "exc-contract", "atomics-relaxed",
+          "lint-bad-suppression", "lint-unused-suppression"})
         EXPECT_TRUE(eval::lint::isKnownRule(rule)) << rule;
     EXPECT_FALSE(eval::lint::isKnownRule("no-such-rule"));
 }
@@ -366,6 +454,51 @@ TEST(LintBinary, ExitCodes)
     EXPECT_EQ(runBinary("--root " + kFixtures + "/does-not-exist"), 2);
     EXPECT_EQ(runBinary("--no-such-flag"), 2);
     EXPECT_EQ(runBinary("--list-rules"), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Root normalization: `--root tree`, `--root tree/`, and a symlink to
+// the tree must scope rules identically and report identical findings.
+// ---------------------------------------------------------------------------
+
+std::vector<Diagnostic>
+lintRoot(const std::string &root)
+{
+    Options opts;
+    opts.root = root;
+    std::string error;
+    auto diags = runLint(opts, &error);
+    EXPECT_EQ(error, "") << "root: " << root;
+    return diags;
+}
+
+TEST(LintRoot, TrailingSlashDoesNotChangeFindings)
+{
+    const auto plain = lintRoot(kFixtures + "/violating");
+    const auto slashed = lintRoot(kFixtures + "/violating/");
+    ASSERT_FALSE(plain.empty());
+    EXPECT_EQ(plain, slashed);
+}
+
+TEST(LintRoot, SymlinkedRootDoesNotChangeFindings)
+{
+    namespace fs = std::filesystem;
+    const fs::path link =
+        fs::temp_directory_path() / "eval_lint_root_symlink_test";
+    std::error_code ec;
+    fs::remove(link, ec);
+    fs::create_directory_symlink(kFixtures + "/violating", link, ec);
+    if (ec)
+        GTEST_SKIP() << "cannot create symlink: " << ec.message();
+
+    const auto plain = lintRoot(kFixtures + "/violating");
+    const auto viaLink = lintRoot(link.string());
+    fs::remove(link, ec);
+
+    ASSERT_FALSE(plain.empty());
+    // Identical findings with identical (relative) paths: rule scoping
+    // is anchored at the canonicalized root, not its spelling.
+    EXPECT_EQ(plain, viaLink);
 }
 
 // ---------------------------------------------------------------------------

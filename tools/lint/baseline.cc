@@ -1,0 +1,89 @@
+#include "baseline.hh"
+
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "source_scan.hh"
+
+namespace eval::lint {
+
+std::string
+baselineKey(const Diagnostic &d)
+{
+    return d.rule + "\t" + d.file + "\t" + std::to_string(d.line);
+}
+
+Baseline
+loadBaseline(const std::filesystem::path &path, std::string *error)
+{
+    Baseline out;
+    std::ifstream in(path);
+    if (!in) {
+        if (error)
+            *error = "cannot read baseline file: " + path.string();
+        return out;
+    }
+    out.loaded = true;
+    std::string line;
+    while (std::getline(in, line)) {
+        const std::string entry = trimmed(line);
+        if (entry.empty() || entry[0] == '#')
+            continue;
+        // Normalize whitespace between fields to single tabs so
+        // hand-edited baselines still match.
+        std::istringstream fields(entry);
+        std::string rule, file, lineNo;
+        if (!(fields >> rule >> file >> lineNo)) {
+            if (error)
+                *error = "malformed baseline entry: '" + entry + "'";
+            out.loaded = false;
+            return out;
+        }
+        out.keys.push_back(rule + "\t" + file + "\t" + lineNo);
+    }
+    return out;
+}
+
+BaselineSplit
+applyBaseline(const std::vector<Diagnostic> &diags,
+              const Baseline &baseline)
+{
+    BaselineSplit split;
+    if (!baseline.loaded) {
+        split.fresh = diags;
+        return split;
+    }
+    const std::set<std::string> keys(baseline.keys.begin(),
+                                     baseline.keys.end());
+    std::set<std::string> used;
+    for (const auto &d : diags) {
+        const std::string key = baselineKey(d);
+        if (keys.count(key)) {
+            used.insert(key);
+            split.baselined.push_back(d);
+        } else {
+            split.fresh.push_back(d);
+        }
+    }
+    for (const auto &key : baseline.keys)
+        if (!used.count(key))
+            split.stale.push_back(key);
+    return split;
+}
+
+std::string
+renderBaseline(const std::vector<Diagnostic> &diags)
+{
+    std::ostringstream out;
+    out << "# eval-lint baseline: known findings accepted for incremental\n"
+           "# adoption.  One `<rule>\\t<file>\\t<line>` entry per line;\n"
+           "# regenerate with `eval_lint --write-baseline <this file>`.\n"
+           "# Fresh findings (not listed here) fail the run; stale\n"
+           "# entries are reported so the baseline only ratchets down.\n";
+    for (const auto &d : diags)
+        out << baselineKey(d) << '\n';
+    return out.str();
+}
+
+} // namespace eval::lint

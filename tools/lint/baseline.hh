@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Finding baselines for incremental adoption.
+ *
+ * A baseline file records known, accepted findings so a new pass can
+ * be turned on without first fixing (or inline-suppressing) every
+ * historical hit: baselined findings are reported as `unchanged` in
+ * SARIF and do not fail the run; only fresh findings exit 1.
+ *
+ * Format (one entry per line, tab-separated, '#' comments):
+ *
+ *     <rule>\t<file>\t<line>
+ *
+ * Entries match exactly.  Regenerate with `eval_lint
+ * --write-baseline FILE` after deliberate changes; entries that no
+ * longer match anything are reported on stderr by the CLI so the
+ * baseline ratchets down, never silently up.
+ */
+
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "lint.hh"
+
+namespace eval::lint {
+
+struct Baseline
+{
+    bool loaded = false;
+    std::vector<std::string> keys; ///< parsed entry keys, file order
+};
+
+/** Key under which a finding is baselined. */
+std::string baselineKey(const Diagnostic &d);
+
+/** Parse a baseline file.  On I/O error returns unloaded and sets
+ *  *error if non-null. */
+Baseline loadBaseline(const std::filesystem::path &path,
+                      std::string *error = nullptr);
+
+struct BaselineSplit
+{
+    std::vector<Diagnostic> fresh;     ///< not in the baseline: fail
+    std::vector<Diagnostic> baselined; ///< known: report, don't fail
+    std::vector<std::string> stale;    ///< entries matching nothing
+};
+
+/** Partition findings against a baseline. */
+BaselineSplit applyBaseline(const std::vector<Diagnostic> &diags,
+                            const Baseline &baseline);
+
+/** Serialized baseline covering @p diags (the --write-baseline body). */
+std::string renderBaseline(const std::vector<Diagnostic> &diags);
+
+} // namespace eval::lint

@@ -1,0 +1,323 @@
+#include "index.hh"
+
+#include "lint.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <regex>
+#include <sstream>
+
+namespace eval::lint {
+
+int
+FileIndex::lineAt(std::size_t offset) const
+{
+    auto it = std::upper_bound(lineStart.begin(), lineStart.end(), offset);
+    return static_cast<int>(it - lineStart.begin());
+}
+
+std::string
+moduleOf(const std::string &relPath)
+{
+    if (!startsWith(relPath, "src/"))
+        return "";
+    const std::size_t begin = 4;
+    const std::size_t slash = relPath.find('/', begin);
+    if (slash == std::string::npos)
+        return ""; // file directly under src/ belongs to no module
+    return relPath.substr(begin, slash - begin);
+}
+
+namespace {
+
+void
+indexIncludes(const std::string &content, FileIndex &out)
+{
+    static const std::regex incRe(
+        R"(^[ \t]*#[ \t]*include[ \t]*(["<])([^">]+)[">])");
+    std::istringstream lines(content);
+    std::string line;
+    int lineNo = 0;
+    while (std::getline(lines, line)) {
+        ++lineNo;
+        std::smatch m;
+        if (!std::regex_search(line, m, incRe))
+            continue;
+        IncludeSite site;
+        site.path = m[2].str();
+        site.line = lineNo;
+        site.angled = m[1].str() == "<";
+        out.includes.push_back(std::move(site));
+    }
+}
+
+bool
+keyword(const std::string &word)
+{
+    static const char *kw[] = {
+        "if",     "for",    "while",  "switch", "return", "sizeof",
+        "catch",  "throw",  "new",    "delete", "static_assert",
+        "alignof", "decltype", "noexcept", "operator", "defined",
+    };
+    for (const char *k : kw)
+        if (word == k)
+            return true;
+    return false;
+}
+
+void
+indexDecls(const Scan &scan, FileIndex &out)
+{
+    const std::string &code = scan.code;
+
+    static const std::regex nsRe(R"(namespace\s+([A-Za-z_]\w*(::\w+)*))");
+    for (auto it = std::sregex_iterator(code.begin(), code.end(), nsRe);
+         it != std::sregex_iterator(); ++it)
+        out.decls.push_back({DeclSite::Kind::Namespace, (*it)[1].str(),
+                             lineOf(scan, it->position())});
+
+    static const std::regex typeRe(
+        R"((class|struct|enum)\s+(class\s+|struct\s+)?([A-Za-z_]\w*))");
+    for (auto it = std::sregex_iterator(code.begin(), code.end(), typeRe);
+         it != std::sregex_iterator(); ++it) {
+        const std::string kindWord = (*it)[1].str();
+        const DeclSite::Kind kind = kindWord == "class"
+                                        ? DeclSite::Kind::Class
+                                        : kindWord == "struct"
+                                              ? DeclSite::Kind::Struct
+                                              : DeclSite::Kind::Enum;
+        out.decls.push_back(
+            {kind, (*it)[3].str(), lineOf(scan, it->position())});
+    }
+
+    // Function definitions in the repo's layout: the name starts a
+    // line (return type on the previous line) and is immediately
+    // followed by its parameter list.  Heuristic on purpose — the
+    // passes only need a best-effort symbol map, and a missed
+    // declaration can only under-report.
+    static const std::regex fnRe(R"((^|\n)([A-Za-z_~][\w:]*)\()");
+    for (auto it = std::sregex_iterator(code.begin(), code.end(), fnRe);
+         it != std::sregex_iterator(); ++it) {
+        const std::string name = (*it)[2].str();
+        if (keyword(name))
+            continue;
+        const std::size_t pos =
+            static_cast<std::size_t>(it->position(2));
+        out.decls.push_back(
+            {DeclSite::Kind::Function, name, lineOf(scan, pos)});
+    }
+}
+
+void
+indexThrows(const Scan &scan, FileIndex &out)
+{
+    const std::string &code = scan.code;
+    for (std::size_t pos : findTokens(code, "throw", false)) {
+        std::size_t p = pos + 5;
+        while (p < code.size() &&
+               std::isspace(static_cast<unsigned char>(code[p])))
+            ++p;
+        ThrowSite site;
+        site.line = lineOf(scan, pos);
+        if (p < code.size() && code[p] == ';') {
+            site.rethrow = true;
+            out.throwSites.push_back(std::move(site));
+            continue;
+        }
+        std::size_t end = p;
+        while (end < code.size() &&
+               (identChar(code[end]) || code[end] == ':'))
+            ++end;
+        site.type = code.substr(p, end - p);
+        out.throwSites.push_back(std::move(site));
+    }
+}
+
+void
+indexCatches(const Scan &scan, FileIndex &out)
+{
+    const std::string &code = scan.code;
+    for (std::size_t pos : findTokens(code, "catch", true)) {
+        const std::size_t open = code.find('(', pos);
+        const std::size_t close = matchParen(code, open);
+        if (close == open)
+            continue;
+        const std::string inside =
+            trimmed(code.substr(open + 1, close - open - 1));
+        CatchSite site;
+        site.line = lineOf(scan, pos);
+        if (inside.find("...") != std::string::npos) {
+            site.type = "...";
+        } else {
+            // "const SnapshotError &e" -> "SnapshotError": drop
+            // cv-qualifiers and take the type spelling.
+            std::istringstream words(inside);
+            std::string w;
+            while (words >> w) {
+                while (!w.empty() && (w.front() == '&' || w.front() == '*'))
+                    w.erase(w.begin());
+                while (!w.empty() && (w.back() == '&' || w.back() == '*'))
+                    w.pop_back();
+                if (w.empty() || w == "const" || w == "volatile")
+                    continue;
+                site.type = w;
+                break;
+            }
+        }
+        out.catchSites.push_back(std::move(site));
+    }
+}
+
+void
+indexAtomics(const Scan &scan, FileIndex &out)
+{
+    static const std::regex orderRe(
+        R"(memory_order(::|_)(relaxed|consume|acquire|release|acq_rel|seq_cst))");
+    const std::string &code = scan.code;
+    for (auto it = std::sregex_iterator(code.begin(), code.end(), orderRe);
+         it != std::sregex_iterator(); ++it)
+        out.atomics.push_back(
+            {(*it)[2].str(), lineOf(scan, it->position())});
+}
+
+/** Parse the lambda starting at the '[' at @p lb (if it is one) into
+ *  @p region; returns false when the bracket is a subscript, not a
+ *  lambda introducer. */
+bool
+parseLambda(const Scan &scan, std::size_t lb, ParallelRegion &region)
+{
+    const std::string &code = scan.code;
+    // A lambda introducer's ']' is followed (modulo whitespace) by
+    // '(' (parameter list), '{' (no parameters), or a specifier like
+    // `mutable`.  A subscript's ']' is not.
+    const std::size_t rb = matchBracket(code, lb, '[', ']');
+    if (rb == lb)
+        return false;
+    std::size_t p = rb + 1;
+    while (p < code.size() &&
+           std::isspace(static_cast<unsigned char>(code[p])))
+        ++p;
+    if (p >= code.size() || (code[p] != '(' && code[p] != '{'))
+        return false;
+
+    region.captures = trimmed(code.substr(lb + 1, rb - lb - 1));
+
+    std::size_t bodyOpen;
+    if (code[p] == '(') {
+        const std::size_t closeParams = matchParen(code, p);
+        if (closeParams == p)
+            return false;
+        // Parameter names: the last identifier of each comma-separated
+        // declarator (before any default value).
+        const std::string paramText =
+            code.substr(p + 1, closeParams - p - 1);
+        std::string current;
+        int depth = 0;
+        auto flush = [&]() {
+            const std::string decl = current.substr(
+                0, std::min(current.find('='), current.size()));
+            std::string name;
+            std::string word;
+            for (char c : decl + " ") {
+                if (identChar(c)) {
+                    word.push_back(c);
+                } else {
+                    if (!word.empty() && !std::isdigit(
+                                             static_cast<unsigned char>(
+                                                 word[0])))
+                        name = word;
+                    word.clear();
+                }
+            }
+            if (!name.empty())
+                region.params.push_back(name);
+            current.clear();
+        };
+        for (char c : paramText) {
+            if (c == '<' || c == '(' || c == '[')
+                ++depth;
+            else if (c == '>' || c == ')' || c == ']')
+                --depth;
+            if (c == ',' && depth == 0)
+                flush();
+            else
+                current.push_back(c);
+        }
+        if (!trimmed(current).empty())
+            flush();
+        bodyOpen = code.find('{', closeParams);
+    } else {
+        bodyOpen = p;
+    }
+    if (bodyOpen == std::string::npos)
+        return false;
+    const std::size_t bodyClose = matchBracket(code, bodyOpen, '{', '}');
+    if (bodyClose == bodyOpen)
+        return false;
+    region.body = code.substr(bodyOpen + 1, bodyClose - bodyOpen - 1);
+    region.bodyOffset = bodyOpen + 1;
+    return true;
+}
+
+void
+indexParallelRegions(const Scan &scan, FileIndex &out)
+{
+    const std::string &code = scan.code;
+    static const char *entries[] = {"parallelFor", "parallelMap"};
+    for (const char *entry : entries) {
+        for (std::size_t pos : findTokens(code, entry, true)) {
+            const std::size_t open = code.find('(', pos);
+            const std::size_t close = matchParen(code, open);
+            if (close == open)
+                continue; // unbalanced (partial file)
+            for (std::size_t lb = code.find('[', open);
+                 lb != std::string::npos && lb < close;
+                 lb = code.find('[', lb + 1)) {
+                ParallelRegion region;
+                region.entry = entry;
+                region.line = lineOf(scan, pos);
+                if (parseLambda(scan, lb, region)) {
+                    out.regions.push_back(std::move(region));
+                    break; // one lambda per fan-out call is the idiom
+                }
+            }
+        }
+    }
+}
+
+} // namespace
+
+FileIndex
+buildFileIndex(const std::string &relPath, const std::string &content,
+               const Scan &scan, const FileMarkers &markers)
+{
+    FileIndex out;
+    out.relPath = relPath;
+    out.module = moduleOf(relPath);
+    const std::size_t dot = relPath.find_last_of('.');
+    const std::string ext =
+        dot == std::string::npos ? "" : relPath.substr(dot);
+    out.header = ext == ".hh" || ext == ".h" || ext == ".hpp";
+    out.markers = markers;
+    out.lineStart = scan.lineStart;
+
+    indexIncludes(content, out);
+    indexDecls(scan, out);
+    indexThrows(scan, out);
+    indexCatches(scan, out);
+    indexAtomics(scan, out);
+    indexParallelRegions(scan, out);
+    return out;
+}
+
+FileIndex
+buildFileIndex(const std::string &relPath, const std::string &content)
+{
+    const Scan scan = scanSource(content);
+    std::vector<Diagnostic> discard;
+    FileMarkers markers;
+    parseSuppressions(scan, relPath, discard, &markers);
+    return buildFileIndex(relPath, content, scan, markers);
+}
+
+} // namespace eval::lint

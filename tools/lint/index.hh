@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Phase 1 of the semantic analyzer: a lightweight per-file index.
+ *
+ * buildFileIndex() parses one translation unit (token-level, over the
+ * blanked Scan — no preprocessor, no full C++ grammar) into the facts
+ * the project-wide passes need:
+ *
+ *  - include edges (quoted and angled, with line numbers),
+ *  - namespace / class / struct / enum / function declarations,
+ *  - throw and catch sites with the thrown/caught type spelling,
+ *  - std::memory_order uses (the atomics audit keys on `relaxed`),
+ *  - parallelFor/parallelMap call regions with the lambda's capture
+ *    list, parameter names, and blanked body text.
+ *
+ * Phase 2 (passes.cc) runs project-wide over the vector of FileIndex
+ * records: layering contracts against tools/lint/layers.toml, include
+ * cycles, per-module exception contracts, the relaxed-atomics audit,
+ * and the determinism data-flow check on parallel regions.
+ *
+ * The index is deliberately approximate where C++ is undecidable at
+ * the token level (macro-generated code, template metaprogramming);
+ * every consumer treats absence of evidence as "no finding", so the
+ * approximation can only under-report, never spray false positives
+ * from misparsed constructs.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "source_scan.hh"
+#include "suppress.hh"
+
+namespace eval::lint {
+
+struct IncludeSite
+{
+    std::string path; ///< as written between the quotes/brackets
+    int line = 1;
+    bool angled = false; ///< #include <...> (system/library header)
+};
+
+struct DeclSite
+{
+    enum class Kind { Namespace, Class, Struct, Enum, Function };
+    Kind kind = Kind::Namespace;
+    std::string name;
+    int line = 1;
+};
+
+struct ThrowSite
+{
+    std::string type; ///< full spelling, e.g. "std::runtime_error";
+                      ///< empty for `throw;` / `throw expr;`
+    int line = 1;
+    bool rethrow = false; ///< bare `throw;`
+};
+
+struct CatchSite
+{
+    std::string type; ///< "..." for catch-all
+    int line = 1;
+};
+
+struct AtomicSite
+{
+    std::string order; ///< relaxed, acquire, release, acq_rel, seq_cst,
+                       ///< consume
+    int line = 1;
+};
+
+struct ParallelRegion
+{
+    std::string entry; ///< parallelFor | parallelMap
+    int line = 1;      ///< line of the entry call
+    std::string captures;             ///< lambda capture list text
+    std::vector<std::string> params;  ///< lambda parameter names
+    std::string body;    ///< blanked lambda body (between its braces)
+    std::size_t bodyOffset = 0; ///< body start offset in the file
+};
+
+struct FileIndex
+{
+    std::string relPath;
+    std::string module; ///< first dir under src/ ("" if not src/)
+    bool header = false;
+    FileMarkers markers;
+    std::vector<std::size_t> lineStart; ///< for offset -> line mapping
+
+    /** 1-based line of a file offset (e.g. region bodyOffset + k). */
+    int lineAt(std::size_t offset) const;
+
+    std::vector<IncludeSite> includes;
+    std::vector<DeclSite> decls;
+    std::vector<ThrowSite> throwSites;
+    std::vector<CatchSite> catchSites;
+    std::vector<AtomicSite> atomics;
+    std::vector<ParallelRegion> regions;
+};
+
+/** Module of a src-relative path ("src/util/fft.cc" -> "util";
+ *  "" when the path is not under src/ or sits directly in src/). */
+std::string moduleOf(const std::string &relPath);
+
+/** Build the index for one file.  @p scan must be scanSource(content)
+ *  for the same content; markers come from parseSuppressions so the
+ *  comment stream is parsed once. */
+FileIndex buildFileIndex(const std::string &relPath,
+                         const std::string &content, const Scan &scan,
+                         const FileMarkers &markers);
+
+/** Convenience overload for tests: scans and parses markers itself
+ *  (marker diagnostics are discarded). */
+FileIndex buildFileIndex(const std::string &relPath,
+                         const std::string &content);
+
+} // namespace eval::lint

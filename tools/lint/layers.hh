@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The layering-contract manifest: tools/lint/layers.toml.
+ *
+ * The manifest declares the allowed dependency DAG over the src/
+ * modules plus each module's exception contract.  It is the single
+ * source of truth for module boundaries — the `evald` extraction
+ * (ROADMAP item 1) freezes against it.  Shape:
+ *
+ *     [modules.core]
+ *     uses   = ["arch", "util", ...]   # explicit allowed edges
+ *     throws = []                      # types this module may throw
+ *
+ *     [exceptions]
+ *     edges = [
+ *       "core/eval.hh -> cmp : umbrella header aggregates the API",
+ *     ]
+ *
+ * Rules enforced by the layering pass (passes.cc):
+ *  - every cross-module include needs an explicit `uses` edge or a
+ *    per-file exception entry (lay-edge),
+ *  - the declared `uses` edges must form a DAG (lay-manifest),
+ *  - every declared edge and exception must be exercised by at least
+ *    one include, so the manifest can never drift stale
+ *    (lay-unused-edge),
+ *  - every src/ module must be declared (lay-module).
+ *
+ * The parser covers the TOML subset the manifest needs (tables,
+ * string arrays over multiple lines, comments); anything else is a
+ * parse error so the manifest cannot silently half-load.
+ */
+
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace eval::lint {
+
+struct LayerEdge
+{
+    std::string to;
+    int line = 0; ///< declaration line in layers.toml
+};
+
+struct ModuleContract
+{
+    std::string name;
+    int line = 0; ///< [modules.<name>] header line
+    std::vector<LayerEdge> uses;
+    std::vector<std::string> throws_; ///< allowed thrown type names
+    bool throwsDeclared = false; ///< absent list = "may not throw"
+};
+
+struct EdgeException
+{
+    std::string file; ///< src-relative, e.g. "core/eval.hh"
+    std::string to;   ///< target module
+    std::string why;
+    int line = 0;
+};
+
+struct LayersManifest
+{
+    bool loaded = false;
+    std::string path; ///< as reported in diagnostics
+    std::map<std::string, ModuleContract> modules;
+    std::vector<EdgeException> exceptions;
+};
+
+/**
+ * Parse manifest text.  Structural problems (unknown syntax, bad edge
+ * spelling, `uses` cycles) are appended to @p errors as
+ * "line N: message" strings; the caller turns them into lay-manifest
+ * findings anchored at the manifest file.
+ */
+LayersManifest parseLayers(const std::string &text,
+                           std::vector<std::string> &errors);
+
+/**
+ * Verify the declared `uses` edges form a DAG.  On a cycle, appends
+ * one error naming the module chain.  (Called by parseLayers; exposed
+ * for direct testing.)
+ */
+void checkLayerDag(const LayersManifest &manifest,
+                   std::vector<std::string> &errors);
+
+} // namespace eval::lint

@@ -7,285 +7,20 @@
 #include <regex>
 #include <set>
 #include <sstream>
+#include <tuple>
+
+#include "exec/thread_pool.hh"
+
+#include "baseline.hh"
+#include "index.hh"
+#include "layers.hh"
+#include "passes.hh"
+#include "source_scan.hh"
+#include "suppress.hh"
 
 namespace eval::lint {
 
 namespace {
-
-// ---------------------------------------------------------------------------
-// Source scanning: blank out comments and string/char literals so token
-// matching never fires inside them, while collecting comment text per
-// line for suppression parsing.  The blanked copy has the same length
-// and the same newlines as the input, so offsets and line numbers map
-// one-to-one.
-// ---------------------------------------------------------------------------
-
-struct Scan
-{
-    std::string code; ///< literals/comments blanked
-    /** line -> `//`-comment text.  Only line comments can carry
-     *  suppressions; block/doxygen comments are prose and may quote
-     *  the suppression syntax without activating it. */
-    std::map<int, std::string> lineComments;
-    std::vector<std::size_t> lineStart; ///< offset of each line's start
-};
-
-Scan
-scanSource(const std::string &in)
-{
-    Scan scan;
-    scan.code.assign(in.size(), ' ');
-    scan.lineStart.push_back(0);
-
-    enum class St { Code, LineComment, BlockComment, Str, Chr, RawStr };
-    St st = St::Code;
-    int line = 1;
-    std::string rawDelim; // for raw strings: ")delim\""
-
-    auto comment = [&](char c) { scan.lineComments[line].push_back(c); };
-
-    for (std::size_t i = 0; i < in.size(); ++i) {
-        const char c = in[i];
-        const char n = i + 1 < in.size() ? in[i + 1] : '\0';
-        if (c == '\n') {
-            scan.code[i] = '\n';
-            ++line;
-            scan.lineStart.push_back(i + 1);
-            if (st == St::LineComment)
-                st = St::Code;
-            continue;
-        }
-        switch (st) {
-        case St::Code:
-            if (c == '/' && n == '/') {
-                st = St::LineComment;
-                comment(c);
-            } else if (c == '/' && n == '*') {
-                st = St::BlockComment;
-            } else if (c == '"') {
-                // Raw string?  Look back for an R prefix (R, uR, u8R,
-                // UR, LR) that is not part of a longer identifier.
-                bool raw = false;
-                if (i > 0 && in[i - 1] == 'R') {
-                    std::size_t p = i - 1;
-                    while (p > 0 && std::isalnum(
-                                        static_cast<unsigned char>(in[p - 1])))
-                        --p;
-                    const std::string prefix = in.substr(p, i - p);
-                    raw = prefix == "R" || prefix == "uR" || prefix == "u8R" ||
-                          prefix == "UR" || prefix == "LR";
-                }
-                if (raw) {
-                    rawDelim = ")";
-                    for (std::size_t j = i + 1;
-                         j < in.size() && in[j] != '('; ++j)
-                        rawDelim.push_back(in[j]);
-                    rawDelim.push_back('"');
-                    st = St::RawStr;
-                } else {
-                    st = St::Str;
-                }
-                scan.code[i] = '"';
-            } else if (c == '\'') {
-                st = St::Chr;
-                scan.code[i] = '\'';
-            } else {
-                scan.code[i] = c;
-            }
-            break;
-        case St::LineComment:
-            comment(c);
-            break;
-        case St::BlockComment:
-            if (c == '*' && n == '/') {
-                ++i;
-                st = St::Code;
-            }
-            break;
-        case St::Str:
-            if (c == '\\')
-                ++i; // skip escaped char (stays blanked)
-            else if (c == '"') {
-                scan.code[i] = '"';
-                st = St::Code;
-            }
-            break;
-        case St::Chr:
-            if (c == '\\')
-                ++i;
-            else if (c == '\'') {
-                scan.code[i] = '\'';
-                st = St::Code;
-            }
-            break;
-        case St::RawStr:
-            if (c == rawDelim[0] &&
-                in.compare(i, rawDelim.size(), rawDelim) == 0) {
-                i += rawDelim.size() - 1;
-                scan.code[i] = '"';
-                st = St::Code;
-            }
-            break;
-        }
-    }
-    return scan;
-}
-
-int
-lineOf(const Scan &scan, std::size_t offset)
-{
-    auto it = std::upper_bound(scan.lineStart.begin(), scan.lineStart.end(),
-                               offset);
-    return static_cast<int>(it - scan.lineStart.begin());
-}
-
-bool
-identChar(char c)
-{
-    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
-
-/** Find boundary-checked occurrences of @p name in blanked code.  With
- *  @p callParen the next non-space char must be '(' (a call site). */
-std::vector<std::size_t>
-findTokens(const std::string &code, const std::string &name, bool callParen)
-{
-    std::vector<std::size_t> hits;
-    for (std::size_t pos = code.find(name); pos != std::string::npos;
-         pos = code.find(name, pos + 1)) {
-        if (pos > 0 && identChar(code[pos - 1]))
-            continue;
-        std::size_t end = pos + name.size();
-        if (end < code.size() && identChar(code[end]))
-            continue;
-        if (callParen) {
-            while (end < code.size() &&
-                   (code[end] == ' ' || code[end] == '\t'))
-                ++end;
-            if (end >= code.size() || code[end] != '(')
-                continue;
-        }
-        hits.push_back(pos);
-    }
-    return hits;
-}
-
-// ---------------------------------------------------------------------------
-// Suppressions (see lint.hh for the syntax; line comments only)
-// ---------------------------------------------------------------------------
-
-struct Suppression
-{
-    int line = 0;          ///< line the allow() comment sits on
-    int coveredLine = 0;   ///< line whose findings it suppresses
-    std::vector<std::string> rules;
-    bool used = false;
-};
-
-std::string
-trimmed(std::string s)
-{
-    const auto notSpace = [](unsigned char c) { return !std::isspace(c); };
-    s.erase(s.begin(), std::find_if(s.begin(), s.end(), notSpace));
-    s.erase(std::find_if(s.rbegin(), s.rend(), notSpace).base(), s.end());
-    return s;
-}
-
-bool
-lineIsBlankCode(const Scan &scan, int line)
-{
-    if (line < 1 || line > static_cast<int>(scan.lineStart.size()))
-        return true;
-    std::size_t begin = scan.lineStart[line - 1];
-    std::size_t end = line < static_cast<int>(scan.lineStart.size())
-                          ? scan.lineStart[line]
-                          : scan.code.size();
-    for (std::size_t i = begin; i < end; ++i) {
-        const char c = scan.code[i];
-        if (!std::isspace(static_cast<unsigned char>(c)) && c != '"' &&
-            c != '\'')
-            return false;
-    }
-    return true;
-}
-
-/** Parse suppressions out of the collected comments.  Malformed ones
- *  (no rule list, unknown rule, missing justification) become
- *  lint-bad-suppression findings immediately. */
-std::vector<Suppression>
-parseSuppressions(const Scan &scan, const std::string &relPath,
-                  std::vector<Diagnostic> &diags)
-{
-    static const std::regex allowRe(
-        R"(eval-lint:\s*allow\(([^)]*)\)(.*))");
-    std::vector<Suppression> supps;
-    for (const auto &[line, text] : scan.lineComments) {
-        if (text.find("eval-lint") == std::string::npos)
-            continue;
-        // The hot-path marker widens perf-hot-alloc's scope to this
-        // file (see rulePerfHotAlloc); it is not a suppression.
-        static const std::regex hotRe(R"(eval-lint:\s*hot-path\b)");
-        if (std::regex_search(text, hotRe))
-            continue;
-        std::smatch m;
-        if (!std::regex_search(text, m, allowRe)) {
-            diags.push_back({relPath, line, "lint-bad-suppression",
-                             "malformed eval-lint comment; expected "
-                             "'eval-lint: allow(<rule>) <justification>'"});
-            continue;
-        }
-        Suppression s;
-        s.line = line;
-        // A trailing comment covers its own line; a comment-only line
-        // covers the next code line, skipping the rest of a multi-line
-        // justification (bounded so a suppression cannot drift far
-        // from its target).
-        s.coveredLine = line;
-        if (lineIsBlankCode(scan, line)) {
-            const int limit =
-                std::min(line + 10, static_cast<int>(scan.lineStart.size()));
-            for (int l = line + 1; l <= limit; ++l) {
-                if (!lineIsBlankCode(scan, l)) {
-                    s.coveredLine = l;
-                    break;
-                }
-            }
-        }
-        std::stringstream ruleList(m[1].str());
-        std::string rule;
-        bool ok = true;
-        while (std::getline(ruleList, rule, ',')) {
-            rule = trimmed(rule);
-            if (rule.empty())
-                continue;
-            if (!isKnownRule(rule) || rule.rfind("lint-", 0) == 0) {
-                diags.push_back({relPath, line, "lint-bad-suppression",
-                                 "suppression names unknown or "
-                                 "non-suppressible rule '" + rule + "'"});
-                ok = false;
-                continue;
-            }
-            s.rules.push_back(rule);
-        }
-        if (s.rules.empty() && ok) {
-            diags.push_back({relPath, line, "lint-bad-suppression",
-                             "suppression lists no rules"});
-            ok = false;
-        }
-        std::string just = trimmed(m[2].str());
-        if (just.size() >= 2 && just.compare(just.size() - 2, 2, "*/") == 0)
-            just = trimmed(just.substr(0, just.size() - 2));
-        if (just.empty()) {
-            diags.push_back({relPath, line, "lint-bad-suppression",
-                             "suppression has no justification text; "
-                             "every allowance must say why it is safe"});
-            ok = false;
-        }
-        if (ok)
-            supps.push_back(std::move(s));
-    }
-    return supps;
-}
 
 // ---------------------------------------------------------------------------
 // Path scoping
@@ -298,12 +33,6 @@ struct PathScope
     bool timingExempt = false;  ///< entropy abstraction, stats, logging
     bool iostreamExempt = false; ///< the logging sink itself
 };
-
-bool
-startsWith(const std::string &s, const char *prefix)
-{
-    return s.rfind(prefix, 0) == 0;
-}
 
 PathScope
 classify(const std::string &relPath)
@@ -324,7 +53,7 @@ classify(const std::string &relPath)
 }
 
 // ---------------------------------------------------------------------------
-// Rules
+// Token-level rules (phase 1, per file)
 // ---------------------------------------------------------------------------
 
 struct Ctx
@@ -332,6 +61,7 @@ struct Ctx
     const std::string &relPath;
     const PathScope &scope;
     const Scan &scan;
+    const FileMarkers &markers;
     std::vector<Diagnostic> &diags;
 
     void
@@ -419,17 +149,8 @@ ruleDetSharedRng(const Ctx &ctx)
                                   "bernoulli", "fork",       "next"};
     for (const char *entry : entries) {
         for (std::size_t pos : findTokens(code, entry, true)) {
-            std::size_t open = code.find('(', pos);
-            int depth = 0;
-            std::size_t close = open;
-            for (std::size_t i = open; i < code.size(); ++i) {
-                if (code[i] == '(')
-                    ++depth;
-                else if (code[i] == ')' && --depth == 0) {
-                    close = i;
-                    break;
-                }
-            }
+            const std::size_t open = code.find('(', pos);
+            const std::size_t close = matchParen(code, open);
             if (close == open)
                 continue; // unbalanced (partial file); nothing to scan
             const std::string body = code.substr(open, close - open);
@@ -609,17 +330,8 @@ ruleObsProgressUnits(const Ctx &ctx)
     static const char *entries[] = {"parallelFor", "parallelMap"};
     for (const char *entry : entries) {
         for (std::size_t pos : findTokens(code, entry, true)) {
-            std::size_t open = code.find('(', pos);
-            int depth = 0;
-            std::size_t close = open;
-            for (std::size_t i = open; i < code.size(); ++i) {
-                if (code[i] == '(')
-                    ++depth;
-                else if (code[i] == ')' && --depth == 0) {
-                    close = i;
-                    break;
-                }
-            }
+            const std::size_t open = code.find('(', pos);
+            const std::size_t close = matchParen(code, open);
             if (close == open)
                 continue; // unbalanced (partial file); nothing to scan
             const std::string body = code.substr(open, close - open);
@@ -643,26 +355,16 @@ void
 rulePerfHotAlloc(const Ctx &ctx)
 {
     // Hot-kernel scope: the inner-loop kernel layer (src/kernels/),
-    // plus any file opting in with the hot-path marker comment (see
-    // hotMarker).  These regions run millions of times per experiment;
-    // a heap allocation (or a std::function dispatch, which usually
-    // allocates) on such a path is a per-call cost the kernel layer
-    // exists to eliminate.  Construction-time allocation is fine —
-    // carry an audited suppression saying so.
-    // Built from pieces so this file's own comments cannot contain the
-    // marker and mark the linter hot.
-    static const std::string hotMarker =
-        std::string("eval-lint: ") + "hot-path";
-    bool hot = startsWith(ctx.relPath, "src/kernels/");
-    if (!hot) {
-        for (const auto &[line, text] : ctx.scan.lineComments) {
-            (void)line;
-            if (text.find(hotMarker) != std::string::npos) {
-                hot = true;
-                break;
-            }
-        }
-    }
+    // plus any file opting in with the hot-path marker (parsed into
+    // FileMarkers by parseSuppressions; spelled nowhere in this file
+    // so the linter cannot mark itself hot).  These
+    // regions run millions of times per experiment; a heap allocation
+    // (or a std::function dispatch, which usually allocates) on such a
+    // path is a per-call cost the kernel layer exists to eliminate.
+    // Construction-time allocation is fine — carry an audited
+    // suppression saying so.
+    const bool hot =
+        startsWith(ctx.relPath, "src/kernels/") || ctx.markers.hotPath;
     if (!hot)
         return;
     const std::string &code = ctx.scan.code;
@@ -735,52 +437,112 @@ rulePerfHotAlloc(const Ctx &ctx)
     }
 }
 
+void
+runFileRules(const Ctx &ctx)
+{
+    ruleDetEntropy(ctx);
+    ruleDetWallclock(ctx);
+    ruleDetUnordered(ctx);
+    ruleDetSharedRng(ctx);
+    ruleNumFloatEq(ctx);
+    ruleNumFloatNarrow(ctx);
+    ruleHygPragmaOnce(ctx);
+    ruleHygUsingNamespace(ctx);
+    ruleHygIostream(ctx);
+    ruleObsSpanLeak(ctx);
+    ruleObsProgressUnits(ctx);
+    rulePerfHotAlloc(ctx);
+}
+
+void
+sortDiags(std::vector<Diagnostic> &diags)
+{
+    std::sort(diags.begin(), diags.end(),
+              [](const Diagnostic &a, const Diagnostic &b) {
+                  return std::tie(a.file, a.line, a.rule, a.message) <
+                         std::tie(b.file, b.line, b.rule, b.message);
+              });
+    diags.erase(std::unique(diags.begin(), diags.end()), diags.end());
+}
+
 // ---------------------------------------------------------------------------
 // Engine
 // ---------------------------------------------------------------------------
 
-/** Rules whose finding is anchored to line 1 but describes the whole
- *  file; a suppression anywhere in the file covers them. */
-bool
-fileScoped(const std::string &rule)
+/** Everything phase 1 produces for one file; built in parallel, one
+ *  task per file, then consumed serially by phase 2. */
+struct PerFile
 {
-    return rule == "hyg-pragma-once";
+    std::string rel;
+    std::vector<Diagnostic> diags; ///< token rules + bad suppressions
+    std::vector<Suppression> supps;
+    FileIndex index;
+    std::string readError;
+};
+
+PerFile
+scanOneFile(const std::filesystem::path &full, const std::string &rel)
+{
+    PerFile out;
+    out.rel = rel;
+    std::ifstream in(full, std::ios::binary);
+    if (!in) {
+        out.readError = "cannot read " + full.string();
+        return out;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string content = buf.str();
+
+    const Scan scan = scanSource(content);
+    const PathScope scope = classify(rel);
+    FileMarkers markers;
+    out.supps = parseSuppressions(scan, rel, out.diags, &markers);
+    Ctx ctx{rel, scope, scan, markers, out.diags};
+    runFileRules(ctx);
+    out.index = buildFileIndex(rel, content, scan, markers);
+    return out;
 }
 
-void
-applySuppressions(std::vector<Diagnostic> &diags,
-                  std::vector<Suppression> &supps,
-                  const std::string &relPath)
+bool
+hasLintExtension(const std::filesystem::path &p)
 {
-    std::vector<Diagnostic> kept;
-    for (auto &d : diags) {
-        if (startsWith(d.rule, "lint-")) {
-            kept.push_back(std::move(d));
+    static const std::set<std::string> exts = {".cc", ".cpp", ".cxx",
+                                               ".hh", ".h",   ".hpp"};
+    return exts.count(p.extension().string()) > 0;
+}
+
+/**
+ * Collect lintable files under root/relDir into @p out as (full path,
+ * lexical relative path) pairs.  Directory symlinks are followed (a
+ * linked subtree is part of the tree it is reachable from), with a
+ * depth cap so a symlink cycle terminates instead of recursing
+ * forever.  Relative paths are computed lexically from the iterator's
+ * spelling — never via canonicalization — so a file reached through a
+ * symlink keeps its in-tree path and rule scoping.
+ */
+void
+collectFiles(const std::filesystem::path &root, const std::string &relDir,
+             std::vector<std::pair<std::filesystem::path, std::string>> &out)
+{
+    namespace fs = std::filesystem;
+    const fs::path full = root / relDir;
+    std::error_code ec;
+    auto it = fs::recursive_directory_iterator(
+        full, fs::directory_options::follow_directory_symlink, ec);
+    for (; !ec && it != fs::recursive_directory_iterator();
+         it.increment(ec)) {
+        if (it.depth() >= 32)
+            it.disable_recursion_pending();
+        std::error_code typeEc;
+        if (!it->is_regular_file(typeEc) || typeEc)
             continue;
-        }
-        bool suppressed = false;
-        for (auto &s : supps) {
-            const bool ruleMatch =
-                std::find(s.rules.begin(), s.rules.end(), d.rule) !=
-                s.rules.end();
-            if (!ruleMatch)
-                continue;
-            const bool covers = fileScoped(d.rule) || s.coveredLine == d.line;
-            if (covers) {
-                s.used = true;
-                suppressed = true;
-                break;
-            }
-        }
-        if (!suppressed)
-            kept.push_back(std::move(d));
+        if (!hasLintExtension(it->path()))
+            continue;
+        const std::string rel =
+            it->path().lexically_relative(root).generic_string();
+        out.push_back({it->path(), rel});
     }
-    for (const auto &s : supps)
-        if (!s.used)
-            kept.push_back({relPath, s.line, "lint-unused-suppression",
-                            "suppression matched no finding; remove it "
-                            "so stale allowances cannot accumulate"});
-    diags = std::move(kept);
 }
 
 } // namespace
@@ -801,10 +563,38 @@ ruleCatalog()
         {"det-shared-rng",
          "parallelFor/parallelMap bodies must derive Rng streams via "
          "Rng::split, never draw from a shared stream"},
+        {"det-par-capture",
+         "parallelFor/parallelMap lambdas must not mutate or "
+         "accumulate into by-reference captures order-dependently; "
+         "write per-index slots or merge after the fan-out"},
         {"num-float-eq",
          "no ==/!= against floating-point literals"},
         {"num-float-narrow",
          "no 'float' in src/ (the model is double-throughout)"},
+        {"lay-edge",
+         "every cross-module include under src/ needs a `uses` edge "
+         "or per-file exception in tools/lint/layers.toml (never "
+         "inline-suppressible)"},
+        {"lay-cycle",
+         "the file-level include graph must be acyclic (never "
+         "inline-suppressible)"},
+        {"lay-module",
+         "every src/ module must be declared in tools/lint/layers.toml "
+         "(never inline-suppressible)"},
+        {"lay-unused-edge",
+         "declared edges, exception entries, and module tables that "
+         "match nothing are stale and must be removed (never "
+         "inline-suppressible)"},
+        {"lay-manifest",
+         "tools/lint/layers.toml must parse and its `uses` edges must "
+         "form a DAG (never inline-suppressible)"},
+        {"exc-contract",
+         "a `throw <Type>` inside module M must name a type in M's "
+         "throws = [...] list in tools/lint/layers.toml"},
+        {"atomics-relaxed",
+         "every memory_order_relaxed needs an audited "
+         "allow(atomics-relaxed) or the file-level "
+         "'eval-lint: counters-only <why>' marker"},
         {"hyg-pragma-once", "every header starts with #pragma once"},
         {"hyg-using-namespace", "no 'using namespace' at header scope"},
         {"hyg-iostream",
@@ -844,30 +634,27 @@ lintSource(const std::string &relPath, const std::string &content)
     const Scan scan = scanSource(content);
     const PathScope scope = classify(relPath);
     std::vector<Diagnostic> diags;
-    Ctx ctx{relPath, scope, scan, diags};
+    FileMarkers markers;
+    std::vector<Suppression> supps =
+        parseSuppressions(scan, relPath, diags, &markers);
+    Ctx ctx{relPath, scope, scan, markers, diags};
+    runFileRules(ctx);
 
-    ruleDetEntropy(ctx);
-    ruleDetWallclock(ctx);
-    ruleDetUnordered(ctx);
-    ruleDetSharedRng(ctx);
-    ruleNumFloatEq(ctx);
-    ruleNumFloatNarrow(ctx);
-    ruleHygPragmaOnce(ctx);
-    ruleHygUsingNamespace(ctx);
-    ruleHygIostream(ctx);
-    ruleObsSpanLeak(ctx);
-    ruleObsProgressUnits(ctx);
-    rulePerfHotAlloc(ctx);
+    // Single-file semantic passes: with no manifest the layering and
+    // exception-contract passes skip themselves; the atomics audit and
+    // determinism data-flow need only this file's index.
+    ProjectIndex pidx;
+    pidx.files.push_back(buildFileIndex(relPath, content, scan, markers));
+    LayersManifest noManifest;
+    PassOptions popts;
+    popts.fullTree = false;
+    auto passDiags = runProjectPasses(pidx, noManifest, {}, popts);
+    diags.insert(diags.end(),
+                 std::make_move_iterator(passDiags.begin()),
+                 std::make_move_iterator(passDiags.end()));
 
-    std::vector<Suppression> supps = parseSuppressions(scan, relPath, diags);
     applySuppressions(diags, supps, relPath);
-
-    std::sort(diags.begin(), diags.end(),
-              [](const Diagnostic &a, const Diagnostic &b) {
-                  return std::tie(a.file, a.line, a.rule) <
-                         std::tie(b.file, b.line, b.rule);
-              });
-    diags.erase(std::unique(diags.begin(), diags.end()), diags.end());
+    sortDiags(diags);
     return diags;
 }
 
@@ -880,67 +667,167 @@ runLint(const Options &opts, std::string *error)
             *error = msg;
         return std::vector<Diagnostic>{};
     };
+
+    // Canonicalize the root only: `tree`, `tree/`, and `link-to-tree`
+    // must behave identically, but paths *below* the root stay
+    // lexical so symlinked subtrees keep their in-tree spelling.
     std::error_code ec;
     const fs::path root = fs::weakly_canonical(opts.root, ec);
     if (ec || !fs::is_directory(root))
         return fail("lint root is not a directory: " + opts.root.string());
 
-    std::vector<std::string> paths = opts.paths;
-    if (paths.empty())
-        paths = {"src", "bench", "tests", "examples", "tools"};
+    static const char *defaultPaths[] = {"src", "bench", "tests",
+                                         "examples", "tools"};
 
-    static const std::set<std::string> exts = {".cc", ".cpp", ".cxx",
-                                               ".hh", ".h",   ".hpp"};
-    std::vector<fs::path> files;
-    for (const auto &p : paths) {
+    // The index always covers the default set so project passes see
+    // the whole tree; explicitly requested paths scope which files
+    // findings are *reported* for.
+    std::vector<std::pair<fs::path, std::string>> files;
+    for (const char *p : defaultPaths)
+        if (fs::is_directory(root / p))
+            collectFiles(root, p, files);
+
+    std::set<std::string> requested;
+    for (const auto &p : opts.paths) {
         const fs::path full = root / p;
         if (fs::is_regular_file(full)) {
-            files.push_back(full);
+            const std::string rel =
+                fs::path(p).lexically_normal().generic_string();
+            files.push_back({full, rel});
+            requested.insert(rel);
             continue;
         }
-        if (!fs::is_directory(full)) {
-            // Default paths are best-effort (a tree need not have
-            // every one); explicitly requested paths must exist.
-            if (!opts.paths.empty())
-                return fail("no such file or directory: " + full.string());
-            continue;
-        }
-        for (auto it = fs::recursive_directory_iterator(full, ec);
-             !ec && it != fs::recursive_directory_iterator(); ++it)
-            if (it->is_regular_file() &&
-                exts.count(it->path().extension().string()))
-                files.push_back(it->path());
+        if (!fs::is_directory(full))
+            return fail("no such file or directory: " + full.string());
+        std::vector<std::pair<fs::path, std::string>> sub;
+        collectFiles(root, p, sub);
+        for (auto &fp : sub)
+            requested.insert(fp.second);
+        files.insert(files.end(), sub.begin(), sub.end());
     }
-    std::sort(files.begin(), files.end());
-    files.erase(std::unique(files.begin(), files.end()), files.end());
 
-    std::vector<Diagnostic> diags;
-    for (const auto &file : files) {
-        const std::string rel =
-            fs::weakly_canonical(file, ec).lexically_relative(root)
-                .generic_string();
-        const bool excluded = std::any_of(
-            opts.excludes.begin(), opts.excludes.end(),
-            [&](const std::string &x) {
-                return rel.find(x) != std::string::npos;
-            });
-        if (excluded)
-            continue;
-        std::ifstream in(file, std::ios::binary);
+    const auto excluded = [&](const std::string &rel) {
+        return std::any_of(opts.excludes.begin(), opts.excludes.end(),
+                           [&](const std::string &x) {
+                               return rel.find(x) != std::string::npos;
+                           });
+    };
+
+    // Sort + dedupe by relative path (a file reachable both directly
+    // and through a symlinked directory is linted once, under the
+    // lexically smallest spelling it was found by).
+    std::sort(files.begin(), files.end(),
+              [](const auto &a, const auto &b) {
+                  return a.second < b.second;
+              });
+    files.erase(std::unique(files.begin(), files.end(),
+                            [](const auto &a, const auto &b) {
+                                return a.second == b.second;
+                            }),
+                files.end());
+    files.erase(std::remove_if(files.begin(), files.end(),
+                               [&](const auto &fp) {
+                                   return excluded(fp.second);
+                               }),
+                files.end());
+
+    // Phase 1 in parallel: scan, token rules, suppressions, index.
+    // parallelMap returns results in index order over the sorted file
+    // list, so the outcome is independent of the thread count.
+    const std::size_t jobs =
+        opts.jobs > 0 ? opts.jobs : eval::defaultThreads();
+    eval::ThreadPool pool(std::max<std::size_t>(jobs, 1));
+    std::vector<PerFile> scanned =
+        pool.parallelMap(files.size(), [&](std::size_t i) {
+            return scanOneFile(files[i].first, files[i].second);
+        });
+    for (const auto &pf : scanned)
+        if (!pf.readError.empty())
+            return fail(pf.readError);
+
+    // Layering manifest: explicit path, else auto-discovery.
+    fs::path manifestPath;
+    std::string manifestRel;
+    if (!opts.layersFile.empty()) {
+        manifestPath = opts.layersFile.is_absolute()
+                           ? opts.layersFile
+                           : root / opts.layersFile;
+        if (!fs::is_regular_file(manifestPath))
+            return fail("layers manifest not found: " +
+                        manifestPath.string());
+        const fs::path rel = manifestPath.lexically_relative(root);
+        manifestRel = (rel.empty() || *rel.begin() == "..")
+                          ? manifestPath.generic_string()
+                          : rel.generic_string();
+    } else {
+        for (const char *cand : {"tools/lint/layers.toml", "layers.toml"}) {
+            if (fs::is_regular_file(root / cand)) {
+                manifestPath = root / cand;
+                manifestRel = cand;
+                break;
+            }
+        }
+    }
+
+    LayersManifest manifest;
+    std::vector<std::string> manifestErrors;
+    if (!manifestPath.empty()) {
+        std::ifstream in(manifestPath, std::ios::binary);
         if (!in)
-            return fail("cannot read " + file.string());
+            return fail("cannot read " + manifestPath.string());
         std::ostringstream buf;
         buf << in.rdbuf();
-        auto fileDiags = lintSource(rel, buf.str());
+        manifest = parseLayers(buf.str(), manifestErrors);
+        manifest.path = manifestRel;
+    }
+
+    // Phase 2: project passes over the full index.
+    ProjectIndex pidx;
+    pidx.files.reserve(scanned.size());
+    for (auto &pf : scanned)
+        pidx.files.push_back(pf.index);
+
+    PassOptions popts;
+    popts.fullTree = opts.paths.empty();
+    popts.manifestRel = manifestRel;
+    auto passDiags =
+        runProjectPasses(pidx, manifest, manifestErrors, popts);
+
+    std::map<std::string, std::vector<Diagnostic>> passByFile;
+    for (auto &d : passDiags)
+        passByFile[d.file].push_back(std::move(d));
+
+    // Merge per file, apply that file's suppressions over everything
+    // (token rules and pass findings alike), and scope the output to
+    // the requested set.
+    std::vector<Diagnostic> diags;
+    std::set<std::string> scannedRel;
+    for (auto &pf : scanned) {
+        scannedRel.insert(pf.rel);
+        if (!requested.empty() && !requested.count(pf.rel))
+            continue;
+        std::vector<Diagnostic> merged = std::move(pf.diags);
+        auto it = passByFile.find(pf.rel);
+        if (it != passByFile.end())
+            merged.insert(merged.end(),
+                          std::make_move_iterator(it->second.begin()),
+                          std::make_move_iterator(it->second.end()));
+        applySuppressions(merged, pf.supps, pf.rel);
+        diags.insert(diags.end(),
+                     std::make_move_iterator(merged.begin()),
+                     std::make_move_iterator(merged.end()));
+    }
+    // Manifest-anchored findings (lay-manifest, lay-unused-edge) have
+    // no scanned file to ride on; always surface them.
+    for (auto &[file, fileDiags] : passByFile) {
+        if (scannedRel.count(file))
+            continue;
         diags.insert(diags.end(),
                      std::make_move_iterator(fileDiags.begin()),
                      std::make_move_iterator(fileDiags.end()));
     }
-    std::sort(diags.begin(), diags.end(),
-              [](const Diagnostic &a, const Diagnostic &b) {
-                  return std::tie(a.file, a.line, a.rule) <
-                         std::tie(b.file, b.line, b.rule);
-              });
+
+    sortDiags(diags);
     return diags;
 }
 

@@ -61,29 +61,56 @@ bool isKnownRule(const std::string &id);
 
 struct Options
 {
-    /** Tree root; rule path-scoping is computed relative to this. */
+    /** Tree root; rule path-scoping is computed relative to this.
+     *  The root itself is canonicalized (so `--root tree/`,
+     *  `--root tree` and a symlink to the tree behave identically),
+     *  but files below it keep their lexical relative paths — a
+     *  symlinked subdirectory is scanned under the path it is
+     *  reachable by, not its target, so rule scoping never changes
+     *  with the filesystem layout behind the link. */
     std::filesystem::path root;
 
     /** Subtrees or files (relative to root) to scan.  Empty means the
-     *  default set: src, bench, tests, examples, tools. */
+     *  default set: src, bench, tests, examples, tools.  The semantic
+     *  passes always index the full default set for context; findings
+     *  are only *emitted* for the requested paths, so a changed-files
+     *  run (scripts/precommit.sh) sees project-wide facts without
+     *  reporting out-of-scope files. */
     std::vector<std::string> paths;
 
     /** Relative paths containing any of these substrings are skipped
      *  (e.g. "tests/lint/fixtures" when linting the real tree). */
     std::vector<std::string> excludes;
+
+    /** Worker threads for the file scan (phase 1).  0 = auto
+     *  (EVAL_THREADS or hardware concurrency).  Findings are
+     *  independent of the thread count. */
+    unsigned jobs = 0;
+
+    /** Layering manifest.  Empty = auto-discover
+     *  <root>/tools/lint/layers.toml, then <root>/layers.toml; when
+     *  neither exists the layering and exception-contract passes are
+     *  skipped.  A relative path here resolves against root. */
+    std::filesystem::path layersFile;
 };
 
 /**
- * Lint every .cc/.cpp/.hh/.h file under the requested paths.  Returns
+ * Lint every .cc/.cpp/.hh/.h file under the requested paths: the
+ * token-level rules per file, then the project-wide semantic passes
+ * (layering, include cycles, exception contracts, atomics audit,
+ * determinism data-flow) over the whole indexed tree.  Returns
  * findings sorted by (file, line, rule) so output is independent of
- * directory-iteration order.  On I/O failure (unreadable root or
- * path), returns empty and sets *error if non-null.
+ * directory-iteration order and of Options::jobs.  On I/O failure
+ * (unreadable root, path, or file), returns empty and sets *error if
+ * non-null.
  */
 std::vector<Diagnostic> runLint(const Options &opts,
                                 std::string *error = nullptr);
 
 /**
- * Lint a single in-memory source.  @p relPath is the path the file
+ * Lint a single in-memory source: the token-level rules plus the
+ * semantic passes that make sense for one file in isolation (atomics
+ * audit, determinism data-flow).  @p relPath is the path the file
  * would have relative to the tree root; it drives rule scoping.
  * Exposed so tests can exercise rules without touching the disk.
  */

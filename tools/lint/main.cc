@@ -3,18 +3,27 @@
  * eval-lint command-line driver.
  *
  * Usage:
- *   eval_lint [--root DIR] [--exclude SUBSTR]... [--json FILE]
- *             [--list-rules] [PATH...]
+ *   eval_lint [--root DIR] [--exclude SUBSTR]... [--jobs N]
+ *             [--layers FILE] [--baseline FILE | --write-baseline FILE]
+ *             [--json FILE] [--sarif FILE] [--list-rules] [PATH...]
  *
  * PATHs are relative to --root (default: the current directory) and
- * default to src bench tests examples tools.  Exit codes: 0 clean,
- * 1 findings, 2 usage or I/O error.
+ * default to src bench tests examples tools.  With --baseline, only
+ * findings absent from the baseline file fail the run (exit 1);
+ * baselined findings are still printed (marked) and exported to SARIF
+ * as baselineState "unchanged".  Exit codes: 0 clean, 1 fresh
+ * findings, 2 usage or I/O error.
  */
 
 #include "lint.hh"
 
+#include "baseline.hh"
+#include "sarif.hh"
+
+#include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -24,13 +33,41 @@ int
 usage(std::ostream &out, int code)
 {
     out << "usage: eval_lint [--root DIR] [--exclude SUBSTR]...\n"
-           "                 [--json FILE] [--list-rules] [PATH...]\n"
+           "                 [--jobs N] [--layers FILE]\n"
+           "                 [--baseline FILE | --write-baseline FILE]\n"
+           "                 [--json FILE] [--sarif FILE]\n"
+           "                 [--list-rules] [PATH...]\n"
            "\n"
            "Lints .cc/.cpp/.hh/.h files under each PATH (relative to\n"
            "--root; default: src bench tests examples tools) against\n"
-           "the repo's determinism/numerics/hygiene rules.\n"
-           "Exit: 0 clean, 1 findings, 2 usage or I/O error.\n";
+           "the repo's determinism/numerics/hygiene rules and the\n"
+           "project-wide semantic passes (layering contracts from\n"
+           "tools/lint/layers.toml, include cycles, exception\n"
+           "contracts, atomics audit, determinism data-flow).\n"
+           "\n"
+           "  --jobs N            parallel scan width (0 = auto)\n"
+           "  --layers FILE       layering manifest (default:\n"
+           "                      <root>/tools/lint/layers.toml, then\n"
+           "                      <root>/layers.toml)\n"
+           "  --baseline FILE     accepted findings; only fresh ones\n"
+           "                      fail the run\n"
+           "  --write-baseline F  write the current findings as the\n"
+           "                      new baseline and exit 0\n"
+           "  --json FILE         findings as JSON (CI artifact)\n"
+           "  --sarif FILE        findings as SARIF 2.1.0\n"
+           "\n"
+           "Exit: 0 clean, 1 fresh findings, 2 usage or I/O error.\n";
     return code;
+}
+
+bool
+writeFile(const std::string &path, const std::string &content)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        return false;
+    out << content;
+    return out.good();
 }
 
 } // namespace
@@ -41,6 +78,9 @@ main(int argc, char **argv)
     eval::lint::Options opts;
     opts.root = ".";
     std::string jsonPath;
+    std::string sarifPath;
+    std::string baselinePath;
+    std::string writeBaselinePath;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -68,17 +108,53 @@ main(int argc, char **argv)
             if (!v)
                 return 2;
             opts.excludes.push_back(v);
+        } else if (arg == "--jobs") {
+            const char *v = value("--jobs");
+            if (!v)
+                return 2;
+            try {
+                opts.jobs = static_cast<unsigned>(std::stoul(v));
+            } catch (...) {
+                std::cerr << "eval-lint: --jobs wants a number, got '"
+                          << v << "'\n";
+                return 2;
+            }
+        } else if (arg == "--layers") {
+            const char *v = value("--layers");
+            if (!v)
+                return 2;
+            opts.layersFile = v;
+        } else if (arg == "--baseline") {
+            const char *v = value("--baseline");
+            if (!v)
+                return 2;
+            baselinePath = v;
+        } else if (arg == "--write-baseline") {
+            const char *v = value("--write-baseline");
+            if (!v)
+                return 2;
+            writeBaselinePath = v;
         } else if (arg == "--json") {
             const char *v = value("--json");
             if (!v)
                 return 2;
             jsonPath = v;
+        } else if (arg == "--sarif") {
+            const char *v = value("--sarif");
+            if (!v)
+                return 2;
+            sarifPath = v;
         } else if (!arg.empty() && arg[0] == '-') {
             std::cerr << "eval-lint: unknown option '" << arg << "'\n";
             return usage(std::cerr, 2);
         } else {
             opts.paths.push_back(arg);
         }
+    }
+    if (!baselinePath.empty() && !writeBaselinePath.empty()) {
+        std::cerr << "eval-lint: --baseline and --write-baseline are "
+                     "mutually exclusive\n";
+        return 2;
     }
 
     std::string error;
@@ -88,23 +164,73 @@ main(int argc, char **argv)
         return 2;
     }
 
-    for (const auto &d : diags)
-        std::cout << eval::lint::formatDiagnostic(d) << '\n';
-
-    if (!jsonPath.empty()) {
-        std::ofstream out(jsonPath);
-        if (!out) {
-            std::cerr << "eval-lint: cannot write " << jsonPath << '\n';
+    if (!writeBaselinePath.empty()) {
+        if (!writeFile(writeBaselinePath,
+                       eval::lint::renderBaseline(diags))) {
+            std::cerr << "eval-lint: cannot write " << writeBaselinePath
+                      << '\n';
             return 2;
         }
-        out << eval::lint::toJson(diags);
+        std::cout << "eval-lint: baselined " << diags.size()
+                  << " finding" << (diags.size() == 1 ? "" : "s")
+                  << " to " << writeBaselinePath << '\n';
+        return 0;
+    }
+
+    eval::lint::BaselineSplit split;
+    const std::set<std::string> *baselinedKeys = nullptr;
+    std::set<std::string> baselinedKeySet;
+    if (!baselinePath.empty()) {
+        std::string blError;
+        const auto baseline =
+            eval::lint::loadBaseline(baselinePath, &blError);
+        if (!baseline.loaded) {
+            std::cerr << "eval-lint: " << blError << '\n';
+            return 2;
+        }
+        split = eval::lint::applyBaseline(diags, baseline);
+        for (const auto &d : split.baselined)
+            baselinedKeySet.insert(eval::lint::baselineKey(d));
+        baselinedKeys = &baselinedKeySet;
+    } else {
+        split.fresh = diags;
+    }
+
+    for (const auto &d : split.fresh)
+        std::cout << eval::lint::formatDiagnostic(d) << '\n';
+    for (const auto &d : split.baselined)
+        std::cout << eval::lint::formatDiagnostic(d) << " (baselined)\n";
+    for (const auto &key : split.stale)
+        std::cerr << "eval-lint: stale baseline entry matches no "
+                     "finding: " << key << '\n';
+
+    if (!jsonPath.empty() &&
+        !writeFile(jsonPath, eval::lint::toJson(diags))) {
+        std::cerr << "eval-lint: cannot write " << jsonPath << '\n';
+        return 2;
+    }
+    if (!sarifPath.empty()) {
+        std::error_code ec;
+        const auto canon =
+            std::filesystem::weakly_canonical(opts.root, ec);
+        const std::string rootUri =
+            ec ? "" : "file://" + canon.generic_string() + "/";
+        if (!writeFile(sarifPath, eval::lint::toSarif(diags, baselinedKeys,
+                                                      rootUri))) {
+            std::cerr << "eval-lint: cannot write " << sarifPath << '\n';
+            return 2;
+        }
     }
 
     if (diags.empty()) {
         std::cout << "eval-lint: clean\n";
     } else {
         std::cout << "eval-lint: " << diags.size() << " finding"
-                  << (diags.size() == 1 ? "" : "s") << '\n';
+                  << (diags.size() == 1 ? "" : "s");
+        if (!baselinePath.empty())
+            std::cout << " (" << split.fresh.size() << " fresh, "
+                      << split.baselined.size() << " baselined)";
+        std::cout << '\n';
     }
-    return eval::lint::exitCodeFor(diags);
+    return eval::lint::exitCodeFor(split.fresh);
 }
