@@ -21,6 +21,11 @@
  *   EVAL_TRACE_OUT=path    record and export the decision trace
  *   EVAL_TRACE_SPANS=path  record a span timeline, export
  *                          Chrome/Perfetto trace_event JSON
+ *   EVAL_PROFILE_OUT=path  export the aggregated span profile
+ *                          (profile.json schema, DESIGN.md Sec 5j);
+ *                          either span env enables the tracer, and
+ *                          the footer gains a compact span_self_ms
+ *                          map benchtrack uses for regression blame
  *   EVAL_MANIFEST=path     write the run-provenance manifest
  *                          (default <bench>.manifest.json; set empty
  *                          to disable)
@@ -91,7 +96,8 @@ class BenchReporter
         if (!envString("EVAL_TRACE_OUT", "").empty())
             DecisionTrace::global().setEnabled(true);
         spansPath_ = envString("EVAL_TRACE_SPANS", "");
-        if (!spansPath_.empty())
+        profilePath_ = envString("EVAL_PROFILE_OUT", "");
+        if (!spansPath_.empty() || !profilePath_.empty())
             SpanTracer::global().setEnabled(true);
         manifestPath_ =
             envString("EVAL_MANIFEST", name_ + ".manifest.json");
@@ -102,6 +108,9 @@ class BenchReporter
         RunManifest::global().setThreads(globalThreads());
         if (!spansPath_.empty())
             RunManifest::global().setOutput("trace_spans", spansPath_);
+        if (!profilePath_.empty())
+            RunManifest::global().setOutput("span_profile",
+                                            profilePath_);
 
         // Live telemetry: publish status snapshots while the bench
         // runs (DESIGN.md Sec 5f).  The sampler registers its own
@@ -126,7 +135,8 @@ class BenchReporter
         // destructor triggers the same closure on the normal path.
         flushId_ = ExitFlush::global().add(
             "bench." + name_ + ".telemetry",
-            [spans = spansPath_, manifest = manifestPath_] {
+            [spans = spansPath_, profile = profilePath_,
+             manifest = manifestPath_] {
                 const std::string statsPath =
                     envString("EVAL_STATS_OUT", "");
                 if (!statsPath.empty()) {
@@ -145,6 +155,9 @@ class BenchReporter
                 if (!spans.empty() &&
                     !SpanTracer::global().writeJson(spans))
                     warn("failed to write span trace to ", spans);
+                if (!profile.empty() &&
+                    !SpanTracer::global().writeProfileJson(profile))
+                    warn("failed to write span profile to ", profile);
                 if (!manifest.empty() &&
                     !RunManifest::global().write(manifest))
                     warn("failed to write manifest to ", manifest);
@@ -198,6 +211,27 @@ class BenchReporter
         json += ", \"peak_rss_kb\": " + std::to_string(peakRssKb());
         if (!spansPath_.empty())
             json += ", \"trace_spans\": \"" + spansPath_ + "\"";
+
+        // Compact per-span self-time map (top spans by self time, in
+        // ms) when tracing ran: benchtrack ingests it and names the
+        // culprit spans when the wall-clock gate trips.
+        if (SpanTracer::global().enabled()) {
+            const auto spans = SpanTracer::global().selfTimeByName();
+            std::string spanJson;
+            std::size_t emitted = 0;
+            for (const auto &[span, selfNs] : spans) {
+                if (emitted == 8)
+                    break;
+                std::snprintf(buf, sizeof(buf), "%.3f",
+                              static_cast<double>(selfNs) / 1e6);
+                spanJson += (emitted ? ", \"" : "\"") + span +
+                            "\": " + buf;
+                ++emitted;
+            }
+            if (!spanJson.empty())
+                json += ", \"span_self_ms\": {" + spanJson + "}";
+        }
+
         json += ", \"metrics\": {";
         for (std::size_t i = 0; i < metrics_.size(); ++i) {
             json += (i ? ", \"" : "\"") + metrics_[i].first +
@@ -232,6 +266,7 @@ class BenchReporter
     std::string name_;
     std::chrono::steady_clock::time_point start_;
     std::string spansPath_;
+    std::string profilePath_;
     std::string manifestPath_;
     int flushId_ = 0;
     std::vector<std::pair<std::string, std::string>> metrics_;

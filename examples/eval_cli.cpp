@@ -30,7 +30,16 @@
  *   --trace-out=FILE   record every adaptation decision, export JSONL
  *   --trace-spans=FILE record a span timeline, export Chrome/Perfetto
  *                      trace_event JSON (open in ui.perfetto.dev);
- *                      default from EVAL_TRACE_SPANS
+ *                      default from EVAL_TRACE_SPANS.  For a sharded
+ *                      fig13 run FILE becomes the MERGED fleet
+ *                      timeline (one pid per shard)
+ *   --profile-out=FILE export the span profile (exact per-span
+ *                      count/inclusive/self times, profile.json
+ *                      schema; analyze with eval_prof); default from
+ *                      EVAL_PROFILE_OUT, else derived from
+ *                      --trace-spans (FILE.profile.json).  For a
+ *                      sharded fig13 run this is the merged fleet
+ *                      profile
  *   --manifest=FILE    write a run-provenance manifest (git SHA, build
  *                      flags, seed, stage wall times, peak RSS);
  *                      default from EVAL_MANIFEST, "" disables
@@ -63,6 +72,7 @@
 #include "util/logging.hh"
 #include "core/retiming.hh"
 #include "shard/supervisor.hh"
+#include "shard/trace_merge.hh"
 #include "shard/worker.hh"
 #include "stats/stats.hh"
 #include "trace/exit_flush.hh"
@@ -74,6 +84,42 @@
 using namespace eval;
 
 namespace {
+
+/** Set when a fig13 supervisor routes the span/profile outputs
+ *  through the fleet merge: the generic exit-time writers must then
+ *  leave those files alone (the merged timeline would be clobbered by
+ *  the supervisor's own near-empty tracer). */
+bool gFleetOwnsSpans = false;
+
+/** The default profile path rides alongside the trace: x.json ->
+ *  x.profile.json. */
+std::string
+deriveProfilePath(const std::string &spansPath)
+{
+    const std::string suffix = ".json";
+    if (spansPath.size() > suffix.size() &&
+        spansPath.compare(spansPath.size() - suffix.size(),
+                          suffix.size(), suffix) == 0)
+        return spansPath.substr(0, spansPath.size() - suffix.size()) +
+               ".profile.json";
+    return spansPath + ".profile.json";
+}
+
+/** Resolve --trace-spans / --profile-out (flags, env defaults, and
+ *  the derived profile path).  Shared by main() and the fig13
+ *  supervisor so both agree on where fleet telemetry lands. */
+void
+spanOutputPaths(const ArgParser &args, std::string &spansOut,
+                std::string &profileOut)
+{
+    const char *spansEnv = std::getenv("EVAL_TRACE_SPANS");
+    spansOut = args.getString("trace-spans", spansEnv ? spansEnv : "");
+    const char *profEnv = std::getenv("EVAL_PROFILE_OUT");
+    profileOut =
+        args.getString("profile-out", profEnv ? profEnv : "");
+    if (profileOut.empty() && !spansOut.empty())
+        profileOut = deriveProfilePath(spansOut);
+}
 
 EnvironmentKind
 parseEnv(const std::string &name)
@@ -325,6 +371,22 @@ cmdFig13(const ArgParser &args)
         s.checkpointEvery = checkpointEvery;
         s.resume = resume;
         s.binarySnapshots = binary;
+
+        // Fleet telemetry: --trace-spans/--profile-out name the
+        // MERGED outputs of a sharded run; the per-shard files live
+        // under DIR/trace/.  The supervisor's own tracer output is
+        // suppressed (gFleetOwnsSpans) so the exit-time writer cannot
+        // clobber the merged timeline.
+        std::string spansOut;
+        std::string profileOut;
+        spanOutputPaths(args, spansOut, profileOut);
+        if (!spansOut.empty() || !profileOut.empty()) {
+            s.traceSpans = true;
+            s.mergedTraceOut = spansOut;
+            s.fleetProfileOut = profileOut;
+            gFleetOwnsSpans = true;
+        }
+
         if (!args.getBool("in-process", false)) {
             // Re-exec this binary once per shard; the supervisor
             // appends --shard=i/N.  --manifest= keeps workers from
@@ -416,9 +478,9 @@ main(int argc, char **argv)
 
     const std::string statsOut = args.getString("stats-out", "");
     const std::string traceOut = args.getString("trace-out", "");
-    const char *spansEnv = std::getenv("EVAL_TRACE_SPANS");
-    const std::string spansOut =
-        args.getString("trace-spans", spansEnv ? spansEnv : "");
+    std::string spansOut;
+    std::string profileOut;
+    spanOutputPaths(args, spansOut, profileOut);
     const char *manifestEnv = std::getenv("EVAL_MANIFEST");
     const std::string manifestOut = args.getString(
         "manifest", manifestEnv ? manifestEnv : "manifest.json");
@@ -438,7 +500,7 @@ main(int argc, char **argv)
         threadsArg > 0 ? static_cast<std::size_t>(threadsArg) : 0);
     if (!traceOut.empty())
         DecisionTrace::global().setEnabled(true);
-    if (!spansOut.empty())
+    if (!spansOut.empty() || !profileOut.empty())
         SpanTracer::global().setEnabled(true);
     if (profile)
         setProfilingEnabled(true);
@@ -451,6 +513,8 @@ main(int argc, char **argv)
         RunManifest::global().setOutput("decision_trace", traceOut);
     if (!spansOut.empty())
         RunManifest::global().setOutput("trace_spans", spansOut);
+    if (!profileOut.empty())
+        RunManifest::global().setOutput("span_profile", profileOut);
 
     // Live telemetry: start the sampler before the command runs so
     // eval_top can watch the whole campaign (DESIGN.md Sec 5f).
@@ -474,11 +538,20 @@ main(int argc, char **argv)
     // normal path identical (closures run exactly once).
     ExitFlush::global().add(
         "eval_cli.telemetry",
-        [statsOut, traceOut, profile, spansOut, manifestOut] {
+        [statsOut, traceOut, profile, spansOut, profileOut,
+         manifestOut] {
             dumpObservability(statsOut, traceOut, profile);
-            if (!spansOut.empty() &&
-                !SpanTracer::global().writeJson(spansOut)) {
-                warn("failed to write span trace to ", spansOut);
+            if (!gFleetOwnsSpans) {
+                if (!spansOut.empty() &&
+                    !SpanTracer::global().writeJson(spansOut)) {
+                    warn("failed to write span trace to ", spansOut);
+                }
+                if (!profileOut.empty() &&
+                    !SpanTracer::global().writeProfileJson(
+                        profileOut)) {
+                    warn("failed to write span profile to ",
+                         profileOut);
+                }
             }
             if (!manifestOut.empty() &&
                 !RunManifest::global().write(manifestOut)) {
@@ -488,8 +561,8 @@ main(int argc, char **argv)
 
     // With observability flags but no command, default to `run`.
     const bool observing = !statsOut.empty() || !traceOut.empty() ||
-                           !spansOut.empty() || !statusOut.empty() ||
-                           profile;
+                           !spansOut.empty() || !profileOut.empty() ||
+                           !statusOut.empty() || profile;
     if (args.positional().empty() && !observing)
         return usage();
     const std::string cmd =

@@ -14,6 +14,7 @@
 #        scripts/check.sh --perf-smoke [build-dir]
 #        scripts/check.sh --obs-smoke [build-dir]
 #        scripts/check.sh --shard-smoke [build-dir]
+#        scripts/check.sh --prof-smoke [build-dir]
 #
 # --tsan (or CHECK_TSAN=1) configures with -DEVAL_TSAN=ON and runs the
 # concurrency-sensitive test subset (exec, stats, core, cmp, obs)
@@ -68,6 +69,14 @@
 # marked final with every tracker at 100% and that at least two
 # snapshots were published over the run.
 #
+# --prof-smoke (or CHECK_PROF_SMOKE=1) is the span-profiling
+# end-to-end check (DESIGN.md §5j): a fast 2-shard fig13 with tracing
+# must leave one merged Perfetto timeline plus a fleet profile.json
+# behind; eval_prof tree/flame must render it and a self-compare
+# `diff --gate` must exit 0; then a synthetic +20% wall-clock
+# regression with one grown span, fed through benchtrack, must trip
+# the gate AND render a Blame section naming that span.
+#
 # --shard-smoke (or CHECK_SHARD_SMOKE=1) is the sharded-campaign
 # end-to-end drill: it runs a small 2-shard fig13 with a crash
 # injected into shard 0 mid-run (SIGKILL after its first checkpoint,
@@ -97,6 +106,7 @@ case "${1:-}" in
   --perf-smoke) mode="perf-smoke"; shift ;;
   --obs-smoke) mode="obs-smoke"; shift ;;
   --shard-smoke) mode="shard-smoke"; shift ;;
+  --prof-smoke) mode="prof-smoke"; shift ;;
 esac
 [[ "${CHECK_TSAN:-0}" == "1" ]] && mode="tsan"
 [[ "${CHECK_ASAN:-0}" == "1" ]] && mode="asan"
@@ -108,6 +118,7 @@ esac
 [[ "${CHECK_PERF_SMOKE:-0}" == "1" ]] && mode="perf-smoke"
 [[ "${CHECK_OBS_SMOKE:-0}" == "1" ]] && mode="obs-smoke"
 [[ "${CHECK_SHARD_SMOKE:-0}" == "1" ]] && mode="shard-smoke"
+[[ "${CHECK_PROF_SMOKE:-0}" == "1" ]] && mode="prof-smoke"
 
 if [[ "$mode" == "tsan" ]]; then
     build_dir="${1:-$repo_root/build-tsan}"
@@ -366,6 +377,84 @@ if [[ "$mode" == "obs-smoke" ]]; then
     fi
     echo "check.sh: obs smoke passed ($final_seq snapshots published," \
          "$observed distinct frames observed live, status: $status)"
+    exit 0
+fi
+
+if [[ "$mode" == "prof-smoke" ]]; then
+    build_dir="${1:-$repo_root/build-check}"
+
+    cmake -B "$build_dir" -S "$repo_root"
+    build_dir="$(cd "$build_dir" && pwd)" # runs happen in scratch dirs
+    cmake --build "$build_dir" -j"$(nproc)" --target eval_cli \
+        eval_prof benchtrack
+
+    cli="$build_dir/examples/eval_cli"
+    prof="$build_dir/tools/eval_prof/eval_prof"
+    bt="$build_dir/tools/benchtrack/benchtrack"
+    run_dir="$build_dir/prof-smoke"
+    rm -rf "$run_dir" && mkdir -p "$run_dir"
+
+    # 1. Fast 2-shard campaign with tracing on: the supervisor must
+    #    merge the per-shard traces/profiles into one fleet timeline
+    #    (--trace-spans) plus <trace-spans>.profile.json.
+    echo "check.sh: prof smoke -- 2-shard traced fig13"
+    (cd "$run_dir" && "$cli" fig13 --chips=6 --seed=7 \
+        --sim-insts=20000 --apps=gzip,swim --scheme=exh --shards=2 \
+        --out=fleet --manifest= --trace-spans="$run_dir/fleet.json" \
+        > fig13.stdout 2>&1) || {
+        echo "check.sh: ERROR traced sharded fig13 failed"
+        cat "$run_dir/fig13.stdout"
+        exit 1
+    }
+    profile="$run_dir/fleet.profile.json"
+    for artifact in "$run_dir/fleet.json" "$profile" \
+        "$run_dir/fleet/trace/shard-0.json" \
+        "$run_dir/fleet/trace/profile-shard-1.json"; do
+        if [[ ! -s "$artifact" ]]; then
+            echo "check.sh: ERROR missing telemetry artifact $artifact"
+            exit 1
+        fi
+    done
+
+    # 2. eval_prof must render the fleet profile, and a self-compare
+    #    diff has nothing to gate on.
+    echo "check.sh: prof smoke -- eval_prof tree/flame/diff"
+    "$prof" tree "$profile" > /dev/null
+    "$prof" tree "$profile" --bottom-up --top=10 > /dev/null
+    "$prof" flame "$profile" --out="$run_dir/stacks.txt"
+    [[ -s "$run_dir/stacks.txt" ]]
+    "$prof" diff "$profile" "$profile" --gate > /dev/null
+
+    # 3. Blame drill: four steady footers, then a +20% wall-clock
+    #    entry where one span's self time grew to match.  The gate
+    #    must trip (exit 1) and the report must blame that span.
+    echo "check.sh: prof smoke -- benchtrack blame drill"
+    hist="$run_dir/history"
+    footers="$run_dir/footers.jsonl"
+    for _ in 1 2 3 4; do
+        printf '%s\n' '{"bench": "prof_smoke", "wall_clock_s": 10.0, "span_self_ms": {"fig13.sweep": 8000.0, "thermal.solve": 1500.0}}'
+    done > "$footers"
+    printf '%s\n' '{"bench": "prof_smoke", "wall_clock_s": 12.0, "span_self_ms": {"fig13.sweep": 8100.0, "thermal.solve": 3400.0}}' \
+        >> "$footers"
+    "$bt" ingest --history "$hist" "$footers" > /dev/null
+    if "$bt" report --history "$hist" \
+        --markdown "$run_dir/blame.md" --gate > /dev/null; then
+        echo "check.sh: ERROR benchtrack missed the +20% regression"
+        exit 1
+    fi
+    if ! grep -q '^## Blame: prof_smoke' "$run_dir/blame.md"; then
+        echo "check.sh: ERROR blame section missing from report"
+        cat "$run_dir/blame.md"
+        exit 1
+    fi
+    if ! grep -A6 '^## Blame: prof_smoke' "$run_dir/blame.md" \
+            | grep -q 'thermal.solve'; then
+        echo "check.sh: ERROR blame did not name the grown span"
+        cat "$run_dir/blame.md"
+        exit 1
+    fi
+    echo "check.sh: prof smoke passed" \
+         "(fleet profile: $profile, blame: $run_dir/blame.md)"
     exit 0
 fi
 

@@ -7,7 +7,9 @@
 #include "exec/subprocess.hh"
 #include "exec/thread_pool.hh"
 #include "obs/progress.hh"
+#include "shard/trace_merge.hh"
 #include "shard/worker.hh"
+#include "trace/span_tracer.hh"
 #include "util/logging.hh"
 #include "valid/snapshot.hh"
 
@@ -88,6 +90,11 @@ runShardSupervisor(const ShardSupervisorOptions &opts)
         return kShardExitConfig;
     }
 
+    if (opts.traceSpans) {
+        std::error_code ec;
+        fs::create_directories(shardTraceDir(opts.outDir), ec);
+    }
+
     if (opts.workerArgv.empty()) {
         // In-process mode (tests, benches): shards run sequentially,
         // each with its own fresh ExperimentContext inside
@@ -106,7 +113,23 @@ runShardSupervisor(const ShardSupervisorOptions &opts)
             w.checkpointEvery = opts.checkpointEvery;
             w.resume = opts.resume;
             w.binarySnapshots = opts.binarySnapshots;
-            const int rc = runShardWorker(w);
+            int rc;
+            if (opts.traceSpans) {
+                // Scope the global tracer to this shard so the
+                // per-shard files carry exactly this shard's spans —
+                // the same isolation a forked worker gets for free.
+                SpanTracer &tracer = SpanTracer::global();
+                tracer.clear();
+                tracer.setEnabled(true);
+                rc = runShardWorker(w);
+                tracer.setEnabled(false);
+                tracer.writeJson(shardTracePath(opts.outDir, i));
+                tracer.writeProfileJson(
+                    shardProfilePath(opts.outDir, i));
+                tracer.clear();
+            } else {
+                rc = runShardWorker(w);
+            }
             if (rc != kShardExitOk) {
                 warn("shard ", formatShardSpec(spec),
                      " failed with exit code ", rc);
@@ -127,6 +150,12 @@ runShardSupervisor(const ShardSupervisorOptions &opts)
                                   opts.outDir))
                 continue;
             std::vector<std::string> argv = opts.workerArgv;
+            if (opts.traceSpans) {
+                argv.push_back("--trace-spans=" +
+                               shardTracePath(opts.outDir, i));
+                argv.push_back("--profile-out=" +
+                               shardProfilePath(opts.outDir, i));
+            }
             argv.push_back("--shard=" + formatShardSpec(spec));
             workers.push_back(Subprocess::spawn(argv));
             specs.push_back(spec);
@@ -158,6 +187,13 @@ runShardSupervisor(const ShardSupervisorOptions &opts)
         warn("cannot merge shard results: ", e.what());
         return kShardExitCorrupt;
     }
+
+    // Telemetry merges last and never fails the run: the campaign
+    // outputs above are already durable, and a lost trace is a
+    // warning, not a wasted compute budget.
+    if (opts.traceSpans)
+        mergeShardTelemetry(opts.shards, opts.outDir,
+                            opts.mergedTraceOut, opts.fleetProfileOut);
     return kShardExitOk;
 }
 

@@ -37,6 +37,20 @@ struct ShardSupervisorOptions
      * sequentially, each with a fresh ExperimentContext.
      */
     std::vector<std::string> workerArgv;
+    /**
+     * Fleet telemetry: when true, every worker writes a Chrome trace
+     * + span profile under <outDir>/trace (forked workers get
+     * --trace-spans/--profile-out flags appended; in-process mode
+     * drives the global SpanTracer around each shard, clearing it
+     * between shards), and after the campaign merge the supervisor
+     * folds them into one Perfetto timeline (pid = shard index) and
+     * one fleet profile.json — see shard/trace_merge.hh.
+     */
+    bool traceSpans = false;
+    /** Merged timeline destination; "" = <outDir>/trace/trace.json. */
+    std::string mergedTraceOut;
+    /** Fleet profile destination; "" = <outDir>/trace/profile.json. */
+    std::string fleetProfileOut;
 };
 
 /** Merged outputs inside the run directory. */

@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <map>
 #include <memory>
 #include <mutex>
 
@@ -37,6 +38,25 @@ std::atomic<int> nextThreadId{0};
  * concurrent export; the owning thread never blocks on another
  * thread.
  */
+/** One open span on a thread's stack.  The parent-path key is built
+ *  once here, at open, so close-time profile folding is a single map
+ *  lookup with a ready-made key. */
+struct OpenFrame
+{
+    const char *name = nullptr;
+    std::string path;            ///< semicolon-joined chain incl. name
+    std::uint64_t childNs = 0;   ///< Σ inclusive ns of closed children
+};
+
+/** Profile bucket payload; the path is the map key (and its last
+ *  semicolon-separated component is the leaf name). */
+struct ProfileCell
+{
+    std::uint64_t count = 0;
+    std::uint64_t inclNs = 0;
+    std::uint64_t selfNs = 0;
+};
+
 struct ThreadLog
 {
     std::mutex m;
@@ -44,17 +64,28 @@ struct ThreadLog
     std::size_t next = 0;
     int tid = 0;
 
-    /** Open-span name stack; touched only by the owning thread. */
-    std::vector<const char *> stack;
+    /** Open-span frame stack; touched only by the owning thread. */
+    std::vector<OpenFrame> stack;
 
+    /** Exact (never-evicting) profile, keyed by span path.  Guarded
+     *  by the same mutex as the ring so one close takes one lock. */
+    std::map<std::string, ProfileCell> profile;
+
+    /** Record one closed span: ring append + profile fold under a
+     *  single (uncontended) lock acquisition. */
     void
-    append(SpanEvent &&ev)
+    close(SpanEvent &&ev, const std::string &path,
+          std::uint64_t selfNs)
     {
         const std::size_t cap =
             std::max<std::size_t>(ringCapacityCfg.load(
                                       std::memory_order_relaxed),
                                   16);
         std::lock_guard<std::mutex> lock(m);
+        ProfileCell &cell = profile[path];
+        ++cell.count;
+        cell.inclNs += ev.durNs;
+        cell.selfNs += selfNs;
         if (ring.size() > cap) {
             // Capacity was lowered: restart the ring with the tail.
             ring.erase(ring.begin(),
@@ -196,6 +227,7 @@ SpanTracer::clear()
         std::lock_guard<std::mutex> logLock(log->m);
         log->ring.clear();
         log->next = 0;
+        log->profile.clear();
     }
     droppedEvents.store(0, std::memory_order_relaxed);
 }
@@ -290,7 +322,87 @@ const char *
 SpanTracer::currentSpanName()
 {
     const ThreadLog &log = threadLog();
-    return log.stack.empty() ? "" : log.stack.back();
+    return log.stack.empty() ? "" : log.stack.back().name;
+}
+
+std::vector<ProfileBucket>
+SpanTracer::snapshotProfile() const
+{
+    std::map<std::string, ProfileBucket> merged;
+    {
+        std::lock_guard<std::mutex> lock(registry().m);
+        for (const auto &log : registry().logs) {
+            std::lock_guard<std::mutex> logLock(log->m);
+            for (const auto &[path, cell] : log->profile) {
+                ProfileBucket &b = merged[path];
+                b.count += cell.count;
+                b.inclNs += cell.inclNs;
+                b.selfNs += cell.selfNs;
+            }
+        }
+    }
+    std::vector<ProfileBucket> out;
+    out.reserve(merged.size());
+    for (auto &[path, bucket] : merged) {
+        bucket.path = path;
+        const std::size_t cut = path.rfind(';');
+        bucket.name =
+            cut == std::string::npos ? path : path.substr(cut + 1);
+        out.push_back(std::move(bucket));
+    }
+    return out;
+}
+
+std::string
+SpanTracer::profileJson() const
+{
+    const std::vector<ProfileBucket> buckets = snapshotProfile();
+    std::string out = "{\"schema_version\": 1, \"spans\": [";
+    bool first = true;
+    for (const ProfileBucket &b : buckets) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += "  {\"path\": \"";
+        jsonEscapeInto(out, b.path);
+        out += "\", \"name\": \"";
+        jsonEscapeInto(out, b.name);
+        out += "\", \"count\": " + std::to_string(b.count);
+        out += ", \"incl_ns\": " + std::to_string(b.inclNs);
+        out += ", \"self_ns\": " + std::to_string(b.selfNs) + "}";
+    }
+    out += "\n]}\n";
+    return out;
+}
+
+bool
+SpanTracer::writeProfileJson(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    const std::string json = profileJson();
+    const std::size_t written =
+        std::fwrite(json.data(), 1, json.size(), f);
+    const bool ok = written == json.size() && std::fclose(f) == 0;
+    if (!ok && written != json.size())
+        std::fclose(f);
+    return ok;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+SpanTracer::selfTimeByName() const
+{
+    std::map<std::string, std::uint64_t> byName;
+    for (const ProfileBucket &b : snapshotProfile())
+        byName[b.name] += b.selfNs;
+    std::vector<std::pair<std::string, std::uint64_t>> out(
+        byName.begin(), byName.end());
+    std::sort(out.begin(), out.end(),
+              [](const auto &a, const auto &b) {
+                  return std::tie(b.second, a.first) <
+                         std::tie(a.second, b.first);
+              });
+    return out;
 }
 
 namespace trace_detail {
@@ -302,8 +414,23 @@ tracingEnabled()
 }
 
 std::uint64_t
-beginSpanImpl(const char *)
+beginSpanImpl(const char *name)
 {
+    ThreadLog &log = threadLog();
+    OpenFrame frame;
+    frame.name = name;
+    if (log.stack.empty()) {
+        frame.path = name;
+    } else {
+        frame.path.reserve(log.stack.back().path.size() + 1 +
+                           std::char_traits<char>::length(name));
+        frame.path = log.stack.back().path;
+        frame.path += ';';
+        frame.path += name;
+    }
+    log.stack.push_back(std::move(frame));
+    // Clock read last: path construction charges the parent's self
+    // time, not this span's duration.
     return traceNowNs();
 }
 
@@ -311,30 +438,29 @@ void
 endSpanImpl(const char *name, std::uint64_t startNs,
             std::vector<std::pair<std::string, std::string>> &&args)
 {
+    const std::uint64_t now = traceNowNs();
     ThreadLog &log = threadLog();
     SpanEvent ev;
     ev.name = name;
     ev.startNs = startNs;
-    const std::uint64_t now = traceNowNs();
     ev.durNs = now > startNs ? now - startNs : 0;
     ev.tid = log.tid;
-    ev.depth = static_cast<int>(log.stack.size());
     ev.args = std::move(args);
-    log.append(std::move(ev));
-}
 
-void
-pushOpenSpan(const char *name)
-{
-    threadLog().stack.push_back(name);
-}
-
-void
-popOpenSpan()
-{
-    ThreadLog &log = threadLog();
-    if (!log.stack.empty())
+    std::string path = name; // fallback for an unmatched close
+    std::uint64_t childNs = 0;
+    if (!log.stack.empty()) {
+        OpenFrame &frame = log.stack.back();
+        path = std::move(frame.path);
+        childNs = frame.childNs;
         log.stack.pop_back();
+        if (!log.stack.empty())
+            log.stack.back().childNs += ev.durNs;
+    }
+    ev.depth = static_cast<int>(log.stack.size());
+    const std::uint64_t selfNs =
+        ev.durNs > childNs ? ev.durNs - childNs : 0;
+    log.close(std::move(ev), path, selfNs);
 }
 
 } // namespace trace_detail

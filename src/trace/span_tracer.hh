@@ -28,6 +28,13 @@
  *    containment reproduces the nesting in the UI.  The innermost
  *    open span name is queryable (currentSpanName) so the logging
  *    layer can stamp lines with their span context.
+ *  - Every close also folds into the per-thread span PROFILE: a
+ *    (parent-path, name) bucket accumulating count, inclusive ns, and
+ *    self ns (inclusive minus the inclusive time of direct children).
+ *    Unlike the ring, the profile never evicts — counts are exact for
+ *    the whole run no matter how long it is — and it exports as
+ *    profile.json (see DESIGN.md Sec 5j for the schema and the
+ *    cross-shard merge semantics).
  *  - This file is the sanctioned home of wall-clock reads for
  *    tracing, alongside src/stats for profiling (see the
  *    det-wallclock lint rule): model code must not read clocks, but
@@ -72,6 +79,20 @@ struct SpanEvent
     std::vector<std::pair<std::string, std::string>> args;
 };
 
+/** One (parent-path, name) profile bucket.  `path` is the semicolon-
+ *  joined open-span chain ending in `name` (collapsed-stack key, e.g.
+ *  "fig13;mc.chip;thermal.solve"); counts are exact u64 sums, so
+ *  buckets merge associatively by summing (see src/shard trace
+ *  merge). */
+struct ProfileBucket
+{
+    std::string path;
+    std::string name;
+    std::uint64_t count = 0;
+    std::uint64_t inclNs = 0;
+    std::uint64_t selfNs = 0; ///< inclNs minus direct children's inclNs
+};
+
 /**
  * The process-wide span sink.  Use SpanTracer::global(); private
  * instances exist only inside tests.
@@ -98,7 +119,8 @@ class SpanTracer
     /** Events evicted from full rings since the last clear(). */
     std::uint64_t droppedCount() const;
 
-    /** Drop every buffered event (keeps thread registrations). */
+    /** Drop every buffered event and profile bucket (keeps thread
+     *  registrations). */
     void clear();
 
     /** Copy of every buffered event, sorted by start time.  The
@@ -118,6 +140,30 @@ class SpanTracer
     /** Write traceEventJson() to @p path; false on I/O failure. */
     bool writeJson(const std::string &path) const;
 
+    /**
+     * Profile buckets merged across every thread (same path on two
+     * threads folds into one bucket), sorted by path.  Exact for the
+     * whole run: unlike snapshotEvents(), ring eviction never loses
+     * profile counts.  Spans still open are not yet counted.
+     */
+    std::vector<ProfileBucket> snapshotProfile() const;
+
+    /** Profile export: {"schema_version": 1, "spans": [{"path",
+     *  "name", "count", "incl_ns", "self_ns"}...]} sorted by path —
+     *  the format tools/eval_prof and the shard fleet merge consume
+     *  (DESIGN.md Sec 5j). */
+    std::string profileJson() const;
+
+    /** Write profileJson() to @p path; false on I/O failure. */
+    bool writeProfileJson(const std::string &path) const;
+
+    /** Total self ns per span NAME (buckets with the same leaf name
+     *  under different parents fold together), sorted by self time
+     *  descending then name.  Feeds the compact `span_self_ms` bench
+     *  footer. */
+    std::vector<std::pair<std::string, std::uint64_t>>
+    selfTimeByName() const;
+
     /** Innermost open span name on the calling thread ("" if none). */
     static const char *currentSpanName();
 };
@@ -126,13 +172,14 @@ namespace trace_detail {
 
 /** Tracer-internal span open/close (the raw handle API wrapped by
  *  ScopedSpan).  Outside src/trace the obs-span-leak lint rule bans
- *  these: use ScopedSpan. */
+ *  these: use ScopedSpan.  beginSpanImpl pushes the open-span frame
+ *  (building the parent-path key once, at open); endSpanImpl pops it,
+ *  attributes self time to the closing span and inclusive time to its
+ *  parent's child accumulator, and folds the profile bucket. */
 std::uint64_t beginSpanImpl(const char *name);
 void endSpanImpl(const char *name, std::uint64_t startNs,
                  std::vector<std::pair<std::string, std::string>> &&args);
 bool tracingEnabled();
-void pushOpenSpan(const char *name);
-void popOpenSpan();
 
 } // namespace trace_detail
 
@@ -151,10 +198,8 @@ class ScopedSpan
     explicit ScopedSpan(const char *name)
         : name_(trace_detail::tracingEnabled() ? name : nullptr)
     {
-        if (name_) {
+        if (name_)
             start_ = trace_detail::beginSpanImpl(name_);
-            trace_detail::pushOpenSpan(name_);
-        }
     }
 
     /** Sampled span for hot paths: records only when @p sample is
@@ -165,10 +210,8 @@ class ScopedSpan
         : name_(sample && trace_detail::tracingEnabled() ? name
                                                          : nullptr)
     {
-        if (name_) {
+        if (name_)
             start_ = trace_detail::beginSpanImpl(name_);
-            trace_detail::pushOpenSpan(name_);
-        }
     }
 
     ScopedSpan(const ScopedSpan &) = delete;
@@ -178,10 +221,8 @@ class ScopedSpan
 
     ~ScopedSpan()
     {
-        if (name_) {
-            trace_detail::popOpenSpan();
+        if (name_)
             trace_detail::endSpanImpl(name_, start_, std::move(args_));
-        }
     }
 
     /** Attach a key/value arg (no-op when the tracer was disabled at

@@ -216,6 +216,121 @@ TEST_F(BenchtrackTest, ThroughputGainIsAnImprovement)
     EXPECT_EQ(rep.regressions, 0u);
 }
 
+TEST_F(BenchtrackTest, SpanSelfMsRoundTripsThroughIngest)
+{
+    Entry e;
+    ASSERT_TRUE(parseEntry(
+        "BENCH_JSON {\"bench\": \"b\", \"wall_clock_s\": 1.5, "
+        "\"span_self_ms\": {\"fig13.sweep\": 120.5, "
+        "\"thermal.solve\": 40.25, \"bad\": \"text\"}, "
+        "\"metrics\": {}}",
+        e));
+    ASSERT_EQ(e.spanSelfMs.size(), 2u); // non-numeric span dropped
+    EXPECT_DOUBLE_EQ(e.spanSelfMs.at("fig13.sweep"), 120.5);
+    EXPECT_DOUBLE_EQ(e.spanSelfMs.at("thermal.solve"), 40.25);
+
+    ASSERT_EQ(ingest({e}, dir_), 1u);
+    const std::vector<Entry> history =
+        loadHistory((fs::path(dir_) / "b.jsonl").string());
+    ASSERT_EQ(history.size(), 1u);
+    EXPECT_EQ(history.back().spanSelfMs, e.spanSelfMs);
+}
+
+TEST_F(BenchtrackTest, WallClockRegressionBlamesTheGrownSpan)
+{
+    // Four steady runs, then a +20% wall-clock run where one span's
+    // self time grew to match: the blame must name that span first.
+    std::vector<Entry> entries;
+    for (int i = 0; i < 4; ++i) {
+        Entry e;
+        e.bench = "bench_a";
+        e.wallClockS = 10.0;
+        e.spanSelfMs = {{"fig13.sweep", 8000.0},
+                        {"thermal.solve", 1500.0}};
+        entries.push_back(e);
+    }
+    Entry slow;
+    slow.bench = "bench_a";
+    slow.wallClockS = 12.0; // +20%
+    slow.spanSelfMs = {{"fig13.sweep", 8100.0},
+                       {"thermal.solve", 3400.0}}; // the culprit
+    entries.push_back(slow);
+    ASSERT_EQ(ingest(entries, dir_), 5u);
+
+    const Report rep = report(dir_, 5, 10.0);
+    ASSERT_EQ(rep.regressions, 1u);
+    ASSERT_EQ(rep.blames.size(), 1u);
+    const BenchBlame &blame = rep.blames[0];
+    EXPECT_EQ(blame.bench, "bench_a");
+    ASSERT_FALSE(blame.topSpans.empty());
+    EXPECT_EQ(blame.topSpans[0].span, "thermal.solve");
+    EXPECT_NEAR(blame.topSpans[0].baselineMs, 1500.0, 1e-9);
+    EXPECT_NEAR(blame.topSpans[0].deltaMs, 1900.0, 1e-9);
+
+    const std::string md = rep.toMarkdown(10.0);
+    EXPECT_NE(md.find("## Blame: bench_a"), std::string::npos);
+    EXPECT_NE(md.find("`thermal.solve`"), std::string::npos);
+    const std::string js = rep.toJson(10.0);
+    EXPECT_NE(js.find("\"blames\""), std::string::npos);
+    EXPECT_NE(js.find("thermal.solve"), std::string::npos);
+}
+
+TEST_F(BenchtrackTest, UntracedRunsDontDiluteTheBlameBaseline)
+{
+    // Two untraced runs, two traced ones, then the regression: the
+    // baseline mean divides by the traced entries only (2), so the
+    // per-span baseline stays at the per-run value.
+    std::vector<Entry> entries;
+    for (int i = 0; i < 4; ++i) {
+        Entry e;
+        e.bench = "bench_a";
+        e.wallClockS = 10.0;
+        if (i >= 2)
+            e.spanSelfMs = {{"fig13.sweep", 8000.0}};
+        entries.push_back(e);
+    }
+    Entry slow;
+    slow.bench = "bench_a";
+    slow.wallClockS = 12.0;
+    slow.spanSelfMs = {{"fig13.sweep", 9000.0}};
+    entries.push_back(slow);
+    ASSERT_EQ(ingest(entries, dir_), 5u);
+
+    const Report rep = report(dir_, 5, 10.0);
+    ASSERT_EQ(rep.blames.size(), 1u);
+    ASSERT_FALSE(rep.blames[0].topSpans.empty());
+    EXPECT_NEAR(rep.blames[0].topSpans[0].baselineMs, 8000.0, 1e-9);
+    EXPECT_NEAR(rep.blames[0].topSpans[0].deltaMs, 1000.0, 1e-9);
+}
+
+TEST_F(BenchtrackTest, NoBlameWithoutSpanDataOrWithoutRegression)
+{
+    // Regression but no span data anywhere: report renders, blame
+    // list stays empty.
+    seedHistory("bench_a", 4, 10.0);
+    seedHistory("bench_a", 1, 12.0);
+    const Report rep = report(dir_, 5, 10.0);
+    EXPECT_EQ(rep.regressions, 1u);
+    EXPECT_TRUE(rep.blames.empty());
+    EXPECT_EQ(rep.toMarkdown(10.0).find("## Blame"),
+              std::string::npos);
+
+    // Span data but no wall-clock regression: still no blame.
+    fs::remove_all(dir_);
+    std::vector<Entry> entries;
+    for (int i = 0; i < 3; ++i) {
+        Entry e;
+        e.bench = "bench_b";
+        e.wallClockS = 10.0;
+        e.spanSelfMs = {{"fig13.sweep", 8000.0 + 100.0 * i}};
+        entries.push_back(e);
+    }
+    ASSERT_EQ(ingest(entries, dir_), 3u);
+    const Report steady = report(dir_, 5, 10.0);
+    EXPECT_EQ(steady.regressions, 0u);
+    EXPECT_TRUE(steady.blames.empty());
+}
+
 TEST_F(BenchtrackTest, CliGateExitCodeReflectsRegressions)
 {
     seedHistory("bench_a", 4, 10.0);

@@ -143,5 +143,50 @@ TEST(EvalTopRender, JsonModeRoundTrips)
     EXPECT_FALSE(doc2.at("runs").asArray().at(0).at("valid").asBool());
 }
 
+TEST(EvalTopFleet, SumsProgressRateAndRssAcrossShards)
+{
+    RunStatus a = parseStatus(kStatusDoc, "shard-0.json");
+    RunStatus b = parseStatus(kStatusDoc, "shard-1.json");
+    b.final = true;
+    b.progress[0].done = 96;
+    b.progress[0].ratePerS = 12.8;
+    RunStatus torn = parseStatus("{torn", "shard-2.json");
+
+    const FleetSummary fleet = fleetSummary({a, b, torn});
+    EXPECT_EQ(fleet.runs, 2u);        // invalid shard skipped
+    EXPECT_EQ(fleet.finished, 1u);
+    EXPECT_EQ(fleet.done, 48u + 96u);
+    EXPECT_EQ(fleet.total, 192u);
+    EXPECT_DOUBLE_EQ(fleet.ratePerS, 19.2 + 12.8);
+    EXPECT_NEAR(fleet.etaS, (192.0 - 144.0) / 32.0, 1e-12);
+    EXPECT_EQ(fleet.rssKb, 2 * 10240);
+    EXPECT_EQ(fleet.peakRssKb, 2 * 20480);
+
+    // A single run is not a fleet: no footer, no json object.
+    EXPECT_EQ(render({a}, {}, 0).find("fleet:"), std::string::npos);
+    EXPECT_FALSE(JsonValue::parse(renderJson({a})).has("fleet"));
+
+    const std::string frame = render({a, b}, {}, 0);
+    EXPECT_NE(frame.find("fleet: 1/2 runs done"), std::string::npos);
+    EXPECT_NE(frame.find("144/192 units"), std::string::npos);
+}
+
+TEST(EvalTopFleet, JsonFleetObjectIsPinned)
+{
+    RunStatus a = parseStatus(kStatusDoc, "shard-0.json");
+    RunStatus b = parseStatus(kStatusDoc, "shard-1.json");
+    const JsonValue doc = JsonValue::parse(renderJson({a, b}));
+    ASSERT_TRUE(doc.has("fleet"));
+    const JsonValue &fleet = doc.at("fleet");
+    EXPECT_EQ(fleet.at("runs").asInt(), 2);
+    EXPECT_EQ(fleet.at("finished").asInt(), 0);
+    EXPECT_EQ(fleet.at("done").asInt(), 96);
+    EXPECT_EQ(fleet.at("total").asInt(), 192);
+    EXPECT_DOUBLE_EQ(fleet.at("rate_per_s").asDouble(), 38.4);
+    EXPECT_DOUBLE_EQ(fleet.at("eta_s").asDouble(), 96.0 / 38.4);
+    EXPECT_EQ(fleet.at("rss_kb").asInt(), 2 * 10240);
+    EXPECT_EQ(fleet.at("peak_rss_kb").asInt(), 2 * 20480);
+}
+
 } // namespace
 } // namespace eval::top

@@ -4,8 +4,13 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <sstream>
+
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include "trace/exit_flush.hh"
 #include "trace/manifest.hh"
@@ -145,6 +150,39 @@ TEST(ExitFlushTest, ThrowingClosureDoesNotBlockOthers)
     flush.runNow();
     EXPECT_TRUE(ran);
     EXPECT_EQ(flush.pending(), 0u);
+}
+
+TEST(PeakRssTest, CountsReapedChildrenNotJustSelf)
+{
+    // The shard supervisor's memory peak lives in its forked workers.
+    // Fork a child that touches ~128 MiB, reap it, and require the
+    // reported peak to cover it — RUSAGE_SELF alone would miss it.
+    const long before = peakRssKb();
+    ASSERT_GT(before, 0);
+
+    constexpr std::size_t kBytes = 128u << 20;
+    const pid_t pid = fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        // Child: touch every page so ru_maxrss actually grows.
+        volatile char *block =
+            static_cast<char *>(std::malloc(kBytes));
+        if (block == nullptr)
+            _exit(1);
+        std::memset(const_cast<char *>(block), 0x5a, kBytes);
+        _exit(block[kBytes - 1] == 0x5a ? 0 : 1);
+    }
+    int status = 0;
+    ASSERT_EQ(waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status));
+    ASSERT_EQ(WEXITSTATUS(status), 0);
+
+    // The child peaked at >= 128 MiB; allow generous slack for the
+    // parent's own footprint comparisons by only requiring growth to
+    // most of the child's allocation.
+    const long after = peakRssKb();
+    EXPECT_GE(after, static_cast<long>(kBytes >> 10));
+    EXPECT_GE(after, before);
 }
 
 } // namespace

@@ -42,6 +42,12 @@ entryToJson(const Entry &e)
     for (const auto &[key, value] : e.metrics)
         metrics.set(key, value);
     obj.set("metrics", metrics);
+    if (!e.spanSelfMs.empty()) {
+        JsonValue spans = JsonValue::object();
+        for (const auto &[name, ms] : e.spanSelfMs)
+            spans.set(name, ms);
+        obj.set("span_self_ms", spans);
+    }
     return obj;
 }
 
@@ -63,6 +69,53 @@ formatValue(double v)
     char buf[40];
     std::snprintf(buf, sizeof buf, "%.6g", v);
     return buf;
+}
+
+/** Top spans by self-time growth, newest entry vs the mean of the
+ *  prior window entries that carried span data (untraced runs don't
+ *  dilute the baseline).  Spans that shrank are not blamed. */
+std::vector<SpanBlame>
+blameSpans(const std::vector<Entry> &history, std::size_t priorCount)
+{
+    const Entry &cur = history.back();
+
+    std::map<std::string, double> baselineSum;
+    std::size_t traced = 0;
+    for (std::size_t i = history.size() - 1 - priorCount;
+         i + 1 < history.size(); ++i) {
+        if (history[i].spanSelfMs.empty())
+            continue;
+        ++traced;
+        for (const auto &[name, ms] : history[i].spanSelfMs)
+            baselineSum[name] += ms;
+    }
+
+    std::vector<SpanBlame> blames;
+    std::map<std::string, double> names = cur.spanSelfMs;
+    for (const auto &[name, sum] : baselineSum)
+        names.emplace(name, 0.0);       // vanished spans still rank
+    for (const auto &[name, unused] : names) {
+        (void)unused;
+        SpanBlame b;
+        b.span = name;
+        const auto it = cur.spanSelfMs.find(name);
+        b.currentMs = it != cur.spanSelfMs.end() ? it->second : 0.0;
+        const auto base = baselineSum.find(name);
+        if (traced > 0 && base != baselineSum.end())
+            b.baselineMs = base->second / static_cast<double>(traced);
+        b.deltaMs = b.currentMs - b.baselineMs;
+        if (b.deltaMs > 0.0)
+            blames.push_back(std::move(b));
+    }
+    std::sort(blames.begin(), blames.end(),
+              [](const SpanBlame &a, const SpanBlame &b) {
+                  if (a.deltaMs != b.deltaMs)
+                      return a.deltaMs > b.deltaMs;
+                  return a.span < b.span;
+              });
+    if (blames.size() > 3)
+        blames.resize(3);
+    return blames;
 }
 
 } // namespace
@@ -140,6 +193,13 @@ parseEntry(const std::string &line, Entry &out)
                     e.metrics[key] = value.asDouble();
             }
         }
+        if (doc.has("span_self_ms")) {
+            for (const auto &[name, ms] :
+                 doc.at("span_self_ms").asObject()) {
+                if (ms.isNumber())
+                    e.spanSelfMs[name] = ms.asDouble();
+            }
+        }
     } catch (const std::runtime_error &) {
         return false;
     }
@@ -206,6 +266,7 @@ report(const std::string &historyDir, std::size_t window,
         const Entry &cur = history.back();
         const std::size_t priorCount =
             std::min(window, history.size() - 1);
+        bool wallClockRegressed = false;
 
         for (const auto &[metric, value] : comparableMetrics(cur)) {
             MetricReport row;
@@ -262,9 +323,22 @@ report(const std::string &historyDir, std::size_t window,
                     }
                 }
             }
-            if (row.gated && row.verdict == Delta::Regression)
+            if (row.gated && row.verdict == Delta::Regression) {
                 ++rep.regressions;
+                if (metric == "wall_clock_s")
+                    wallClockRegressed = true;
+            }
             rep.rows.push_back(std::move(row));
+        }
+
+        // The wall-clock gate tripped: name the spans whose self
+        // time grew the most against the same comparison window.
+        if (wallClockRegressed) {
+            BenchBlame blame;
+            blame.bench = cur.bench;
+            blame.topSpans = blameSpans(history, priorCount);
+            if (!blame.topSpans.empty())
+                rep.blames.push_back(std::move(blame));
         }
     }
     return rep;
@@ -295,6 +369,16 @@ Report::toMarkdown(double thresholdPct) const
             out += " ❌";
         out += " |\n";
     }
+    for (const BenchBlame &b : blames) {
+        out += "\n## Blame: " + b.bench + "\n\n";
+        out += "`wall_clock_s` regressed — top spans by self-time "
+               "growth vs the window baseline:\n\n";
+        for (const SpanBlame &s : b.topSpans) {
+            out += "- `" + s.span + "` +" + formatValue(s.deltaMs) +
+                   " ms (" + formatValue(s.baselineMs) + " → " +
+                   formatValue(s.currentMs) + " ms)\n";
+        }
+    }
     return out;
 }
 
@@ -320,6 +404,23 @@ Report::toJson(double thresholdPct) const
         arr.push(std::move(row));
     }
     doc.set("rows", std::move(arr));
+    JsonValue blameArr = JsonValue::array();
+    for (const BenchBlame &b : blames) {
+        JsonValue obj = JsonValue::object();
+        obj.set("bench", b.bench);
+        JsonValue spans = JsonValue::array();
+        for (const SpanBlame &s : b.topSpans) {
+            JsonValue span = JsonValue::object();
+            span.set("span", s.span);
+            span.set("current_ms", s.currentMs);
+            span.set("baseline_ms", s.baselineMs);
+            span.set("delta_ms", s.deltaMs);
+            spans.push(std::move(span));
+        }
+        obj.set("spans", std::move(spans));
+        blameArr.push(std::move(obj));
+    }
+    doc.set("blames", std::move(blameArr));
     return doc.dump(2) + "\n";
 }
 

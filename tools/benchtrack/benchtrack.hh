@@ -45,6 +45,11 @@ struct Entry
     std::int64_t peakRssKb = 0;         ///< 0 = footer predates field
     /** Numeric metrics only; string metrics are dropped on ingest. */
     std::map<std::string, double> metrics;
+    /** Per-span self time (ms, keyed by span name) from the footer's
+     *  compact `span_self_ms` map; empty when the bench ran without
+     *  tracing (or predates the field).  Not compared as metrics —
+     *  this is the evidence the wall-clock blame is computed from. */
+    std::map<std::string, double> spanSelfMs;
 };
 
 /** Parse one line.  Accepts both the raw stdout form
@@ -91,9 +96,29 @@ struct MetricReport
     bool gated = false;          ///< counts toward the failure verdict
 };
 
+/** One span's contribution to a wall-clock regression. */
+struct SpanBlame
+{
+    std::string span;         ///< span name from span_self_ms
+    double currentMs = 0.0;   ///< newest entry's self time
+    double baselineMs = 0.0;  ///< window mean (absent entries = 0)
+    double deltaMs = 0.0;     ///< currentMs - baselineMs
+};
+
+/** Blame attached to a bench whose wall_clock_s gate tripped: the
+ *  top spans by self-time growth, newest vs the same comparison
+ *  window the gate used.  Only entries that carried span data count
+ *  toward the baseline mean, so untraced runs don't dilute it. */
+struct BenchBlame
+{
+    std::string bench;
+    std::vector<SpanBlame> topSpans; ///< delta desc, at most 3
+};
+
 struct Report
 {
     std::vector<MetricReport> rows;
+    std::vector<BenchBlame> blames; ///< one per blamed bench
     std::size_t regressions = 0; ///< gated regressions only
 
     std::string toMarkdown(double thresholdPct) const;

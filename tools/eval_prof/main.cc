@@ -1,0 +1,8 @@
+#include "eval_prof.hh"
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    return eval::prof::runEvalProf(args);
+}

@@ -306,6 +306,41 @@ formatDuration(double seconds)
     return buf;
 }
 
+FleetSummary
+fleetSummary(const std::vector<RunStatus> &runs)
+{
+    FleetSummary fleet;
+    for (const RunStatus &run : runs) {
+        if (!run.valid)
+            continue;
+        ++fleet.runs;
+        if (run.final)
+            ++fleet.finished;
+        fleet.rssKb += run.rssKb;
+        fleet.peakRssKb += run.peakRssKb;
+        const ProgressRow *row = nullptr;
+        for (const ProgressRow &p : run.progress) {
+            if (p.name == "chips") {
+                row = &p;
+                break;
+            }
+        }
+        if (row == nullptr && !run.progress.empty())
+            row = &run.progress.front();
+        if (row != nullptr) {
+            fleet.done += row->done;
+            fleet.total += row->total;
+            fleet.ratePerS += row->ratePerS;
+        }
+    }
+    if (fleet.total > 0 && fleet.done >= fleet.total)
+        fleet.etaS = 0.0;
+    else if (fleet.ratePerS > 0.0)
+        fleet.etaS = static_cast<double>(fleet.total - fleet.done) /
+                     fleet.ratePerS;
+    return fleet;
+}
+
 std::string
 render(const std::vector<RunStatus> &runs,
        const std::map<std::string, RunStatus> &previous, int topN)
@@ -322,6 +357,24 @@ render(const std::vector<RunStatus> &runs,
     for (const RunStatus &run : runs) {
         renderRun(out, run, previous, topN);
         out += "\n";
+    }
+
+    // Sharded campaigns (one status file per worker) get a fleet
+    // footer: summed progress/rate, the combined ETA, and total RSS.
+    const FleetSummary fleet = fleetSummary(runs);
+    if (fleet.runs > 1) {
+        char line[256];
+        std::snprintf(line, sizeof line,
+                      "fleet: %zu/%zu runs done  %llu/%llu units  "
+                      "%s  eta %s  rss %s (peak %s)\n",
+                      fleet.finished, fleet.runs,
+                      static_cast<unsigned long long>(fleet.done),
+                      static_cast<unsigned long long>(fleet.total),
+                      formatRate(fleet.ratePerS).c_str(),
+                      formatDuration(fleet.etaS).c_str(),
+                      formatMib(fleet.rssKb).c_str(),
+                      formatMib(fleet.peakRssKb).c_str());
+        out += line;
     }
     return out;
 }
@@ -373,6 +426,21 @@ renderJson(const std::vector<RunStatus> &runs)
         arr.push(std::move(r));
     }
     root.set("runs", std::move(arr));
+
+    const FleetSummary fleet = fleetSummary(runs);
+    if (fleet.runs > 1) {
+        JsonValue f = JsonValue::object();
+        f.set("runs", static_cast<std::int64_t>(fleet.runs));
+        f.set("finished", static_cast<std::int64_t>(fleet.finished));
+        f.set("done", fleet.done);
+        f.set("total", fleet.total);
+        f.set("rate_per_s", fleet.ratePerS);
+        f.set("eta_s", fleet.etaS);
+        f.set("rss_kb", static_cast<std::int64_t>(fleet.rssKb));
+        f.set("peak_rss_kb",
+              static_cast<std::int64_t>(fleet.peakRssKb));
+        root.set("fleet", std::move(f));
+    }
     return root.dump(2) + "\n";
 }
 

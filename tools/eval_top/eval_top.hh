@@ -16,7 +16,11 @@
  * The dashboard shows, per run: a progress bar per tracker with
  * done/total, completion %, units/sec, and ETA; RSS (current/peak),
  * CPU time, and thread count; and the top-N hottest stats by
- * delta-per-second between polls.  Reading is safe while the sampler
+ * delta-per-second between polls.  When more than one run is valid
+ * (tailing a sharded campaign's status dir) a fleet footer sums
+ * progress, rate, combined ETA, and RSS across the shards; --json
+ * exports the same aggregate as a "fleet" object.
+ * Reading is safe while the sampler
  * rewrites the file because publication is rename-into-place — a
  * reader sees the old or the new snapshot, never a torn write.
  *
@@ -65,6 +69,25 @@ struct RunStatus
     std::vector<ProgressRow> progress;
     std::vector<std::pair<std::string, double>> stats;
 };
+
+/** Aggregate view over a multi-run (sharded) campaign: one footer
+ *  row summing the per-shard dashboards.  Progress folds each run's
+ *  "chips" tracker (first tracker when a run has no "chips"), so the
+ *  fleet rate/ETA line up with what the shard workers publish. */
+struct FleetSummary
+{
+    std::size_t runs = 0;       ///< valid runs folded in
+    std::size_t finished = 0;   ///< valid runs with final == true
+    std::uint64_t done = 0;
+    std::uint64_t total = 0;
+    double ratePerS = 0.0;      ///< sum of per-run rates
+    double etaS = -1.0;         ///< remaining/rate; -1 = unknown
+    long rssKb = 0;             ///< sum over valid runs
+    long peakRssKb = 0;         ///< sum over valid runs
+};
+
+/** Fold @p runs into the fleet footer (invalid runs are skipped). */
+FleetSummary fleetSummary(const std::vector<RunStatus> &runs);
 
 /** Parse one status document.  Never throws: malformed input yields
  *  valid == false with the parse error recorded. */
